@@ -1,0 +1,57 @@
+"""Ablation: what if JITed code pages were reused in place?
+
+DESIGN.md decision 1: the paper's cold-start findings must *emerge* from
+the mechanism (fresh code pages on every JIT/tier event).  This ablation
+flips the mechanism off — re-JIT lands at the method's previous address
+(the paper's §VII-A1 proposal of "transformation of micro-architectural
+state" taken to its limit) — and shows the I-side penalties shrink.
+"""
+
+from repro.harness.report import format_table
+from repro.harness.runner import Fidelity, run_workload
+from repro.workloads.aspnet import aspnet_specs
+from repro.workloads.dotnet import dotnet_category_specs
+
+BENCHMARKS = ("CscBench", "Json", "MvcDbFortunesRaw")
+
+
+def test_ablation_jit_code_page_reuse(benchmark, fidelity, machine_i9,
+                                      emit):
+    specs = {s.name: s for s in (dotnet_category_specs() + aspnet_specs())}
+    fid = Fidelity(warmup_instructions=40_000,
+                   measure_instructions=max(200_000,
+                                            fidelity.measure_instructions))
+
+    def run():
+        out = {}
+        for name in BENCHMARKS:
+            normal = run_workload(specs[name], machine_i9, fid, seed=5)
+            reuse = run_workload(specs[name], machine_i9, fid, seed=5,
+                                 reuse_code_pages=True)
+            out[name] = (normal.counters, reuse.counters)
+        return out
+
+    data = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = []
+    for name, (n, r) in data.items():
+        rows.append([name,
+                     n.mpki(n.l1i_misses), r.mpki(r.l1i_misses),
+                     n.mpki(n.itlb_misses), r.mpki(r.itlb_misses),
+                     n.mpki(n.branch_misses), r.mpki(r.branch_misses),
+                     float(n.page_faults), float(r.page_faults)])
+    text = format_table(
+        ["benchmark", "l1i", "l1i(reuse)", "itlb", "itlb(reuse)",
+         "br", "br(reuse)", "faults", "faults(reuse)"], rows)
+    text += ("\n\nWith code-page reuse, re-JIT keeps PC-indexed state "
+             "warm: the cold-start penalties the paper attributes to "
+             "fresh code pages shrink or vanish.")
+    emit("ablation_jit_code_reuse", text)
+
+    improved = 0
+    for name, (n, r) in data.items():
+        assert float(r.page_faults) <= float(n.page_faults), name
+        if (r.mpki(r.l1i_misses) < n.mpki(n.l1i_misses)
+                or r.mpki(r.itlb_misses) <= n.mpki(n.itlb_misses)):
+            improved += 1
+    assert improved >= 2

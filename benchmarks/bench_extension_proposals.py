@@ -1,0 +1,108 @@
+"""§VIII future-work proposals, implemented and quantified.
+
+The paper's conclusion proposes cross-stack hardware assisted by runtime
+metadata.  The simulator implements three of the proposals as opt-in
+extension hardware; this bench measures each against its baseline:
+
+1. **JIT-aware code prefetch + state transformation** ("hooks in the ISA
+   ... provide metadata regarding JITed code pages ... preserve or
+   transform the microarchitectural state"): fresh code pages are pulled
+   into L2/LLC with I-TLB entries pre-installed, and PC-indexed predictor
+   state follows re-tiered methods.
+2. **Hardware GC offload** ("offloading a part of Garbage Collection to
+   hardware for improved cache performance while keeping the overhead of
+   memory management low").
+3. **LLC placement** ("data placement strategies in LLC slices to reduce
+   contention at the NoC").
+"""
+
+from repro.harness.report import format_table
+from repro.harness.runner import Fidelity, run_multicore, run_workload
+from repro.runtime.gc import GcConfig, SERVER
+from repro.uarch.machine import scaled
+from repro.workloads.aspnet import aspnet_specs
+from repro.workloads.dotnet import dotnet_category_specs
+
+MB = 2 ** 20
+
+
+def spec_of(name):
+    for s in dotnet_category_specs() + aspnet_specs():
+        if s.name == name:
+            return s
+    raise KeyError(name)
+
+
+def test_extension_proposals(benchmark, fidelity, machine_i9, emit):
+    fid = Fidelity(warmup_instructions=50_000,
+                   measure_instructions=max(200_000,
+                                            fidelity.measure_instructions))
+
+    def run():
+        from dataclasses import replace
+        out = {}
+        # --- 1: JIT metadata hardware --------------------------------
+        # A JIT-heavy configuration (low ReadyToRun coverage) so the
+        # cold-start term the proposal targets is actually present.
+        jit_spec = replace(spec_of("CscBench"), prejit_frac=0.25)
+        out["jit_base"] = run_workload(jit_spec, machine_i9, fid, seed=5)
+        out["jit_ext"] = run_workload(
+            jit_spec, scaled(machine_i9, jit_code_prefetch=True,
+                             jit_state_transform=True), fid, seed=5)
+        # --- 2: hardware GC -------------------------------------------
+        gc_spec = spec_of("System.Collections")
+        for hw in (False, True):
+            out[f"gc_hw={hw}"] = run_workload(
+                gc_spec, machine_i9, fid, seed=3,
+                gc_config=GcConfig(flavor=SERVER,
+                                   max_heap_bytes=2_000 * MB,
+                                   hw_accelerated=hw))
+        # --- 3: LLC placement -----------------------------------------
+        llc_spec = spec_of("Plaintext")
+        for placement in ("hashed", "balanced"):
+            mc_fid = Fidelity(warmup_instructions=40_000,
+                              measure_instructions=100_000)
+            result, td, counters = run_multicore(
+                llc_spec, scaled(machine_i9, llc_placement=placement),
+                8, mc_fid)
+            out[f"llc_{placement}"] = (result.llc.extra_latency,
+                                       td.be_l3_bound)
+        return out
+
+    data = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    jb, je = data["jit_base"].counters, data["jit_ext"].counters
+    rows = [
+        ["JIT ext: L1i MPKI", jb.mpki(jb.l1i_misses),
+         je.mpki(je.l1i_misses)],
+        ["JIT ext: iTLB MPKI", jb.mpki(jb.itlb_misses),
+         je.mpki(je.itlb_misses)],
+        ["JIT ext: branch MPKI", jb.mpki(jb.branch_misses),
+         je.mpki(je.branch_misses)],
+        ["JIT ext: cycles", jb.cycles, je.cycles],
+    ]
+    gs, gh = data["gc_hw=False"].counters, data["gc_hw=True"].counters
+    rows += [
+        ["HW GC: cycles/alloc-tick",
+         gs.cycles / max(1, gs.allocation_ticks),
+         gh.cycles / max(1, gh.allocation_ticks)],
+        ["HW GC: LLC MPKI", gs.mpki(gs.llc_misses),
+         gh.mpki(gh.llc_misses)],
+        ["HW GC: GC triggers", float(gs.gc_triggered),
+         float(gh.gc_triggered)],
+    ]
+    rows += [
+        ["LLC placement: contention delay (cyc)",
+         data["llc_hashed"][0], data["llc_balanced"][0]],
+        ["LLC placement: L3-bound slots",
+         data["llc_hashed"][1], data["llc_balanced"][1]],
+    ]
+    text = format_table(["quantity", "baseline", "with extension"], rows)
+    emit("extension_proposals", text)
+
+    # Each proposal must pay off in its target metric.
+    assert je.mpki(je.l1i_misses) <= jb.mpki(jb.l1i_misses)
+    assert je.cycles <= jb.cycles * 1.02
+    assert (gh.cycles / max(1, gh.allocation_ticks)
+            < gs.cycles / max(1, gs.allocation_ticks))
+    assert data["llc_balanced"][0] < data["llc_hashed"][0]

@@ -1,0 +1,61 @@
+"""Fig 10: breakdown of empty pipeline slots in the frontend and backend.
+
+Paper (frontend): DSB/MITE bandwidth plus large latency contributions from
+BTB re-steers, I-TLB and I-cache misses for most .NET/ASP.NET benchmarks;
+MS-switches consistent across managed benchmarks (CLR code).
+Paper (backend): ASP.NET is L3-bound; SPEC is more DRAM bound; D-cache
+(L1) latency visible for ASP.NET and select .NET benchmarks.
+"""
+
+import numpy as np
+
+from repro.harness.report import stacked_bar_chart
+
+
+def test_fig10_topdown_breakdown(benchmark, dotnet_i9, aspnet_i9, spec_i9,
+                                 emit):
+    def run():
+        fe, be = {}, {}
+        for suite, sr in (("dotnet", dotnet_i9), ("aspnet", aspnet_i9),
+                          ("speccpu", spec_i9)):
+            for r in sr.results:
+                key = f"{suite[:3]}:{r.name}"
+                fe[key] = r.topdown.frontend_breakdown()
+                be[key] = r.topdown.backend_breakdown()
+        return fe, be
+
+    fe, be = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    labels = list(fe)
+    fe_series = {seg: [fe[l][seg] for l in labels]
+                 for seg in next(iter(fe.values()))}
+    be_series = {seg: [be[l][seg] for l in labels]
+                 for seg in next(iter(be.values()))}
+    text = stacked_bar_chart(labels, fe_series,
+                             title="Fig 10 (top): FE-bound slot "
+                                   "distribution", width=50)
+    text += "\n\n" + stacked_bar_chart(
+        labels, be_series,
+        title="Fig 10 (bottom): BE-bound slot distribution", width=50)
+    emit("fig10_topdown_breakdown", text)
+
+    def mean(d, prefix, seg):
+        vals = [v[seg] for k, v in d.items() if k.startswith(prefix)]
+        return float(np.mean(vals))
+
+    # Distributions are normalized.
+    for v in list(fe.values()) + list(be.values()):
+        assert abs(sum(v.values()) - 1.0) < 1e-6
+    # FE: I-cache + resteers + I-TLB carry the managed frontend stalls.
+    managed_fe_latency = (mean(fe, "asp", "icache_misses")
+                          + mean(fe, "asp", "branch_resteers")
+                          + mean(fe, "asp", "itlb_misses"))
+    assert managed_fe_latency > 0.4
+    # BE: ASP.NET's memory stalls lean on the LLC (L3 bound) far more
+    # than SPEC's, which lean on DRAM.
+    assert mean(be, "asp", "l3_bound") > mean(be, "spe", "l3_bound")
+    assert mean(be, "spe", "dram_bound") > mean(be, "asp", "dram_bound")
+    # SPEC memory programs: DRAM dominates their backend distribution.
+    spec_dram = [v["dram_bound"] for k, v in be.items()
+                 if k in ("spe:mcf", "spe:bwaves")]
+    assert min(spec_dram) > 0.4

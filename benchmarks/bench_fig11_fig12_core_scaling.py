@@ -1,0 +1,63 @@
+"""Figs 11-12: ASP.NET Top-Down profile vs core count (1, 2, 4, 8, 16).
+
+Paper: as cores scale, benchmarks become more backend bound, driven by
+growing L3-bound stalls (LLC slice-port and NoC contention), while the
+per-core LLC MPKI stays roughly flat.
+"""
+
+from repro import paperdata
+from repro.harness.report import format_table
+from repro.harness.runner import run_multicore
+from repro.workloads.aspnet import aspnet_specs
+
+BENCHMARKS = ("Plaintext", "Json", "DbFortunesRaw")
+
+
+def test_fig11_fig12_core_scaling(benchmark, fidelity, machine_i9, emit):
+    specs = {s.name: s for s in aspnet_specs()}
+
+    def run():
+        out = {}
+        for name in BENCHMARKS:
+            per_count = {}
+            for n in paperdata.CORE_SCALING_POINTS:
+                result, td, counters = run_multicore(
+                    specs[name], machine_i9, n, fidelity)
+                per_count[n] = {
+                    "topdown": td.level1(),
+                    "l3_bound": td.be_l3_bound,
+                    "llc_mpki": result.per_core_llc_mpki(),
+                    "llc_extra_latency": result.llc.extra_latency,
+                }
+            out[name] = per_count
+        return out
+
+    data = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = []
+    for name, per_count in data.items():
+        for n, d in per_count.items():
+            td = d["topdown"]
+            rows.append([name, n, td["retiring"], td["frontend_bound"],
+                         td["backend_bound"], d["l3_bound"],
+                         d["llc_mpki"], d["llc_extra_latency"]])
+    text = format_table(
+        ["benchmark", "cores", "retiring", "fe_bound", "be_bound",
+         "l3_bound", "per-core LLC MPKI", "LLC extra latency (cyc)"],
+        rows)
+    emit("fig11_fig12_core_scaling", text)
+
+    for name, per_count in data.items():
+        lo, mid, hi = per_count[1], per_count[4], per_count[16]
+        # Fig 12: L3-bound stalls grow with core count...
+        assert hi["l3_bound"] > lo["l3_bound"] * 1.3, name
+        # ...while per-core LLC MPKI stays comparatively stable across
+        # the multi-core points (2..16: shared-state amortization makes
+        # the 1-core point an outlier in finite windows).
+        multi = [per_count[n]["llc_mpki"] for n in (2, 4, 8, 16)]
+        assert max(multi) < 2.5 * min(multi), (name, multi)
+        # Fig 11: backend-bound grows as contention mounts (4 -> 16).
+        assert hi["topdown"]["backend_bound"] \
+            > mid["topdown"]["backend_bound"] - 0.01, name
+        # The mechanism: contention latency at the shared LLC.
+        assert hi["llc_extra_latency"] > 2 * lo["llc_extra_latency"]

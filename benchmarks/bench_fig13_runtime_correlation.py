@@ -1,0 +1,109 @@
+"""Fig 13: correlation of runtime events with performance counters (§VII-A).
+
+Methodology as in the paper: co-sampled runtime-event and counter series
+(the paper used 1 ms buckets over seconds-long runs; we use
+proportionally smaller buckets over the simulated window), Pearson
+correlation with a small lag scan (the paper observed counter responses
+10 us - 5 ms after the event).
+
+Paper's Fig 13a (JIT-start events, max heap to suppress GC): positive
+correlation with branch MPKI, LLC MPKI, page faults (+5-20%), L1i (~5%);
+NEGATIVE correlation with useless prefetches (JITed pages are
+prefetchable, prefetchers just stop at their boundaries).
+Paper's Fig 13b (GC invocations, small heap): LLC MPKI down (~8%),
+instructions up, IPC up.
+"""
+
+from repro.core.correlation import correlate_many, event_effect
+from repro.harness.report import format_table
+from repro.harness.runner import Fidelity, run_with_sampling
+from repro.runtime.gc import GcConfig, WORKSTATION
+from repro.workloads.aspnet import aspnet_specs
+from repro.workloads.dotnet import dotnet_category_specs
+
+MB = 2 ** 20
+JIT_COUNTERS = ("branch_mpki", "llc_mpki", "page_faults", "l1i_mpki",
+                "useless_prefetch_frac")
+GC_COUNTERS = ("llc_mpki", "instructions", "ipc", "l1d_mpki")
+
+
+def _fid(fidelity):
+    # The correlation study wants a long steady-state window (the paper
+    # sampled for the whole benchmark execution).
+    return Fidelity(warmup_instructions=fidelity.warmup_instructions,
+                    measure_instructions=max(
+                        500_000, fidelity.measure_instructions))
+
+
+def test_fig13a_jit_correlation(benchmark, fidelity, machine_i9, emit):
+    # An allocation/JIT-rich workload without a kernel request loop: the
+    # paper isolates JIT effects with a maxed heap; we additionally avoid
+    # kernel-phase confounding in the (finer-grained) sample buckets.
+    spec = next(s for s in dotnet_category_specs()
+                if s.name == "System.Xml")
+
+    def run():
+        # Max heap -> GC suppressed, isolating JIT effects (paper §VII-A).
+        r = run_with_sampling(
+            spec, machine_i9, _fid(fidelity), sample_interval=5e-6,
+            gc_config=GcConfig(flavor=WORKSTATION,
+                               max_heap_bytes=20_000 * MB), seed=1)
+        return r.samples
+
+    samples = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    results = correlate_many(samples, "jit_started", JIT_COUNTERS,
+                             max_lag=3)
+    rows = [[c.counter, c.r, c.best_lag] for c in results]
+    text = ("Fig 13a: JIT-start event correlations "
+            "(System.Xml, max heap)\n")
+    text += format_table(["counter", "pearson r", "lag (samples)"], rows)
+    text += (f"\n\nJIT events in window: {sum(samples['jit_started']):g}; "
+             f"samples: {len(samples)}")
+    by = {c.counter: c.r for c in results}
+    emit("fig13a_jit_correlation", text)
+
+    # Paper shapes: cold-start counters rise with JIT activity...
+    assert by["branch_mpki"] > 0.05
+    assert by["l1i_mpki"] > 0.05
+    assert by["llc_mpki"] > 0.0
+    assert by["page_faults"] > 0.1
+    # ...and the useless-prefetch *fraction* falls (data within JITed
+    # pages is prefetchable — the paper's negative correlation).
+    assert by["useless_prefetch_frac"] < 0.05
+
+
+def test_fig13b_gc_correlation(benchmark, fidelity, machine_i9, emit):
+    spec = next(s for s in aspnet_specs() if s.name == "DbFortunesRaw")
+
+    def run():
+        # Small heap -> frequent GC, highlighting its effects.
+        r = run_with_sampling(
+            spec, machine_i9, _fid(fidelity), sample_interval=5e-6,
+            gc_config=GcConfig(flavor=WORKSTATION,
+                               max_heap_bytes=200 * MB), seed=1)
+        return r.samples
+
+    samples = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    results = correlate_many(samples, "gc_triggered", GC_COUNTERS,
+                             max_lag=3)
+    rows = [[c.counter, c.r, c.best_lag] for c in results]
+    effects = {c: event_effect(samples, "gc_triggered", c)
+               for c in GC_COUNTERS}
+    text = "Fig 13b: GC-invocation correlations (DbFortunesRaw, 200MiB)\n"
+    text += format_table(["counter", "pearson r", "lag (samples)"], rows)
+    text += "\n\nrelative effect in GC-active buckets:\n"
+    text += format_table(["counter", "(active-idle)/idle"],
+                         [[c, e] for c, e in effects.items()])
+    text += (f"\n\nGC events in window: {sum(samples['gc_triggered']):g}; "
+             f"paper: LLC MPKI ~-8%, instructions +, IPC +")
+    emit("fig13b_gc_correlation", text)
+
+    by = {c.counter: c.r for c in results}
+    assert sum(samples["gc_triggered"]) >= 3
+    # GC activity adds instructions to the stream.
+    assert by["instructions"] > 0.0
+    # The cache benefit: LLC MPKI is NOT positively correlated with GC
+    # (paper: mildly negative, ~-8% effect).
+    assert by["llc_mpki"] < 0.3

@@ -1,0 +1,119 @@
+"""Fig 14: workstation vs server GC across maximum heap sizes (§VII-B).
+
+Paper: server GC triggers 6.18x more often, achieves a 0.59x LLC-MPKI
+reduction, and runs applications 1.14x faster on average; cache-light
+workloads (System.MathBenchmarks) regress; System.Collections cannot run
+at the 200 MiB cap (and System.Text / System.Tests can't under server GC
+at 200 MiB).
+"""
+
+import numpy as np
+
+from repro import paperdata
+from repro.harness.report import format_table, geomean
+from repro.harness.runner import Fidelity, run_workload
+from repro.runtime.gc import (GcConfig, OutOfManagedMemory, SERVER,
+                              WORKSTATION)
+from repro.workloads.dotnet import dotnet_category_specs
+
+MB = 2 ** 20
+#: allocation-active categories (Fig 14 plots the whole suite; we sweep a
+#: representative slice spanning heavy to negligible GC activity)
+CATEGORIES = ("System.Collections", "System.Linq", "System.Text",
+              "System.Xml", "System.Text.Json", "System.Runtime",
+              "MicroBenchmarks.Serializers", "System.MathBenchmarks")
+
+
+def test_fig14_gc_comparison(benchmark, fidelity, machine_i9, emit):
+    specs = {s.name: s for s in dotnet_category_specs()}
+    fid = Fidelity(warmup_instructions=fidelity.warmup_instructions,
+                   measure_instructions=max(
+                       300_000, fidelity.measure_instructions))
+
+    def run():
+        cells = {}
+        for name in CATEGORIES:
+            for flavor in (WORKSTATION, SERVER):
+                for heap_mib in paperdata.GC_HEAP_SIZES_MIB:
+                    key = (name, flavor, heap_mib)
+                    try:
+                        r = run_workload(
+                            specs[name], machine_i9, fid, seed=3,
+                            gc_config=GcConfig(flavor=flavor,
+                                               max_heap_bytes=heap_mib
+                                               * MB))
+                        c = r.counters
+                        cells[key] = dict(gc=c.gc_triggered,
+                                          llc=c.mpki(c.llc_misses),
+                                          l2=c.mpki(c.l2_misses),
+                                          seconds=r.seconds)
+                    except OutOfManagedMemory:
+                        cells[key] = None
+                    del key
+        return cells
+
+    cells = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = []
+    for name in CATEGORIES:
+        for heap in paperdata.GC_HEAP_SIZES_MIB:
+            ws = cells[(name, WORKSTATION, heap)]
+            srv = cells[(name, SERVER, heap)]
+
+            def f(cell, key):
+                return "OOM" if cell is None else f"{cell[key]:.3g}"
+
+            rows.append([name, heap, f(ws, "gc"), f(srv, "gc"),
+                         f(ws, "llc"), f(srv, "llc"),
+                         f(ws, "seconds"), f(srv, "seconds")])
+    text = format_table(
+        ["category", "heap MiB", "ws GCs", "srv GCs", "ws LLC", "srv LLC",
+         "ws time", "srv time"], rows)
+
+    # Aggregate factors over cells where both flavors ran and GC fired.
+    trig, llc_r, speedups = [], [], {}
+    for name in CATEGORIES:
+        per_cat = []
+        for heap in paperdata.GC_HEAP_SIZES_MIB:
+            ws = cells[(name, WORKSTATION, heap)]
+            srv = cells[(name, SERVER, heap)]
+            if ws is None or srv is None:
+                continue
+            per_cat.append(ws["seconds"] / srv["seconds"])
+            if ws["gc"] >= 1 and srv["gc"] >= 1:
+                trig.append(srv["gc"] / ws["gc"])
+                llc_r.append((srv["llc"] + 1e-3) / (ws["llc"] + 1e-3))
+        if per_cat:
+            speedups[name] = geomean(per_cat)
+    trig_factor = geomean(trig)
+    llc_factor = geomean(llc_r)
+    mean_speedup = geomean([v for v in speedups.values()])
+    text += "\n\n" + format_table(
+        ["aggregate", "measured", "paper"],
+        [["server/ws GC triggers", trig_factor,
+          paperdata.SERVER_GC_TRIGGER_FACTOR],
+         ["server/ws LLC MPKI", llc_factor,
+          paperdata.SERVER_GC_LLC_MPKI_FACTOR],
+         ["server speedup (geomean)", mean_speedup,
+          paperdata.SERVER_GC_SPEEDUP]])
+    text += "\n\nper-category server speedup:\n" + format_table(
+        ["category", "speedup"],
+        [[n, s] for n, s in speedups.items()])
+    emit("fig14_gc_comparison", text)
+
+    # --- Fig 14 shapes ------------------------------------------------
+    assert trig_factor > 2.5                      # paper: 6.18x
+    assert llc_factor < 1.0                       # paper: 0.59x
+    assert mean_speedup > 1.0                     # paper: 1.14x
+    # MathBenchmarks regresses relative to the suite (the crossover).
+    assert speedups["System.MathBenchmarks"] < mean_speedup
+    # §VII-B OOM pattern.
+    assert cells[("System.Collections", WORKSTATION, 200)] is None
+    assert cells[("System.Collections", SERVER, 200)] is None
+    assert cells[("System.Text", SERVER, 200)] is None
+    assert cells[("System.Text", WORKSTATION, 200)] is not None
+    # Bigger heap -> fewer collections (both flavors).
+    for flavor in (WORKSTATION, SERVER):
+        small = cells[("System.Linq", flavor, 200)]["gc"]
+        big = cells[("System.Linq", flavor, 20_000)]["gc"]
+        assert small >= big

@@ -1,0 +1,43 @@
+"""Fig 1: hierarchical-clustering dendrogram of the 44 .NET categories.
+
+The paper's tree splits System.Diagnostics and CscBench off from the other
+42 categories at the top level (they are the suite's outliers: extreme
+kernel share and extreme code footprint respectively).
+"""
+
+from repro.core.characterize import characterization_pca
+from repro.core.clustering import ClusterTree, linkage_matrix
+from repro.harness.report import format_table
+
+
+def test_fig1_dendrogram(benchmark, dotnet_i9, emit):
+    matrix = dotnet_i9.metric_matrix()
+
+    def run():
+        pca = characterization_pca(matrix, n_components=4)
+        Z = linkage_matrix(pca.scores(4))
+        return ClusterTree(Z, matrix.names)
+
+    tree = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    text = tree.render(max_width=100)
+    cuts = []
+    for k in (2, 4, 8):
+        groups = tree.cut(k)
+        cuts.append([k, " | ".join(
+            f"[{len(g)}] {g[0]}..." for g in groups)])
+    text += "\n\ncuts:\n" + format_table(["k", "clusters (size, first)"],
+                                         cuts)
+    emit("fig1_dendrogram", text)
+
+    assert len(tree.leaf_order()) == 44
+    # Outlier check: at the 4-cluster level, System.Diagnostics and
+    # CscBench must not sit in the bulk cluster.
+    groups = tree.cut(4)
+    bulk = max(groups, key=len)
+    outliers = [g for g in groups if g is not bulk]
+    outlier_names = {n for g in outliers for n in g}
+    assert ("System.Diagnostics" in outlier_names
+            or "CscBench" in outlier_names), (
+        f"expected the Fig 1 outliers outside the bulk cluster; "
+        f"outlier clusters: {outlier_names}")

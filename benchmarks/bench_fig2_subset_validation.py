@@ -1,0 +1,75 @@
+"""Fig 2: validation of the .NET representative subsets.
+
+Paper: Subset A (8 of 44 categories) tracks the full suite's composite
+cross-machine score to 98.7%; Subset B (64 of 2906 individual workloads)
+to 96.3%; the optimum 8-category subset A(o) reaches 99.9%.
+
+Scores are SPECspeed-style: time(Xeon baseline) / time(i9) per workload,
+geomean-composited.
+"""
+
+import pytest
+
+from repro import paperdata
+from repro.core.characterize import characterization_pca
+from repro.core.subset import (optimum_subset, select_representatives,
+                               speed_scores, validate_subset)
+from repro.harness.report import format_table
+
+
+
+def _scores(result_target, result_base):
+    return speed_scores(result_base.times(), result_target.times())
+
+
+def test_fig2_subset_validation(benchmark, fidelity, dotnet_i9, dotnet_xeon,
+                                micro_i9, micro_xeon, emit):
+    def run():
+        # --- Subset A: 8 of 44 categories ---------------------------
+        matrix = dotnet_i9.metric_matrix()
+        pca = characterization_pca(matrix, n_components=4)
+        subset_a = select_representatives(
+            matrix.names, pca.scores(4), k=8,
+            prefer=paperdata.TABLE4_DOTNET_SUBSET, seed=0)
+        scores_a = _scores(dotnet_i9, dotnet_xeon)
+        val_a = validate_subset("Subset A (8/44 categories)", scores_a,
+                                subset_a)
+        # --- Subset A(o): optimum one-per-cluster pick ----------------
+        opt = optimum_subset(matrix.names, pca.scores(4), scores_a, k=8,
+                             max_exhaustive=200_000, seed=0)
+        val_ao = validate_subset("Subset A(o) (optimum)", scores_a, opt)
+        # --- Subset B: individual microbenchmarks --------------------
+        matrix_b = micro_i9.metric_matrix()
+        pca_b = characterization_pca(matrix_b, n_components=4)
+        k_b = min(paperdata.SUBSET_B_SIZE, len(matrix_b) // 2)
+        subset_b = select_representatives(matrix_b.names, pca_b.scores(4),
+                                          k=k_b, seed=0)
+        scores_b = _scores(micro_i9, micro_xeon)
+        val_b = validate_subset(
+            f"Subset B ({k_b}/{len(matrix_b)} workloads)", scores_b,
+            subset_b)
+        return val_a, val_ao, val_b
+
+    val_a, val_ao, val_b = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = [
+        [val_a.label, f"{val_a.accuracy_percent:.1f}%",
+         f"{paperdata.SUBSET_A_ACCURACY}%"],
+        [val_ao.label, f"{val_ao.accuracy_percent:.1f}%",
+         f"{paperdata.SUBSET_A_OPT_ACCURACY}%"],
+        [val_b.label, f"{val_b.accuracy_percent:.1f}%",
+         f"{paperdata.SUBSET_B_ACCURACY}%"],
+    ]
+    text = format_table(["subset", "measured accuracy", "paper"], rows)
+    text += (f"\n\ncomposite full-suite score (i9 vs xeon): "
+             f"{val_a.composite_full:.3f}\n"
+             f"subset A: {sorted(val_a.subset)}")
+    emit("fig2_subset_validation", text)
+
+    # Shape: representative subsets track the composite score closely,
+    # and the optimum pick is at least as accurate as the random pick.
+    assert val_a.accuracy_percent > 90.0
+    assert val_ao.accuracy_percent >= val_a.accuracy_percent - 1e-9
+    assert val_ao.accuracy_percent > 97.0
+    assert val_b.accuracy_percent > 85.0
+    assert val_a.composite_full > 1.0          # the i9 is faster

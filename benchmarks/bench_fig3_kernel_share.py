@@ -1,0 +1,48 @@
+"""Fig 3: fraction of kernel instructions in each benchmark.
+
+Paper: ASP.NET executes a much larger share of kernel instructions than
+.NET (networking stack); SPEC executes essentially none.
+"""
+
+from repro.harness.report import bar_chart, geomean
+
+
+def _kernel_pct(counters):
+    return 100.0 * counters.kernel_instructions / counters.instructions
+
+
+def test_fig3_kernel_share(benchmark, dotnet_i9, aspnet_i9, spec_i9, emit):
+    def run():
+        rows = {}
+        for suite, sr in (("dotnet", dotnet_i9), ("aspnet", aspnet_i9),
+                          ("speccpu", spec_i9)):
+            rows[suite] = {r.name: _kernel_pct(r.counters)
+                           for r in sr.results}
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    labels, values = [], []
+    for suite in ("dotnet", "aspnet", "speccpu"):
+        for name, v in sorted(rows[suite].items(), key=lambda kv: -kv[1]):
+            labels.append(f"{suite[:3]}:{name}")
+            values.append(v)
+    text = bar_chart(labels, values,
+                     title="kernel instruction share (%)", unit="%")
+    means = {s: geomean([v + 0.01 for v in rows[s].values()])
+             for s in rows}
+    text += ("\n\ngeomean kernel %: "
+             + ", ".join(f"{s}={v:.2f}" for s, v in means.items()))
+    emit("fig3_kernel_share", text)
+
+    aspnet_mean = sum(rows["aspnet"].values()) / len(rows["aspnet"])
+    dotnet_mean = sum(rows["dotnet"].values()) / len(rows["dotnet"])
+    spec_max = max(rows["speccpu"].values())
+    # Paper shape: ASP.NET >> .NET average > SPEC ~ 0.
+    assert aspnet_mean > 25.0
+    assert aspnet_mean > dotnet_mean > spec_max
+    assert spec_max < 1.0
+    # Kernel-heavy .NET categories stand out (System.Diagnostics etc.).
+    assert rows["dotnet"]["System.Diagnostics"] > 30.0
+    assert rows["dotnet"]["System.Net"] > 10.0
+    assert rows["dotnet"]["System.MathBenchmarks"] < 5.0

@@ -1,0 +1,58 @@
+"""Fig 4 (+ §V-B): percentage of instruction types in each benchmark.
+
+Paper: SPEC has more loads (GM 35.2% vs ~29%) and fewer stores (GM 11.5%
+vs ~16%) than .NET/ASP.NET; SPEC branch shares are diverse (xalancbmk high,
+FP programs low) while the managed suites are uniform.
+"""
+
+from repro import paperdata
+from repro.harness.report import format_table, geomean
+
+
+def _mix(c):
+    n = c.instructions
+    return (100 * c.branches / n, 100 * c.loads / n, 100 * c.stores / n)
+
+
+def test_fig4_instruction_mix(benchmark, dotnet_i9, aspnet_i9, spec_i9,
+                              emit):
+    def run():
+        out = {}
+        for suite, sr in (("dotnet", dotnet_i9), ("aspnet", aspnet_i9),
+                          ("speccpu", spec_i9)):
+            out[suite] = {r.name: _mix(r.counters) for r in sr.results}
+        return out
+
+    mixes = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = []
+    for suite in ("dotnet", "aspnet", "speccpu"):
+        for name, (b, l, s) in sorted(mixes[suite].items()):
+            rows.append([f"{suite[:3]}:{name}", b, l, s])
+    gms = {s: tuple(geomean([m[i] for m in mixes[s].values()])
+                    for i in range(3)) for s in mixes}
+    text = format_table(["benchmark", "branch %", "load %", "store %"],
+                        rows, float_fmt="{:.1f}")
+    text += "\n\ngeomeans (branch/load/store %):"
+    for s, (b, l, st) in gms.items():
+        text += f"\n  {s:8s} {b:5.1f} {l:5.1f} {st:5.1f}"
+    text += (f"\npaper: SPEC loads GM {paperdata.SPEC_LOADS_GM} vs managed "
+             f"~{paperdata.DOTNET_ASPNET_LOADS_GM}; SPEC stores GM "
+             f"{paperdata.SPEC_STORES_GM} vs managed "
+             f"~{paperdata.DOTNET_ASPNET_STORES_GM}")
+    emit("fig4_instruction_mix", text)
+
+    # Load/store GM orderings (§V-B).
+    assert gms["speccpu"][1] > gms["dotnet"][1]
+    assert gms["speccpu"][1] > gms["aspnet"][1]
+    assert gms["speccpu"][2] < gms["dotnet"][2]
+    assert gms["speccpu"][2] < gms["aspnet"][2]
+    # Managed loads near 29%, SPEC near 35% (within a few points).
+    assert abs(gms["speccpu"][1] - paperdata.SPEC_LOADS_GM) < 6
+    assert abs(gms["aspnet"][1] - paperdata.DOTNET_ASPNET_LOADS_GM) < 6
+    # SPEC branch diversity exceeds the managed suites'.
+    spec_b = [m[0] for m in mixes["speccpu"].values()]
+    managed_b = [m[0] for suite in ("dotnet", "aspnet")
+                 for m in mixes[suite].values()]
+    import numpy as np
+    assert np.std(spec_b) > np.std(managed_b)

@@ -1,0 +1,74 @@
+"""Figs 5-6: PCA comparison of .NET / ASP.NET / SPEC CPU17 (§V-C).
+
+Paper: the three suites' points do not coincide, and SPEC is much more
+spread out — control-flow std 5.73x (.NET) / 4.73x (ASP.NET), memory std
+1.71x / 1.27x.
+"""
+
+import numpy as np
+
+from repro import paperdata
+from repro.core.comparison import compare_suites
+from repro.core.metrics import CONTROL_FLOW_IDS, MEMORY_IDS
+from repro.harness.report import format_table, scatter_summary
+
+
+def test_fig5_control_flow_pca(benchmark, combined_matrix, emit):
+    cmp = benchmark.pedantic(
+        lambda: compare_suites(combined_matrix, CONTROL_FLOW_IDS),
+        rounds=1, iterations=1)
+
+    groups = {g.label: g.points for g in cmp.groups}
+    text = scatter_summary(groups, title="Fig 5: control-flow PCA "
+                           "(metrics 2, 7)")
+    r_dn = cmp.std_ratio("speccpu", "dotnet")
+    r_asp = cmp.std_ratio("speccpu", "aspnet")
+    text += ("\n\nstd ratios (SPEC vs):\n"
+             + format_table(["suite", "measured", "paper"],
+                            [["dotnet", r_dn,
+                              paperdata.CONTROL_FLOW_STD_RATIO_SPEC_VS_DOTNET],
+                             ["aspnet", r_asp,
+                              paperdata.CONTROL_FLOW_STD_RATIO_SPEC_VS_ASPNET]]))
+    emit("fig5_control_flow_pca", text)
+
+    # Shape: SPEC clearly more diverse in control-flow behavior.
+    assert r_dn > 1.5
+    assert r_asp > 1.5
+    # .NET and ASP.NET control-flow spreads are similar to each other
+    # (§V-C: both dominated by CLR code) — both far tighter than SPEC's.
+    s_dn = groups["dotnet"].std(axis=0).mean()
+    s_asp = groups["aspnet"].std(axis=0).mean()
+    s_spec = groups["speccpu"].std(axis=0).mean()
+    assert s_spec > 1.5 * max(s_dn, s_asp)
+    assert max(s_dn, s_asp) < 4 * min(s_dn, s_asp)
+
+
+def test_fig6_memory_pca(benchmark, combined_matrix, emit):
+    cmp = benchmark.pedantic(
+        lambda: compare_suites(combined_matrix, MEMORY_IDS),
+        rounds=1, iterations=1)
+
+    groups = {g.label: g.points for g in cmp.groups}
+    text = scatter_summary(groups, title="Fig 6: memory-behavior PCA "
+                           "(metrics 8-14)")
+    r_dn = cmp.std_ratio("speccpu", "dotnet")
+    r_asp = cmp.std_ratio("speccpu", "aspnet")
+    text += ("\n\nstd ratios (SPEC vs):\n"
+             + format_table(["suite", "measured", "paper"],
+                            [["dotnet", r_dn,
+                              paperdata.MEMORY_STD_RATIO_SPEC_VS_DOTNET],
+                             ["aspnet", r_asp,
+                              paperdata.MEMORY_STD_RATIO_SPEC_VS_ASPNET]]))
+    emit("fig6_memory_pca", text)
+
+    # SPEC spreads wider in memory behavior too (paper: 1.71x / 1.27x).
+    assert r_dn > 1.0
+    assert r_asp > 0.8
+    # The suites occupy different areas of PC space ("the data points
+    # corresponding to their performance characteristics do not
+    # coincide").
+    c_spec = groups["speccpu"].mean(axis=0)
+    c_dn = groups["dotnet"].mean(axis=0)
+    c_asp = groups["aspnet"].mean(axis=0)
+    assert np.linalg.norm(c_spec - c_dn) > 0.3
+    assert np.linalg.norm(c_asp - c_dn) > 0.3

@@ -1,0 +1,76 @@
+"""Fig 7 (+ §V-D): x86-64 vs AArch64 comparison of the .NET suite.
+
+Paper: Arm shows more variance in memory behavior (PRCO std ratios 1.19x /
+2.32x) and raw performance gaps of ~80x on I-TLB MPKI and ~8x on LLC MPKI,
+attributed to both microarchitecture (small TLBs) and the immature
+.NET-on-Arm software stack.
+"""
+
+from repro import paperdata
+from repro.core.comparison import compare_suites, relabelled
+from repro.core.metrics import (CONTROL_FLOW_IDS, MEMORY_IDS,
+                                RUNTIME_EVENT_IDS)
+from repro.harness.report import format_table, geomean
+
+
+def test_fig7_x86_vs_arm(benchmark, dotnet_i9, dotnet_arm, emit):
+    def run():
+        m_x86 = relabelled(dotnet_i9.metric_matrix(), "x86-64")
+        m_arm = relabelled(dotnet_arm.metric_matrix(), "aarch64")
+        both = m_x86.concat(m_arm)
+        return {
+            "control_flow": compare_suites(both, CONTROL_FLOW_IDS),
+            "memory": compare_suites(both, MEMORY_IDS),
+            "runtime": compare_suites(both, RUNTIME_EVENT_IDS),
+        }
+
+    cmps = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    paper_ratios = {"control_flow": paperdata.ARM_CONTROL_FLOW_STD_RATIO,
+                    "memory": paperdata.ARM_MEMORY_STD_RATIO,
+                    "runtime": paperdata.ARM_RUNTIME_STD_RATIO}
+    rows = []
+    for key, cmp in cmps.items():
+        r1, r2 = cmp.std_ratio_per_pc("aarch64", "x86-64")
+        p1, p2 = paper_ratios[key]
+        rows.append([key, r1, p1, r2, p2])
+    text = format_table(["metric set", "PRCO1 ratio", "paper",
+                         "PRCO2 ratio", "paper"], rows)
+
+    # Raw counter gaps (the 80x / 8x headline numbers).
+    def suite_gm(sr, metric):
+        return geomean([metric(r.counters) + 1e-4 for r in sr.results])
+
+    itlb_x86 = suite_gm(dotnet_i9, lambda c: c.mpki(c.itlb_misses))
+    itlb_arm = suite_gm(dotnet_arm, lambda c: c.mpki(c.itlb_misses))
+    llc_x86 = suite_gm(dotnet_i9, lambda c: c.mpki(c.llc_misses))
+    llc_arm = suite_gm(dotnet_arm, lambda c: c.mpki(c.llc_misses))
+    itlb_factor = itlb_arm / itlb_x86
+    llc_factor = llc_arm / llc_x86
+    text += "\n\n" + format_table(
+        ["counter", "x86 GM", "arm GM", "arm/x86", "paper factor"],
+        [["iTLB MPKI", itlb_x86, itlb_arm, itlb_factor,
+          paperdata.ARM_ITLB_MPKI_FACTOR],
+         ["LLC MPKI", llc_x86, llc_arm, llc_factor,
+          paperdata.ARM_LLC_MPKI_FACTOR]])
+    emit("fig7_x86_vs_arm", text)
+
+    # Shape: Arm is clearly worse on the I-TLB and worse at the LLC.
+    #
+    # Magnitude note (recorded in EXPERIMENTS.md): the paper's 80x I-TLB
+    # gap "cannot be only due to microarchitecture differences" (§V-D) —
+    # its own Table II Arm core has the *largest* secondary TLB.  We model
+    # the microarchitecture plus code bloat from the immature Arm code
+    # generator, which yields a factor of ~2-4x; the remaining order of
+    # magnitude lives in cross-stack effects (code layout, huge-page
+    # policy) outside this model, exactly the residue the paper assigns
+    # to "differences in the software stack".
+    assert itlb_factor > 1.5
+    assert llc_factor > 1.05
+    # Arm CPI is worse across the suite (slower clock aside, more stalls).
+    cpi_x86 = suite_gm(dotnet_i9, lambda c: c.cpi)
+    cpi_arm = suite_gm(dotnet_arm, lambda c: c.cpi)
+    assert cpi_arm > cpi_x86
+    # Memory-behavior variance is higher on Arm (paper: 1.19x / 2.32x).
+    r1, r2 = cmps["memory"].std_ratio_per_pc("aarch64", "x86-64")
+    assert max(r1, r2) > 1.0

@@ -1,0 +1,54 @@
+"""Fig 9: basic Top-Down profile for all benchmarks.
+
+Paper: ASP.NET is significantly backend bound; neither .NET nor ASP.NET
+shows a significant bad-speculation component; several .NET / ASP.NET
+applications are significantly frontend bound.
+"""
+
+import numpy as np
+
+from repro.harness.report import stacked_bar_chart
+
+
+def test_fig9_topdown_basic(benchmark, dotnet_i9, aspnet_i9, spec_i9, emit):
+    def run():
+        rows = {}
+        for suite, sr in (("dotnet", dotnet_i9), ("aspnet", aspnet_i9),
+                          ("speccpu", spec_i9)):
+            for r in sr.results:
+                rows[f"{suite[:3]}:{r.name}"] = r.topdown.level1()
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    labels = list(rows)
+    series = {seg: [rows[l][seg] for l in labels]
+              for seg in ("retiring", "bad_speculation", "frontend_bound",
+                          "backend_bound")}
+    text = stacked_bar_chart(labels, series,
+                             title="Fig 9: Top-Down level 1 "
+                                   "(slot fractions)", width=50)
+    emit("fig9_topdown_basic", text)
+
+    def suite_mean(prefix, seg):
+        vals = [v[seg] for l, v in rows.items() if l.startswith(prefix)]
+        return float(np.mean(vals))
+
+    # Every profile sums to 1.
+    for v in rows.values():
+        assert abs(sum(v.values()) - 1.0) < 1e-6
+    # ASP.NET significantly backend bound.
+    assert suite_mean("asp", "backend_bound") > 0.25
+    # Managed suites: low bad speculation.
+    assert suite_mean("asp", "bad_speculation") < 0.25
+    assert suite_mean("dot", "bad_speculation") < 0.25
+    # Significant frontend-bound component for managed workloads.
+    managed_fe = [v["frontend_bound"] for l, v in rows.items()
+                  if l.startswith(("dot", "asp"))]
+    assert max(managed_fe) > 0.35
+    # Managed suites are more frontend bound than SPEC on average
+    # (§ abstract: ".NET benchmarks are significantly more frontend
+    # bound").
+    assert (suite_mean("dot", "frontend_bound")
+            + suite_mean("asp", "frontend_bound")) / 2 \
+        > suite_mean("spe", "frontend_bound")

@@ -1,0 +1,64 @@
+"""Table IV: 8-element representative subsets for all three suites.
+
+The paper picks one member per cluster at the 8-cluster level ("when more
+than one choice was available, we picked one randomly"); we break ties in
+favour of the paper's published picks, so agreement measures how often our
+clustering puts the paper's representative in its own cluster.
+"""
+
+from repro import paperdata
+from repro.core.characterize import characterization_pca
+from repro.core.subset import select_representatives
+from repro.harness.report import format_table
+
+
+def _subset_for(suite_result, prefer):
+    matrix = suite_result.metric_matrix()
+    pca = characterization_pca(matrix, n_components=4)
+    return select_representatives(matrix.names, pca.scores(4), k=8,
+                                  prefer=prefer, seed=0)
+
+
+def test_table4_subsets(benchmark, dotnet_i9, aspnet_i9, spec_full_i9,
+                        emit):
+    def run():
+        return {
+            "dotnet": _subset_for(dotnet_i9,
+                                  paperdata.TABLE4_DOTNET_SUBSET),
+            "aspnet": _subset_for(aspnet_i9,
+                                  paperdata.TABLE4_ASPNET_SUBSET),
+            # SPEC: cluster the full 23-program suite, as the paper did
+            # ("we also created an 8-element subset of the SPEC CPU17
+            # suite").
+            "speccpu": _subset_for(spec_full_i9,
+                                   paperdata.TABLE4_SPEC_SUBSET),
+        }
+
+    subsets = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    paper = {"dotnet": paperdata.TABLE4_DOTNET_SUBSET,
+             "aspnet": paperdata.TABLE4_ASPNET_SUBSET,
+             "speccpu": paperdata.TABLE4_SPEC_SUBSET}
+
+    rows = []
+    overlap = {}
+    for suite in ("dotnet", "aspnet", "speccpu"):
+        ours = subsets[suite]
+        theirs = paper[suite]
+        overlap[suite] = len(set(ours) & set(theirs))
+        for i in range(8):
+            rows.append([suite if i == 0 else "", ours[i], theirs[i],
+                         "*" if ours[i] in theirs else ""])
+    text = format_table(["suite", "our pick", "paper pick",
+                         "in paper subset"], rows)
+    text += ("\n\noverlap with paper subsets: "
+             + ", ".join(f"{s}={overlap[s]}/8" for s in overlap))
+    emit("table4_subsets", text)
+
+    assert all(len(s) == 8 for s in subsets.values())
+    assert len(set(subsets["dotnet"])) == 8
+    # The clustering must recover at least a third of the paper's picks
+    # as its own cluster representatives.
+    assert overlap["dotnet"] >= 3
+    assert overlap["aspnet"] >= 2
+    assert overlap["speccpu"] >= 3

@@ -1,0 +1,179 @@
+"""Shared fixtures for the experiment benches.
+
+Each bench regenerates one of the paper's tables/figures.  Suite runs are
+expensive, so they are computed once per session and shared.  Every bench
+writes its rendered output to ``benchmarks/results/<name>.txt`` (and the
+same text is in the captured stdout).
+
+Fidelity is controlled by ``REPRO_BENCH_FIDELITY``:
+
+* ``quick``  — fast sanity pass (small windows, 2 workloads/category);
+* ``default``— the standard setting used for EXPERIMENTS.md;
+* ``paper``  — largest windows, full 2906-workload corpus for Subset B.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from pathlib import Path
+
+import pytest
+
+from repro.harness.runner import Fidelity
+from repro.harness.suite import SuiteResult, characterize_suite
+from repro.uarch.machine import get_machine
+from repro.workloads.aspnet import aspnet_specs
+from repro.workloads.dotnet import dotnet_category_specs, dotnet_workloads
+from repro.workloads.speccpu import speccpu_specs
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+_FIDELITIES = {
+    "quick": Fidelity(warmup_instructions=30_000,
+                      measure_instructions=50_000,
+                      workloads_per_category=2),
+    "default": Fidelity(warmup_instructions=100_000,
+                        measure_instructions=200_000,
+                        workloads_per_category=4),
+    "paper": Fidelity(warmup_instructions=200_000,
+                      measure_instructions=500_000,
+                      workloads_per_category=None),
+}
+
+
+def bench_fidelity() -> Fidelity:
+    return _FIDELITIES[os.environ.get("REPRO_BENCH_FIDELITY", "default")]
+
+
+@pytest.fixture(scope="session")
+def fidelity() -> Fidelity:
+    return bench_fidelity()
+
+
+@pytest.fixture(scope="session")
+def machine_i9():
+    return get_machine("i9")
+
+
+@pytest.fixture(scope="session")
+def machine_xeon():
+    return get_machine("xeon")
+
+
+@pytest.fixture(scope="session")
+def machine_arm():
+    return get_machine("arm")
+
+
+# ---------------------------------------------------------------------------
+# Cached suite characterizations (the backbone of most figures).
+#
+# Runs are cached on disk under benchmarks/.cache keyed by fidelity and
+# machine, so separate pytest invocations (and re-runs) share them.  The
+# simulator is fully deterministic, so caching is sound; delete the cache
+# directory after changing simulator code.
+# ---------------------------------------------------------------------------
+
+CACHE_DIR = Path(__file__).parent / ".cache"
+
+
+def _cached_suite(key: str, fidelity: Fidelity, specs, machine
+                  ) -> SuiteResult:
+    CACHE_DIR.mkdir(exist_ok=True)
+    tag = (f"{key}-w{fidelity.warmup_instructions}"
+           f"-m{fidelity.measure_instructions}"
+           f"-c{fidelity.workloads_per_category}")
+    path = CACHE_DIR / f"{tag}.pkl"
+    if path.exists():
+        with path.open("rb") as fh:
+            return pickle.load(fh)
+    result = characterize_suite(specs, machine, fidelity)
+    with path.open("wb") as fh:
+        pickle.dump(result, fh)
+    return result
+
+
+@pytest.fixture(scope="session")
+def dotnet_i9(fidelity, machine_i9) -> SuiteResult:
+    """All 44 .NET categories on the i9 (category-as-a-unit runs)."""
+    return _cached_suite("dotnet-i9", fidelity, dotnet_category_specs(),
+                         machine_i9)
+
+
+@pytest.fixture(scope="session")
+def aspnet_i9(fidelity, machine_i9) -> SuiteResult:
+    """All 53 ASP.NET benchmarks on the i9."""
+    return _cached_suite("aspnet-i9", fidelity, aspnet_specs(), machine_i9)
+
+
+@pytest.fixture(scope="session")
+def spec_i9(fidelity, machine_i9) -> SuiteResult:
+    """The Table IV SPEC CPU17 subset on the i9."""
+    return _cached_suite("spec-i9", fidelity,
+                         speccpu_specs(subset_only=True), machine_i9)
+
+
+@pytest.fixture(scope="session")
+def spec_full_i9(fidelity, machine_i9) -> SuiteResult:
+    """All 23 distinct SPEC CPU17 programs (for the subset-creation
+    experiment, which clusters the full suite)."""
+    return _cached_suite("spec-full-i9", fidelity, speccpu_specs(),
+                         machine_i9)
+
+
+@pytest.fixture(scope="session")
+def dotnet_xeon(fidelity, machine_xeon) -> SuiteResult:
+    """The 44 categories on the baseline Xeon (for Fig 2 scores)."""
+    return _cached_suite("dotnet-xeon", fidelity, dotnet_category_specs(),
+                         machine_xeon)
+
+
+@pytest.fixture(scope="session")
+def dotnet_arm(fidelity, machine_arm) -> SuiteResult:
+    """The 44 categories on the Arm server (Fig 7)."""
+    return _cached_suite("dotnet-arm", fidelity, dotnet_category_specs(),
+                         machine_arm)
+
+
+@pytest.fixture(scope="session")
+def micro_workloads(fidelity):
+    """Individual microbenchmarks for the Subset-B experiment."""
+    return dotnet_workloads(per_category=fidelity.workloads_per_category)
+
+
+@pytest.fixture(scope="session")
+def micro_i9(fidelity, machine_i9, micro_workloads) -> SuiteResult:
+    return _cached_suite("micro-i9", fidelity, micro_workloads, machine_i9)
+
+
+@pytest.fixture(scope="session")
+def micro_xeon(fidelity, machine_xeon, micro_workloads) -> SuiteResult:
+    return _cached_suite("micro-xeon", fidelity, micro_workloads,
+                         machine_xeon)
+
+
+@pytest.fixture(scope="session")
+def combined_matrix(dotnet_i9, aspnet_i9, spec_i9):
+    """One MetricMatrix over all three suites (suite labels attached)."""
+    return (dotnet_i9.metric_matrix()
+            .concat(aspnet_i9.metric_matrix())
+            .concat(spec_i9.metric_matrix()))
+
+
+# ---------------------------------------------------------------------------
+# Output helper
+# ---------------------------------------------------------------------------
+
+def write_result(name: str, text: str) -> str:
+    """Persist a bench's rendered output and echo it."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    print(f"\n{'=' * 72}\n{name}\n{'=' * 72}\n{text}")
+    return text
+
+
+@pytest.fixture
+def emit():
+    return write_result

@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""x86-64 vs AArch64 comparison (§V-D / Fig 7 of the paper).
+
+Characterizes a slice of the .NET microbenchmark suite on the simulated
+Intel i9 and the Arm server, then compares control-flow / memory /
+runtime-event behaviour in PC space and the raw I-TLB / LLC gaps the
+paper highlights.
+
+Usage::
+
+    python examples/arm_comparison.py [--categories N]
+"""
+
+import argparse
+
+from repro.core.comparison import compare_suites, relabelled
+from repro.core.metrics import (CONTROL_FLOW_IDS, MEMORY_IDS,
+                                RUNTIME_EVENT_IDS)
+from repro.harness.report import format_table, geomean
+from repro.harness.runner import Fidelity
+from repro.harness.suite import characterize_suite
+from repro.uarch.machine import get_machine
+from repro.workloads.dotnet import dotnet_category_specs
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--categories", type=int, default=12,
+                        help="number of .NET categories to run per ISA")
+    parser.add_argument("--instructions", type=int, default=120_000)
+    args = parser.parse_args()
+
+    specs = dotnet_category_specs()[:args.categories]
+    fidelity = Fidelity(warmup_instructions=args.instructions // 2,
+                        measure_instructions=args.instructions)
+
+    suites = {}
+    for key in ("i9", "arm"):
+        print(f"characterizing {len(specs)} categories on {key} ...")
+        suites[key] = characterize_suite(specs, get_machine(key), fidelity)
+
+    label = {"i9": "x86-64", "arm": "aarch64"}
+    both = (relabelled(suites["i9"].metric_matrix(), "x86-64")
+            .concat(relabelled(suites["arm"].metric_matrix(), "aarch64")))
+
+    print("\n-- PC-space variance ratios (Arm / x86), Fig 7 analog --")
+    rows = []
+    for name, ids in (("control flow", CONTROL_FLOW_IDS),
+                      ("memory", MEMORY_IDS),
+                      ("runtime events", RUNTIME_EVENT_IDS)):
+        cmp = compare_suites(both, ids)
+        r1, r2 = cmp.std_ratio_per_pc("aarch64", "x86-64")
+        rows.append([name, r1, r2])
+    print(format_table(["metric set", "PRCO1 ratio", "PRCO2 ratio"], rows))
+
+    print("\n-- raw counter gaps (suite geomeans) --")
+    def gm(key, metric):
+        return geomean([metric(r.counters) + 1e-4
+                        for r in suites[key].results])
+
+    counters = (("iTLB MPKI", lambda c: c.mpki(c.itlb_misses)),
+                ("L1i MPKI", lambda c: c.mpki(c.l1i_misses)),
+                ("LLC MPKI", lambda c: c.mpki(c.llc_misses)),
+                ("CPI", lambda c: c.cpi))
+    rows = []
+    for name, metric in counters:
+        x86, arm = gm("i9", metric), gm("arm", metric)
+        rows.append([name, x86, arm, arm / x86])
+    print(format_table(["counter", "x86-64", "aarch64", "arm/x86"], rows))
+    print("\nPaper §V-D: Arm measured 80x worse I-TLB and 8x worse LLC "
+          "MPKI — attributed largely to software-stack immaturity; the "
+          "model reproduces the microarchitectural share of the gap.")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""ASP.NET core-count scaling study (Figs 11-12 of the paper).
+
+Runs a server benchmark on 1..16 cores sharing one sliced LLC and shows
+the paper's scaling story: per-core LLC MPKI stays roughly flat, yet
+L3-bound pipeline stalls climb because slice-port queueing and NoC
+traversal inflate the effective LLC latency.
+
+Usage::
+
+    python examples/aspnet_scaling.py [--benchmark Plaintext]
+"""
+
+import argparse
+
+from repro.harness.report import format_table
+from repro.harness.runner import Fidelity, run_multicore
+from repro.uarch.machine import get_machine
+from repro.workloads.aspnet import aspnet_specs
+
+CORE_COUNTS = (1, 2, 4, 8, 16)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--benchmark", default="Plaintext")
+    parser.add_argument("--instructions", type=int, default=150_000,
+                        help="measured instructions per core")
+    args = parser.parse_args()
+
+    spec = next((s for s in aspnet_specs()
+                 if s.name == args.benchmark), None)
+    if spec is None:
+        raise SystemExit(f"unknown ASP.NET benchmark {args.benchmark!r}")
+    machine = get_machine("i9")
+    fidelity = Fidelity(warmup_instructions=60_000,
+                        measure_instructions=args.instructions)
+
+    rows = []
+    for n in CORE_COUNTS:
+        print(f"running {args.benchmark} on {n} core(s) ...")
+        result, td, counters = run_multicore(spec, machine, n, fidelity)
+        rows.append([n, td.retiring, td.frontend_bound, td.backend_bound,
+                     td.be_l3_bound, result.per_core_llc_mpki(),
+                     result.llc.extra_latency,
+                     result.llc.effective_latency])
+    print()
+    print(format_table(
+        ["cores", "retiring", "FE bound", "BE bound", "L3 bound",
+         "per-core LLC MPKI", "contention delay (cyc)",
+         "effective LLC latency"], rows))
+    print("\nPaper's reading (§VI-B2): the rising L3-bound share with a "
+          "flat per-core LLC MPKI means the stalls come from *latency* — "
+          "contention at LLC slice ports and in the NoC — not from more "
+          "misses.")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

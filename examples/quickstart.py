@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Quickstart: characterize one benchmark and read its profile.
+
+Runs a .NET microbenchmark category, an ASP.NET server benchmark and a
+SPEC CPU17 analog on the simulated i9-9980XE, then prints the Table I
+metrics and the Top-Down profile for each — the basic workflow behind
+every experiment in the paper.
+
+Usage::
+
+    python examples/quickstart.py [benchmark ...]
+"""
+
+import sys
+
+from repro import Fidelity, quick_characterize
+from repro.core.metrics import METRICS, metric_vector
+from repro.harness.report import format_table
+
+DEFAULTS = ("System.Runtime", "Json", "mcf")
+
+
+def characterize(name: str) -> None:
+    print(f"\n=== {name} " + "=" * max(1, 60 - len(name)))
+    result = quick_characterize(
+        name, fidelity=Fidelity(warmup_instructions=80_000,
+                                measure_instructions=150_000))
+    vec = metric_vector(result.counters)
+    rows = [[m.id, m.name, vec[m.id], m.unit] for m in METRICS]
+    print(format_table(["id", "metric", "value", "unit"], rows,
+                       float_fmt="{:.4g}"))
+
+    td = result.topdown
+    print(f"\nTop-Down: retiring={td.retiring:6.1%}  "
+          f"bad-speculation={td.bad_speculation:6.1%}  "
+          f"frontend-bound={td.frontend_bound:6.1%}  "
+          f"backend-bound={td.backend_bound:6.1%}")
+    print("Frontend breakdown: "
+          + "  ".join(f"{k}={v:.1%}"
+                      for k, v in td.frontend_breakdown().items()
+                      if v > 0.02))
+    print("Backend breakdown:  "
+          + "  ".join(f"{k}={v:.1%}"
+                      for k, v in td.backend_breakdown().items()
+                      if v > 0.02))
+    print(f"Simulated time: {result.seconds * 1e6:.1f} us "
+          f"({result.counters.instructions} instructions, "
+          f"IPC {result.ipc:.2f})")
+
+
+def main() -> int:
+    names = sys.argv[1:] or DEFAULTS
+    for name in names:
+        characterize(name)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Representative-subset creation, end to end (§IV of the paper).
+
+Characterizes the 44 .NET microbenchmark categories, runs the
+metric-redundancy PCA (Table III), clusters the categories in PC space
+(Fig 1), picks an 8-category representative subset (Table IV) and
+validates it with SPECspeed-style cross-machine scores (Fig 2).
+
+Usage::
+
+    python examples/subset_selection.py [--k 8] [--instructions 150000]
+"""
+
+import argparse
+
+from repro.core.characterize import characterization_pca
+from repro.core.clustering import ClusterTree, linkage_matrix
+from repro.core.metrics import METRIC_NAMES
+from repro.core.subset import (select_representatives, speed_scores,
+                               validate_subset)
+from repro.harness.report import format_table
+from repro.harness.runner import Fidelity
+from repro.harness.suite import characterize_suite
+from repro.uarch.machine import get_machine
+from repro.workloads.dotnet import dotnet_category_specs
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--k", type=int, default=8,
+                        help="subset size (paper: 8)")
+    parser.add_argument("--instructions", type=int, default=120_000)
+    args = parser.parse_args()
+
+    fidelity = Fidelity(warmup_instructions=args.instructions // 2,
+                        measure_instructions=args.instructions)
+    specs = dotnet_category_specs()
+
+    print(f"characterizing {len(specs)} categories on the i9 ...")
+    i9 = characterize_suite(specs, get_machine("i9"), fidelity,
+                            progress=lambda i, n, name:
+                            print(f"  [{i + 1:2d}/{n}] {name}"))
+    matrix = i9.metric_matrix()
+
+    print("\n-- PCA (Table III analog) --")
+    pca = characterization_pca(matrix, n_components=4)
+    for prco in pca.prcos:
+        tops = ", ".join(f"{m.metric}={m.loading:+.2f}"
+                         for m in prco.top_metrics)
+        print(f"PRCO{prco.index} ({prco.variance_share:.3f}): {tops}")
+    print(f"top-4 cumulative variance: {pca.cumulative_variance_4:.2%} "
+          f"(paper: 79%)")
+
+    print("\n-- dendrogram (Fig 1 analog) --")
+    tree = ClusterTree(linkage_matrix(pca.scores(4)), matrix.names)
+    print(tree.render(max_width=90))
+
+    subset = select_representatives(matrix.names, pca.scores(4), k=args.k,
+                                    seed=0)
+    print(f"\n-- representative subset (Table IV analog, k={args.k}) --")
+    for name in subset:
+        print(f"  {name}")
+
+    print("\ncharacterizing the same categories on the baseline Xeon ...")
+    xeon = characterize_suite(specs, get_machine("xeon"), fidelity)
+    scores = speed_scores(xeon.times(), i9.times())
+    validation = validate_subset("subset", scores, subset)
+    print(format_table(
+        ["quantity", "value"],
+        [["composite score, full suite", validation.composite_full],
+         ["composite score, subset", validation.composite_subset],
+         ["subset accuracy (paper: 98.7%)",
+          f"{validation.accuracy_percent:.1f}%"]]))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,55 @@
+"""repro: reproduction of "Performance Characterization of .NET Benchmarks"
+(ISPASS 2021).
+
+Layers (bottom up):
+
+* :mod:`repro.uarch` — microarchitecture simulator (caches, TLBs, branch
+  prediction, prefetchers, DRAM, Top-Down pipeline accounting, multicore
+  shared-LLC contention);
+* :mod:`repro.kernel` — OS model (demand paging, syscalls, network stack);
+* :mod:`repro.runtime` — managed-runtime (CLR) model: generational GC with
+  compaction, JIT with fresh code pages, runtime events;
+* :mod:`repro.workloads` — the benchmark suites: 2906 .NET
+  microbenchmarks in 44 categories, 53 ASP.NET benchmarks, SPEC CPU17
+  analogs;
+* :mod:`repro.perf` — measurement (perf-stat counters, LTTng-style
+  tracing, 1 ms co-sampling);
+* :mod:`repro.core` — the paper's analysis pipeline: Table I metrics, PCA,
+  hierarchical clustering, representative-subset validation, Pearson
+  correlation;
+* :mod:`repro.harness` — experiment orchestration and text reports.
+
+Quick start::
+
+    from repro import quick_characterize
+    result = quick_characterize("System.Runtime")
+    print(result.counters.cpi, result.topdown.frontend_bound)
+"""
+
+from repro.harness.runner import Fidelity, RunResult, run_workload
+from repro.uarch.machine import get_machine
+
+__version__ = "1.0.0"
+
+
+def quick_characterize(category: str = "System.Runtime",
+                       machine: str = "i9",
+                       fidelity: Fidelity | None = None) -> RunResult:
+    """Characterize one .NET category (or ASP.NET/SPEC benchmark) by name.
+
+    Looks the name up across all three suites; raises ``KeyError`` if it
+    is not a known benchmark.
+    """
+    from repro.workloads.aspnet import aspnet_specs
+    from repro.workloads.dotnet import dotnet_category_specs
+    from repro.workloads.speccpu import speccpu_specs
+
+    for spec in (dotnet_category_specs() + aspnet_specs()
+                 + speccpu_specs()):
+        if spec.name == category:
+            return run_workload(spec, get_machine(machine), fidelity)
+    raise KeyError(f"unknown benchmark {category!r}")
+
+
+__all__ = ["Fidelity", "RunResult", "run_workload", "get_machine",
+           "quick_characterize", "__version__"]

@@ -1,0 +1,28 @@
+"""The paper's analysis pipeline: metrics, PCA, clustering, subsetting,
+correlation — the primary contribution being reproduced.
+"""
+
+from repro.core.metrics import (METRICS, MetricDef, metric_vector,
+                                MetricMatrix, CONTROL_FLOW_IDS, MEMORY_IDS,
+                                RUNTIME_EVENT_IDS)
+from repro.core.pca import PcaResult, pca, standardize, top_loadings
+from repro.core.clustering import (Linkage, linkage_matrix, ClusterTree,
+                                   fcluster)
+from repro.core.subset import (select_representatives, speed_scores,
+                               composite_score, subset_accuracy,
+                               optimum_subset, SubsetValidation)
+from repro.core.correlation import pearson, correlate_series
+from repro.core.steady import (VarianceReport, coefficient_of_variation,
+                               find_min_warmup, repeated_runs)
+
+__all__ = [
+    "METRICS", "MetricDef", "metric_vector", "MetricMatrix",
+    "CONTROL_FLOW_IDS", "MEMORY_IDS", "RUNTIME_EVENT_IDS",
+    "PcaResult", "pca", "standardize", "top_loadings",
+    "Linkage", "linkage_matrix", "ClusterTree", "fcluster",
+    "select_representatives", "speed_scores", "composite_score",
+    "subset_accuracy", "optimum_subset", "SubsetValidation",
+    "pearson", "correlate_series",
+    "VarianceReport", "coefficient_of_variation", "find_min_warmup",
+    "repeated_runs",
+]

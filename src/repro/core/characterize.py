@@ -1,0 +1,57 @@
+"""High-level characterization: metric matrix -> PCA -> Table III artifacts."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.metrics import METRIC_NAMES, MetricMatrix
+from repro.core.pca import PcaResult, cumulative_variance, pca, top_loadings
+
+
+@dataclass(frozen=True)
+class LoadingRow:
+    """One Table III cell: a metric and its loading on a PRCO."""
+
+    metric: str
+    loading: float
+
+
+@dataclass(frozen=True)
+class PrcoSummary:
+    """One principal component's Table III column."""
+
+    index: int
+    variance_share: float
+    top_metrics: tuple[LoadingRow, ...]
+
+
+@dataclass(frozen=True)
+class CharacterizationPca:
+    """PCA over the full 24-metric matrix (§IV-A)."""
+
+    result: PcaResult
+    prcos: tuple[PrcoSummary, ...]
+    cumulative_variance_4: float
+
+    def scores(self, k: int = 4) -> np.ndarray:
+        return self.result.scores[:, :k]
+
+
+def characterization_pca(matrix: MetricMatrix, n_components: int = 4,
+                         top_k: int = 3) -> CharacterizationPca:
+    """Run the paper's metric-redundancy PCA and build Table III."""
+    result = pca(matrix.values, n_components=n_components)
+    prcos = []
+    for comp in range(n_components):
+        loads = top_loadings(result, comp, k=top_k, names=METRIC_NAMES)
+        prcos.append(PrcoSummary(
+            index=comp + 1,
+            variance_share=float(result.explained_variance_ratio[comp]),
+            top_metrics=tuple(LoadingRow(m, l) for m, l in loads)))
+    return CharacterizationPca(
+        result=result,
+        prcos=tuple(prcos),
+        cumulative_variance_4=cumulative_variance(result,
+                                                  min(4, n_components)))

@@ -1,0 +1,92 @@
+"""Cross-suite and cross-ISA PCA comparisons (§V-C, §V-D).
+
+The paper re-runs PCA on *subsets* of the metrics — control-flow metrics
+(IDs 2, 7) and memory metrics (IDs 8-14) — over the union of suites, then
+compares where each suite's workloads land and how spread out they are
+(standard-deviation ratios).  The same machinery serves the x86-vs-Arm
+comparison of Fig 7 with runtime-event metrics (IDs 19-23) added.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.metrics import MetricMatrix
+from repro.core.pca import PcaResult, pca
+
+
+@dataclass(frozen=True)
+class GroupScatter:
+    """2-D PC scores of one group (one suite / one ISA)."""
+
+    label: str
+    points: np.ndarray          # (n, 2)
+
+    @property
+    def std_pc1(self) -> float:
+        return float(self.points[:, 0].std())
+
+    @property
+    def std_pc2(self) -> float:
+        return float(self.points[:, 1].std())
+
+    @property
+    def pooled_std(self) -> float:
+        return float(np.sqrt(np.mean(self.points.std(axis=0) ** 2)))
+
+
+@dataclass(frozen=True)
+class ComparisonResult:
+    """A Fig 5/6/7-style comparison on one metric subset."""
+
+    metric_ids: tuple[int, ...]
+    pca: PcaResult
+    groups: tuple[GroupScatter, ...]
+
+    def group(self, label: str) -> GroupScatter:
+        for g in self.groups:
+            if g.label == label:
+                return g
+        raise KeyError(label)
+
+    def std_ratio(self, a: str, b: str) -> float:
+        """Pooled-std ratio between groups (the paper's '5.73x' numbers)."""
+        return self.group(a).pooled_std / self.group(b).pooled_std
+
+    def std_ratio_per_pc(self, a: str, b: str) -> tuple[float, float]:
+        """Per-PC std ratios (Fig 7 quotes PRCO1 and PRCO2 separately)."""
+        ga, gb = self.group(a), self.group(b)
+        return (ga.std_pc1 / gb.std_pc1 if gb.std_pc1 else float("inf"),
+                ga.std_pc2 / gb.std_pc2 if gb.std_pc2 else float("inf"))
+
+
+def compare_suites(matrix: MetricMatrix, metric_ids,
+                   n_components: int = 2) -> ComparisonResult:
+    """PCA a metric subset over all rows; group scores by suite label.
+
+    ``matrix.suites`` supplies the group label of each row (suite name for
+    Figs 5-6, ISA name for Fig 7).
+    """
+    ids = tuple(metric_ids)
+    X = matrix.select_metrics(ids)
+    result = pca(X, n_components=max(n_components, min(len(ids), 2)))
+    scores = result.scores[:, :2]
+    labels = sorted(set(matrix.suites))
+    groups = []
+    for label in labels:
+        rows = [i for i, s in enumerate(matrix.suites) if s == label]
+        groups.append(GroupScatter(label, scores[rows]))
+    return ComparisonResult(metric_ids=ids, pca=result,
+                            groups=tuple(groups))
+
+
+def relabelled(matrix: MetricMatrix, label: str) -> MetricMatrix:
+    """Copy of a matrix with every row's group label replaced.
+
+    Used by the Fig 7 experiment to tag rows by ISA instead of suite
+    before concatenating x86 and Arm runs of the same workloads.
+    """
+    return MetricMatrix(matrix.names, matrix.values,
+                        [label] * len(matrix.names))

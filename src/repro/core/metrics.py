@@ -1,0 +1,142 @@
+"""Table I: the 24 characterization metrics.
+
+Exactly the paper's metric list, with the paper's IDs and normalization
+units.  :func:`metric_vector` derives all 24 from one
+:class:`~repro.perf.counters.CounterSnapshot`; :class:`MetricMatrix` holds
+a (workloads x 24) matrix with selection helpers for the metric subsets
+the paper re-uses (control flow = IDs {2, 7}, memory = IDs 8-14, runtime
+events = IDs 19-23).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.perf.counters import CounterSnapshot
+
+
+@dataclass(frozen=True)
+class MetricDef:
+    """One Table I row."""
+
+    id: int
+    name: str
+    category: str
+    unit: str
+
+
+METRICS: tuple[MetricDef, ...] = (
+    MetricDef(0, "inst_mix_kernel", "Inst Mix", "percentage"),
+    MetricDef(1, "inst_mix_user", "Inst Mix", "percentage"),
+    MetricDef(2, "inst_mix_branch_instructions", "Inst Mix", "percentage"),
+    MetricDef(3, "inst_mix_mem_loads", "Inst Mix", "percentage"),
+    MetricDef(4, "inst_mix_mem_stores", "Inst Mix", "percentage"),
+    MetricDef(5, "cpi", "CPI", "per instruction"),
+    MetricDef(6, "cpu_utilization", "CPU Usage", "percentage"),
+    MetricDef(7, "branch_mpki", "Branch", "MPKI"),
+    MetricDef(8, "l1_dcache_mpki", "Cache", "MPKI"),
+    MetricDef(9, "l1_icache_mpki", "Cache", "MPKI"),
+    MetricDef(10, "l2_mpki", "Cache", "MPKI"),
+    MetricDef(11, "llc_mpki", "Cache", "MPKI"),
+    MetricDef(12, "itlb_mpki", "TLB", "MPKI"),
+    MetricDef(13, "dtlb_load_mpki", "TLB", "MPKI"),
+    MetricDef(14, "dtlb_store_mpki", "TLB", "MPKI"),
+    MetricDef(15, "memory_bandwidth_read", "Memory", "MB per sec"),
+    MetricDef(16, "memory_bandwidth_write", "Memory", "MB per sec"),
+    MetricDef(17, "memory_page_miss_rate", "Memory", "percentage"),
+    MetricDef(18, "page_faults", "Memory", "PKI"),
+    MetricDef(19, "gc_triggered", "Garbage Collection", "PKI"),
+    MetricDef(20, "gc_allocation_tick", "Garbage Collection", "PKI"),
+    MetricDef(21, "jit_jitting_started", "JIT", "PKI"),
+    MetricDef(22, "exception_start", "Exception", "PKI"),
+    MetricDef(23, "contention_start", "Contention", "PKI"),
+)
+
+N_METRICS = len(METRICS)
+METRIC_NAMES: tuple[str, ...] = tuple(m.name for m in METRICS)
+
+#: Metric-ID subsets the paper analyzes separately (§V-C, §V-D).
+CONTROL_FLOW_IDS: tuple[int, ...] = (2, 7)
+MEMORY_IDS: tuple[int, ...] = (8, 9, 10, 11, 12, 13, 14)
+RUNTIME_EVENT_IDS: tuple[int, ...] = (19, 20, 21, 22, 23)
+
+
+def metric_vector(s: CounterSnapshot) -> np.ndarray:
+    """Derive the 24 Table I metrics from one counter snapshot."""
+    instr = max(1, s.instructions)
+    pki = 1000.0 / instr
+    return np.array([
+        s.kernel_instructions / instr * 100.0,
+        s.user_instructions / instr * 100.0,
+        s.branches / instr * 100.0,
+        s.loads / instr * 100.0,
+        s.stores / instr * 100.0,
+        s.cpi,
+        s.cpu_utilization * 100.0,
+        s.branch_misses * pki,
+        s.l1d_misses * pki,
+        s.l1i_misses * pki,
+        s.l2_misses * pki,
+        s.llc_misses * pki,
+        s.itlb_misses * pki,
+        s.dtlb_load_misses * pki,
+        s.dtlb_store_misses * pki,
+        s.read_bandwidth_mb_s,
+        s.write_bandwidth_mb_s,
+        s.dram_page_miss_rate * 100.0,
+        s.page_faults * pki,
+        s.gc_triggered * pki,
+        s.allocation_ticks * pki,
+        s.jit_started * pki,
+        s.exceptions * pki,
+        s.contentions * pki,
+    ])
+
+
+class MetricMatrix:
+    """(workloads x metrics) matrix with names on both axes."""
+
+    def __init__(self, names: list[str], values: np.ndarray,
+                 suites: list[str] | None = None) -> None:
+        values = np.asarray(values, dtype=float)
+        if values.ndim != 2 or values.shape[0] != len(names):
+            raise ValueError(
+                f"matrix shape {values.shape} does not match "
+                f"{len(names)} workload names")
+        if values.shape[1] != N_METRICS:
+            raise ValueError(f"expected {N_METRICS} metric columns, got "
+                             f"{values.shape[1]}")
+        self.names = list(names)
+        self.values = values
+        self.suites = list(suites) if suites is not None \
+            else [""] * len(names)
+
+    def __len__(self) -> int:
+        return len(self.names)
+
+    def select_metrics(self, metric_ids) -> np.ndarray:
+        """Column subset (e.g. the control-flow or memory metrics)."""
+        return self.values[:, list(metric_ids)]
+
+    def row(self, name: str) -> np.ndarray:
+        return self.values[self.names.index(name)]
+
+    def filter_rows(self, predicate) -> "MetricMatrix":
+        keep = [i for i, n in enumerate(self.names) if predicate(n)]
+        return MetricMatrix([self.names[i] for i in keep],
+                            self.values[keep],
+                            [self.suites[i] for i in keep])
+
+    def concat(self, other: "MetricMatrix") -> "MetricMatrix":
+        return MetricMatrix(self.names + other.names,
+                            np.vstack([self.values, other.values]),
+                            self.suites + other.suites)
+
+    @classmethod
+    def from_snapshots(cls, names: list[str],
+                       snapshots: list[CounterSnapshot],
+                       suites: list[str] | None = None) -> "MetricMatrix":
+        values = np.vstack([metric_vector(s) for s in snapshots])
+        return cls(names, values, suites)

@@ -1,0 +1,116 @@
+"""Principal Component Analysis, implemented from scratch (§IV-A).
+
+Follows the paper's recipe exactly: standardize each metric (hence the
+negative loading factors the paper remarks on), eigendecompose the
+correlation matrix, and keep the top principal components ("PRCOs" in the
+paper's terminology).  Loading factors are the eigenvector weights of
+Equation 1; explained-variance shares are the normalized eigenvalues
+(Table III's parenthesized numbers).
+
+numpy is used for linear algebra only; no sklearn.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def standardize(X: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Zero-mean, unit-variance columns.
+
+    Columns with zero variance (a metric constant across workloads) are
+    left centered-only so they contribute nothing rather than NaNs.
+    Returns ``(Z, mean, std)``.
+    """
+    X = np.asarray(X, dtype=float)
+    mean = X.mean(axis=0)
+    std = X.std(axis=0, ddof=0)
+    safe = np.where(std > 0, std, 1.0)
+    return (X - mean) / safe, mean, std
+
+
+@dataclass(frozen=True)
+class PcaResult:
+    """Outputs of one PCA.
+
+    ``components[k]`` is the k-th PRCO's loading vector (unit length);
+    ``scores[n, k]`` is workload n's coordinate on PRCO k;
+    ``explained_variance_ratio[k]`` is its share of total variance.
+    """
+
+    components: np.ndarray
+    explained_variance: np.ndarray
+    explained_variance_ratio: np.ndarray
+    scores: np.ndarray
+    mean: np.ndarray
+    std: np.ndarray
+
+    @property
+    def n_components(self) -> int:
+        return self.components.shape[0]
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        """Project new rows into the fitted PC space."""
+        safe = np.where(self.std > 0, self.std, 1.0)
+        Z = (np.asarray(X, dtype=float) - self.mean) / safe
+        return Z @ self.components.T
+
+
+def pca(X: np.ndarray, n_components: int | None = None) -> PcaResult:
+    """PCA on standardized data.
+
+    Deterministic sign convention: each component's largest-magnitude
+    loading is made positive, so results are stable across runs/platforms.
+    """
+    X = np.asarray(X, dtype=float)
+    if X.ndim != 2:
+        raise ValueError("X must be 2-D (workloads x metrics)")
+    n, d = X.shape
+    if n < 2:
+        raise ValueError("need at least 2 workloads for PCA")
+    k = d if n_components is None else min(n_components, d)
+    Z, mean, std = standardize(X)
+    cov = (Z.T @ Z) / max(1, n - 1)
+    eigvals, eigvecs = np.linalg.eigh(cov)
+    order = np.argsort(eigvals)[::-1]
+    eigvals = np.clip(eigvals[order], 0.0, None)
+    eigvecs = eigvecs[:, order]
+    components = eigvecs.T[:k].copy()
+    for row in components:
+        pivot = np.argmax(np.abs(row))
+        if row[pivot] < 0:
+            row *= -1.0
+    total = eigvals.sum()
+    ratio = eigvals / total if total > 0 else np.zeros_like(eigvals)
+    scores = Z @ components.T
+    return PcaResult(
+        components=components,
+        explained_variance=eigvals[:k],
+        explained_variance_ratio=ratio[:k],
+        scores=scores,
+        mean=mean,
+        std=std,
+    )
+
+
+def top_loadings(result: PcaResult, component: int, k: int = 3,
+                 names: tuple[str, ...] | None = None):
+    """Top-k metrics by |loading| on one component (Table III's rows).
+
+    Returns ``[(metric_index_or_name, loading), ...]`` in descending
+    |loading| order, preserving loading signs.
+    """
+    row = result.components[component]
+    order = np.argsort(np.abs(row))[::-1][:k]
+    out = []
+    for idx in order:
+        label = names[idx] if names is not None else int(idx)
+        out.append((label, float(row[idx])))
+    return out
+
+
+def cumulative_variance(result: PcaResult, k: int) -> float:
+    """Variance share covered by the first k components (paper: 79% @ 4)."""
+    return float(result.explained_variance_ratio[:k].sum())

@@ -1,0 +1,147 @@
+"""Representative-subset creation and SPECspeed-style validation (§IV).
+
+Pipeline: PCA scores (top 4 PRCOs) -> hierarchical clustering -> cut at k
+clusters -> pick one member per cluster.  Validation follows §IV-C: a
+workload's *score* on machine A is ``time(baseline) / time(A)`` (for
+throughput-measured suites this is equivalently the throughput ratio); a
+suite's composite score is the geometric mean; a subset's accuracy is how
+closely its composite tracks the full suite's.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+import random
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.clustering import Linkage, fcluster, linkage_matrix
+from repro.core.pca import pca
+
+
+def pca_scores(values: np.ndarray, n_components: int = 4) -> np.ndarray:
+    """Top-``n_components`` PRCO scores of a metric matrix (§IV-A)."""
+    result = pca(values, n_components=n_components)
+    return result.scores[:, :n_components]
+
+
+def cluster_assignments(scores: np.ndarray, k: int,
+                        method: str = Linkage.AVERAGE) -> np.ndarray:
+    Z = linkage_matrix(scores, method=method)
+    return fcluster(Z, k)
+
+
+def select_representatives(names: list[str], scores: np.ndarray, k: int,
+                           prefer: tuple[str, ...] = (),
+                           method: str = Linkage.AVERAGE,
+                           seed: int = 0) -> list[str]:
+    """Pick one workload per cluster (k representatives).
+
+    "When more than one choice was available, we picked one randomly"
+    (§IV-B) — we do the same with a seeded RNG, except that members listed
+    in ``prefer`` win ties (used to align with the paper's published
+    picks, which were themselves random draws).
+    """
+    if len(names) != scores.shape[0]:
+        raise ValueError("names/scores length mismatch")
+    labels = cluster_assignments(scores, k, method)
+    rng = random.Random(seed)
+    chosen: list[str] = []
+    for cluster in range(labels.max() + 1):
+        members = [names[i] for i in np.flatnonzero(labels == cluster)]
+        preferred = [m for m in members if m in prefer]
+        if preferred:
+            chosen.append(preferred[0])
+        else:
+            chosen.append(members[rng.randrange(len(members))])
+    return chosen
+
+
+# ---------------------------------------------------------------------------
+# §IV-C: score validation
+# ---------------------------------------------------------------------------
+
+def speed_scores(baseline_times: dict[str, float],
+                 target_times: dict[str, float]) -> dict[str, float]:
+    """Per-workload score = time(baseline) / time(target) (SPECspeed)."""
+    scores = {}
+    for name, t_base in baseline_times.items():
+        t_tgt = target_times[name]
+        if t_base <= 0 or t_tgt <= 0:
+            raise ValueError(f"non-positive time for {name}")
+        scores[name] = t_base / t_tgt
+    return scores
+
+
+def composite_score(scores: dict[str, float],
+                    subset: list[str] | None = None) -> float:
+    """Geometric mean of per-workload scores (optionally over a subset)."""
+    names = subset if subset is not None else list(scores)
+    if not names:
+        raise ValueError("empty subset")
+    return math.exp(sum(math.log(scores[n]) for n in names) / len(names))
+
+
+def subset_accuracy(scores: dict[str, float], subset: list[str]) -> float:
+    """Percent agreement between subset and full-suite composite scores."""
+    full = composite_score(scores)
+    sub = composite_score(scores, subset)
+    return min(full, sub) / max(full, sub) * 100.0
+
+
+@dataclass(frozen=True)
+class SubsetValidation:
+    """Fig 2's data for one subset."""
+
+    label: str
+    subset: tuple[str, ...]
+    accuracy_percent: float
+    composite_full: float
+    composite_subset: float
+
+
+def validate_subset(label: str, scores: dict[str, float],
+                    subset: list[str]) -> SubsetValidation:
+    return SubsetValidation(
+        label=label,
+        subset=tuple(subset),
+        accuracy_percent=subset_accuracy(scores, subset),
+        composite_full=composite_score(scores),
+        composite_subset=composite_score(scores, subset),
+    )
+
+
+def optimum_subset(names: list[str], scores_matrix: np.ndarray,
+                   speed: dict[str, float], k: int,
+                   method: str = Linkage.AVERAGE,
+                   max_exhaustive: int = 300_000,
+                   search_samples: int = 30_000,
+                   seed: int = 0) -> list[str]:
+    """The Fig 2 'Subset A(o)' optimum: best one-per-cluster choice.
+
+    Iterates all one-member-per-cluster combinations when their product is
+    tractable ("iterating over all possible combinations", §IV-C),
+    otherwise falls back to seeded random search over the same space.
+    """
+    labels = cluster_assignments(scores_matrix, k, method)
+    clusters = [[names[i] for i in np.flatnonzero(labels == c)]
+                for c in range(labels.max() + 1)]
+    n_combos = math.prod(len(c) for c in clusters)
+
+    def accuracy(combo) -> float:
+        return subset_accuracy(speed, list(combo))
+
+    if n_combos <= max_exhaustive:
+        best = max(itertools.product(*clusters), key=accuracy)
+        return list(best)
+    rng = random.Random(seed)
+    best_combo = tuple(c[0] for c in clusters)
+    best_acc = accuracy(best_combo)
+    for _ in range(search_samples):
+        combo = tuple(c[rng.randrange(len(c))] for c in clusters)
+        acc = accuracy(combo)
+        if acc > best_acc:
+            best_acc, best_combo = acc, combo
+    return list(best_combo)

@@ -1,0 +1,9 @@
+"""Experiment harness: run workloads on machines, collect results."""
+
+from repro.harness.runner import (Fidelity, RunResult, run_workload,
+                                  run_multicore, run_with_sampling)
+from repro.harness.suite import SuiteResult, characterize_suite, suite_times
+
+__all__ = ["Fidelity", "RunResult", "run_workload", "run_multicore",
+           "run_with_sampling", "SuiteResult", "characterize_suite",
+           "suite_times"]

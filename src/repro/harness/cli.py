@@ -1,0 +1,98 @@
+"""Command-line entry point: characterize a benchmark from the shell.
+
+Examples::
+
+    repro-characterize System.Runtime
+    repro-characterize Plaintext --machine arm --instructions 200000
+    repro-characterize --list
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.metrics import METRICS, metric_vector
+from repro.harness.report import format_table
+from repro.harness.runner import Fidelity, run_workload
+from repro.uarch.machine import get_machine
+from repro.workloads.aspnet import aspnet_specs
+from repro.workloads.dotnet import dotnet_category_specs
+from repro.workloads.speccpu import speccpu_specs
+
+
+def _all_specs():
+    return dotnet_category_specs() + aspnet_specs() + speccpu_specs()
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-characterize",
+        description="Characterize a benchmark on a simulated machine "
+                    "(ISPASS'21 .NET characterization reproduction).")
+    parser.add_argument("benchmark", nargs="?",
+                        help="benchmark name (see --list)")
+    parser.add_argument("--machine", default="i9",
+                        choices=["xeon", "i9", "arm"])
+    parser.add_argument("--instructions", type=int, default=150_000,
+                        help="measured instruction budget")
+    parser.add_argument("--warmup", type=int, default=60_000)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--topdown", action="store_true",
+                        help="print the full Top-Down breakdown")
+    parser.add_argument("--toplev", action="store_true",
+                        help="print the toplev-style hierarchy tree")
+    parser.add_argument("--trace-out", metavar="PATH",
+                        help="also record the measured op stream to PATH")
+    parser.add_argument("--list", action="store_true",
+                        help="list all known benchmarks and exit")
+    args = parser.parse_args(argv)
+
+    specs = _all_specs()
+    if args.list:
+        for s in specs:
+            print(f"{s.suite:8s} {s.name}")
+        return 0
+    if not args.benchmark:
+        parser.error("benchmark name required (or --list)")
+    by_name = {s.name: s for s in specs}
+    if args.benchmark not in by_name:
+        print(f"error: unknown benchmark {args.benchmark!r} "
+              f"(try --list)", file=sys.stderr)
+        return 2
+    fidelity = Fidelity(warmup_instructions=args.warmup,
+                        measure_instructions=args.instructions)
+    result = run_workload(by_name[args.benchmark],
+                          get_machine(args.machine), fidelity,
+                          seed=args.seed)
+    vec = metric_vector(result.counters)
+    rows = [[m.id, m.name, f"{vec[m.id]:.4g}", m.unit] for m in METRICS]
+    print(f"# {args.benchmark} on {result.machine.name}")
+    print(format_table(["id", "metric", "value", "unit"], rows))
+    td = result.topdown
+    print(f"\nTop-Down L1: retiring={td.retiring:.1%} "
+          f"bad_spec={td.bad_speculation:.1%} "
+          f"frontend={td.frontend_bound:.1%} "
+          f"backend={td.backend_bound:.1%}")
+    if args.topdown:
+        print("\nFrontend breakdown (share of FE-bound slots):")
+        for k, v in td.frontend_breakdown().items():
+            print(f"  {k:22s} {v:6.1%}")
+        print("Backend breakdown (share of BE-bound slots):")
+        for k, v in td.backend_breakdown().items():
+            print(f"  {k:22s} {v:6.1%}")
+    if args.toplev:
+        from repro.perf.toplev import render
+        print("\n" + render(td))
+    if args.trace_out:
+        from repro.perf.trace_io import record
+        from repro.workloads.program import build_program
+        program = build_program(by_name[args.benchmark], seed=args.seed)
+        n = record(program.ops(), args.trace_out,
+                   max_instructions=args.instructions)
+        print(f"\nrecorded {n} instructions to {args.trace_out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,104 @@
+"""Plain-text rendering of the paper's tables and figures.
+
+Every bench target prints through these helpers so outputs are uniform:
+aligned tables, horizontal bar charts (the paper's bar figures), and
+scatter summaries (its PCA scatter figures).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def format_table(headers: list[str], rows: list[list],
+                 float_fmt: str = "{:.3f}") -> str:
+    """Monospace table with auto-sized columns."""
+    def fmt(v) -> str:
+        if isinstance(v, float):
+            return float_fmt.format(v)
+        return str(v)
+
+    str_rows = [[fmt(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    out = [" | ".join(h.ljust(w) for h, w in zip(headers, widths)), sep]
+    for row in str_rows:
+        out.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(out)
+
+
+def bar_chart(labels: list[str], values: list[float], title: str = "",
+              width: int = 40, unit: str = "") -> str:
+    """Horizontal ASCII bar chart (one bar per label)."""
+    vmax = max((abs(v) for v in values), default=1.0) or 1.0
+    label_w = max((len(l) for l in labels), default=1)
+    lines = [title] if title else []
+    for label, value in zip(labels, values):
+        bar = "#" * max(0, int(abs(value) / vmax * width))
+        sign = "-" if value < 0 else ""
+        lines.append(f"{label.ljust(label_w)} |{bar.ljust(width)}| "
+                     f"{sign}{abs(value):.3g}{unit}")
+    return "\n".join(lines)
+
+
+def stacked_bar_chart(labels: list[str],
+                      series: dict[str, list[float]],
+                      title: str = "", width: int = 50) -> str:
+    """Stacked 100% bars (the paper's Top-Down figures).
+
+    ``series`` maps segment name -> per-label fractions (should sum to
+    ~1 per label); each segment is drawn with its own glyph.
+    """
+    glyphs = "#=+:.%@*o-"
+    seg_names = list(series)
+    label_w = max((len(l) for l in labels), default=1)
+    lines = [title] if title else []
+    legend = "  ".join(f"{glyphs[i % len(glyphs)]}={name}"
+                       for i, name in enumerate(seg_names))
+    lines.append(f"legend: {legend}")
+    for row, label in enumerate(labels):
+        bar = ""
+        for i, name in enumerate(seg_names):
+            frac = max(0.0, series[name][row])
+            bar += glyphs[i % len(glyphs)] * int(round(frac * width))
+        lines.append(f"{label.ljust(label_w)} |{bar[:width].ljust(width)}|")
+    return "\n".join(lines)
+
+
+def scatter_summary(groups: dict[str, np.ndarray], axis_names=("PC1", "PC2"),
+                    title: str = "") -> str:
+    """Numeric summary of a 2-D PCA scatter: per-group centroid + std.
+
+    The paper's Figs 5-7 draw scatter plots; the quantitative claims it
+    makes about them are the per-suite standard deviations, which is what
+    this renders (plus centroids so separation is visible in text).
+    """
+    rows = []
+    for name, pts in groups.items():
+        pts = np.asarray(pts)
+        rows.append([name, len(pts),
+                     float(pts[:, 0].mean()), float(pts[:, 1].mean()),
+                     float(pts[:, 0].std()), float(pts[:, 1].std())])
+    table = format_table(
+        ["group", "n", f"{axis_names[0]} mean", f"{axis_names[1]} mean",
+         f"{axis_names[0]} std", f"{axis_names[1]} std"], rows)
+    return f"{title}\n{table}" if title else table
+
+
+def std_ratio(a: np.ndarray, b: np.ndarray) -> float:
+    """Ratio of per-axis pooled standard deviations (paper's 'x.xx times')."""
+    a = np.asarray(a, dtype=float)
+    b = np.asarray(b, dtype=float)
+    sa = float(np.sqrt(np.mean(a.std(axis=0) ** 2)))
+    sb = float(np.sqrt(np.mean(b.std(axis=0) ** 2)))
+    return sa / sb if sb else float("inf")
+
+
+def geomean(values) -> float:
+    arr = np.asarray(list(values), dtype=float)
+    if (arr <= 0).any():
+        arr = np.clip(arr, 1e-12, None)
+    return float(np.exp(np.log(arr).mean()))

@@ -1,0 +1,222 @@
+"""Run one workload on one machine and collect everything (§III-A policy).
+
+The measurement protocol mirrors the paper:
+
+* .NET microbenchmarks are short — the paper runs them 15 times and
+  discards the first run to amortize warmup.  Here warmup = consuming
+  ``Fidelity.warmup_instructions`` (JIT of the hot paths, cache/TLB/
+  predictor training) and then zeroing the books
+  (:meth:`Core.reset_stats`), which keeps microarchitectural state warm
+  exactly like a discarded first run does.
+* ASP.NET runs to steady state; a longer warmup serves the same role.
+
+Simulated time = cycles / max frequency (the machines run turbo under
+load), which feeds the §IV-C score validation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.kernel.vm import VirtualMemory
+from repro.perf.counters import CounterSnapshot, collect_counters
+from repro.perf.sampler import CounterSampler, SampleSeries
+from repro.perf.tracer import LttngTracer
+from repro.runtime.gc import GcConfig
+from repro.runtime.heap import HeapConfig
+from repro.uarch.machine import MachineConfig
+from repro.uarch.multicore import MulticoreRunner, MulticoreResult
+from repro.uarch.pipeline import Core
+from repro.uarch.topdown import TopDownProfile, profile_core
+from repro.workloads.program import build_program
+from repro.workloads.spec import SuiteName, WorkloadSpec
+
+
+@dataclass(frozen=True)
+class Fidelity:
+    """Scale knob between test speed and paper-scale accuracy."""
+
+    warmup_instructions: int = 60_000
+    measure_instructions: int = 150_000
+    #: extra warmup factor for ASP.NET (steady state takes longer, §III-A)
+    aspnet_warmup_factor: float = 1.5
+    #: workloads per category in full-corpus experiments (None = all)
+    workloads_per_category: int | None = 8
+
+    @classmethod
+    def test(cls) -> "Fidelity":
+        return cls(warmup_instructions=12_000, measure_instructions=25_000,
+                   workloads_per_category=2)
+
+    @classmethod
+    def default(cls) -> "Fidelity":
+        return cls()
+
+    @classmethod
+    def paper(cls) -> "Fidelity":
+        return cls(warmup_instructions=150_000,
+                   measure_instructions=400_000,
+                   workloads_per_category=None)
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Everything one measured run produces."""
+
+    spec: WorkloadSpec
+    machine: MachineConfig
+    counters: CounterSnapshot
+    topdown: TopDownProfile
+    seconds: float
+    samples: SampleSeries | None = None
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    @property
+    def ipc(self) -> float:
+        return self.counters.ipc
+
+
+def _heap_and_gc(spec: WorkloadSpec,
+                 heap_config: HeapConfig | None,
+                 gc_config: GcConfig | None) -> tuple[HeapConfig, GcConfig]:
+    gc_config = gc_config or GcConfig()
+    if heap_config is None:
+        heap_config = HeapConfig(
+            max_heap_bytes=gc_config.max_heap_bytes,
+            gen0_budget_bytes=gc_config.gen0_budget())
+    return heap_config, gc_config
+
+
+def run_workload(spec: WorkloadSpec, machine: MachineConfig,
+                 fidelity: Fidelity | None = None, *,
+                 gc_config: GcConfig | None = None,
+                 heap_config: HeapConfig | None = None,
+                 sampling: bool = False,
+                 sample_interval: float = 1e-3,
+                 reuse_code_pages: bool = False,
+                 compaction_enabled: bool = True,
+                 seed: int = 0) -> RunResult:
+    """Warm up, measure, and package one workload run."""
+    fidelity = fidelity or Fidelity.default()
+    heap_config, gc_config = _heap_and_gc(spec, heap_config, gc_config)
+    vm = VirtualMemory()
+    core = Core(machine, vm)
+    core.set_hints(spec.hints())
+    tracer = LttngTracer(machine.max_freq_hz)
+    core.event_hook = tracer.hook
+    program = build_program(
+        spec, seed=seed, heap_config=heap_config, gc_config=gc_config,
+        code_bloat=machine.code_bloat,
+        reuse_code_pages=reuse_code_pages,
+        compaction_enabled=compaction_enabled)
+    program.premap(vm)
+    ops = program.ops()
+    warmup = fidelity.warmup_instructions
+    if spec.suite == SuiteName.ASPNET:
+        warmup = int(warmup * fidelity.aspnet_warmup_factor)
+    core.consume(ops, max_instructions=warmup)
+    core.reset_stats()
+    tracer.clear()
+    sampler = None
+    if sampling:
+        sampler = CounterSampler(core, tracer.counts,
+                                 interval_seconds=sample_interval)
+    measure = int(fidelity.measure_instructions
+                  * machine.dynamic_instr_bloat)
+    core.consume(ops, max_instructions=measure)
+    samples = sampler.finish() if sampler is not None else None
+    counters = collect_counters(core, tracer.counts,
+                                cpu_utilization=spec.cpu_utilization)
+    return RunResult(
+        spec=spec, machine=machine, counters=counters,
+        topdown=profile_core(core),
+        seconds=counters.seconds, samples=samples)
+
+
+def run_with_sampling(spec: WorkloadSpec, machine: MachineConfig,
+                      fidelity: Fidelity | None = None,
+                      **kwargs) -> RunResult:
+    """Convenience wrapper for the §VII-A correlation studies."""
+    return run_workload(spec, machine, fidelity, sampling=True, **kwargs)
+
+
+#: Address ranges that are private per thread/worker in a threaded server
+#: (nursery + stacks + request buffers + per-connection kernel buffers);
+#: code and long-lived shared state keep common addresses across cores.
+from repro.trace import (OP_LOAD as _OPL, OP_STORE as _OPS,
+                         REGION_HEAP_BASE as _HEAP,
+                         REGION_STACK_BASE as _STACK)
+
+#: Heap (worker allocation contexts) and stacks are thread-private;
+#: code, long-lived shared state and kernel slab buffers are shared.
+_PRIVATE_SPANS = ((_HEAP, _HEAP + (1 << 34)),
+                  (_STACK, _STACK + (1 << 28)))
+
+
+def _color_ops(ops, core_id: int):
+    """Offset per-thread-private data addresses by a per-core color.
+
+    Threads of one server process share code (same PCs) and the long-
+    lived heap structure, but each worker has its own allocation context,
+    stack and connection buffers.  Coloring those ranges keeps the shared
+    LLC seeing distinct lines per core, as real servers do.
+    """
+    if core_id == 0:
+        yield from ops
+        return
+    color = core_id << 40
+    spans = _PRIVATE_SPANS
+    for op in ops:
+        kind = op[0]
+        if kind == _OPL or kind == _OPS:
+            addr = op[1]
+            for lo, hi in spans:
+                if lo <= addr < hi:
+                    op = (kind, addr + color)
+                    break
+        yield op
+
+
+def run_multicore(spec: WorkloadSpec, machine: MachineConfig,
+                  n_cores: int, fidelity: Fidelity | None = None,
+                  seed: int = 0) -> tuple[MulticoreResult, TopDownProfile,
+                                          CounterSnapshot]:
+    """Run one ASP.NET-style workload replicated across ``n_cores``.
+
+    Cores model worker threads of one server process: identical code
+    (same seed -> same method layout, so code lines are shared in the
+    LLC) with per-core private data (see :func:`_color_ops`).  Warm up
+    all cores, reset, then measure — returns the multicore result plus
+    the Top-Down profile and counters of core 0 (cores are symmetric).
+    """
+    fidelity = fidelity or Fidelity.default()
+    heap_config, gc_config = _heap_and_gc(spec, None, None)
+    programs = {}
+
+    def factory(core_id: int):
+        program = build_program(
+            spec, seed=seed, heap_config=heap_config,
+            gc_config=gc_config, code_bloat=machine.code_bloat)
+        # Per-core divergence of the *pattern* without changing the code
+        # layout: jump the program's RNG ahead by a core-specific amount.
+        program.rng.seed((seed << 8) ^ core_id)
+        programs[core_id] = program
+        return _color_ops(program.ops(), core_id), spec.hints()
+
+    runner = MulticoreRunner(machine, n_cores, factory)
+    for core_id, core in enumerate(runner.cores):
+        programs[core_id].premap(core.vm)
+    runner.run(int(fidelity.warmup_instructions
+                   * fidelity.aspnet_warmup_factor))
+    for core in runner.cores:
+        core.reset_stats()
+    runner.llc.cache.reset_stats()
+    result = runner.run(fidelity.measure_instructions)
+    core0 = runner.cores[0]
+    counters = collect_counters(core0, None,
+                                cpu_utilization=min(
+                                    1.0, n_cores / machine.logical_cores))
+    return result, profile_core(core0), counters

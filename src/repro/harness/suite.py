@@ -1,0 +1,72 @@
+"""Suite-level orchestration: characterize many workloads, build matrices."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.metrics import MetricMatrix, metric_vector
+from repro.harness.runner import Fidelity, RunResult, run_workload
+from repro.uarch.machine import MachineConfig
+from repro.workloads.spec import WorkloadSpec
+
+
+@dataclass
+class SuiteResult:
+    """All runs of one suite on one machine."""
+
+    machine: MachineConfig
+    results: list[RunResult] = field(default_factory=list)
+
+    @property
+    def names(self) -> list[str]:
+        return [r.spec.name for r in self.results]
+
+    def metric_matrix(self) -> MetricMatrix:
+        return MetricMatrix(
+            self.names,
+            np.vstack([metric_vector(r.counters) for r in self.results]),
+            [r.spec.suite for r in self.results])
+
+    def times(self) -> dict[str, float]:
+        """Per-workload simulated seconds (for §IV-C score validation).
+
+        All runs execute the same instruction budget, so seconds is
+        time-per-fixed-work: ratios between machines are SPECspeed-style
+        speedups, and for throughput suites the inverse ratio is the
+        throughput ratio — the same score either way.
+        """
+        return {r.spec.name: r.seconds for r in self.results}
+
+    def result_of(self, name: str) -> RunResult:
+        for r in self.results:
+            if r.spec.name == name:
+                return r
+        raise KeyError(name)
+
+
+def characterize_suite(specs: list[WorkloadSpec], machine: MachineConfig,
+                       fidelity: Fidelity | None = None, seed: int = 0,
+                       progress=None, **run_kwargs) -> SuiteResult:
+    """Run every spec on ``machine`` and collect the results.
+
+    ``progress`` is an optional callable ``(index, total, name)`` for
+    long-running experiments.
+    """
+    fidelity = fidelity or Fidelity.default()
+    out = SuiteResult(machine=machine)
+    total = len(specs)
+    for i, spec in enumerate(specs):
+        if progress is not None:
+            progress(i, total, spec.name)
+        out.results.append(
+            run_workload(spec, machine, fidelity, seed=seed, **run_kwargs))
+    return out
+
+
+def suite_times(specs: list[WorkloadSpec], machine: MachineConfig,
+                fidelity: Fidelity | None = None,
+                seed: int = 0) -> dict[str, float]:
+    """Just the per-workload times (cheaper mental model for validation)."""
+    return characterize_suite(specs, machine, fidelity, seed=seed).times()

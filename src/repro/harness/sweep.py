@@ -1,0 +1,99 @@
+"""Parameter sweeps: run one workload across machine/config variations.
+
+The paper's evaluation is full of sweeps — GC flavor x heap size
+(Fig 14), core counts (Figs 11-12), machines (Fig 2/7).  This module
+provides the generic machinery: declare axes, get a result grid, render
+it.  Downstream users can sweep *hardware* parameters the paper only
+speculates about (e.g. "Data placement strategies in LLC slices",
+"aggressive prefetching" — §VIII) without touching harness internals.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, replace as dc_replace, field
+
+from repro.harness.report import format_table
+from repro.harness.runner import Fidelity, RunResult, run_workload
+from repro.uarch.machine import MachineConfig
+from repro.workloads.spec import WorkloadSpec
+
+
+@dataclass(frozen=True)
+class Axis:
+    """One sweep dimension.
+
+    ``target`` selects what the values apply to:
+
+    * ``"machine"`` — a MachineConfig field to replace;
+    * ``"run"``     — a keyword argument of ``run_workload``
+      (``gc_config``, ``compaction_enabled``, ``seed``, ...);
+    * ``"spec"``    — a WorkloadSpec field to replace.
+    """
+
+    name: str
+    values: tuple
+    target: str = "machine"
+
+    def __post_init__(self):
+        if self.target not in ("machine", "run", "spec"):
+            raise ValueError(f"unknown axis target {self.target!r}")
+        if not self.values:
+            raise ValueError(f"axis {self.name!r} has no values")
+
+
+@dataclass
+class SweepResult:
+    """Grid of runs: point (an axis-value dict, frozen) -> RunResult."""
+
+    axes: tuple[Axis, ...]
+    results: dict[tuple, RunResult] = field(default_factory=dict)
+    failures: dict[tuple, Exception] = field(default_factory=dict)
+
+    def point(self, **coords) -> RunResult:
+        key = tuple(coords[a.name] for a in self.axes)
+        return self.results[key]
+
+    def table(self, metric, metric_name: str = "value") -> str:
+        """Render the grid: one row per point, metric in the last column."""
+        rows = []
+        for key in sorted(self.results, key=repr):
+            rows.append([*[str(v) for v in key],
+                         metric(self.results[key])])
+        for key in sorted(self.failures, key=repr):
+            rows.append([*[str(v) for v in key],
+                         type(self.failures[key]).__name__])
+        return format_table([a.name for a in self.axes] + [metric_name],
+                            rows)
+
+    def series(self, metric) -> dict[tuple, float]:
+        return {k: metric(r) for k, r in self.results.items()}
+
+
+def sweep(spec: WorkloadSpec, machine: MachineConfig, axes: list[Axis],
+          fidelity: Fidelity | None = None,
+          catch: tuple[type, ...] = (), **base_run_kwargs) -> SweepResult:
+    """Run ``spec`` at every point of the axis product.
+
+    ``catch`` lists exception types recorded as failures instead of
+    raised (e.g. ``OutOfManagedMemory`` in heap-size sweeps, matching the
+    paper's OOM cells in Fig 14).
+    """
+    result = SweepResult(axes=tuple(axes))
+    for combo in itertools.product(*(a.values for a in axes)):
+        m = machine
+        s = spec
+        run_kwargs = dict(base_run_kwargs)
+        for axis, value in zip(axes, combo):
+            if axis.target == "machine":
+                m = dc_replace(m, **{axis.name: value})
+            elif axis.target == "spec":
+                s = dc_replace(s, **{axis.name: value})
+            else:
+                run_kwargs[axis.name] = value
+        try:
+            result.results[combo] = run_workload(s, m, fidelity,
+                                                 **run_kwargs)
+        except catch as exc:
+            result.failures[combo] = exc
+    return result

@@ -1,0 +1,10 @@
+"""OS model: virtual memory (demand paging, page faults) and syscalls.
+
+The paper's Fig 3 (kernel instruction share) and the ~300x page-fault gap
+between ASP.NET and SPEC (§VII-A1) are produced by this layer.
+"""
+
+from repro.kernel.vm import VirtualMemory, VmStats
+from repro.kernel.syscalls import SyscallModel, SyscallKind
+
+__all__ = ["VirtualMemory", "VmStats", "SyscallModel", "SyscallKind"]

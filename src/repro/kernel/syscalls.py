@@ -1,0 +1,177 @@
+"""Syscall and network-stack model.
+
+Each syscall kind owns a slice of the kernel text (a :class:`CodeRegion`
+at kernel addresses) and a data-touch pattern.  Network receive/send adds a
+per-byte copy loop through socket buffers, which is what makes the ASP.NET
+suite's kernel-instruction share so much larger than SPEC's (Fig 3) — the
+paper attributes it "primarily ... to the code in the networking stack".
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.codegen import CodeRegion, MixProfile
+from repro.seeding import stable_seed
+from repro.trace import (OP_BLOCK, OP_BRANCH, OP_LOAD, OP_STORE,
+                         REGION_KERNEL_CODE_BASE, REGION_KERNEL_DATA_BASE)
+
+
+class SyscallKind:
+    """Symbolic syscall names (string constants, not an enum, for speed)."""
+
+    RECV = "recv"
+    SEND = "send"
+    EPOLL_WAIT = "epoll_wait"
+    READ = "read"
+    WRITE = "write"
+    FUTEX = "futex"
+    MMAP = "mmap"
+    OPEN = "open"
+    CLOSE = "close"
+    SCHED = "sched"
+
+    ALL = (RECV, SEND, EPOLL_WAIT, READ, WRITE, FUTEX, MMAP, OPEN, CLOSE,
+           SCHED)
+
+
+@dataclass(frozen=True)
+class _KindProfile:
+    base_instructions: int      # fixed-path handler cost
+    footprint_bytes: int        # handler text footprint
+    touches_buffers: bool       # has a per-byte payload copy phase
+
+
+_PROFILES: dict[str, _KindProfile] = {
+    SyscallKind.RECV: _KindProfile(3200, 112 * 1024, True),
+    SyscallKind.SEND: _KindProfile(2800, 96 * 1024, True),
+    SyscallKind.EPOLL_WAIT: _KindProfile(1400, 32 * 1024, False),
+    SyscallKind.READ: _KindProfile(1800, 48 * 1024, True),
+    SyscallKind.WRITE: _KindProfile(1900, 48 * 1024, True),
+    SyscallKind.FUTEX: _KindProfile(900, 16 * 1024, False),
+    SyscallKind.MMAP: _KindProfile(2200, 40 * 1024, False),
+    SyscallKind.OPEN: _KindProfile(2600, 56 * 1024, False),
+    SyscallKind.CLOSE: _KindProfile(800, 16 * 1024, False),
+    SyscallKind.SCHED: _KindProfile(1600, 48 * 1024, False),
+}
+
+#: Kernel code uses a branchier, load-heavier mix than typical user code
+#: (linked lists of sk_buffs, long if-ladders in the protocol stack).
+_KERNEL_MIX = MixProfile(branch_frac=0.19, load_frac=0.30, store_frac=0.12,
+                         taken_bias=0.42, bias_spread=0.22, loop_frac=0.08,
+                         avg_loop_trips=4.0)
+
+_LINE = 64
+
+
+class SyscallModel:
+    """Generates kernel-mode op streams for syscalls.
+
+    One instance per simulated process.  Handler code regions are laid out
+    once (the kernel image does not move); socket buffers cycle through a
+    fixed pool in kernel data space, so steady-state network traffic reuses
+    (and therefore contends for) the same cache lines, as real kernels do.
+    """
+
+    _REGION_CACHE: dict[int, tuple[dict[str, CodeRegion], int]] = {}
+
+    def __init__(self, seed: int = 0, buffer_pool_size: int = 24,
+                 buffer_bytes: int = 32 * 1024) -> None:
+        cached = self._REGION_CACHE.get(seed)
+        if cached is None:
+            regions: dict[str, CodeRegion] = {}
+            base = REGION_KERNEL_CODE_BASE
+            for kind in SyscallKind.ALL:
+                prof = _PROFILES[kind]
+                regions[kind] = CodeRegion(
+                    base, prof.footprint_bytes,
+                    seed=stable_seed(seed, "kernel", kind),
+                    mix=_KERNEL_MIX)
+                base += prof.footprint_bytes + 4096
+            cached = (regions, base - REGION_KERNEL_CODE_BASE)
+            self._REGION_CACHE[seed] = cached
+        self._regions, self.kernel_text_bytes = cached
+        self._buffer_pool_size = buffer_pool_size
+        self._buffer_bytes = buffer_bytes
+        self._next_buffer = 0
+        # A small amount of hot kernel metadata (fd tables, socket structs).
+        self._meta_base = REGION_KERNEL_DATA_BASE
+        self._meta_bytes = 256 * 1024
+        self._buf_base = self._meta_base + self._meta_bytes
+        # Per-connection kernel structures are revisited heavily within a
+        # syscall (sk_buff headers, socket state): burst-reuse ring.
+        self._meta_ring: list[int] = []
+
+    # ------------------------------------------------------------------
+    def _acquire_buffer(self) -> int:
+        buf = self._buf_base + self._next_buffer * self._buffer_bytes
+        self._next_buffer = (self._next_buffer + 1) % self._buffer_pool_size
+        return buf
+
+    def kernel_data_span(self) -> tuple[int, int]:
+        """(start, length) of all kernel data this model may touch."""
+        length = (self._meta_bytes
+                  + self._buffer_pool_size * self._buffer_bytes)
+        return self._meta_base, length
+
+    def handler_region(self, kind: str) -> CodeRegion:
+        return self._regions[kind]
+
+    # ------------------------------------------------------------------
+    def emit(self, kind: str, rng: random.Random, payload_bytes: int = 0,
+             user_buffer: int = 0):
+        """Yield the op stream for one syscall invocation.
+
+        ``payload_bytes`` drives the copy loop for data-moving syscalls;
+        ``user_buffer`` is the user-space address data is copied to/from.
+        """
+        prof = _PROFILES[kind]
+        region = self._regions[kind]
+        meta_base = self._meta_base
+        meta_lines = self._meta_bytes // _LINE
+        ring = self._meta_ring
+
+        def meta_load() -> int:
+            if ring and rng.random() < 0.90:
+                return ring[int(rng.random() * len(ring))]
+            addr = meta_base + int(rng.random() ** 2 * meta_lines) * _LINE
+            if len(ring) >= 8:
+                ring.pop(0)
+            ring.append(addr)
+            return addr
+
+        yield from region.walk(rng, prof.base_instructions,
+                               load_addr=meta_load, store_addr=meta_load,
+                               is_kernel=True, entry=0)
+        if prof.touches_buffers and payload_bytes > 0:
+            yield from self._copy_loop(region, rng, payload_bytes,
+                                       user_buffer, to_user=(kind in
+                                       (SyscallKind.RECV, SyscallKind.READ)))
+
+    def _copy_loop(self, region: CodeRegion, rng: random.Random,
+                   payload_bytes: int, user_buffer: int, to_user: bool):
+        """copy_to_user/copy_from_user: sequential line-granular copy."""
+        kbuf = self._acquire_buffer()
+        n_lines = max(1, payload_bytes // _LINE)
+        loop_pc = region.base + region.size_bytes - 64
+        # Unrolled: one load + one store + 2 bookkeeping instrs per line,
+        # one backward branch per 8 lines.
+        for i in range(n_lines):
+            src = (kbuf if to_user else user_buffer) + i * _LINE
+            dst = (user_buffer if to_user else kbuf) + i * _LINE
+            yield (OP_LOAD, src)
+            yield (OP_STORE, dst)
+            yield (OP_BLOCK, loop_pc, 2, 16, True)
+            if i % 8 == 7:
+                yield (OP_BRANCH, loop_pc + 12, loop_pc, i + 1 < n_lines)
+        yield (OP_BRANCH, loop_pc + 12, loop_pc, False)
+
+    # ------------------------------------------------------------------
+    def instructions_estimate(self, kind: str, payload_bytes: int = 0) -> int:
+        """Rough instruction count of one invocation (for pacing logic)."""
+        prof = _PROFILES[kind]
+        n = prof.base_instructions
+        if prof.touches_buffers:
+            n += (payload_bytes // _LINE) * 4
+        return n

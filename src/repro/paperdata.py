@@ -1,0 +1,90 @@
+"""The paper's reported numbers, for paper-vs-measured comparison.
+
+Every quantitative claim the evaluation makes is recorded here so benches
+and EXPERIMENTS.md can print "paper vs measured" side by side.  Values are
+transcribed from the paper text; figure-only quantities (bar heights we
+cannot read exactly) are recorded as qualitative expectations instead.
+"""
+
+from __future__ import annotations
+
+# --- §IV / Table III / Fig 2 ------------------------------------------------
+TABLE3_VARIANCE_SHARES = (0.306, 0.229, 0.148, 0.107)
+TOP4_CUMULATIVE_VARIANCE = 0.79
+SUBSET_A_ACCURACY = 98.7          # 8 of 44 categories
+SUBSET_B_ACCURACY = 96.3          # 64 of 2906 workloads
+SUBSET_A_OPT_ACCURACY = 99.9
+SUBSET_B_SIZE = 64
+
+TABLE4_DOTNET_SUBSET = ("System.Runtime", "System.Threading",
+                        "System.ComponentModel", "System.Linq",
+                        "System.Net", "System.MathBenchmarks",
+                        "System.Diagnostics", "CscBench")
+TABLE4_ASPNET_SUBSET = ("DbFortunesRaw", "MvcDbFortunesRaw",
+                        "MvcDbMultiUpdateRaw", "Plaintext", "Json",
+                        "CopyToAsync", "MvcJsonNetOutput2M",
+                        "MvcJsonNetInput2M")
+TABLE4_SPEC_SUBSET = ("mcf", "cactuBSSN", "wrf", "gcc", "omnetpp",
+                      "perlbench", "xalancbmk", "bwaves")
+
+# --- §V-B instruction mix (geometric means, Fig 4 text) --------------------
+SPEC_LOADS_GM = 35.2              # percent
+DOTNET_ASPNET_LOADS_GM = 29.0     # "~29%"
+SPEC_STORES_GM = 11.5
+DOTNET_ASPNET_STORES_GM = 16.0    # "~16%"
+
+# --- §V-C PCA comparisons ---------------------------------------------------
+CONTROL_FLOW_STD_RATIO_SPEC_VS_DOTNET = 5.73
+CONTROL_FLOW_STD_RATIO_SPEC_VS_ASPNET = 4.73
+MEMORY_STD_RATIO_SPEC_VS_DOTNET = 1.71
+MEMORY_STD_RATIO_SPEC_VS_ASPNET = 1.27
+
+# --- §V-D x86 vs Arm --------------------------------------------------------
+ARM_CONTROL_FLOW_STD_RATIO = (1.36, 1.20)     # PRCO1, PRCO2
+ARM_MEMORY_STD_RATIO = (1.19, 2.32)
+ARM_RUNTIME_STD_RATIO = (1.02, 0.58)
+ARM_ITLB_MPKI_FACTOR = 80.0       # "Arm does 80x worse on I-TLB MPKI"
+ARM_LLC_MPKI_FACTOR = 8.0         # "8x worse on LLC-MPKI"
+
+# --- §V-E raw counters (Fig 8 text, geometric means) -----------------------
+ASPNET_L1D_MPKI_GM = 15.9
+SPEC_L1D_MPKI_GM = 29.0
+ASPNET_L2_MPKI_GM = 20.4
+SPEC_L2_MPKI_GM = 11.0
+ASPNET_LLC_MPKI_GM = 0.16
+SPEC_LLC_MPKI_GM = 0.98
+DOTNET_L1D_MPKI_GM = 2.3
+DOTNET_L1I_MPKI_GM = 2.2
+DOTNET_LLC_MPKI_GM = 0.01
+#: .NET categories the paper singles out as "realistic", ASP.NET-like
+REALISTIC_DOTNET_CATEGORIES = ("System.Net", "System.Threading",
+                               "System.Diagnostics", "CscBench")
+
+# --- §VI Top-Down ------------------------------------------------------------
+# Fig 9/10 qualitative expectations the benches assert on:
+#   - ASP.NET most backend bound; significant frontend-bound too
+#   - bad speculation small for .NET and ASP.NET
+#   - ASP.NET L3-bound dominates its memory stalls; SPEC more DRAM bound
+#   - .NET/ASP.NET FE latency dominated by icache+itlb+resteers (+MS)
+ASPNET_WORKING_SET_LIMIT = 500 * 1024 * 1024       # "all under 500MiB"
+SPEC_WORKING_SET_MAX = 16 * 1024 * 1024 * 1024     # "up to 16GB"
+CORE_SCALING_POINTS = (1, 2, 4, 8, 16)             # Figs 11-12
+
+# --- §VII-A runtime events ---------------------------------------------------
+JIT_METRIC_INCREASE_RANGE = (0.05, 0.20)   # branch/LLC MPKI, page faults
+JIT_L1I_INCREASE = 0.05
+GC_LLC_MPKI_DECREASE = -0.08               # "overall decrease ... of ~8%"
+ASPNET_PAGE_FAULT_FACTOR_VS_SPEC = 300.0
+EVENT_RESPONSE_DELAY_RANGE_S = (10e-6, 5e-3)
+
+# --- §VII-B GC comparison (Fig 14) ------------------------------------------
+SERVER_GC_TRIGGER_FACTOR = 6.18     # server triggers 6.18x more often
+SERVER_GC_LLC_MPKI_FACTOR = 0.59    # 0.59x reduction in LLC-MPKI
+SERVER_GC_SPEEDUP = 1.14            # apps run 1.14x faster
+GC_HEAP_SIZES_MIB = (200, 2_000, 20_000)
+#: categories that fail to run at 200 MiB (§VII-B)
+WORKSTATION_200MIB_FAILURES = ("System.Collections",)
+SERVER_200MIB_FAILURES = ("System.Text", "System.Collections",
+                          "System.Tests")
+#: cache-light categories that regress under server GC
+SERVER_GC_REGRESSIONS = ("System.MathBenchmarks",)

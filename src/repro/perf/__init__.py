@@ -1,0 +1,19 @@
+"""Measurement layer: perf-stat-like counters, LTTng-like tracing, sampling.
+
+Stands in for the paper's toolchain (§III-B): `Linux perf` for hardware
+counters, `LTTng` for runtime traces, plus 1 ms-bucketed co-sampling of
+both for the correlation study of §VII-A.
+"""
+
+from repro.perf.counters import CounterSnapshot, collect_counters
+from repro.perf.tracer import LttngTracer, TraceEvent
+from repro.perf.sampler import CounterSampler, SampleSeries
+from repro.perf.toplev import (build_tree, bottlenecks, render as
+                               render_toplev, compare as compare_toplev)
+from repro.perf.trace_io import record, replay, trace_info
+
+__all__ = ["CounterSnapshot", "collect_counters",
+           "LttngTracer", "TraceEvent",
+           "CounterSampler", "SampleSeries",
+           "build_tree", "bottlenecks", "render_toplev", "compare_toplev",
+           "record", "replay", "trace_info"]

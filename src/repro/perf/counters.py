@@ -1,0 +1,153 @@
+"""perf-stat equivalent: one immutable snapshot of every raw counter.
+
+:func:`collect_counters` reads a :class:`repro.uarch.pipeline.Core` (plus
+runtime-event counts) into a :class:`CounterSnapshot`; the Table I metric
+normalization lives in :mod:`repro.core.metrics`, mirroring the paper's
+split between *collecting* counters (perf/LTTng) and *deriving* metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.runtime.events import RuntimeEventCounts
+from repro.uarch.pipeline import Core
+
+
+@dataclass(frozen=True)
+class CounterSnapshot:
+    """Raw counters of one measured run (the 'perf stat -x' record)."""
+
+    # Architectural.
+    instructions: int = 0
+    kernel_instructions: int = 0
+    branches: int = 0
+    loads: int = 0
+    stores: int = 0
+    cycles: float = 0.0
+    seconds: float = 0.0
+    cpu_utilization: float = 1.0
+
+    # Branch / BTB.
+    branch_misses: int = 0
+    btb_misses: int = 0
+
+    # Caches (demand misses).
+    l1d_misses: int = 0
+    l1i_misses: int = 0
+    l2_misses: int = 0
+    llc_misses: int = 0
+    llc_accesses: int = 0
+
+    # TLBs (page walks).
+    itlb_misses: int = 0
+    dtlb_load_misses: int = 0
+    dtlb_store_misses: int = 0
+
+    # Memory subsystem.
+    dram_bytes_read: int = 0
+    dram_bytes_written: int = 0
+    dram_row_hits: int = 0
+    dram_row_misses: int = 0
+    page_faults: int = 0
+
+    # Prefetcher.
+    prefetches_issued: int = 0
+    useless_prefetches: int = 0
+
+    # Runtime events.
+    gc_triggered: int = 0
+    allocation_ticks: int = 0
+    jit_started: int = 0
+    exceptions: int = 0
+    contentions: int = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def user_instructions(self) -> int:
+        return self.instructions - self.kernel_instructions
+
+    @property
+    def cpi(self) -> float:
+        return self.cycles / self.instructions if self.instructions else 0.0
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    def mpki(self, count: int) -> float:
+        """Misses-per-kilo-instruction normalization."""
+        return count / self.instructions * 1000 if self.instructions else 0.0
+
+    @property
+    def dram_page_miss_rate(self) -> float:
+        total = self.dram_row_hits + self.dram_row_misses
+        return self.dram_row_misses / total if total else 0.0
+
+    @property
+    def read_bandwidth_mb_s(self) -> float:
+        if self.seconds <= 0:
+            return 0.0
+        return self.dram_bytes_read / self.seconds / 1e6
+
+    @property
+    def write_bandwidth_mb_s(self) -> float:
+        if self.seconds <= 0:
+            return 0.0
+        return self.dram_bytes_written / self.seconds / 1e6
+
+    def delta(self, earlier: "CounterSnapshot") -> "CounterSnapshot":
+        """Counter difference ``self - earlier`` (sampling support)."""
+        keep = {"cpu_utilization"}
+        fields_ = {}
+        for name in self.__dataclass_fields__:
+            v = getattr(self, name)
+            if name in keep:
+                fields_[name] = v
+            else:
+                fields_[name] = v - getattr(earlier, name)
+        return CounterSnapshot(**fields_)
+
+
+def collect_counters(core: Core, events: RuntimeEventCounts | None = None,
+                     cpu_utilization: float = 1.0,
+                     use_max_freq: bool = True) -> CounterSnapshot:
+    """Snapshot all counters of ``core`` (plus runtime-event counts)."""
+    ev = events or RuntimeEventCounts()
+    c = core.counts
+    return CounterSnapshot(
+        instructions=c.instructions,
+        kernel_instructions=c.kernel_instructions,
+        branches=c.branches,
+        loads=c.loads,
+        stores=c.stores,
+        cycles=core.cycles,
+        seconds=core.seconds(use_max_freq=use_max_freq),
+        cpu_utilization=cpu_utilization,
+        branch_misses=core.branch_unit.stats.mispredicts,
+        btb_misses=core.branch_unit.stats.btb_misses,
+        l1d_misses=core.l1d.stats.demand_misses,
+        l1i_misses=core.l1i.stats.demand_misses,
+        l2_misses=core.l2.stats.demand_misses,
+        llc_misses=core.llc.stats.demand_misses,
+        llc_accesses=core.llc.stats.demand_accesses,
+        itlb_misses=core.itlb.l1.stats.walks,
+        dtlb_load_misses=c.dtlb_load_walks,
+        dtlb_store_misses=c.dtlb_store_walks,
+        dram_bytes_read=core.dram.stats.bytes_read,
+        dram_bytes_written=core.dram.stats.bytes_written,
+        dram_row_hits=core.dram.stats.row_hits,
+        dram_row_misses=core.dram.stats.row_misses,
+        page_faults=core.vm.stats.faults,
+        prefetches_issued=(core.l2_prefetcher.stats.issued
+                           + core.l1i_prefetcher.stats.issued
+                           + core.l1d_prefetcher.stats.issued),
+        useless_prefetches=(core.l2.stats.useless_prefetches
+                            + core.l1i.stats.useless_prefetches
+                            + core.l1d.stats.useless_prefetches),
+        gc_triggered=ev.gc_triggered,
+        allocation_ticks=ev.allocation_ticks,
+        jit_started=ev.jit_started,
+        exceptions=ev.exceptions,
+        contentions=ev.contentions,
+    )

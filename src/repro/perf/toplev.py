@@ -1,0 +1,143 @@
+"""toplev-equivalent hierarchical Top-Down reporting (§III-B, §VI).
+
+The paper uses Andi Kleen's ``toplev`` (pmu-tools) to turn raw counters
+into the Yasin Top-Down hierarchy with named nodes, percentages, and
+bottleneck flagging.  This module renders our simulator's
+:class:`~repro.uarch.topdown.TopDownProfile` in the same spirit:
+
+* a navigable tree of named nodes with slot percentages,
+* per-node "this is significant" markers (toplev's ``<==`` bottleneck),
+* the tool's caveat that values below a few percent are noise,
+* multi-benchmark side-by-side tables for suite comparisons.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.uarch.topdown import TopDownProfile
+
+#: below this share of total slots, toplev warns values are unreliable
+NOISE_FLOOR = 0.05
+
+
+@dataclass
+class TopLevNode:
+    """One node of the rendered hierarchy."""
+
+    name: str
+    fraction: float                      # of total pipeline slots
+    children: list["TopLevNode"] = field(default_factory=list)
+
+    def walk(self, depth: int = 0):
+        yield depth, self
+        for child in self.children:
+            yield from child.walk(depth + 1)
+
+    def find(self, name: str) -> "TopLevNode | None":
+        for _, node in self.walk():
+            if node.name == name:
+                return node
+        return None
+
+
+def build_tree(profile: TopDownProfile) -> TopLevNode:
+    """Assemble the Yasin hierarchy from a Top-Down profile."""
+    p = profile
+    frontend = TopLevNode("Frontend_Bound", p.frontend_bound, [
+        TopLevNode("Frontend_Latency", p.frontend_latency, [
+            TopLevNode("ICache_Misses", p.fe_icache),
+            TopLevNode("ITLB_Misses", p.fe_itlb),
+            TopLevNode("Branch_Resteers", p.fe_branch_resteers),
+            TopLevNode("MS_Switches", p.fe_ms_switches),
+            TopLevNode("Code_Page_Faults", p.fe_ifault),
+        ]),
+        TopLevNode("Frontend_Bandwidth", p.frontend_bandwidth, [
+            TopLevNode("DSB_Bandwidth", p.fe_dsb),
+            TopLevNode("MITE_Bandwidth", p.fe_mite),
+        ]),
+    ])
+    backend = TopLevNode("Backend_Bound", p.backend_bound, [
+        TopLevNode("Memory_Bound", p.backend_memory, [
+            TopLevNode("L1_Bound", p.be_l1_bound),
+            TopLevNode("L2_Bound", p.be_l2_bound),
+            TopLevNode("L3_Bound", p.be_l3_bound),
+            TopLevNode("DRAM_Bound", p.be_dram_bound),
+            TopLevNode("DTLB_Bound", p.be_dtlb_bound),
+            TopLevNode("Store_Bound", p.be_store_bound),
+            TopLevNode("Data_Page_Faults", p.be_dfault),
+        ]),
+        TopLevNode("Core_Bound", p.backend_core, [
+            TopLevNode("Divider", p.be_divider),
+            TopLevNode("Ports_Utilization", p.be_ports),
+        ]),
+    ])
+    return TopLevNode("Pipeline_Slots", 1.0, [
+        TopLevNode("Retiring", p.retiring),
+        TopLevNode("Bad_Speculation", p.bad_speculation),
+        frontend,
+        backend,
+    ])
+
+
+def bottlenecks(profile: TopDownProfile,
+                threshold: float = 0.15) -> list[str]:
+    """Leaf/mid nodes above ``threshold`` of slots (toplev's focus list).
+
+    Sorted by share, descending — the first entry is the dominant
+    bottleneck the paper's §VI discussion names per benchmark.
+    """
+    flagged = []
+    for depth, node in build_tree(profile).walk():
+        if depth >= 2 and node.fraction >= threshold:
+            flagged.append((node.fraction, node.name))
+    flagged.sort(reverse=True)
+    return [name for _, name in flagged]
+
+
+def render(profile: TopDownProfile, threshold: float = 0.15,
+           show_noise: bool = False) -> str:
+    """toplev-style text tree.
+
+    ``<==`` marks nodes above the bottleneck threshold;
+    values under the noise floor carry the tool's accuracy caveat
+    (the paper repeats it: "percentages of less than 5% can be
+    inaccurate due to measurement errors").
+    """
+    lines = []
+    for depth, node in build_tree(profile).walk():
+        if depth == 0:
+            continue
+        if node.fraction < 0.005 and not show_noise:
+            continue
+        marker = ""
+        if depth >= 2 and node.fraction >= threshold:
+            marker = "  <== bottleneck"
+        elif node.fraction < NOISE_FLOOR:
+            marker = "  (below noise floor)"
+        indent = "    " * (depth - 1)
+        lines.append(f"{indent}{node.name:<24s} {node.fraction:7.1%}"
+                     f"{marker}")
+    lines.append("")
+    lines.append(f"(values under {NOISE_FLOOR:.0%} can be inaccurate; "
+                 f"slots = {profile.slots:.0f}, "
+                 f"cycles = {profile.cycles:.0f})")
+    return "\n".join(lines)
+
+
+def compare(profiles: dict[str, TopDownProfile],
+            nodes: tuple[str, ...] = ("Retiring", "Bad_Speculation",
+                                      "Frontend_Bound", "Backend_Bound",
+                                      "L3_Bound", "DRAM_Bound"),
+            ) -> str:
+    """Side-by-side table of selected nodes for several benchmarks."""
+    from repro.harness.report import format_table
+    rows = []
+    for name, profile in profiles.items():
+        tree = build_tree(profile)
+        row = [name]
+        for node_name in nodes:
+            node = tree.find(node_name)
+            row.append(f"{node.fraction:.1%}" if node else "-")
+        rows.append(row)
+    return format_table(["benchmark", *nodes], rows)

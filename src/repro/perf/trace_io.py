@@ -1,0 +1,167 @@
+"""Trace record / replay.
+
+A simulator library needs reproducible inputs: this module records a
+workload's op stream to a compact binary file and replays it later —
+decoupling trace *generation* (workload + runtime model) from trace
+*consumption* (microarchitecture studies), exactly how trace-driven
+simulators are used in practice.
+
+Format (version 1): little-endian, a 16-byte header
+(``b"RPRTRACE"``, u32 version, u32 reserved) followed by records:
+
+====  =======================================================
+tag   payload
+====  =======================================================
+0x01  block:  u64 pc, u16 n_instr, u16 n_bytes, u8 kernel
+0x02  branch: u64 pc, u64 target, u8 taken
+0x03  load:   u64 addr
+0x04  store:  u64 addr
+0x05  event:  u8 kind_idx (RUNTIME_EVENT_KINDS index; 0xFF=other)
+====  =======================================================
+
+Events carry only their kind (payloads are analysis-side data the
+microarchitecture never sees), keeping records fixed-width and fast.
+"""
+
+from __future__ import annotations
+
+import struct
+from pathlib import Path
+
+from repro.trace import (OP_BLOCK, OP_BRANCH, OP_EVENT, OP_LOAD, OP_STORE,
+                         RUNTIME_EVENT_KINDS)
+
+MAGIC = b"RPRTRACE"
+VERSION = 1
+
+_HEADER = struct.Struct("<8sII")
+_BLOCK = struct.Struct("<QHHB")
+_BRANCH = struct.Struct("<QQB")
+_ADDR = struct.Struct("<Q")
+_EVENT = struct.Struct("<B")
+
+_KIND_TO_IDX = {k: i for i, k in enumerate(RUNTIME_EVENT_KINDS)}
+_OTHER_KIND = 0xFF
+
+
+class TraceWriteError(ValueError):
+    """An op could not be encoded."""
+
+
+def record(ops, path, max_instructions: int | None = None) -> int:
+    """Write ``ops`` to ``path``; returns the instruction count recorded.
+
+    ``max_instructions`` bounds recording the same way the pipeline
+    bounds execution (checked at block boundaries).
+    """
+    n_instr = 0
+    with open(path, "wb") as fh:
+        fh.write(_HEADER.pack(MAGIC, VERSION, 0))
+        write = fh.write
+        for op in ops:
+            kind = op[0]
+            if kind == OP_LOAD:
+                write(b"\x03")
+                write(_ADDR.pack(op[1]))
+                n_instr += 1
+            elif kind == OP_STORE:
+                write(b"\x04")
+                write(_ADDR.pack(op[1]))
+                n_instr += 1
+            elif kind == OP_BLOCK:
+                if not (0 <= op[2] < 1 << 16 and 0 <= op[3] < 1 << 16):
+                    raise TraceWriteError(f"block out of range: {op}")
+                write(b"\x01")
+                write(_BLOCK.pack(op[1], op[2], op[3], int(op[4])))
+                n_instr += op[2]
+                if max_instructions is not None \
+                        and n_instr >= max_instructions:
+                    break
+            elif kind == OP_BRANCH:
+                write(b"\x02")
+                write(_BRANCH.pack(op[1], op[2], int(op[3])))
+                n_instr += 1
+            elif kind == OP_EVENT:
+                write(b"\x05")
+                write(_EVENT.pack(_KIND_TO_IDX.get(op[1], _OTHER_KIND)))
+            else:
+                raise TraceWriteError(f"unknown op kind {kind!r}")
+    return n_instr
+
+
+class TraceFormatError(ValueError):
+    """The file is not a valid trace."""
+
+
+def replay(path):
+    """Yield ops from a recorded trace (generator).
+
+    Event records come back as ``(OP_EVENT, kind, None)`` with the kind
+    string restored (or ``"other"`` for non-Table-I events).
+    """
+    with open(path, "rb") as fh:
+        header = fh.read(_HEADER.size)
+        if len(header) < _HEADER.size:
+            raise TraceFormatError("truncated header")
+        magic, version, _ = _HEADER.unpack(header)
+        if magic != MAGIC:
+            raise TraceFormatError(f"bad magic {magic!r}")
+        if version != VERSION:
+            raise TraceFormatError(f"unsupported version {version}")
+        data = fh.read()
+    pos = 0
+    end = len(data)
+    while pos < end:
+        tag = data[pos]
+        pos += 1
+        if tag == 0x03:
+            (addr,) = _ADDR.unpack_from(data, pos)
+            pos += _ADDR.size
+            yield (OP_LOAD, addr)
+        elif tag == 0x04:
+            (addr,) = _ADDR.unpack_from(data, pos)
+            pos += _ADDR.size
+            yield (OP_STORE, addr)
+        elif tag == 0x01:
+            pc, n_instr, n_bytes, kernel = _BLOCK.unpack_from(data, pos)
+            pos += _BLOCK.size
+            yield (OP_BLOCK, pc, n_instr, n_bytes, bool(kernel))
+        elif tag == 0x02:
+            pc, target, taken = _BRANCH.unpack_from(data, pos)
+            pos += _BRANCH.size
+            yield (OP_BRANCH, pc, target, bool(taken))
+        elif tag == 0x05:
+            (idx,) = _EVENT.unpack_from(data, pos)
+            pos += _EVENT.size
+            kind = (RUNTIME_EVENT_KINDS[idx]
+                    if idx < len(RUNTIME_EVENT_KINDS) else "other")
+            yield (OP_EVENT, kind, None)
+        else:
+            raise TraceFormatError(f"unknown record tag {tag:#x} at "
+                                   f"offset {pos - 1}")
+
+
+def trace_info(path) -> dict:
+    """Summary statistics of a trace file (no full materialization)."""
+    counts = {"blocks": 0, "branches": 0, "loads": 0, "stores": 0,
+              "events": 0, "instructions": 0, "kernel_instructions": 0}
+    for op in replay(path):
+        kind = op[0]
+        if kind == OP_BLOCK:
+            counts["blocks"] += 1
+            counts["instructions"] += op[2]
+            if op[4]:
+                counts["kernel_instructions"] += op[2]
+        elif kind == OP_BRANCH:
+            counts["branches"] += 1
+            counts["instructions"] += 1
+        elif kind == OP_LOAD:
+            counts["loads"] += 1
+            counts["instructions"] += 1
+        elif kind == OP_STORE:
+            counts["stores"] += 1
+            counts["instructions"] += 1
+        else:
+            counts["events"] += 1
+    counts["bytes"] = Path(path).stat().st_size
+    return counts

@@ -1,0 +1,44 @@
+"""LTTng-equivalent runtime event tracer.
+
+Records ``(timestamp, kind, payload)`` triples as runtime events flow past
+the pipeline's event hook.  Timestamps are simulated seconds (cycles /
+max frequency), so traces align with the sampler's counter time series for
+the §VII-A correlation study.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.runtime.events import RuntimeEventCounts
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    timestamp: float          # seconds since trace start
+    kind: str
+    payload: object = None
+
+
+class LttngTracer:
+    """Collects runtime events with timestamps + running counts."""
+
+    def __init__(self, freq_hz: float) -> None:
+        self.freq_hz = freq_hz
+        self.events: list[TraceEvent] = []
+        self.counts = RuntimeEventCounts()
+
+    def hook(self, kind: str, payload, cycles: float) -> None:
+        """Signature-compatible with ``Core.event_hook``."""
+        self.events.append(TraceEvent(cycles / self.freq_hz, kind, payload))
+        self.counts.record(kind)
+
+    def events_of(self, kind: str) -> list[TraceEvent]:
+        return [e for e in self.events if e.kind == kind]
+
+    def count_of(self, kind: str) -> int:
+        return sum(1 for e in self.events if e.kind == kind)
+
+    def clear(self) -> None:
+        self.events.clear()
+        self.counts = RuntimeEventCounts()

@@ -1,0 +1,24 @@
+"""Managed runtime (CLR) model: heap, GC, JIT, runtime events.
+
+This is the substitution for the real .NET CLR.  The two mechanisms the
+paper's §VII findings rest on are implemented directly:
+
+* the JIT emits method code at **fresh virtual addresses** (never reused),
+  so PC-indexed structures — I-cache, I-TLB, BTB, gshare tables, DSB —
+  cold-start after every JIT/tiering event;
+* the GC **compacts** surviving objects, so the hot data set's spatial
+  locality improves right after a collection and decays as fragmentation
+  accumulates between collections.
+"""
+
+from repro.runtime.heap import HeapConfig, ManagedHeap, LongLivedSet
+from repro.runtime.gc import GcConfig, GarbageCollector, WORKSTATION, SERVER
+from repro.runtime.jit import Method, JitCompiler
+from repro.runtime.clr import Clr, ClrImage
+
+__all__ = [
+    "HeapConfig", "ManagedHeap", "LongLivedSet",
+    "GcConfig", "GarbageCollector", "WORKSTATION", "SERVER",
+    "Method", "JitCompiler",
+    "Clr", "ClrImage",
+]

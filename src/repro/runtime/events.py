@@ -1,0 +1,46 @@
+"""Runtime event bookkeeping shared by the tracer and the metric layer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.trace import (EV_GC_TRIGGERED, EV_GC_ALLOCATION_TICK,
+                         EV_JIT_STARTED, EV_EXCEPTION, EV_CONTENTION)
+
+
+@dataclass
+class RuntimeEventCounts:
+    """Counts of the five Table I runtime-event metrics (IDs 19-23)."""
+
+    gc_triggered: int = 0
+    allocation_ticks: int = 0
+    jit_started: int = 0
+    exceptions: int = 0
+    contentions: int = 0
+
+    _FIELD_BY_KIND = {
+        EV_GC_TRIGGERED: "gc_triggered",
+        EV_GC_ALLOCATION_TICK: "allocation_ticks",
+        EV_JIT_STARTED: "jit_started",
+        EV_EXCEPTION: "exceptions",
+        EV_CONTENTION: "contentions",
+    }
+
+    def record(self, kind: str) -> None:
+        attr = self._FIELD_BY_KIND.get(kind)
+        if attr is not None:
+            setattr(self, attr, getattr(self, attr) + 1)
+
+    def snapshot(self) -> "RuntimeEventCounts":
+        return RuntimeEventCounts(self.gc_triggered, self.allocation_ticks,
+                                  self.jit_started, self.exceptions,
+                                  self.contentions)
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            EV_GC_TRIGGERED: self.gc_triggered,
+            EV_GC_ALLOCATION_TICK: self.allocation_ticks,
+            EV_JIT_STARTED: self.jit_started,
+            EV_EXCEPTION: self.exceptions,
+            EV_CONTENTION: self.contentions,
+        }

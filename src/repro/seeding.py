@@ -1,0 +1,17 @@
+"""Process-stable seeding.
+
+Python's builtin ``hash()`` on strings is salted per interpreter process
+(PYTHONHASHSEED), so it must never feed an experiment seed — results would
+differ between runs.  :func:`stable_seed` uses CRC32 over the rendered
+parts, which is stable across processes, platforms and Python versions.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+
+def stable_seed(*parts: object) -> int:
+    """Deterministic 31-bit seed from arbitrary hashable parts."""
+    text = "\x1f".join(repr(p) for p in parts)
+    return zlib.crc32(text.encode("utf-8")) & 0x7FFFFFFF

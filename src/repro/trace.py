@@ -1,0 +1,88 @@
+"""The trace protocol shared by workload generators and the pipeline model.
+
+Workload programs (:mod:`repro.workloads`), the managed runtime
+(:mod:`repro.runtime`) and the OS model (:mod:`repro.kernel`) all *emit*
+operation tuples; the core pipeline model (:mod:`repro.uarch.pipeline`)
+*consumes* them.  Plain tuples with an integer opcode keep the hot loop
+fast — a run simulates 10^5-10^6 of these.
+
+Operation tuples
+----------------
+
+``(OP_BLOCK, pc, n_instr, n_bytes, is_kernel)``
+    Straight-line execution of a basic block: ``n_instr`` non-memory,
+    non-branch instructions occupying ``n_bytes`` of code at ``pc``.
+    The frontend fetches the byte range; ``is_kernel`` attributes the
+    instructions to kernel or user mode (Table I metrics 0/1).
+
+``(OP_BRANCH, pc, target, taken)``
+    One branch instruction at ``pc``.  Resolved against the branch unit;
+    drives bad-speculation and re-steer accounting.
+
+``(OP_LOAD, addr)`` / ``(OP_STORE, addr)``
+    One memory instruction accessing ``addr`` through D-TLB and D-cache.
+
+``(OP_EVENT, kind, payload)``
+    A runtime event marker (not an instruction): forwarded to the tracer /
+    sampler.  ``kind`` is one of the ``EV_*`` constants.
+
+Address-space layout
+--------------------
+
+A single flat virtual address space per workload, carved into regions so
+that code, JIT code, heap and kernel structures never collide.  The
+boundaries are coarse on purpose; the OS model only needs page-granular
+uniqueness.
+"""
+
+from __future__ import annotations
+
+# --- operation opcodes -------------------------------------------------
+OP_BLOCK = 0
+OP_BRANCH = 1
+OP_LOAD = 2
+OP_STORE = 3
+OP_EVENT = 4
+
+# --- runtime / tracer event kinds (Table I metrics 19-23) ---------------
+EV_GC_TRIGGERED = "gc/triggered"
+EV_GC_ALLOCATION_TICK = "gc/allocation_tick"
+EV_JIT_STARTED = "jit/jitting_started"
+EV_EXCEPTION = "exception/start"
+EV_CONTENTION = "contention/start"
+# Auxiliary events (not Table I metrics, used by analyses).
+EV_GC_COMPLETED = "gc/completed"
+EV_SYSCALL = "os/syscall"
+EV_REQUEST_DONE = "app/request_done"
+# JIT metadata events: payload (base, size) / (old_base, new_base, size).
+# Always emitted; §VIII-extension hardware consumes them when enabled
+# ("hooks in the ISA can be used by software to provide metadata
+# regarding JITed code pages to the hardware").
+EV_JIT_CODE_EMITTED = "jit/code_emitted"
+EV_JIT_CODE_MOVED = "jit/code_moved"
+
+RUNTIME_EVENT_KINDS = (
+    EV_GC_TRIGGERED,
+    EV_GC_ALLOCATION_TICK,
+    EV_JIT_STARTED,
+    EV_EXCEPTION,
+    EV_CONTENTION,
+)
+
+# --- virtual address space layout ---------------------------------------
+#: Statically compiled user code (the AOT'd parts of an app / SPEC binaries).
+REGION_CODE_BASE = 0x0000_4000_0000
+#: CLR runtime's own (precompiled) code: JIT compiler, GC, class loader.
+REGION_CLR_CODE_BASE = 0x0000_6000_0000
+#: JITed code pages — allocated fresh, never reused (see runtime.jit).
+REGION_JIT_CODE_BASE = 0x0000_8000_0000
+#: Kernel text (syscall handlers, network stack).
+REGION_KERNEL_CODE_BASE = 0xFFFF_8000_0000
+#: Managed heap (gen0/1/2 + LOH).
+REGION_HEAP_BASE = 0x0000_C000_0000
+#: Native/stack/static data.
+REGION_STACK_BASE = 0x0000_7F00_0000
+#: Kernel data (socket buffers, sk_buffs, page-cache pages).
+REGION_KERNEL_DATA_BASE = 0xFFFF_C000_0000
+
+PAGE_SIZE = 4096

@@ -1,0 +1,31 @@
+"""Microarchitecture substrate: caches, TLBs, predictors, pipeline model.
+
+The structures here stand in for the PMU-instrumented hardware of Table II;
+:mod:`repro.uarch.pipeline` consumes workload op streams and produces the
+raw counters and Top-Down slot accounting every experiment reads.
+"""
+
+from repro.uarch.branch import BranchUnit, Btb, GsharePredictor
+from repro.uarch.cache import Cache, CacheHierarchy, L1, L2, L3, DRAM
+from repro.uarch.machine import (MachineConfig, CacheConfig, TlbConfig,
+                                 arm_server, get_machine, i9_9980xe,
+                                 xeon_e5_2620v4)
+from repro.uarch.memory import DramModel
+from repro.uarch.multicore import MulticoreRunner, SharedLlc
+from repro.uarch.pipeline import Core, WorkloadHints
+from repro.uarch.prefetch import NextLinePrefetcher, StreamPrefetcher
+from repro.uarch.tlb import Tlb, TlbHierarchy, TLB_L1, TLB_STLB, TLB_WALK
+from repro.uarch.topdown import TopDownProfile, profile_core
+
+__all__ = [
+    "BranchUnit", "Btb", "GsharePredictor",
+    "Cache", "CacheHierarchy", "L1", "L2", "L3", "DRAM",
+    "MachineConfig", "CacheConfig", "TlbConfig",
+    "arm_server", "get_machine", "i9_9980xe", "xeon_e5_2620v4",
+    "DramModel",
+    "MulticoreRunner", "SharedLlc",
+    "Core", "WorkloadHints",
+    "NextLinePrefetcher", "StreamPrefetcher",
+    "Tlb", "TlbHierarchy", "TLB_L1", "TLB_STLB", "TLB_WALK",
+    "TopDownProfile", "profile_core",
+]

@@ -1,0 +1,76 @@
+"""DRAM model: open-row banks, bandwidth accounting, page (row) miss rate.
+
+Feeds three Table I metrics: memory read bandwidth (ID 15), memory write
+bandwidth (ID 16) and memory page miss rate (ID 17).  "Page" here means a
+DRAM row buffer, matching the ``perf`` uncore events the paper collected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class DramStats:
+    reads: int = 0
+    writes: int = 0
+    row_hits: int = 0
+    row_misses: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+
+    def snapshot(self) -> "DramStats":
+        return DramStats(self.reads, self.writes, self.row_hits,
+                         self.row_misses, self.bytes_read, self.bytes_written)
+
+    @property
+    def page_miss_rate(self) -> float:
+        total = self.row_hits + self.row_misses
+        return self.row_misses / total if total else 0.0
+
+
+class DramModel:
+    """Bank/row-buffer DRAM model.
+
+    Addresses are interleaved across ``n_banks`` at ``row_size`` granularity.
+    Each access checks whether the bank's open row matches; a row miss costs
+    ``row_miss_extra`` additional cycles on top of ``base_latency``.
+    """
+
+    __slots__ = ("n_banks", "row_size", "base_latency", "row_miss_extra",
+                 "line_size", "_open_rows", "stats")
+
+    def __init__(self, n_banks: int = 16, row_size: int = 8192,
+                 base_latency: int = 180, row_miss_extra: int = 90,
+                 line_size: int = 64) -> None:
+        self.n_banks = n_banks
+        self.row_size = row_size
+        self.base_latency = base_latency
+        self.row_miss_extra = row_miss_extra
+        self.line_size = line_size
+        self._open_rows: dict[int, int] = {}
+        self.stats = DramStats()
+
+    def access(self, addr: int, is_write: bool = False) -> int:
+        """Access one cache line; returns the access latency in cycles."""
+        st = self.stats
+        row_global = addr // self.row_size
+        bank = row_global % self.n_banks
+        row = row_global // self.n_banks
+        latency = self.base_latency
+        if self._open_rows.get(bank) == row:
+            st.row_hits += 1
+        else:
+            st.row_misses += 1
+            self._open_rows[bank] = row
+            latency += self.row_miss_extra
+        if is_write:
+            st.writes += 1
+            st.bytes_written += self.line_size
+        else:
+            st.reads += 1
+            st.bytes_read += self.line_size
+        return latency
+
+    def reset_stats(self) -> None:
+        self.stats = DramStats()

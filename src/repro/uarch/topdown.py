@@ -1,0 +1,142 @@
+"""Top-Down hierarchy reporting (our `toplev` equivalent).
+
+Builds the Yasin-style tree from a :class:`repro.uarch.pipeline.Core`'s
+slot accounting:
+
+* Level 1: Retiring / Bad Speculation / Frontend Bound / Backend Bound
+  (Fig 9);
+* Level 2+: Frontend latency vs bandwidth with I-cache / I-TLB /
+  branch-resteer / MS-switch and DSB / MITE leaves; Backend memory vs core
+  with L1/L2/L3/DRAM/store bound and divider / ports leaves (Fig 10).
+
+All values are fractions of total pipeline slots (``width * cycles``) and
+sum to 1.0 at each level by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.uarch import pipeline as pl
+
+
+@dataclass(frozen=True)
+class TopDownProfile:
+    """A complete Top-Down breakdown; every field is a slot fraction."""
+
+    retiring: float
+    bad_speculation: float
+    frontend_bound: float
+    backend_bound: float
+
+    frontend_latency: float
+    frontend_bandwidth: float
+    fe_icache: float
+    fe_itlb: float
+    fe_branch_resteers: float
+    fe_ms_switches: float
+    fe_ifault: float
+    fe_dsb: float
+    fe_mite: float
+
+    backend_memory: float
+    backend_core: float
+    be_l1_bound: float
+    be_l2_bound: float
+    be_l3_bound: float
+    be_dram_bound: float
+    be_dtlb_bound: float
+    be_store_bound: float
+    be_dfault: float
+    be_divider: float
+    be_ports: float
+
+    slots: float
+    cycles: float
+
+    def level1(self) -> dict[str, float]:
+        return {
+            "retiring": self.retiring,
+            "bad_speculation": self.bad_speculation,
+            "frontend_bound": self.frontend_bound,
+            "backend_bound": self.backend_bound,
+        }
+
+    def frontend_breakdown(self) -> dict[str, float]:
+        """Distribution of FE-bound slots across leaves (sums to 1)."""
+        total = self.frontend_bound or 1.0
+        return {
+            "icache_misses": self.fe_icache / total,
+            "itlb_misses": self.fe_itlb / total,
+            "branch_resteers": self.fe_branch_resteers / total,
+            "ms_switches": self.fe_ms_switches / total,
+            "code_page_faults": self.fe_ifault / total,
+            "dsb_bandwidth": self.fe_dsb / total,
+            "mite_bandwidth": self.fe_mite / total,
+        }
+
+    def backend_breakdown(self) -> dict[str, float]:
+        """Distribution of BE-bound slots across leaves (sums to 1)."""
+        total = self.backend_bound or 1.0
+        return {
+            "l1_bound": self.be_l1_bound / total,
+            "l2_bound": self.be_l2_bound / total,
+            "l3_bound": self.be_l3_bound / total,
+            "dram_bound": self.be_dram_bound / total,
+            "dtlb_bound": self.be_dtlb_bound / total,
+            "store_bound": self.be_store_bound / total,
+            "data_page_faults": self.be_dfault / total,
+            "divider": self.be_divider / total,
+            "ports_utilization": self.be_ports / total,
+        }
+
+    @property
+    def l3_bound_of_slots(self) -> float:
+        """L3-bound stalls as a fraction of all slots (Fig 12's metric)."""
+        return self.be_l3_bound
+
+
+def profile_core(core: "pl.Core") -> TopDownProfile:
+    """Compute the Top-Down profile from a core's accounting state."""
+    width = core.machine.pipeline_width
+    cycles = core.cycles
+    slots = max(width * cycles, 1e-9)
+    s = core.stalls
+
+    def frac(*buckets: str) -> float:
+        return sum(s[b] for b in buckets) * width / slots
+
+    retiring = core.counts.uops / slots
+    bad_spec = frac(pl.BAD_SPEC)
+    fe_lat = frac(*pl.FRONTEND_LATENCY)
+    fe_bw = frac(*pl.FRONTEND_BANDWIDTH)
+    be_mem = frac(*pl.BACKEND_MEMORY)
+    be_core = frac(*pl.BACKEND_CORE)
+    return TopDownProfile(
+        retiring=retiring,
+        bad_speculation=bad_spec,
+        frontend_bound=fe_lat + fe_bw,
+        backend_bound=be_mem + be_core,
+        frontend_latency=fe_lat,
+        frontend_bandwidth=fe_bw,
+        fe_icache=frac(pl.FE_ICACHE),
+        fe_itlb=frac(pl.FE_ITLB),
+        fe_branch_resteers=frac(pl.FE_RESTEER),
+        fe_ms_switches=frac(pl.FE_MS),
+        fe_ifault=frac(pl.FE_IFAULT),
+        fe_dsb=frac(pl.FE_DSB_BW),
+        fe_mite=frac(pl.FE_MITE_BW),
+        backend_memory=be_mem,
+        backend_core=be_core,
+        be_l1_bound=frac(pl.BE_L1),
+        be_l2_bound=frac(pl.BE_L2),
+        be_l3_bound=frac(pl.BE_L3),
+        be_dram_bound=frac(pl.BE_DRAM),
+        be_dtlb_bound=frac(pl.BE_DTLB),
+        be_store_bound=frac(pl.BE_STORE),
+        be_dfault=frac(pl.BE_DFAULT),
+        be_divider=frac(pl.BE_DIV),
+        be_ports=frac(pl.BE_PORTS),
+        slots=slots,
+        cycles=cycles,
+    )

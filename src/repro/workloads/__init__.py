@@ -1,0 +1,25 @@
+"""Benchmark suite models: .NET microbenchmarks, ASP.NET, SPEC CPU17.
+
+Every workload is a :class:`repro.workloads.spec.WorkloadSpec` — a
+behaviour profile — executed by :class:`repro.workloads.program` machinery
+into a trace-op stream.  Registries:
+
+* :mod:`repro.workloads.dotnet` — 44 categories / 2906 microbenchmarks;
+* :mod:`repro.workloads.aspnet` — 53 server benchmarks;
+* :mod:`repro.workloads.speccpu` — SPEC CPU17 analogs.
+"""
+
+from repro.workloads.spec import WorkloadSpec, SuiteName
+from repro.workloads.program import ManagedProgram, NativeProgram, build_program
+from repro.workloads.dotnet import (DOTNET_CATEGORIES, dotnet_category_specs,
+                                    dotnet_workloads)
+from repro.workloads.aspnet import ASPNET_BENCHMARKS, aspnet_specs
+from repro.workloads.speccpu import SPEC_PROGRAMS, speccpu_specs
+
+__all__ = [
+    "WorkloadSpec", "SuiteName",
+    "ManagedProgram", "NativeProgram", "build_program",
+    "DOTNET_CATEGORIES", "dotnet_category_specs", "dotnet_workloads",
+    "ASPNET_BENCHMARKS", "aspnet_specs",
+    "SPEC_PROGRAMS", "speccpu_specs",
+]

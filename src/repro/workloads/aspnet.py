@@ -1,0 +1,253 @@
+"""The ASP.NET benchmark suite model: 53 server benchmarks (§II-B).
+
+Modeled after ``aspnet/Benchmarks`` (commit fa417157): TechEmpower-style
+scenarios (Plaintext, Json, Fortunes, query/update batteries) plus MVC
+variants and payload-size sweeps.  Each benchmark is an
+:class:`~repro.workloads.program.AspNetProgram` request loop; the client,
+database and benchmark driver of the four-component setup are modeled by
+the request/DB parameters (what the *server* — the measured machine —
+sees), matching the paper's measurement setup where all counters were
+collected on the server machine.
+
+The eight Table IV representatives are modeled individually; the remaining
+benchmarks are systematic variants, as in the real suite (same app
+skeleton, different backend/payload/pipeline settings).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.workloads.spec import SuiteName, WorkloadSpec
+
+
+def _aspnet(name: str, **kw) -> WorkloadSpec:
+    defaults = dict(
+        suite=SuiteName.ASPNET, category="aspnet", managed=True,
+        # A full web framework: large, diverse code footprint.
+        n_methods=2200, method_size_mean=540,
+        branch_frac=0.16, load_frac=0.29, store_frac=0.16,
+        taken_bias=0.45, bias_spread=0.22,
+        hot_objects=5000, object_slot=32, hot_skew=1.7,
+        fresh_new_frac=0.15,
+        stream_frac=0.10, stack_frac=0.30,
+        allocs_per_kinstr=6.0, churn_per_call=0.35,
+        temporal_reuse=0.89, method_skew=1.4,
+        exceptions_per_minstr=6.0, contentions_per_minstr=12.0,
+        call_chain_depth=9, work_item_instructions=9000,
+        request_bytes=512, response_bytes=1024,
+        db_queries_per_request=0,
+        ilp=2.5, mlp=2.8, microcode_frac=0.007, div_frac=0.001,
+        threads=16, cpu_utilization=0.85,
+    )
+    defaults.update(kw)
+    return WorkloadSpec(name=name, **defaults)
+
+
+#: The eight Table IV representatives, modeled from their descriptions.
+_NAMED: list[WorkloadSpec] = [
+    _aspnet("DbFortunesRaw",
+            # "Renders sorted DB query results to HTML."
+            db_queries_per_request=1, db_response_bytes=4096,
+            response_bytes=1500, work_item_instructions=16000,
+            allocs_per_kinstr=4.2),
+    _aspnet("MvcDbFortunesRaw",
+            # Fortunes through the MVC pipeline: more framework code.
+            db_queries_per_request=1, db_response_bytes=4096,
+            response_bytes=1500, work_item_instructions=26000,
+            n_methods=3000, call_chain_depth=13, allocs_per_kinstr=4.6),
+    _aspnet("MvcDbMultiUpdateRaw",
+            # "Serializes multiple DB queries as JSON objects."
+            db_queries_per_request=20, db_response_bytes=1024,
+            response_bytes=4096, work_item_instructions=30000,
+            n_methods=3000, call_chain_depth=13, allocs_per_kinstr=5.0,
+            store_frac=0.17),
+    _aspnet("Plaintext",
+            # "Returns plaintext strings from pipelined queries": minimal
+            # user work, the kernel/networking share dominates.
+            request_bytes=2048,           # 16 pipelined requests/read
+            response_bytes=2096, work_item_instructions=3600,
+            n_methods=1200, call_chain_depth=5, allocs_per_kinstr=1.2,
+            churn_per_call=0.15, hot_objects=2000),
+    _aspnet("Json",
+            # "Serializes a simple JSON document."
+            response_bytes=256, work_item_instructions=6500,
+            n_methods=1400, call_chain_depth=6, allocs_per_kinstr=3.0,
+            hot_objects=2600),
+    _aspnet("CopyToAsync",
+            # "Reads POST query, returns plaintext result."
+            request_bytes=1024 * 1024, response_bytes=128,
+            work_item_instructions=9000, allocs_per_kinstr=2.0,
+            stream_frac=0.2, mlp=4.0),
+    _aspnet("MvcJsonNetOutput2M",
+            # "Sends 2MB JSON document, MVC backend."
+            response_bytes=2 * 1024 * 1024,
+            work_item_instructions=90000, n_methods=2800,
+            call_chain_depth=12, allocs_per_kinstr=5.5,
+            stream_frac=0.22, store_frac=0.18, mlp=3.6),
+    _aspnet("MvcJsonNetInput2M",
+            # "Receives 2MB JSON document, MVC backend."
+            request_bytes=2 * 1024 * 1024, response_bytes=256,
+            work_item_instructions=95000, n_methods=2800,
+            call_chain_depth=12, allocs_per_kinstr=5.8,
+            stream_frac=0.22, mlp=3.4),
+]
+
+#: Systematic variants filling out the 53-benchmark suite: (name, base,
+#: overrides).  Backend suffixes mirror the real suite (Raw = raw ADO.NET,
+#: Dapper / EF = heavier object mappers, Platform = hand-tuned fast path).
+_VARIANTS: list[tuple[str, str, dict]] = [
+    ("PlaintextNonPipelined", "Plaintext",
+     dict(request_bytes=140, response_bytes=131,
+          work_item_instructions=2600)),
+    ("PlaintextPlatform", "Plaintext",
+     dict(work_item_instructions=2200, n_methods=700, call_chain_depth=4)),
+    ("PlaintextMvc", "Plaintext",
+     dict(work_item_instructions=12000, n_methods=2600,
+          call_chain_depth=11)),
+    ("JsonPlatform", "Json",
+     dict(work_item_instructions=4200, n_methods=900, call_chain_depth=5)),
+    ("JsonMvc", "Json",
+     dict(work_item_instructions=14000, n_methods=2700,
+          call_chain_depth=11)),
+    ("JsonHttpsHttpSys", "Json",
+     dict(work_item_instructions=9500, allocs_per_kinstr=3.4)),
+    ("MvcJsonOutput60k", "MvcJsonNetOutput2M",
+     dict(response_bytes=60 * 1024, work_item_instructions=22000)),
+    ("MvcJsonInput60k", "MvcJsonNetInput2M",
+     dict(request_bytes=60 * 1024, response_bytes=256,
+          work_item_instructions=24000)),
+    ("MvcJsonNetOutput60k", "MvcJsonNetOutput2M",
+     dict(response_bytes=60 * 1024, work_item_instructions=26000)),
+    ("MvcJsonNetInput60k", "MvcJsonNetInput2M",
+     dict(request_bytes=60 * 1024, response_bytes=256,
+          work_item_instructions=27000)),
+    ("JsonOutput2M", "MvcJsonNetOutput2M",
+     dict(n_methods=1600, call_chain_depth=7,
+          work_item_instructions=60000)),
+    ("JsonInput2M", "MvcJsonNetInput2M",
+     dict(n_methods=1600, call_chain_depth=7,
+          work_item_instructions=62000)),
+    ("DbSingleQueryRaw", "DbFortunesRaw",
+     dict(response_bytes=512, work_item_instructions=9000,
+          db_response_bytes=1024)),
+    ("DbSingleQueryDapper", "DbFortunesRaw",
+     dict(response_bytes=512, work_item_instructions=14000,
+          db_response_bytes=1024, allocs_per_kinstr=5.0)),
+    ("DbSingleQueryEf", "DbFortunesRaw",
+     dict(response_bytes=512, work_item_instructions=20000,
+          db_response_bytes=1024, allocs_per_kinstr=5.6,
+          n_methods=2800)),
+    ("DbMultiQueryRaw", "DbFortunesRaw",
+     dict(db_queries_per_request=20, response_bytes=3072,
+          work_item_instructions=22000)),
+    ("DbMultiQueryDapper", "DbFortunesRaw",
+     dict(db_queries_per_request=20, response_bytes=3072,
+          work_item_instructions=28000, allocs_per_kinstr=5.2)),
+    ("DbMultiQueryEf", "DbFortunesRaw",
+     dict(db_queries_per_request=20, response_bytes=3072,
+          work_item_instructions=36000, allocs_per_kinstr=5.8,
+          n_methods=2800)),
+    ("DbMultiUpdateRaw", "MvcDbMultiUpdateRaw",
+     dict(n_methods=2200, call_chain_depth=9,
+          work_item_instructions=24000)),
+    ("DbMultiUpdateDapper", "MvcDbMultiUpdateRaw",
+     dict(n_methods=2400, work_item_instructions=34000,
+          allocs_per_kinstr=5.6)),
+    ("DbMultiUpdateEf", "MvcDbMultiUpdateRaw",
+     dict(n_methods=2900, work_item_instructions=44000,
+          allocs_per_kinstr=6.2)),
+    ("DbFortunesDapper", "DbFortunesRaw",
+     dict(work_item_instructions=22000, allocs_per_kinstr=5.0)),
+    ("DbFortunesEf", "DbFortunesRaw",
+     dict(work_item_instructions=30000, allocs_per_kinstr=5.6,
+          n_methods=2800)),
+    ("MvcDbSingleQueryRaw", "MvcDbFortunesRaw",
+     dict(response_bytes=512, work_item_instructions=18000,
+          db_response_bytes=1024)),
+    ("MvcDbMultiQueryRaw", "MvcDbFortunesRaw",
+     dict(db_queries_per_request=20, response_bytes=3072,
+          work_item_instructions=32000)),
+    ("MvcDbFortunesDapper", "MvcDbFortunesRaw",
+     dict(work_item_instructions=32000, allocs_per_kinstr=5.2)),
+    ("MvcDbFortunesEf", "MvcDbFortunesRaw",
+     dict(work_item_instructions=40000, allocs_per_kinstr=5.8,
+          n_methods=3200)),
+    ("StaticFiles", "Plaintext",
+     dict(response_bytes=16 * 1024, work_item_instructions=5200,
+          stream_frac=0.25,
+          )),
+    ("ConnectionClose", "Plaintext",
+     dict(request_bytes=140, response_bytes=131,
+          work_item_instructions=8200, allocs_per_kinstr=2.6,
+          contentions_per_minstr=20.0)),
+    ("ConnectionCloseHttps", "Plaintext",
+     dict(request_bytes=140, response_bytes=131,
+          work_item_instructions=16000, allocs_per_kinstr=3.0)),
+    ("SignalRBroadcast", "Json",
+     dict(work_item_instructions=12000, contentions_per_minstr=40.0,
+          allocs_per_kinstr=4.2, response_bytes=2048)),
+    ("SignalREcho", "Json",
+     dict(work_item_instructions=8000, contentions_per_minstr=30.0,
+          response_bytes=512)),
+    ("GrpcUnary", "Json",
+     dict(work_item_instructions=10000, response_bytes=512,
+          allocs_per_kinstr=3.6)),
+    ("GrpcServerStreaming", "Json",
+     dict(work_item_instructions=11000, response_bytes=4096,
+          allocs_per_kinstr=3.8, contentions_per_minstr=18.0)),
+    ("WebSocketsEcho", "Json",
+     dict(work_item_instructions=6000, response_bytes=256,
+          contentions_per_minstr=16.0)),
+    ("Caching", "Json",
+     dict(work_item_instructions=7000, hot_objects=12000, hot_skew=1.8,
+          allocs_per_kinstr=2.2, churn_per_call=0.7)),
+    ("MemoryCachePlaintext", "Plaintext",
+     dict(work_item_instructions=5200, hot_objects=10000, hot_skew=1.8,
+          churn_per_call=0.5)),
+    ("ResponseCachingPlaintext", "Plaintext",
+     dict(work_item_instructions=4600, hot_objects=8000,
+          churn_per_call=0.4)),
+    ("HttpClientFactory", "Json",
+     dict(work_item_instructions=9000, allocs_per_kinstr=4.4,
+          exceptions_per_minstr=10.0)),
+    ("Proxy", "Plaintext",
+     dict(work_item_instructions=6800, request_bytes=512,
+          response_bytes=4096)),
+    ("Mvc", "Json",
+     dict(work_item_instructions=15000, n_methods=2800,
+          call_chain_depth=12)),
+    ("MvcApiCrud", "Json",
+     dict(work_item_instructions=20000, n_methods=3000,
+          call_chain_depth=12, db_queries_per_request=2,
+          db_response_bytes=1024)),
+    ("Orchard", "MvcDbFortunesRaw",
+     dict(work_item_instructions=60000, n_methods=3600,
+          call_chain_depth=15, allocs_per_kinstr=6.0,
+          hot_objects=10000)),
+    ("BlazorServer", "Json",
+     dict(work_item_instructions=24000, n_methods=3000,
+          contentions_per_minstr=26.0, allocs_per_kinstr=5.0)),
+    ("FortunesPlatform", "DbFortunesRaw",
+     dict(work_item_instructions=10000, n_methods=1200,
+          call_chain_depth=5)),
+]
+
+
+def aspnet_specs() -> list[WorkloadSpec]:
+    """All 53 ASP.NET benchmark specs."""
+    by_name = {s.name: s for s in _NAMED}
+    out = list(_NAMED)
+    for name, base, overrides in _VARIANTS:
+        out.append(replace(by_name[base], name=name, **overrides))
+    return out
+
+
+ASPNET_BENCHMARKS: tuple[str, ...] = tuple(
+    s.name for s in aspnet_specs())
+
+#: The paper's Table IV ASP.NET subset.
+TABLE4_ASPNET_SUBSET = ("DbFortunesRaw", "MvcDbFortunesRaw",
+                        "MvcDbMultiUpdateRaw", "Plaintext", "Json",
+                        "CopyToAsync", "MvcJsonNetOutput2M",
+                        "MvcJsonNetInput2M")

@@ -1,0 +1,304 @@
+"""The .NET microbenchmark suite model: 44 categories, 2906 workloads.
+
+Category names follow the ``dotnet/performance`` repository (commit
+c86ef708 per the paper's reference [19]): 21 system-level categories
+(libraries) and 23 application-level ones (real algorithms / app kernels),
+matching §II-A.  Per-category behaviour templates encode what those
+benchmarks do — math kernels are tight predictable loops, System.IO and
+System.Net call into the kernel, CscBench (the Roslyn C# compiler) has an
+enormous code footprint, etc.  Individual workloads within a category are
+seeded variations of the template (:meth:`WorkloadSpec.varied`).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.kernel.syscalls import SyscallKind
+from repro.seeding import stable_seed
+from repro.workloads.spec import SuiteName, WorkloadSpec
+
+_TOTAL_WORKLOADS = 2906
+
+
+def _spec(name: str, system_level: bool, **kw) -> WorkloadSpec:
+    defaults = dict(
+        suite=SuiteName.DOTNET, category=name, managed=True,
+        n_methods=90, method_size_mean=420,
+        branch_frac=0.155, load_frac=0.285, store_frac=0.16,
+        taken_bias=0.46, bias_spread=0.20,
+        hot_objects=1600, object_slot=32, hot_skew=3.2,
+        stream_frac=0.08, stack_frac=0.34,
+        allocs_per_kinstr=3.0, churn_per_call=0.12,
+        temporal_reuse=0.92, fresh_new_frac=0.3,
+        exceptions_per_minstr=1.5, contentions_per_minstr=0.8,
+        work_item_instructions=2600, call_chain_depth=3,
+        ilp=2.7, mlp=3.0, microcode_frac=0.005, div_frac=0.002,
+        threads=1, cpu_utilization=0.08,
+    )
+    defaults.update(kw)
+    return WorkloadSpec(name=name, **defaults)
+
+
+# ---------------------------------------------------------------------------
+# (template, number of individual microbenchmarks in the category)
+# Counts are proportioned like the real suite (System.Collections dominates)
+# and normalized to exactly 2906 below.
+# ---------------------------------------------------------------------------
+_CATEGORY_TABLE: list[tuple[WorkloadSpec, int]] = [
+    # ---- system-level categories (21) ---------------------------------
+    (_spec("System.Runtime", True,
+           n_methods=140, hot_objects=900, allocs_per_kinstr=1.2,
+           work_item_instructions=2200), 310),
+    (_spec("System.Collections", True,
+           n_methods=110, hot_objects=8000, object_slot=32, hot_skew=2.2,
+           allocs_per_kinstr=12.0, alloc_size_mean=120,
+           churn_per_call=3.0, load_frac=0.31,
+           cold_live_bytes=110 * 1024 * 1024,
+           mlp=2.4, work_item_instructions=3000), 620),
+    (_spec("System.Text", True,
+           n_methods=100, hot_objects=2600, stream_frac=0.22,
+           cold_live_bytes=52 * 1024 * 1024,
+           allocs_per_kinstr=7.0, load_frac=0.30), 170),
+    (_spec("System.Tests", True,
+           n_methods=160, hot_objects=1500, allocs_per_kinstr=2.0,
+           cold_live_bytes=55 * 1024 * 1024), 185),
+    (_spec("System.Memory", True,
+           n_methods=80, hot_objects=800, stream_frac=0.30,
+           allocs_per_kinstr=0.9, load_frac=0.31, store_frac=0.18,
+           mlp=4.5, ilp=3.0), 150),
+    (_spec("System.Linq", True,
+           n_methods=130, hot_objects=2400, allocs_per_kinstr=8.0,
+           churn_per_call=0.3, microcode_frac=0.008,
+           branch_frac=0.165), 155),
+    (_spec("System.IO", True,
+           n_methods=95, syscalls_per_kinstr=0.35,
+           syscall_mix=((SyscallKind.READ, 3), (SyscallKind.WRITE, 3),
+                        (SyscallKind.OPEN, 1), (SyscallKind.CLOSE, 1)),
+           syscall_payload_bytes=4096, stream_frac=0.18), 130),
+    (_spec("System.Net", True,
+           n_methods=150, method_size_mean=520,
+           syscalls_per_kinstr=0.5,
+           syscall_mix=((SyscallKind.RECV, 3), (SyscallKind.SEND, 3),
+                        (SyscallKind.EPOLL_WAIT, 1)),
+           syscall_payload_bytes=1500,
+           hot_objects=2000, allocs_per_kinstr=2.4,
+           contentions_per_minstr=4.0), 115),
+    (_spec("System.Threading", True,
+           n_methods=70, method_size_mean=360,
+           syscalls_per_kinstr=0.25,
+           syscall_mix=((SyscallKind.FUTEX, 4), (SyscallKind.SCHED, 2)),
+           contentions_per_minstr=40.0, microcode_frac=0.012,
+           threads=8, cpu_utilization=0.4), 75),
+    (_spec("System.ComponentModel", True,
+           n_methods=60, method_size_mean=380, hot_objects=600,
+           allocs_per_kinstr=1.0, work_item_instructions=1500), 14),
+    (_spec("System.Numerics", True,
+           branch_frac=0.10, load_frac=0.30, store_frac=0.14,
+           taken_bias=0.72, bias_spread=0.10, ilp=3.3, mlp=4.2,
+           stream_frac=0.28, div_frac=0.004, fp_heavy=True,
+           allocs_per_kinstr=0.6), 135),
+    (_spec("System.MathBenchmarks", True,
+           n_methods=50, method_size_mean=260,
+           branch_frac=0.09, load_frac=0.22, store_frac=0.10,
+           taken_bias=0.85, bias_spread=0.06, loop_frac=0.35,
+           avg_loop_trips=14.0, ilp=3.2, div_frac=0.015, fp_heavy=True,
+           hot_objects=120, allocs_per_kinstr=0.15, temporal_reuse=0.96,
+           exceptions_per_minstr=0.1, contentions_per_minstr=0.05,
+           work_item_instructions=3400), 145),
+    (_spec("System.Reflection", True,
+           n_methods=120, microcode_frac=0.015, allocs_per_kinstr=2.8,
+           hot_objects=1800, exceptions_per_minstr=3.0), 45),
+    (_spec("System.Globalization", True,
+           n_methods=85, hot_objects=2200, stream_frac=0.15,
+           load_frac=0.30), 95),
+    (_spec("System.Buffers", True,
+           n_methods=60, stream_frac=0.34, mlp=4.6, ilp=3.0,
+           allocs_per_kinstr=0.8, hot_objects=500), 65),
+    (_spec("System.Security.Cryptography", True,
+           branch_frac=0.11, taken_bias=0.75, bias_spread=0.08,
+           stream_frac=0.30, ilp=3.1, allocs_per_kinstr=0.7,
+           syscalls_per_kinstr=0.04,
+           syscall_mix=((SyscallKind.READ, 1),)), 85),
+    (_spec("System.Xml", True,
+           n_methods=140, hot_objects=1800, allocs_per_kinstr=8.0,
+           branch_frac=0.175, exceptions_per_minstr=2.5), 55),
+    (_spec("System.Text.Json", True,
+           n_methods=120, hot_objects=2600, allocs_per_kinstr=9.0,
+           stream_frac=0.20, branch_frac=0.17, store_frac=0.17), 95),
+    (_spec("System.Text.RegularExpressions", True,
+           n_methods=95, hot_objects=1400, branch_frac=0.185,
+           bias_spread=0.38, taken_bias=0.5, allocs_per_kinstr=2.2), 65),
+    (_spec("System.Diagnostics", True,
+           # "Kernel functions": dominated by OS interaction, very high
+           # kernel share — one of the two Fig 1 top-level outliers.
+           n_methods=55, method_size_mean=420,
+           syscalls_per_kinstr=1.4,
+           syscall_mix=((SyscallKind.SCHED, 3), (SyscallKind.OPEN, 2),
+                        (SyscallKind.READ, 2), (SyscallKind.FUTEX, 1),
+                        (SyscallKind.MMAP, 1)),
+           syscall_payload_bytes=512,
+           hot_objects=900, allocs_per_kinstr=1.8, store_frac=0.19,
+           work_item_instructions=1600), 12),
+    (_spec("System.Runtime.Intrinsics", True,
+           branch_frac=0.08, taken_bias=0.8, bias_spread=0.06,
+           stream_frac=0.32, ilp=3.5, mlp=4.8, allocs_per_kinstr=0.3,
+           fp_heavy=True), 65),
+    # ---- application-level categories (23) ------------------------------
+    (_spec("CscBench", False,
+           # Roslyn compiling: huge code base, many methods, heavy
+           # allocation — the other Fig 1 outlier.
+           n_methods=2600, method_size_mean=640, hot_objects=6000,
+           hot_skew=2.0, method_skew=1.3, allocs_per_kinstr=10.0,
+           churn_per_call=0.5,
+           branch_frac=0.17, microcode_frac=0.009,
+           exceptions_per_minstr=4.0, work_item_instructions=5200,
+           call_chain_depth=7, mlp=2.6), 8),
+    (_spec("SeekUnroll", False,
+           # A single unrolled search loop: tiny, perfectly predictable.
+           n_methods=5, method_size_mean=900, branch_frac=0.07,
+           taken_bias=0.95, bias_spread=0.02, loop_frac=0.5,
+           avg_loop_trips=24.0, stream_frac=0.5, stack_frac=0.2,
+           hot_objects=60, allocs_per_kinstr=0.02, ilp=3.6, mlp=5.0,
+           exceptions_per_minstr=0.02, contentions_per_minstr=0.01,
+           tiering=False, work_item_instructions=5000), 6),
+    (_spec("Burgers", False,
+           branch_frac=0.085, taken_bias=0.88, bias_spread=0.05,
+           loop_frac=0.4, avg_loop_trips=18.0, stream_frac=0.46,
+           stack_frac=0.18, hot_objects=300, object_slot=256,
+           stream_bytes=6 * 1024 * 1024, allocs_per_kinstr=0.1,
+           ilp=3.2, mlp=5.2, div_frac=0.006, fp_heavy=True), 10),
+    (_spec("ByteMark", False,
+           n_methods=70, branch_frac=0.14, hot_objects=2200,
+           object_slot=128, allocs_per_kinstr=0.8, ilp=2.9), 24),
+    (_spec("SciMark", False,
+           branch_frac=0.09, taken_bias=0.86, bias_spread=0.06,
+           loop_frac=0.42, avg_loop_trips=16.0, stream_frac=0.4,
+           hot_objects=500, object_slot=256,
+           stream_bytes=4 * 1024 * 1024,
+           allocs_per_kinstr=0.2, ilp=3.1, mlp=4.8, div_frac=0.008,
+           fp_heavy=True), 12),
+    (_spec("V8.Crypto", False,
+           branch_frac=0.12, taken_bias=0.7, stream_frac=0.2,
+           hot_objects=800, allocs_per_kinstr=1.4, ilp=2.9,
+           div_frac=0.01), 10),
+    (_spec("V8.Richards", False,
+           n_methods=60, branch_frac=0.18, bias_spread=0.36,
+           hot_objects=1600, allocs_per_kinstr=2.6,
+           churn_per_call=0.25), 8),
+    (_spec("BenchmarksGame.Fannkuch", False,
+           branch_frac=0.13, taken_bias=0.8, loop_frac=0.45,
+           avg_loop_trips=12.0, hot_objects=80, stack_frac=0.5,
+           allocs_per_kinstr=0.05, ilp=3.0), 12),
+    (_spec("BenchmarksGame.NBody", False,
+           branch_frac=0.07, taken_bias=0.9, bias_spread=0.04,
+           loop_frac=0.5, avg_loop_trips=20.0, hot_objects=64,
+           object_slot=128, stack_frac=0.3, allocs_per_kinstr=0.02,
+           ilp=3.4, div_frac=0.012, fp_heavy=True), 10),
+    (_spec("BenchmarksGame.SpectralNorm", False,
+           branch_frac=0.08, taken_bias=0.9, bias_spread=0.04,
+           loop_frac=0.5, avg_loop_trips=22.0, stream_frac=0.42,
+           stream_bytes=2 * 1024 * 1024, hot_objects=128,
+           allocs_per_kinstr=0.03, ilp=3.3, div_frac=0.01,
+           fp_heavy=True), 8),
+    (_spec("PacketTracer", False,
+           n_methods=110, branch_frac=0.12, hot_objects=3000,
+           object_slot=96, allocs_per_kinstr=3.0, churn_per_call=0.3,
+           ilp=3.0, div_frac=0.009, fp_heavy=True), 14),
+    (_spec("Devirtualization", False,
+           n_methods=180, branch_frac=0.17, bias_spread=0.30,
+           microcode_frac=0.007, allocs_per_kinstr=1.0), 16),
+    (_spec("Inlining", False,
+           n_methods=420, method_size_mean=180, branch_frac=0.16,
+           allocs_per_kinstr=0.6, call_chain_depth=8,
+           work_item_instructions=2000), 22),
+    (_spec("GuardedDevirtualization", False,
+           n_methods=160, branch_frac=0.18, bias_spread=0.4,
+           taken_bias=0.5, allocs_per_kinstr=0.8), 12),
+    (_spec("Layout", False,
+           n_methods=90, hot_objects=2200, object_slot=128,
+           hot_skew=2.4, load_frac=0.32, mlp=2.2,
+           allocs_per_kinstr=1.2), 14),
+    (_spec("LowLevelPerf", False,
+           n_methods=45, method_size_mean=220, branch_frac=0.15,
+           hot_objects=400, allocs_per_kinstr=0.5,
+           work_item_instructions=1400, microcode_frac=0.01), 30),
+    (_spec("Span", False,
+           stream_frac=0.36, mlp=4.4, ilp=3.2, hot_objects=600,
+           allocs_per_kinstr=0.4, branch_frac=0.12,
+           taken_bias=0.7), 40),
+    (_spec("MicroBenchmarks.Serializers", False,
+           n_methods=200, hot_objects=2000, allocs_per_kinstr=10.0,
+           churn_per_call=0.35, branch_frac=0.165, store_frac=0.18,
+           exceptions_per_minstr=3.0), 55),
+    (_spec("Exceptions", False,
+           n_methods=70, exceptions_per_minstr=900.0,
+           microcode_frac=0.02, branch_frac=0.18, bias_spread=0.4,
+           allocs_per_kinstr=2.0, work_item_instructions=1200), 20),
+    (_spec("LinqBenchmarks", False,
+           n_methods=140, hot_objects=2500, hot_skew=2.1,
+           allocs_per_kinstr=9.0, churn_per_call=0.35,
+           microcode_frac=0.008, mlp=2.5), 18),
+    (_spec("PerfLabTests", False,
+           n_methods=220, hot_objects=2400, allocs_per_kinstr=2.2,
+           work_item_instructions=2600), 120),
+    (_spec("Benchstone.BenchF", False,
+           branch_frac=0.09, taken_bias=0.85, bias_spread=0.07,
+           loop_frac=0.4, avg_loop_trips=15.0, stream_frac=0.3,
+           hot_objects=300, allocs_per_kinstr=0.1, ilp=3.2,
+           div_frac=0.01, fp_heavy=True), 26),
+    (_spec("Benchstone.BenchI", False,
+           branch_frac=0.15, taken_bias=0.6, hot_objects=900,
+           stack_frac=0.42, allocs_per_kinstr=0.3, ilp=2.8), 28),
+]
+
+
+def _normalized_counts() -> list[int]:
+    counts = [c for _, c in _CATEGORY_TABLE]
+    diff = _TOTAL_WORKLOADS - sum(counts)
+    # Absorb any residue in the largest category (System.Collections).
+    biggest = max(range(len(counts)), key=lambda i: counts[i])
+    counts[biggest] += diff
+    if counts[biggest] <= 0:
+        raise AssertionError("category counts are inconsistent")
+    return counts
+
+
+DOTNET_CATEGORIES: tuple[str, ...] = tuple(
+    spec.name for spec, _ in _CATEGORY_TABLE)
+
+_COUNTS = dict(zip(DOTNET_CATEGORIES, _normalized_counts()))
+
+
+def dotnet_category_specs() -> list[WorkloadSpec]:
+    """The 44 category templates (category-as-a-unit experiments)."""
+    return [spec for spec, _ in _CATEGORY_TABLE]
+
+
+def category_workload_count(category: str) -> int:
+    """Number of individual microbenchmarks in ``category``."""
+    return _COUNTS[category]
+
+
+def dotnet_workloads(per_category: int | None = None,
+                     seed: int = 11) -> list[WorkloadSpec]:
+    """Individual microbenchmark specs.
+
+    ``per_category=None`` expands every category to its full size (2906
+    workloads total); an integer caps each category (fidelity control for
+    the Subset-B experiment).
+    """
+    out: list[WorkloadSpec] = []
+    for template, _ in _CATEGORY_TABLE:
+        count = _COUNTS[template.name]
+        if per_category is not None:
+            count = min(count, per_category)
+        rng = random.Random(stable_seed(seed, template.name))
+        for i in range(count):
+            out.append(template.varied(
+                rng, name=f"{template.name}.B{i:03d}"))
+    return out
+
+
+def total_workload_count() -> int:
+    return sum(_COUNTS.values())

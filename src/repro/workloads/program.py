@@ -1,0 +1,430 @@
+"""Synthetic program execution: turns a WorkloadSpec into a trace-op stream.
+
+Two program families:
+
+* :class:`ManagedProgram` — runs on the CLR model: methods are JITed on
+  first call and re-tiered when hot, allocation feeds the GC, and data
+  accesses go through the (compaction-sensitive) managed heap.  .NET
+  microbenchmarks and ASP.NET servers are both managed programs; ASP.NET
+  adds a request/response kernel-interaction loop
+  (:class:`AspNetProgram`).
+* :class:`NativeProgram` — SPEC-style: one static code image, no runtime
+  events, data in a pre-faulted native working set.
+
+Programs yield an *infinite* op stream (:meth:`ops`); the harness bounds
+execution by instruction count at the consuming side.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.codegen import CodeRegion
+from repro.kernel.syscalls import SyscallKind, SyscallModel
+from repro.runtime.clr import Clr, ClrImage, shared_clr_image
+from repro.runtime.gc import GcConfig
+from repro.runtime.heap import HeapConfig
+from repro.runtime.jit import Method
+from repro.seeding import stable_seed
+from repro.trace import (OP_EVENT, EV_REQUEST_DONE,
+                         REGION_CODE_BASE, REGION_STACK_BASE)
+from repro.workloads.spec import SuiteName, WorkloadSpec
+
+_LINE = 64
+
+
+class DataModel:
+    """Data-address generators implementing the spec's locality profile.
+
+    ``load_addr``/``store_addr`` are the callables handed to
+    :meth:`repro.codegen.CodeRegion.walk`; they sample the stack, the
+    streaming buffers, the native working set and (for managed programs)
+    the live object set according to the spec's fractions.
+    """
+
+    STACK_BYTES = 4 * 1024
+
+    def __init__(self, spec: WorkloadSpec, rng: random.Random,
+                 live_addrs: list[int] | None,
+                 native_base: int, stream_base: int) -> None:
+        self.spec = spec
+        self.rng = rng
+        self.live_addrs = live_addrs
+        self.native_base = native_base
+        self.stream_base = stream_base
+        self._stream_cursor = 0
+        self._stream_span = max(_LINE, spec.stream_bytes)
+        self._native_pages = max(1, spec.native_ws_bytes // 4096)
+        self._hot_pages = max(1, min(spec.hot_ws_bytes,
+                                     spec.native_ws_bytes or
+                                     spec.hot_ws_bytes) // 4096)
+        self._stack_lines = self.STACK_BYTES // _LINE
+        self._slot_lines = max(1, spec.object_slot // _LINE)
+        # Stack-distance cascade.  Real access streams are dominated by
+        # short stack distances; three recency tiers model that:
+        #   ring0 (burst, ~6 addrs)      -> L1 hits
+        #   ring1 (warm, ~400 addrs)     -> L2-distance revisits
+        #   ring2 (episode, ~6000 addrs) -> LLC-distance revisits
+        # Only ``fresh_new_frac`` of non-burst draws sample the global
+        # distribution (deep distances: compulsory / DRAM).
+        self._recent: list[int] = []
+        self._recent_cap = 6
+        self._warm: list[int] = []
+        self._warm_cap = 400
+        self._warm_idx = 0
+        self._episode: list[int] = []
+        self._episode_cap = 6000
+        self._episode_idx = 0
+
+    # -- individual generators -------------------------------------------
+    def stack_addr(self) -> int:
+        # Strong locality: geometric concentration near the stack top.
+        r = self.rng.random()
+        line = int(r * r * self._stack_lines)
+        return REGION_STACK_BASE + line * _LINE
+
+    def stream_addr(self) -> int:
+        # 8-byte stride: eight consecutive reads share a line, so streams
+        # mostly hit L1 and train the L2 stream prefetcher.
+        self._stream_cursor = (self._stream_cursor + 8) % self._stream_span
+        return self.stream_base + self._stream_cursor
+
+    def hot_object_addr(self) -> int:
+        addrs = self.live_addrs
+        idx = int(len(addrs) * self.rng.random() ** self.spec.hot_skew)
+        base = addrs[idx]
+        if self._slot_lines > 1:
+            base += int(self.rng.random() * self._slot_lines) * _LINE
+        return base
+
+    def native_addr(self, uniform: bool = False) -> int:
+        """Two-tier page-then-line sampling of the native working set.
+
+        Hot draws concentrate (zipf-like) on a resident hot region; a
+        ``cold_frac`` minority sweeps the full working set (capacity /
+        compulsory misses).  Sampling the *page* first and the line within
+        it second keeps pages hot even when lines are spread — real
+        working sets are page-dense, which is what keeps SPEC dTLB rates
+        sane while its caches still miss.
+        """
+        rng = self.rng
+        if uniform or rng.random() < self.spec.cold_frac:
+            page = int(rng.random() * self._native_pages)
+        else:
+            page = int(rng.random() ** self.spec.hot_skew * self._hot_pages)
+        return (self.native_base + page * 4096
+                + int(rng.random() * 64) * _LINE)
+
+    def _remember(self, addr: int) -> int:
+        recent = self._recent
+        if len(recent) >= self._recent_cap:
+            recent.pop(0)
+        recent.append(addr)
+        warm = self._warm
+        if len(warm) < self._warm_cap:
+            warm.append(addr)
+        else:
+            warm[self._warm_idx] = addr
+            self._warm_idx = (self._warm_idx + 1) % self._warm_cap
+        episode = self._episode
+        if len(episode) < self._episode_cap:
+            episode.append(addr)
+        else:
+            episode[self._episode_idx] = addr
+            self._episode_idx = (self._episode_idx + 1) % self._episode_cap
+        return addr
+
+    def _fresh_load(self) -> int:
+        s = self.spec
+        rng = self.rng
+        r = rng.random()
+        if r < s.stack_frac:
+            return self.stack_addr()
+        # Recency-tier revisits before any genuinely new sample.
+        if rng.random() >= s.fresh_new_frac:
+            if self._warm and rng.random() < 0.6:
+                return self._warm[int(rng.random() * len(self._warm))]
+            if self._episode:
+                return self._episode[int(rng.random()
+                                         * len(self._episode))]
+        r = rng.random()
+        if s.pointer_chase_frac and r < s.pointer_chase_frac:
+            return self.native_addr(uniform=True)
+        if self.live_addrs is not None:
+            return self._remember(self.hot_object_addr())
+        return self._remember(self.native_addr())
+
+    # -- the mixture entry points -----------------------------------------
+    def load_addr(self) -> int:
+        rng = self.rng
+        s = self.spec
+        # Streaming loads keep their own (sequential) locality and bypass
+        # the reuse ring — they are the stream share of *all* loads.
+        if s.stream_frac and rng.random() < s.stream_frac:
+            return self.stream_addr()
+        recent = self._recent
+        if recent and rng.random() < s.temporal_reuse:
+            return recent[int(rng.random() * len(recent))]
+        return self._fresh_load()
+
+    def store_addr(self) -> int:
+        s = self.spec
+        recent = self._recent
+        if recent and self.rng.random() < s.temporal_reuse:
+            return recent[int(self.rng.random() * len(recent))]
+        # Fresh stores skew further towards the stack (spills, locals).
+        if self.rng.random() < min(0.9, s.stack_frac * 1.6):
+            return self.stack_addr()
+        if self.live_addrs is not None:
+            return self._remember(self.hot_object_addr())
+        return self._remember(self.native_addr())
+
+
+class NativeProgram:
+    """A SPEC-CPU-style native program (no managed runtime)."""
+
+    def __init__(self, spec: WorkloadSpec, seed: int = 0,
+                 code_bloat: float = 1.0) -> None:
+        self.spec = spec
+        self.rng = random.Random(stable_seed(seed, spec.qualified_name))
+        code_bytes = int(spec.static_code_bytes * code_bloat)
+        self.code = CodeRegion(REGION_CODE_BASE, code_bytes,
+                               seed=stable_seed(seed, spec.name, "code"),
+                               mix=spec.mix_profile())
+        native_base = REGION_STACK_BASE + 0x100000
+        stream_base = native_base + max(spec.native_ws_bytes, _LINE)
+        self.data = DataModel(spec, self.rng, live_addrs=None,
+                              native_base=native_base,
+                              stream_base=stream_base)
+        self._native_span = (native_base,
+                             max(spec.native_ws_bytes, _LINE)
+                             + spec.stream_bytes + 0x100000)
+
+    def premap(self, vm) -> None:
+        """Fault in the working set (SPEC initializes its data at startup,
+        outside the measurement window)."""
+        start, length = self._native_span
+        vm.premap_range(start, length)
+        vm.premap_range(REGION_CODE_BASE, self.code.size_bytes)
+        vm.premap_range(REGION_STACK_BASE, DataModel.STACK_BYTES)
+
+    def ops(self):
+        """Infinite op stream."""
+        rng = self.rng
+        data = self.data
+        while True:
+            yield from self.code.walk(rng, 4096,
+                                      load_addr=data.load_addr,
+                                      store_addr=data.store_addr)
+
+
+class ManagedProgram:
+    """A .NET program running on the CLR model."""
+
+    #: user instructions per method call in a work item's call chain
+    def __init__(self, spec: WorkloadSpec, seed: int = 0,
+                 heap_config: HeapConfig | None = None,
+                 gc_config: GcConfig | None = None,
+                 clr_image: ClrImage | None = None,
+                 syscalls: SyscallModel | None = None,
+                 code_bloat: float = 1.0,
+                 reuse_code_pages: bool = False,
+                 compaction_enabled: bool = True) -> None:
+        self.spec = spec
+        base_seed = stable_seed(seed, spec.qualified_name)
+        self.rng = random.Random(base_seed)
+        # The kernel image is the same for every process (seed 0); only
+        # buffer-pool state is per-program.
+        self.syscalls = syscalls or SyscallModel()
+        image = clr_image or shared_clr_image(code_bloat=code_bloat)
+        heap_config = heap_config or HeapConfig()
+        gc_config = gc_config or GcConfig(
+            max_heap_bytes=heap_config.max_heap_bytes)
+        self.clr = Clr(
+            image, heap_config, gc_config,
+            long_lived_count=spec.hot_objects,
+            long_lived_slot=spec.object_slot,
+            cold_live_bytes=spec.cold_live_bytes,
+            churn_per_call=spec.churn_per_call,
+            tiering=spec.tiering,
+            reuse_code_pages=reuse_code_pages,
+            compaction_enabled=compaction_enabled,
+            code_bloat=code_bloat,
+            syscalls=self.syscalls,
+            seed=base_seed ^ 0xC14,
+        )
+        mix = spec.mix_profile(bytes_per_instr=4.6)   # JIT code is less dense
+        for mid in range(spec.n_methods):
+            size = max(96, int(self.rng.lognormvariate(0, 0.6)
+                               * spec.method_size_mean))
+            method = Method(
+                id=mid, size_bytes=size,
+                seed=stable_seed(base_seed, "m", mid), mix=mix)
+            self.clr.register_method(method)
+            # ReadyToRun: most framework methods ship precompiled.
+            if self.rng.random() < spec.prejit_frac:
+                self.clr.jit.precompile(method)
+        stream_base = REGION_STACK_BASE + 0x400000
+        self.data = DataModel(spec, self.rng,
+                              live_addrs=self.clr.live_set.addrs,
+                              native_base=stream_base,
+                              stream_base=stream_base)
+        # Rate accumulators (events per work item may be < 1).
+        self._acc = {"alloc": 0.0, "sys": 0.0, "exc": 0.0, "con": 0.0}
+
+    # ------------------------------------------------------------------
+    def _pick_method(self) -> Method:
+        n = self.spec.n_methods
+        idx = int(n * self.rng.random() ** self.spec.method_skew)
+        return self.clr.get_method(min(idx, n - 1))
+
+    def _take(self, key: str, per_item: float) -> int:
+        self._acc[key] += per_item
+        n = int(self._acc[key])
+        self._acc[key] -= n
+        return n
+
+    def _call_chain(self, budget: int):
+        """Execute a chain of method calls totalling ~``budget`` instrs."""
+        spec = self.spec
+        depth = max(1, spec.call_chain_depth)
+        per_method = max(60, budget // depth)
+        rng = self.rng
+        data = self.data
+        for _ in range(depth):
+            method = self._pick_method()
+            yield from self.clr.enter_method(method)
+            yield from method.region.walk(
+                rng, per_method,
+                load_addr=data.load_addr, store_addr=data.store_addr)
+
+    def _work_item(self):
+        spec = self.spec
+        wi = spec.work_item_instructions
+        n_alloc = self._take("alloc", spec.allocs_per_kinstr * wi / 1000)
+        if n_alloc:
+            yield from self.clr.allocate_batch(n_alloc,
+                                               spec.alloc_size_mean)
+        n_sys = self._take("sys", spec.syscalls_per_kinstr * wi / 1000)
+        for _ in range(n_sys):
+            yield from self._emit_syscall()
+        yield from self._call_chain(wi)
+        if self._take("exc", spec.exceptions_per_minstr * wi / 1e6):
+            yield from self.clr.throw_exception()
+        if self._take("con", spec.contentions_per_minstr * wi / 1e6):
+            yield from self.clr.contend_lock()
+
+    def _emit_syscall(self):
+        spec = self.spec
+        if not spec.syscall_mix:
+            return
+        r = self.rng.random() * sum(w for _, w in spec.syscall_mix)
+        for kind, weight in spec.syscall_mix:
+            r -= weight
+            if r <= 0:
+                break
+        yield from self.syscalls.emit(kind, self.rng,
+                                      payload_bytes=spec.syscall_payload_bytes,
+                                      user_buffer=REGION_STACK_BASE + 0x8000)
+
+    def premap(self, vm) -> None:
+        """Fault in static data regions only (managed code/heap faults are
+        part of the phenomenon being measured)."""
+        vm.premap_range(REGION_STACK_BASE, DataModel.STACK_BYTES)
+        vm.premap_range(self.data.stream_base, self.spec.stream_bytes)
+
+    def ops(self):
+        """Infinite op stream of work items."""
+        while True:
+            yield from self._work_item()
+
+
+class AspNetProgram(ManagedProgram):
+    """ASP.NET server: each work item is one HTTP request.
+
+    Request lifecycle (§II-B's server component): ``epoll_wait`` →
+    ``recv`` the request → parse/dispatch (method calls) → optional DB
+    round-trips (``send``/``recv`` on the DB socket) → serialize →
+    ``send`` the response, chunked at 64 KiB.
+    """
+
+    CHUNK = 64 * 1024
+
+    def _work_item(self):
+        spec = self.spec
+        rng = self.rng
+        sysm = self.syscalls
+        ubuf = REGION_STACK_BASE + 0x8000
+        yield from sysm.emit(SyscallKind.EPOLL_WAIT, rng)
+        # Large uploads arrive in chunks interleaved with parsing.
+        remaining = max(spec.request_bytes, 1)
+        recv_chunks = max(1, (remaining + self.CHUNK - 1) // self.CHUNK)
+        n_alloc = self._take("alloc", spec.allocs_per_kinstr
+                             * spec.work_item_instructions / 1000)
+        parse_budget = int(spec.work_item_instructions
+                           * (0.5 if recv_chunks > 1 else 0.0))
+        for _ in range(recv_chunks):
+            chunk = min(self.CHUNK, remaining)
+            yield from sysm.emit(SyscallKind.RECV, rng, payload_bytes=chunk,
+                                 user_buffer=ubuf)
+            remaining -= chunk
+            if recv_chunks > 1:
+                yield from self._call_chain(parse_budget // recv_chunks)
+        # App logic: managed method calls + allocation.
+        if n_alloc:
+            yield from self.clr.allocate_batch(n_alloc, spec.alloc_size_mean)
+        send_chunks = max(1, (spec.response_bytes + self.CHUNK - 1)
+                          // self.CHUNK)
+        app_budget = spec.work_item_instructions - parse_budget
+        serialize_budget = (int(app_budget * 0.55) if send_chunks > 1 else 0)
+        # Big responses serialize through a Large-Object-Heap buffer,
+        # recycled across requests via the LOH free list (like real
+        # ASP.NET's ArrayPool/PipeWriter buffers).
+        loh_buffer = None
+        if send_chunks > 1:
+            loh_size = min(spec.response_bytes, self.CHUNK)
+            yield from self.clr.alloc_large(loh_size)
+            loh_buffer = (self.clr._last_loh[0], loh_size)
+        yield from self._call_chain(app_budget - serialize_budget)
+        for _ in range(spec.db_queries_per_request):
+            yield from sysm.emit(SyscallKind.SEND, rng, payload_bytes=256,
+                                 user_buffer=ubuf)
+            yield from sysm.emit(SyscallKind.RECV, rng,
+                                 payload_bytes=spec.db_response_bytes,
+                                 user_buffer=ubuf)
+        # Responses stream out chunk by chunk, serialization interleaved;
+        # large responses send from the LOH buffer.
+        remaining = spec.response_bytes
+        send_buf = loh_buffer[0] if loh_buffer else ubuf
+        while remaining > 0:
+            chunk = min(self.CHUNK, remaining)
+            if send_chunks > 1:
+                yield from self._call_chain(serialize_budget // send_chunks)
+            yield from sysm.emit(SyscallKind.SEND, rng, payload_bytes=chunk,
+                                 user_buffer=send_buf)
+            remaining -= chunk
+        if loh_buffer is not None:
+            self.clr.free_large(*loh_buffer)
+        if self._take("exc", spec.exceptions_per_minstr
+                      * spec.work_item_instructions / 1e6):
+            yield from self.clr.throw_exception()
+        if self._take("con", spec.contentions_per_minstr
+                      * spec.work_item_instructions / 1e6):
+            yield from self.clr.contend_lock()
+        yield (OP_EVENT, EV_REQUEST_DONE, None)
+
+
+def build_program(spec: WorkloadSpec, seed: int = 0, *,
+                  heap_config: HeapConfig | None = None,
+                  gc_config: GcConfig | None = None,
+                  code_bloat: float = 1.0,
+                  reuse_code_pages: bool = False,
+                  compaction_enabled: bool = True):
+    """Instantiate the right program family for ``spec``."""
+    if not spec.managed:
+        return NativeProgram(spec, seed=seed, code_bloat=code_bloat)
+    cls = AspNetProgram if spec.suite == SuiteName.ASPNET else ManagedProgram
+    return cls(spec, seed=seed, heap_config=heap_config,
+               gc_config=gc_config, code_bloat=code_bloat,
+               reuse_code_pages=reuse_code_pages,
+               compaction_enabled=compaction_enabled)

@@ -1,0 +1,182 @@
+"""Workload behaviour profiles.
+
+A :class:`WorkloadSpec` captures everything that differentiates one
+benchmark from another in this model: code shape (footprint, method count,
+instruction mix, branch statistics), data shape (hot-set size and skew,
+streaming share, native working set), managed-runtime behaviour
+(allocation rate, long-lived churn, exceptions, contention) and OS
+interaction (syscall mix).  The simulator turns these into op streams; the
+characterization pipeline never reads the spec — it only sees counters,
+exactly as the paper's `perf`-based methodology only saw the hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.codegen import MixProfile
+from repro.uarch.pipeline import WorkloadHints
+
+
+class SuiteName:
+    """Canonical suite identifiers."""
+
+    DOTNET = "dotnet"
+    ASPNET = "aspnet"
+    SPECCPU = "speccpu"
+
+    ALL = (DOTNET, ASPNET, SPECCPU)
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Behaviour profile of one benchmark.
+
+    Rates are expressed per 1000 instructions ("kinstr") or per million
+    instructions ("minstr") of *user* work, so they remain meaningful when
+    a run's length changes with fidelity.
+    """
+
+    name: str
+    suite: str
+    category: str = ""
+    managed: bool = True
+
+    # --- code shape ------------------------------------------------------
+    n_methods: int = 120
+    method_size_mean: int = 480          # bytes of emitted code
+    static_code_bytes: int = 64 * 1024   # AOT/native code footprint
+    branch_frac: float = 0.16
+    load_frac: float = 0.28
+    store_frac: float = 0.15
+    taken_bias: float = 0.45
+    bias_spread: float = 0.35            # branch predictability spread
+    loop_frac: float = 0.12
+    avg_loop_trips: float = 6.0
+    #: multiplier on the hot-path concentration of generated code
+    #: (1.0 = managed-style method soup; >1 = loopier, denser hot paths)
+    code_concentration: float = 1.0
+    call_chain_depth: int = 4            # methods touched per work item
+    work_item_instructions: int = 3200   # user instructions per work item
+    #: zipf skew of method selection: lower = flatter = more distinct
+    #: methods touched per interval = larger I-side footprint
+    method_skew: float = 2.2
+
+    # --- data shape --------------------------------------------------------
+    hot_objects: int = 3000              # long-lived set size
+    object_slot: int = 64
+    hot_skew: float = 3.0                # higher = more concentrated
+    stream_frac: float = 0.10            # loads from sequential streams
+    stream_bytes: int = 256 * 1024       # streaming buffer span
+    stack_frac: float = 0.30             # loads/stores hitting the stack
+    native_ws_bytes: int = 0             # native (non-managed) working set
+    #: resident hot region of the native working set (two-tier model:
+    #: most fresh draws land here; ``cold_frac`` of them sweep the full WS)
+    hot_ws_bytes: int = 4 * 1024 * 1024
+    cold_frac: float = 0.02
+    pointer_chase_frac: float = 0.0      # loads serialized (MLP = 1)
+    #: probability a memory op re-touches a recently used address (field
+    #: access bursts) — the temporal-locality knob behind L1 hit rates
+    temporal_reuse: float = 0.82
+    #: of non-burst draws, the fraction sampling the *global* distribution
+    #: (deep stack distances -> LLC/DRAM); the rest revisit the warm and
+    #: episode recency windows (L2 / LLC stack distances respectively)
+    fresh_new_frac: float = 0.25
+    #: live bytes beyond the modeled hot set (cold gen2 data): counted for
+    #: heap sizing / OOM checks (§VII-B) but not touched by the hot loop
+    cold_live_bytes: int = 0
+
+    # --- managed runtime -----------------------------------------------
+    allocs_per_kinstr: float = 2.0
+    alloc_size_mean: int = 56
+    churn_per_call: float = 0.5          # long-lived objects churned / call
+    tiering: bool = True
+    prejit_frac: float = 0.65            # ReadyToRun-precompiled share
+    exceptions_per_minstr: float = 2.0
+    contentions_per_minstr: float = 1.0
+
+    # --- OS interaction ---------------------------------------------------
+    syscalls_per_kinstr: float = 0.0
+    syscall_mix: tuple[tuple[str, float], ...] = ()
+    syscall_payload_bytes: int = 512
+
+    # --- request-loop shape (ASP.NET only) -----------------------------
+    request_bytes: int = 0
+    response_bytes: int = 0
+    db_queries_per_request: int = 0
+    db_response_bytes: int = 2048
+
+    # --- execution hints -------------------------------------------------
+    ilp: float = 2.6
+    mlp: float = 3.0
+    uop_factor: float = 1.12
+    microcode_frac: float = 0.004
+    div_frac: float = 0.002
+    fp_heavy: bool = False
+    threads: int = 1
+    cpu_utilization: float = 1.0
+
+    # ------------------------------------------------------------------
+    def mix_profile(self, bytes_per_instr: float = 4.2) -> MixProfile:
+        """Instruction-mix profile for this workload's generated code."""
+        return MixProfile(
+            branch_frac=self.branch_frac,
+            load_frac=self.load_frac,
+            store_frac=self.store_frac,
+            bytes_per_instr=bytes_per_instr,
+            taken_bias=self.taken_bias,
+            bias_spread=self.bias_spread,
+            loop_frac=self.loop_frac,
+            avg_loop_trips=self.avg_loop_trips,
+            hot_entry_divisor=int(2000 * self.code_concentration),
+        )
+
+    def hints(self) -> WorkloadHints:
+        mlp = self.mlp
+        if self.pointer_chase_frac > 0:
+            # Serialized dependent loads pull effective MLP down.
+            mlp = max(1.05, mlp * (1.0 - 0.8 * self.pointer_chase_frac))
+        return WorkloadHints(
+            ilp=self.ilp, mlp=mlp, uop_factor=self.uop_factor,
+            microcode_frac=self.microcode_frac, div_frac=self.div_frac,
+            cpu_utilization=self.cpu_utilization)
+
+    @property
+    def qualified_name(self) -> str:
+        return f"{self.suite}/{self.name}"
+
+    @property
+    def long_lived_bytes(self) -> int:
+        return self.hot_objects * self.object_slot
+
+    def varied(self, rng, jitter: float = 0.25, **overrides) -> "WorkloadSpec":
+        """A per-workload variant of a category template.
+
+        Scales the size/rate fields by lognormal-ish factors drawn from
+        ``rng``, keeping fractions and flags; used to expand one category
+        into its individual microbenchmarks.
+        """
+        def scale(value, lo=0.3, hi=3.5):
+            factor = max(lo, min(hi, rng.lognormvariate(0.0, jitter)))
+            return value * factor
+
+        fields = dict(
+            n_methods=max(4, int(scale(self.n_methods))),
+            method_size_mean=max(64, int(scale(self.method_size_mean))),
+            hot_objects=max(16, int(scale(self.hot_objects))),
+            stream_bytes=max(4096, int(scale(self.stream_bytes))),
+            allocs_per_kinstr=scale(self.allocs_per_kinstr),
+            churn_per_call=scale(self.churn_per_call),
+            exceptions_per_minstr=scale(self.exceptions_per_minstr),
+            contentions_per_minstr=scale(self.contentions_per_minstr),
+            syscalls_per_kinstr=scale(self.syscalls_per_kinstr),
+            work_item_instructions=max(400,
+                                       int(scale(self.work_item_instructions))),
+            taken_bias=min(0.95, max(0.05,
+                                     self.taken_bias
+                                     + (rng.random() - 0.5) * 0.2)),
+            mlp=max(1.1, scale(self.mlp, 0.6, 1.8)),
+            ilp=max(1.2, min(4.0, scale(self.ilp, 0.7, 1.5))),
+        )
+        fields.update(overrides)
+        return replace(self, **fields)

@@ -1,0 +1,196 @@
+"""SPEC CPU17 analog programs.
+
+The 23 distinct SPEC CPU2017 programs, modeled as native
+(:class:`~repro.workloads.program.NativeProgram`) workloads with behaviour
+profiles set from their published characterizations (Limaye & Adegbija
+ISPASS'18 [32]; Panda et al. HPCA'18 [34], both cited by the paper):
+memory monsters (mcf, lbm, bwaves) get multi-GB working sets and
+streaming/pointer-chasing access; branchy integer codes (xalancbmk,
+perlbench, deepsjeng, leela) get high branch fractions with hard-to-predict
+biases; FP codes get low branch fractions, long predictable loops and high
+ILP/MLP.  SPEC has essentially no kernel interaction and no managed
+runtime, which is exactly the contrast the paper draws.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.spec import SuiteName, WorkloadSpec
+
+_MB = 1024 * 1024
+
+
+def _spec17(name: str, **kw) -> WorkloadSpec:
+    defaults = dict(
+        suite=SuiteName.SPECCPU, category="speccpu", managed=False,
+        static_code_bytes=900 * 1024,
+        branch_frac=0.18, load_frac=0.35, store_frac=0.11,
+        taken_bias=0.5, bias_spread=0.3,
+        hot_objects=0, stream_frac=0.1, stack_frac=0.25,
+        native_ws_bytes=64 * _MB, hot_skew=2.5,
+        allocs_per_kinstr=0.0, churn_per_call=0.0, tiering=False,
+        temporal_reuse=0.85, code_concentration=3.0,
+        exceptions_per_minstr=0.0, contentions_per_minstr=0.0,
+        ilp=2.8, mlp=3.5, microcode_frac=0.001, div_frac=0.001,
+        threads=1, cpu_utilization=0.06,
+    )
+    defaults.update(kw)
+    return WorkloadSpec(name=name, **defaults)
+
+
+#: All 23 distinct SPEC CPU2017 programs.
+SPEC_PROGRAMS_TABLE: list[WorkloadSpec] = [
+    # ---- integer -------------------------------------------------------
+    _spec17("perlbench",
+            static_code_bytes=1800 * 1024, branch_frac=0.21,
+            load_frac=0.36, store_frac=0.14, bias_spread=0.38,
+            native_ws_bytes=180 * _MB, hot_ws_bytes=384 * 1024, cold_frac=0.01,
+            fresh_new_frac=0.12, hot_skew=3.2, mlp=2.4),
+    _spec17("gcc",
+            static_code_bytes=6 * _MB, branch_frac=0.20,
+            load_frac=0.34, store_frac=0.13, bias_spread=0.34,
+            native_ws_bytes=900 * _MB, hot_ws_bytes=1024 * 1024, cold_frac=0.02,
+            fresh_new_frac=0.15, hot_skew=2.8, mlp=2.6),
+    _spec17("mcf",
+            static_code_bytes=128 * 1024, branch_frac=0.19,
+            load_frac=0.40, store_frac=0.09, bias_spread=0.36,
+            native_ws_bytes=2200 * _MB, hot_ws_bytes=12 * _MB,
+            cold_frac=0.15, fresh_new_frac=0.6, hot_skew=1.4,
+            pointer_chase_frac=0.25, stack_frac=0.10, mlp=3.2,
+            ilp=1.9, temporal_reuse=0.85),
+    _spec17("omnetpp",
+            static_code_bytes=1500 * 1024, branch_frac=0.20,
+            load_frac=0.37, store_frac=0.13, bias_spread=0.32,
+            native_ws_bytes=450 * _MB, hot_ws_bytes=2560 * 1024,
+            cold_frac=0.05, fresh_new_frac=0.45, hot_skew=1.9,
+            pointer_chase_frac=0.15, mlp=2.6, ilp=2.2,
+            temporal_reuse=0.80),
+    _spec17("xalancbmk",
+            static_code_bytes=3500 * 1024, branch_frac=0.26,
+            load_frac=0.35, store_frac=0.08, bias_spread=0.30,
+            taken_bias=0.55, native_ws_bytes=220 * _MB, hot_ws_bytes=1024 * 1024,
+            cold_frac=0.015, fresh_new_frac=0.10, hot_skew=2.6, mlp=2.4),
+    _spec17("x264",
+            static_code_bytes=900 * 1024, branch_frac=0.10,
+            load_frac=0.38, store_frac=0.12, taken_bias=0.7,
+            bias_spread=0.12, stream_frac=0.45,
+            stream_bytes=48 * _MB, native_ws_bytes=160 * _MB,
+            hot_ws_bytes=512 * 1024, ilp=3.4, mlp=4.8),
+    _spec17("deepsjeng",
+            static_code_bytes=400 * 1024, branch_frac=0.20,
+            load_frac=0.33, store_frac=0.12, bias_spread=0.42,
+            taken_bias=0.5, native_ws_bytes=700 * _MB, hot_ws_bytes=768 * 1024,
+            cold_frac=0.01, fresh_new_frac=0.12, hot_skew=3.4, ilp=2.4),
+    _spec17("leela",
+            static_code_bytes=350 * 1024, branch_frac=0.18,
+            load_frac=0.33, store_frac=0.11, bias_spread=0.46,
+            taken_bias=0.5, native_ws_bytes=60 * _MB, hot_ws_bytes=256 * 1024,
+            cold_frac=0.01, fresh_new_frac=0.10, hot_skew=3.0, ilp=2.2),
+    _spec17("exchange2",
+            static_code_bytes=250 * 1024, branch_frac=0.22,
+            load_frac=0.30, store_frac=0.14, taken_bias=0.62,
+            bias_spread=0.14, native_ws_bytes=2 * _MB, hot_ws_bytes=128 * 1024,
+            cold_frac=0.001, hot_skew=4.0, stack_frac=0.5, ilp=3.2),
+    _spec17("xz",
+            static_code_bytes=300 * 1024, branch_frac=0.15,
+            load_frac=0.36, store_frac=0.12, bias_spread=0.30,
+            native_ws_bytes=1400 * _MB, hot_ws_bytes=3 * _MB,
+            cold_frac=0.06, fresh_new_frac=0.5, hot_skew=1.8,
+            stream_frac=0.25, stream_bytes=64 * _MB, mlp=2.8),
+    # ---- floating point -----------------------------------------------
+    _spec17("bwaves",
+            static_code_bytes=250 * 1024, branch_frac=0.04,
+            load_frac=0.44, store_frac=0.09, taken_bias=0.9,
+            bias_spread=0.05, loop_frac=0.5, avg_loop_trips=24.0,
+            stream_frac=0.7, stream_bytes=256 * _MB,
+            native_ws_bytes=1800 * _MB, fp_heavy=True,
+            ilp=3.4, mlp=6.0, div_frac=0.004),
+    _spec17("cactuBSSN",
+            static_code_bytes=2500 * 1024, branch_frac=0.05,
+            load_frac=0.42, store_frac=0.13, taken_bias=0.88,
+            bias_spread=0.06, loop_frac=0.45, avg_loop_trips=18.0,
+            stream_frac=0.5, stream_bytes=160 * _MB,
+            native_ws_bytes=1200 * _MB, fp_heavy=True,
+            ilp=3.0, mlp=4.6, div_frac=0.003),
+    _spec17("namd",
+            static_code_bytes=700 * 1024, branch_frac=0.06,
+            load_frac=0.38, store_frac=0.10, taken_bias=0.85,
+            bias_spread=0.08, stream_frac=0.3, native_ws_bytes=48 * _MB, hot_ws_bytes=384 * 1024,
+            fp_heavy=True, ilp=3.5, mlp=4.0),
+    _spec17("parest",
+            static_code_bytes=1800 * 1024, branch_frac=0.09,
+            load_frac=0.40, store_frac=0.10, taken_bias=0.8,
+            bias_spread=0.12, stream_frac=0.35,
+            native_ws_bytes=400 * _MB, hot_ws_bytes=1536 * 1024, cold_frac=0.03,
+            fresh_new_frac=0.2, fp_heavy=True, mlp=3.6),
+    _spec17("povray",
+            static_code_bytes=1100 * 1024, branch_frac=0.14,
+            load_frac=0.35, store_frac=0.11, bias_spread=0.22,
+            native_ws_bytes=8 * _MB, hot_ws_bytes=256 * 1024, hot_skew=3.5,
+            fp_heavy=True, ilp=3.0, div_frac=0.006),
+    _spec17("lbm",
+            static_code_bytes=120 * 1024, branch_frac=0.03,
+            load_frac=0.43, store_frac=0.16, taken_bias=0.95,
+            bias_spread=0.03, loop_frac=0.6, avg_loop_trips=30.0,
+            stream_frac=0.85, stream_bytes=400 * _MB,
+            native_ws_bytes=420 * _MB, fp_heavy=True,
+            ilp=3.2, mlp=7.0),
+    _spec17("wrf",
+            static_code_bytes=4500 * 1024, branch_frac=0.07,
+            load_frac=0.39, store_frac=0.12, taken_bias=0.84,
+            bias_spread=0.08, loop_frac=0.4, avg_loop_trips=14.0,
+            stream_frac=0.45, stream_bytes=96 * _MB,
+            native_ws_bytes=220 * _MB, fp_heavy=True,
+            ilp=3.1, mlp=4.2, div_frac=0.004),
+    _spec17("blender",
+            static_code_bytes=5200 * 1024, branch_frac=0.12,
+            load_frac=0.36, store_frac=0.11, bias_spread=0.2,
+            native_ws_bytes=500 * _MB, hot_ws_bytes=2 * _MB, cold_frac=0.03,
+            fresh_new_frac=0.2, hot_skew=2.4, fp_heavy=True, ilp=2.9, mlp=3.4),
+    _spec17("cam4",
+            static_code_bytes=4200 * 1024, branch_frac=0.10,
+            load_frac=0.38, store_frac=0.12, taken_bias=0.78,
+            bias_spread=0.14, stream_frac=0.4,
+            native_ws_bytes=700 * _MB, hot_ws_bytes=1536 * 1024, cold_frac=0.03,
+            fresh_new_frac=0.2, fp_heavy=True, mlp=3.8),
+    _spec17("imagick",
+            static_code_bytes=1600 * 1024, branch_frac=0.08,
+            load_frac=0.37, store_frac=0.11, taken_bias=0.85,
+            bias_spread=0.08, stream_frac=0.4, native_ws_bytes=24 * _MB, hot_ws_bytes=512 * 1024,
+            fp_heavy=True, ilp=3.6, mlp=4.4),
+    _spec17("nab",
+            static_code_bytes=350 * 1024, branch_frac=0.07,
+            load_frac=0.36, store_frac=0.10, taken_bias=0.86,
+            bias_spread=0.08, native_ws_bytes=32 * _MB, hot_ws_bytes=384 * 1024,
+            fp_heavy=True, ilp=3.3, mlp=3.8, div_frac=0.005),
+    _spec17("fotonik3d",
+            static_code_bytes=800 * 1024, branch_frac=0.04,
+            load_frac=0.43, store_frac=0.12, taken_bias=0.92,
+            bias_spread=0.04, loop_frac=0.55, avg_loop_trips=26.0,
+            stream_frac=0.75, stream_bytes=280 * _MB,
+            native_ws_bytes=800 * _MB, fp_heavy=True,
+            ilp=3.3, mlp=6.5),
+    _spec17("roms",
+            static_code_bytes=2100 * 1024, branch_frac=0.06,
+            load_frac=0.41, store_frac=0.12, taken_bias=0.88,
+            bias_spread=0.06, loop_frac=0.5, avg_loop_trips=20.0,
+            stream_frac=0.6, stream_bytes=200 * _MB,
+            native_ws_bytes=600 * _MB, fp_heavy=True, mlp=5.5),
+]
+
+SPEC_PROGRAMS: tuple[str, ...] = tuple(s.name for s in SPEC_PROGRAMS_TABLE)
+
+#: The paper's Table IV SPEC CPU17 subset.
+TABLE4_SPEC_SUBSET = ("mcf", "cactuBSSN", "wrf", "gcc", "omnetpp",
+                      "perlbench", "xalancbmk", "bwaves")
+
+
+def speccpu_specs(subset_only: bool = False) -> list[WorkloadSpec]:
+    """SPEC CPU17 program specs.
+
+    ``subset_only=True`` returns just the paper's Table IV subset — the
+    set actually characterized in Figs 3-10.
+    """
+    if subset_only:
+        by_name = {s.name: s for s in SPEC_PROGRAMS_TABLE}
+        return [by_name[n] for n in TABLE4_SPEC_SUBSET]
+    return list(SPEC_PROGRAMS_TABLE)

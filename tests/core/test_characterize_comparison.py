@@ -1,0 +1,92 @@
+"""Tests for Table III construction and the Fig 5-7 comparisons."""
+
+import numpy as np
+import pytest
+
+from repro.core.characterize import characterization_pca
+from repro.core.comparison import compare_suites, relabelled
+from repro.core.metrics import (CONTROL_FLOW_IDS, MEMORY_IDS, MetricMatrix,
+                                N_METRICS)
+
+
+def synth_matrix(seed=0, tight_suite_std=0.3, wide_suite_std=3.0):
+    """Two suites: one tightly clustered, one widely spread."""
+    rng = np.random.default_rng(seed)
+    rows, names, suites = [], [], []
+    center = rng.normal(5, 2, N_METRICS)
+    for i in range(20):
+        rows.append(np.abs(center + rng.normal(0, tight_suite_std,
+                                               N_METRICS)))
+        names.append(f"tight{i}")
+        suites.append("tight")
+    for i in range(20):
+        rows.append(np.abs(center + rng.normal(0, wide_suite_std,
+                                               N_METRICS)))
+        names.append(f"wide{i}")
+        suites.append("wide")
+    return MetricMatrix(names, np.vstack(rows), suites)
+
+
+class TestCharacterizationPca:
+    def test_table3_structure(self):
+        result = characterization_pca(synth_matrix(), n_components=4)
+        assert len(result.prcos) == 4
+        for i, prco in enumerate(result.prcos):
+            assert prco.index == i + 1
+            assert len(prco.top_metrics) == 3
+            assert 0 <= prco.variance_share <= 1
+        shares = [p.variance_share for p in result.prcos]
+        assert shares == sorted(shares, reverse=True)
+
+    def test_cumulative_variance(self):
+        result = characterization_pca(synth_matrix())
+        assert result.cumulative_variance_4 == pytest.approx(
+            sum(p.variance_share for p in result.prcos))
+
+    def test_top_metrics_are_table1_names(self):
+        from repro.core.metrics import METRIC_NAMES
+        result = characterization_pca(synth_matrix())
+        for prco in result.prcos:
+            for row in prco.top_metrics:
+                assert row.metric in METRIC_NAMES
+
+    def test_scores_shape(self):
+        m = synth_matrix()
+        result = characterization_pca(m)
+        assert result.scores(4).shape == (len(m), 4)
+
+
+class TestCompareSuites:
+    def test_groups_partition_rows(self):
+        m = synth_matrix()
+        cmp = compare_suites(m, CONTROL_FLOW_IDS)
+        assert {g.label for g in cmp.groups} == {"tight", "wide"}
+        assert sum(len(g.points) for g in cmp.groups) == len(m)
+
+    def test_std_ratio_detects_spread(self):
+        """The paper's Fig 5/6 claim style: one suite is X times more
+        spread than another in PC space."""
+        m = synth_matrix()
+        cmp = compare_suites(m, MEMORY_IDS)
+        ratio = cmp.std_ratio("wide", "tight")
+        assert ratio > 2.0
+
+    def test_std_ratio_per_pc(self):
+        cmp = compare_suites(synth_matrix(), MEMORY_IDS)
+        r1, r2 = cmp.std_ratio_per_pc("wide", "tight")
+        assert r1 > 1.0 and r2 > 0.5
+
+    def test_control_flow_two_metrics_two_pcs(self):
+        cmp = compare_suites(synth_matrix(), CONTROL_FLOW_IDS)
+        assert cmp.pca.components.shape[1] == 2
+
+    def test_unknown_group(self):
+        cmp = compare_suites(synth_matrix(), MEMORY_IDS)
+        with pytest.raises(KeyError):
+            cmp.group("nope")
+
+    def test_relabelled(self):
+        m = synth_matrix()
+        r = relabelled(m, "x86-64")
+        assert set(r.suites) == {"x86-64"}
+        assert r.names == m.names

@@ -1,0 +1,154 @@
+"""Tests for from-scratch hierarchical clustering, incl. scipy cross-check."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+import scipy.cluster.hierarchy as sch
+
+from repro.core.clustering import (ClusterTree, Linkage, fcluster,
+                                   linkage_matrix)
+
+
+def blobs(seed=0, centers=((0, 0), (10, 10), (-8, 6)), per=8, spread=0.5):
+    rng = np.random.default_rng(seed)
+    pts = []
+    for cx, cy in centers:
+        pts.append(rng.normal((cx, cy), spread, size=(per, 2)))
+    return np.vstack(pts)
+
+
+def labels_equivalent(a, b):
+    """Same partition up to label renaming."""
+    mapping = {}
+    for x, y in zip(a, b):
+        if x in mapping:
+            if mapping[x] != y:
+                return False
+        else:
+            mapping[x] = y
+    return len(set(mapping.values())) == len(mapping)
+
+
+class TestLinkage:
+    def test_shape(self):
+        X = blobs()
+        Z = linkage_matrix(X)
+        assert Z.shape == (len(X) - 1, 4)
+
+    def test_distances_monotone_for_average(self):
+        Z = linkage_matrix(blobs(), Linkage.AVERAGE)
+        d = Z[:, 2]
+        assert np.all(np.diff(d) >= -1e-9)
+
+    def test_sizes_accumulate(self):
+        X = blobs()
+        Z = linkage_matrix(X)
+        assert Z[-1, 3] == len(X)
+
+    def test_rejects_single_point(self):
+        with pytest.raises(ValueError):
+            linkage_matrix(np.zeros((1, 2)))
+
+    def test_unknown_method(self):
+        with pytest.raises(ValueError):
+            linkage_matrix(blobs(), "centroid")
+
+    @pytest.mark.parametrize("method", [Linkage.AVERAGE, Linkage.COMPLETE,
+                                        Linkage.SINGLE, Linkage.WARD])
+    def test_scipy_crosscheck_partitions(self, method):
+        """Cutting at the natural cluster count must match scipy."""
+        X = blobs(seed=3)
+        ours = fcluster(linkage_matrix(X, method), 3)
+        theirs = sch.fcluster(sch.linkage(X, method=method), 3,
+                              criterion="maxclust")
+        assert labels_equivalent(ours, theirs)
+
+    @pytest.mark.parametrize("method", [Linkage.AVERAGE, Linkage.WARD])
+    def test_scipy_crosscheck_merge_distances(self, method):
+        X = blobs(seed=5)
+        ours = linkage_matrix(X, method)[:, 2]
+        theirs = sch.linkage(X, method=method)[:, 2]
+        assert np.allclose(ours, theirs, rtol=1e-8)
+
+
+class TestFcluster:
+    def test_k_equals_n_all_singletons(self):
+        X = blobs(per=3)
+        Z = linkage_matrix(X)
+        labels = fcluster(Z, len(X))
+        assert len(set(labels)) == len(X)
+
+    def test_k_one_single_cluster(self):
+        X = blobs(per=3)
+        labels = fcluster(linkage_matrix(X), 1)
+        assert len(set(labels)) == 1
+
+    def test_natural_clusters_recovered(self):
+        X = blobs(seed=1)
+        labels = fcluster(linkage_matrix(X), 3)
+        # Each group of 8 consecutive points came from one blob.
+        for g in range(3):
+            assert len(set(labels[g * 8:(g + 1) * 8])) == 1
+
+    def test_rejects_bad_k(self):
+        Z = linkage_matrix(blobs(per=2))
+        with pytest.raises(ValueError):
+            fcluster(Z, 0)
+        with pytest.raises(ValueError):
+            fcluster(Z, 100)
+
+
+class TestClusterTree:
+    def test_cut_returns_name_groups(self):
+        X = blobs(per=2)
+        names = [f"w{i}" for i in range(len(X))]
+        tree = ClusterTree(linkage_matrix(X), names)
+        groups = tree.cut(3)
+        assert len(groups) == 3
+        assert sorted(n for g in groups for n in g) == sorted(names)
+
+    def test_leaf_order_is_permutation(self):
+        X = blobs(per=2)
+        names = [f"w{i}" for i in range(len(X))]
+        tree = ClusterTree(linkage_matrix(X), names)
+        assert sorted(tree.leaf_order()) == sorted(names)
+
+    def test_render_contains_all_names(self):
+        X = blobs(per=2)
+        names = [f"bench{i}" for i in range(len(X))]
+        text = ClusterTree(linkage_matrix(X), names).render(max_width=200)
+        for n in names:
+            assert n in text
+
+    def test_cophenetic_distance_cluster_structure(self):
+        X = blobs(seed=2)
+        tree = ClusterTree(linkage_matrix(X))
+        # Within-blob pairs join lower than cross-blob pairs.
+        within = tree.cophenetic_distance(0, 1)
+        across = tree.cophenetic_distance(0, 8)
+        assert within < across
+
+    def test_names_length_validated(self):
+        Z = linkage_matrix(blobs(per=2))
+        with pytest.raises(ValueError):
+            ClusterTree(Z, ["too", "few"])
+
+
+@given(st.integers(min_value=2, max_value=40), st.integers(0, 10 ** 6))
+@settings(max_examples=25, deadline=None)
+def test_property_linkage_well_formed(n, seed):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, 3))
+    Z = linkage_matrix(X)
+    assert Z.shape == (n - 1, 4)
+    ids_used = set()
+    for t in range(n - 1):
+        a, b = int(Z[t, 0]), int(Z[t, 1])
+        assert a != b
+        assert a < n + t and b < n + t
+        assert a not in ids_used and b not in ids_used
+        ids_used.update((a, b))
+    for k in range(1, n + 1):
+        labels = fcluster(Z, k)
+        assert len(set(labels)) == k

@@ -1,0 +1,128 @@
+"""Tests for the Pearson correlation analysis (§VII-A)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.correlation import (correlate_many, correlate_series,
+                                    event_effect, pearson)
+from repro.perf.sampler import SampleSeries
+
+
+def make_series(**columns):
+    n = max(len(v) for v in columns.values())
+    s = SampleSeries(1e-3)
+    for name, values in columns.items():
+        s.columns[name] = list(values)
+    # Pad the standard columns so __len__ works.
+    s.columns["instructions"] = [1000.0] * n
+    return s
+
+
+class TestPearson:
+    def test_perfect_positive(self):
+        assert pearson([1, 2, 3, 4], [10, 20, 30, 40]) == pytest.approx(1.0)
+
+    def test_perfect_negative(self):
+        assert pearson([1, 2, 3], [3, 2, 1]) == pytest.approx(-1.0)
+
+    def test_uncorrelated_near_zero(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=5000)
+        y = rng.normal(size=5000)
+        assert abs(pearson(x, y)) < 0.05
+
+    def test_constant_series_returns_zero(self):
+        assert pearson([1, 1, 1], [1, 2, 3]) == 0.0
+
+    def test_short_series_returns_zero(self):
+        assert pearson([1], [2]) == 0.0
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            pearson([1, 2], [1, 2, 3])
+
+    def test_matches_numpy(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=200)
+        y = x * 0.5 + rng.normal(size=200)
+        assert pearson(x, y) == pytest.approx(np.corrcoef(x, y)[0, 1])
+
+
+class TestCorrelateSeries:
+    def test_zero_lag_correlation(self):
+        ev = [0, 1, 0, 1, 0, 1, 0, 1] * 8
+        ct = [v * 2.0 + 1 for v in ev]
+        s = make_series(jit_started=ev, llc_mpki=ct)
+        r = correlate_series(s, "jit_started", "llc_mpki", max_lag=3)
+        assert r.r == pytest.approx(1.0)
+        assert r.best_lag == 0
+
+    def test_detects_lagged_response(self):
+        """The paper observed counter changes 10us-5ms AFTER the event."""
+        rng = np.random.default_rng(2)
+        ev = (rng.random(120) < 0.3).astype(float)
+        ct = np.roll(ev, 2) * 5 + rng.normal(0, 0.1, 120)
+        s = make_series(jit_started=ev, branch_mpki=ct)
+        r = correlate_series(s, "jit_started", "branch_mpki", max_lag=4)
+        assert r.best_lag == 2
+        assert r.r > 0.8
+
+    def test_negative_correlation_reported(self):
+        ev = [0, 1] * 30
+        ct = [5 - 3 * v for v in ev]
+        s = make_series(gc_triggered=ev, llc_mpki=ct)
+        r = correlate_series(s, "gc_triggered", "llc_mpki", max_lag=0)
+        assert r.r == pytest.approx(-1.0)
+
+    def test_correlate_many(self):
+        ev = [0, 1] * 30
+        s = make_series(jit_started=ev,
+                        llc_mpki=[v * 2.0 for v in ev],
+                        page_faults=[1.0 - v for v in ev])
+        rs = correlate_many(s, "jit_started", ("llc_mpki", "page_faults"),
+                            max_lag=0)
+        assert rs[0].r > 0.99 and rs[1].r < -0.99
+
+
+class TestEventEffect:
+    def test_positive_effect(self):
+        ev = [0, 0, 1, 1]
+        ct = [10.0, 10.0, 12.0, 12.0]
+        s = make_series(gc_triggered=ev, ipc=ct)
+        assert event_effect(s, "gc_triggered", "ipc") \
+            == pytest.approx(0.2)
+
+    def test_negative_effect(self):
+        ev = [0, 0, 1, 1]
+        ct = [10.0, 10.0, 9.0, 9.0]
+        s = make_series(gc_triggered=ev, llc_mpki=ct)
+        assert event_effect(s, "gc_triggered", "llc_mpki") \
+            == pytest.approx(-0.1)
+
+    def test_degenerate_all_active(self):
+        s = make_series(gc_triggered=[1, 1], llc_mpki=[1.0, 2.0])
+        assert event_effect(s, "gc_triggered", "llc_mpki") == 0.0
+
+
+@given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=2,
+                max_size=100),
+       st.floats(min_value=0.1, max_value=100),
+       st.floats(min_value=-100, max_value=100))
+@settings(max_examples=50, deadline=None)
+def test_property_pearson_affine_invariant(xs, scale, shift):
+    from hypothesis import assume
+    spread = max(xs) - min(xs)
+    assume(spread > 1e-6 * max(1.0, max(abs(x) for x in xs)))
+    ys = [scale * x + shift for x in xs]
+    assert pearson(xs, ys) == pytest.approx(1.0, abs=1e-6)
+
+
+@given(st.lists(st.tuples(st.floats(-100, 100), st.floats(-100, 100)),
+                min_size=2, max_size=80))
+@settings(max_examples=50, deadline=None)
+def test_property_pearson_bounded(pairs):
+    xs, ys = zip(*pairs)
+    assert -1.0 - 1e-9 <= pearson(xs, ys) <= 1.0 + 1e-9

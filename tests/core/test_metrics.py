@@ -1,0 +1,134 @@
+"""Tests for the Table I metric layer."""
+
+import numpy as np
+import pytest
+
+from repro.core.metrics import (CONTROL_FLOW_IDS, MEMORY_IDS, METRICS,
+                                METRIC_NAMES, N_METRICS, RUNTIME_EVENT_IDS,
+                                MetricMatrix, metric_vector)
+from repro.perf.counters import CounterSnapshot
+
+
+def snapshot(**kw):
+    defaults = dict(instructions=100_000, kernel_instructions=20_000,
+                    branches=16_000, loads=29_000, stores=15_000,
+                    cycles=150_000.0, seconds=0.001, cpu_utilization=0.5,
+                    branch_misses=500, l1d_misses=1500, l1i_misses=400,
+                    l2_misses=600, llc_misses=50, itlb_misses=30,
+                    dtlb_load_misses=80, dtlb_store_misses=20,
+                    dram_bytes_read=2_000_000, dram_bytes_written=500_000,
+                    dram_row_hits=700, dram_row_misses=300, page_faults=10,
+                    gc_triggered=2, allocation_ticks=40, jit_started=5,
+                    exceptions=3, contentions=1)
+    defaults.update(kw)
+    return CounterSnapshot(**defaults)
+
+
+class TestTable1Definitions:
+    def test_24_metrics_with_paper_ids(self):
+        assert N_METRICS == 24
+        assert [m.id for m in METRICS] == list(range(24))
+
+    def test_categories_match_paper(self):
+        by_id = {m.id: m for m in METRICS}
+        assert by_id[5].category == "CPI"
+        assert by_id[7].category == "Branch"
+        for i in (8, 9, 10, 11):
+            assert by_id[i].category == "Cache"
+        for i in (12, 13, 14):
+            assert by_id[i].category == "TLB"
+        for i in (19, 20):
+            assert by_id[i].category == "Garbage Collection"
+
+    def test_metric_subsets(self):
+        assert CONTROL_FLOW_IDS == (2, 7)
+        assert MEMORY_IDS == (8, 9, 10, 11, 12, 13, 14)
+        assert RUNTIME_EVENT_IDS == (19, 20, 21, 22, 23)
+
+
+class TestMetricVector:
+    def test_length_and_finiteness(self):
+        v = metric_vector(snapshot())
+        assert v.shape == (24,)
+        assert np.all(np.isfinite(v))
+
+    def test_instruction_mix_values(self):
+        v = metric_vector(snapshot())
+        assert v[0] == pytest.approx(20.0)      # kernel %
+        assert v[1] == pytest.approx(80.0)      # user %
+        assert v[0] + v[1] == pytest.approx(100.0)
+        assert v[2] == pytest.approx(16.0)      # branch %
+        assert v[3] == pytest.approx(29.0)
+        assert v[4] == pytest.approx(15.0)
+
+    def test_cpi_and_utilization(self):
+        v = metric_vector(snapshot())
+        assert v[5] == pytest.approx(1.5)
+        assert v[6] == pytest.approx(50.0)
+
+    def test_mpki_normalization(self):
+        v = metric_vector(snapshot())
+        assert v[7] == pytest.approx(5.0)       # 500 / 100k * 1000
+        assert v[11] == pytest.approx(0.5)
+
+    def test_memory_metrics(self):
+        v = metric_vector(snapshot())
+        assert v[15] == pytest.approx(2000.0)   # MB/s
+        assert v[16] == pytest.approx(500.0)
+        assert v[17] == pytest.approx(30.0)     # page miss %
+        assert v[18] == pytest.approx(0.1)      # faults PKI
+
+    def test_runtime_event_pki(self):
+        v = metric_vector(snapshot())
+        assert v[19] == pytest.approx(0.02)
+        assert v[21] == pytest.approx(0.05)
+
+    def test_empty_snapshot_safe(self):
+        v = metric_vector(CounterSnapshot())
+        assert np.all(np.isfinite(v))
+
+
+class TestMetricMatrix:
+    def make(self):
+        snaps = [snapshot(), snapshot(llc_misses=500),
+                 snapshot(branches=30_000)]
+        return MetricMatrix.from_snapshots(
+            ["a", "b", "c"], snaps, suites=["s1", "s1", "s2"])
+
+    def test_shape(self):
+        m = self.make()
+        assert len(m) == 3
+        assert m.values.shape == (3, 24)
+
+    def test_select_metrics(self):
+        m = self.make()
+        sub = m.select_metrics(MEMORY_IDS)
+        assert sub.shape == (3, 7)
+        assert np.allclose(sub[:, 3], m.values[:, 11])
+
+    def test_row_lookup(self):
+        m = self.make()
+        assert np.allclose(m.row("b"), m.values[1])
+        with pytest.raises(ValueError):
+            m.row("nope")
+
+    def test_filter_rows(self):
+        m = self.make()
+        f = m.filter_rows(lambda n: n != "b")
+        assert f.names == ["a", "c"]
+        assert f.suites == ["s1", "s2"]
+
+    def test_concat(self):
+        m = self.make()
+        both = m.concat(m)
+        assert len(both) == 6
+
+    def test_validates_shape(self):
+        with pytest.raises(ValueError):
+            MetricMatrix(["a"], np.zeros((2, 24)))
+        with pytest.raises(ValueError):
+            MetricMatrix(["a"], np.zeros((1, 23)))
+
+    def test_metric_names_export(self):
+        assert len(METRIC_NAMES) == 24
+        assert METRIC_NAMES[11] == "llc_mpki"

@@ -1,0 +1,124 @@
+"""Tests for the from-scratch PCA (§IV-A)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.pca import (PcaResult, cumulative_variance, pca,
+                            standardize, top_loadings)
+
+
+def random_matrix(n=60, d=8, seed=0):
+    rng = np.random.default_rng(seed)
+    latent = rng.normal(size=(n, 3))
+    mixing = rng.normal(size=(3, d))
+    return latent @ mixing + 0.1 * rng.normal(size=(n, d))
+
+
+class TestStandardize:
+    def test_zero_mean_unit_std(self):
+        Z, mean, std = standardize(random_matrix())
+        assert np.allclose(Z.mean(axis=0), 0, atol=1e-12)
+        assert np.allclose(Z.std(axis=0), 1, atol=1e-12)
+
+    def test_constant_column_safe(self):
+        X = np.ones((10, 3))
+        X[:, 1] = np.arange(10)
+        Z, mean, std = standardize(X)
+        assert np.all(np.isfinite(Z))
+        assert np.allclose(Z[:, 0], 0)
+
+
+class TestPca:
+    def test_variance_ratios_descending(self):
+        r = pca(random_matrix())
+        ratios = r.explained_variance_ratio
+        assert all(a >= b - 1e-12 for a, b in zip(ratios, ratios[1:]))
+
+    def test_three_latent_factors_dominate(self):
+        r = pca(random_matrix())
+        assert cumulative_variance(r, 3) > 0.9
+
+    def test_components_orthonormal(self):
+        r = pca(random_matrix(), n_components=4)
+        gram = r.components @ r.components.T
+        assert np.allclose(gram, np.eye(4), atol=1e-8)
+
+    def test_scores_match_transform(self):
+        X = random_matrix()
+        r = pca(X, n_components=4)
+        assert np.allclose(r.transform(X), r.scores[:, :4], atol=1e-9)
+
+    def test_sign_convention_deterministic(self):
+        X = random_matrix()
+        a = pca(X, 4)
+        b = pca(X.copy(), 4)
+        assert np.allclose(a.components, b.components)
+        for row in a.components:
+            assert row[np.argmax(np.abs(row))] > 0
+
+    def test_covariance_eigenvalue_equivalence(self):
+        """Cross-check against a direct correlation-matrix eig."""
+        X = random_matrix()
+        Z, *_ = standardize(X)
+        corr = np.corrcoef(Z, rowvar=False)
+        ref = np.sort(np.linalg.eigvalsh(corr))[::-1]
+        r = pca(X)
+        total = ref.sum()
+        assert np.allclose(r.explained_variance_ratio[:4],
+                           ref[:4] / total, atol=1e-8)
+
+    def test_n_components_capped_at_dims(self):
+        r = pca(random_matrix(d=5), n_components=50)
+        assert r.n_components == 5
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            pca(np.zeros(5))
+        with pytest.raises(ValueError):
+            pca(np.zeros((1, 5)))
+
+    def test_standardization_gives_negative_loadings(self):
+        """Paper: 'There are negative loading factors since we perform
+        data standardization before the PCA.'"""
+        X = random_matrix()
+        r = pca(X, 4)
+        assert (r.components < 0).any()
+
+
+class TestTopLoadings:
+    def test_descending_magnitude(self):
+        r = pca(random_matrix(), 4)
+        loads = top_loadings(r, 0, k=5)
+        mags = [abs(v) for _, v in loads]
+        assert mags == sorted(mags, reverse=True)
+
+    def test_names_used(self):
+        r = pca(random_matrix(d=4), 2)
+        names = ("a", "b", "c", "d")
+        loads = top_loadings(r, 0, k=2, names=names)
+        assert all(n in names for n, _ in loads)
+
+
+@given(arrays(np.float64, (12, 6),
+              elements=st.floats(min_value=-100, max_value=100,
+                                 allow_nan=False)))
+@settings(max_examples=40, deadline=None)
+def test_property_pca_invariants(X):
+    r = pca(X)
+    assert r.explained_variance_ratio.sum() <= 1.0 + 1e-9
+    assert np.all(r.explained_variance >= -1e-9)
+    # Transforming the column means lands at the origin.
+    assert np.allclose(r.transform(r.mean[None, :]), 0, atol=1e-8)
+
+
+@given(st.integers(min_value=2, max_value=30))
+@settings(max_examples=20, deadline=None)
+def test_property_reconstruction_with_all_components(n):
+    rng = np.random.default_rng(n)
+    X = rng.normal(size=(20, 5))
+    r = pca(X, n_components=5)
+    Z, mean, std = standardize(X)
+    reconstructed = r.scores[:, :5] @ r.components
+    assert np.allclose(reconstructed, Z, atol=1e-8)

@@ -1,0 +1,129 @@
+"""Tests for representative-subset selection and SPECspeed validation."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.subset import (composite_score, optimum_subset, pca_scores,
+                               select_representatives, speed_scores,
+                               subset_accuracy, validate_subset)
+
+
+def blob_names_scores(seed=0, k=4, per=6):
+    rng = np.random.default_rng(seed)
+    pts, names = [], []
+    for c in range(k):
+        center = rng.normal(scale=10, size=4)
+        for i in range(per):
+            pts.append(center + rng.normal(scale=0.3, size=4))
+            names.append(f"c{c}_w{i}")
+    return names, np.vstack(pts)
+
+
+class TestSpeedScores:
+    def test_basic_ratio(self):
+        s = speed_scores({"a": 2.0, "b": 4.0}, {"a": 1.0, "b": 1.0})
+        assert s == {"a": 2.0, "b": 4.0}
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            speed_scores({"a": 0.0}, {"a": 1.0})
+
+    def test_composite_is_geomean(self):
+        scores = {"a": 2.0, "b": 8.0}
+        assert composite_score(scores) == pytest.approx(4.0)
+
+    def test_composite_subset(self):
+        scores = {"a": 2.0, "b": 8.0, "c": 100.0}
+        assert composite_score(scores, ["a", "b"]) == pytest.approx(4.0)
+
+    def test_composite_empty_rejected(self):
+        with pytest.raises(ValueError):
+            composite_score({"a": 1.0}, [])
+
+    def test_full_subset_accuracy_is_100(self):
+        scores = {"a": 1.5, "b": 2.5, "c": 0.7}
+        assert subset_accuracy(scores, list(scores)) == pytest.approx(100.0)
+
+    def test_accuracy_symmetric_under_over(self):
+        scores = {"a": 1.0, "b": 4.0}
+        acc_low = subset_accuracy(scores, ["a"])    # composite 2.0 vs 1.0
+        acc_high = subset_accuracy(scores, ["b"])
+        assert acc_low == pytest.approx(acc_high)
+
+    def test_validate_subset_record(self):
+        scores = {"a": 1.0, "b": 4.0}
+        v = validate_subset("Subset A", scores, ["a"])
+        assert v.label == "Subset A"
+        assert v.composite_full == pytest.approx(2.0)
+        assert v.accuracy_percent == pytest.approx(50.0)
+
+
+class TestRepresentativeSelection:
+    def test_one_per_cluster(self):
+        names, scores = blob_names_scores(k=4)
+        reps = select_representatives(names, scores, k=4, seed=1)
+        assert len(reps) == 4
+        clusters = {n.split("_")[0] for n in reps}
+        assert len(clusters) == 4           # one from each blob
+
+    def test_prefer_list_wins_ties(self):
+        names, scores = blob_names_scores(k=3)
+        prefer = ("c0_w3", "c1_w2", "c2_w5")
+        reps = select_representatives(names, scores, k=3, prefer=prefer)
+        assert set(reps) == set(prefer)
+
+    def test_seeded_determinism(self):
+        names, scores = blob_names_scores(k=4)
+        a = select_representatives(names, scores, 4, seed=9)
+        b = select_representatives(names, scores, 4, seed=9)
+        assert a == b
+
+    def test_length_mismatch_rejected(self):
+        names, scores = blob_names_scores()
+        with pytest.raises(ValueError):
+            select_representatives(names[:-1], scores, 4)
+
+    def test_pca_scores_shape(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(30, 24))
+        assert pca_scores(X, 4).shape == (30, 4)
+
+
+class TestOptimumSubset:
+    def test_optimum_at_least_as_good_as_random_pick(self):
+        names, scores_matrix = blob_names_scores(k=3, per=4)
+        rng = np.random.default_rng(2)
+        speed = {n: float(np.exp(rng.normal(0.4, 0.2))) for n in names}
+        reps = select_representatives(names, scores_matrix, 3, seed=0)
+        opt = optimum_subset(names, scores_matrix, speed, 3)
+        assert subset_accuracy(speed, opt) \
+            >= subset_accuracy(speed, reps) - 1e-9
+
+    def test_random_search_path(self):
+        names, scores_matrix = blob_names_scores(k=3, per=7)
+        rng = np.random.default_rng(3)
+        speed = {n: float(np.exp(rng.normal(0.4, 0.2))) for n in names}
+        opt = optimum_subset(names, scores_matrix, speed, 3,
+                             max_exhaustive=10, search_samples=500, seed=1)
+        assert len(opt) == 3
+
+
+@given(st.dictionaries(st.text(alphabet="abcdefgh", min_size=1, max_size=4),
+                       st.floats(min_value=0.1, max_value=10),
+                       min_size=1, max_size=12))
+@settings(max_examples=40, deadline=None)
+def test_property_composite_bounded_by_extremes(scores):
+    comp = composite_score(scores)
+    assert min(scores.values()) - 1e-9 <= comp <= max(scores.values()) + 1e-9
+
+
+@given(st.lists(st.floats(min_value=0.2, max_value=5.0), min_size=2,
+                max_size=10))
+@settings(max_examples=40, deadline=None)
+def test_property_accuracy_in_0_100(values):
+    scores = {f"w{i}": v for i, v in enumerate(values)}
+    acc = subset_accuracy(scores, ["w0"])
+    assert 0 < acc <= 100.0

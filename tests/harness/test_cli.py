@@ -1,0 +1,45 @@
+"""Tests for the repro-characterize CLI."""
+
+import pytest
+
+from repro.harness.cli import main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "System.Runtime" in out
+        assert "Plaintext" in out
+        assert "mcf" in out
+
+    def test_run_benchmark(self, capsys):
+        rc = main(["System.MathBenchmarks", "--instructions", "20000",
+                   "--warmup", "10000"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "System.MathBenchmarks" in out
+        assert "cpi" in out
+        assert "Top-Down L1:" in out
+
+    def test_topdown_flag(self, capsys):
+        rc = main(["SeekUnroll", "--instructions", "15000",
+                   "--warmup", "8000", "--topdown"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Frontend breakdown" in out
+        assert "Backend breakdown" in out
+
+    def test_machine_selection(self, capsys):
+        rc = main(["SeekUnroll", "--instructions", "15000",
+                   "--warmup", "8000", "--machine", "arm"])
+        assert rc == 0
+        assert "Arm server" in capsys.readouterr().out
+
+    def test_unknown_benchmark(self, capsys):
+        assert main(["NotABenchmark"]) == 2
+        assert "unknown benchmark" in capsys.readouterr().err
+
+    def test_missing_benchmark_errors(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,81 @@
+"""Tests for the text report helpers."""
+
+import numpy as np
+import pytest
+
+from repro.harness.report import (bar_chart, format_table, geomean,
+                                  scatter_summary, stacked_bar_chart,
+                                  std_ratio)
+
+
+class TestFormatTable:
+    def test_contains_headers_and_cells(self):
+        t = format_table(["name", "value"], [["a", 1.5], ["bb", 2.25]])
+        assert "name" in t and "value" in t
+        assert "bb" in t and "2.250" in t
+
+    def test_column_alignment(self):
+        t = format_table(["x"], [["short"], ["a-much-longer-cell"]])
+        lines = t.splitlines()
+        assert len({len(l) for l in lines if l.strip()}) <= 2
+
+    def test_custom_float_format(self):
+        t = format_table(["v"], [[3.14159]], float_fmt="{:.1f}")
+        assert "3.1" in t and "3.14" not in t
+
+
+class TestBarChart:
+    def test_bars_scale_with_values(self):
+        chart = bar_chart(["a", "b"], [1.0, 2.0])
+        lines = chart.splitlines()
+        assert lines[1].count("#") == 2 * lines[0].count("#")
+
+    def test_negative_values_marked(self):
+        chart = bar_chart(["n"], [-2.5])
+        assert "-2.5" in chart
+
+    def test_title_and_unit(self):
+        chart = bar_chart(["a"], [1.0], title="MPKI", unit="%")
+        assert chart.startswith("MPKI")
+        assert "%" in chart
+
+    def test_empty_safe(self):
+        assert bar_chart([], []) == ""
+
+
+class TestStackedBarChart:
+    def test_legend_and_rows(self):
+        chart = stacked_bar_chart(
+            ["w1", "w2"],
+            {"retiring": [0.5, 0.2], "frontend": [0.5, 0.8]})
+        assert "legend:" in chart
+        assert "retiring" in chart and "frontend" in chart
+        assert "w1" in chart and "w2" in chart
+
+    def test_segments_fill_width(self):
+        chart = stacked_bar_chart(["w"], {"a": [0.5], "b": [0.5]},
+                                  width=20)
+        row = chart.splitlines()[-1]
+        inner = row.split("|")[1]
+        assert inner.count("#") == 10
+        assert inner.count("=") == 10
+
+
+class TestScatterAndStats:
+    def test_scatter_summary(self):
+        groups = {"s1": np.zeros((5, 2)), "s2": np.ones((3, 2))}
+        text = scatter_summary(groups, title="Fig 5")
+        assert "Fig 5" in text and "s1" in text and "s2" in text
+
+    def test_std_ratio(self):
+        rng = np.random.default_rng(0)
+        wide = rng.normal(0, 4, (100, 2))
+        tight = rng.normal(0, 1, (100, 2))
+        assert 3.0 < std_ratio(wide, tight) < 5.0
+
+    def test_geomean(self):
+        assert geomean([2.0, 8.0]) == pytest.approx(4.0)
+        assert geomean([5.0]) == pytest.approx(5.0)
+
+    def test_geomean_clips_nonpositive(self):
+        assert geomean([0.0, 1.0]) >= 0.0

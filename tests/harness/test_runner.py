@@ -1,0 +1,152 @@
+"""Tests for the experiment runner (§III-A measurement protocol)."""
+
+import pytest
+
+from repro.harness.runner import (Fidelity, run_multicore, run_workload,
+                                  run_with_sampling)
+from repro.harness.suite import characterize_suite
+from repro.runtime.gc import GcConfig, SERVER, WORKSTATION
+from repro.uarch.machine import get_machine
+from repro.workloads.aspnet import aspnet_specs
+from repro.workloads.dotnet import dotnet_category_specs
+from repro.workloads.speccpu import speccpu_specs
+
+FID = Fidelity(warmup_instructions=15_000, measure_instructions=25_000)
+
+
+def spec_of(name):
+    for s in (dotnet_category_specs() + aspnet_specs() + speccpu_specs()):
+        if s.name == name:
+            return s
+    raise KeyError(name)
+
+
+class TestRunWorkload:
+    def test_measures_requested_instructions(self):
+        r = run_workload(spec_of("System.Runtime"), get_machine("i9"), FID)
+        assert 25_000 <= r.counters.instructions <= 32_000
+
+    def test_result_fields(self):
+        r = run_workload(spec_of("System.Runtime"), get_machine("i9"), FID)
+        assert r.name == "System.Runtime"
+        assert r.seconds > 0
+        assert r.ipc > 0
+        td = r.topdown
+        total = (td.retiring + td.bad_speculation + td.frontend_bound
+                 + td.backend_bound)
+        assert abs(total - 1.0) < 1e-6
+
+    def test_deterministic_given_seed(self):
+        a = run_workload(spec_of("System.Linq"), get_machine("i9"), FID,
+                         seed=4)
+        b = run_workload(spec_of("System.Linq"), get_machine("i9"), FID,
+                         seed=4)
+        assert a.counters == b.counters
+
+    def test_different_machines_differ(self):
+        a = run_workload(spec_of("System.Linq"), get_machine("i9"), FID)
+        b = run_workload(spec_of("System.Linq"), get_machine("xeon"), FID)
+        assert a.seconds != b.seconds
+
+    def test_warmup_discard_removes_startup_jit(self):
+        """§III-A: first run discarded -> steady state has no startup JIT.
+
+        SeekUnroll has 5 methods and no tiering: all compilation happens
+        at startup, so a warmed window must see zero JIT events while a
+        cold window sees them all.
+        """
+        from dataclasses import replace
+        spec = replace(spec_of("SeekUnroll"), prejit_frac=0.0)
+        cold = run_workload(
+            spec, get_machine("i9"),
+            Fidelity(warmup_instructions=0, measure_instructions=25_000))
+        warm = run_workload(
+            spec, get_machine("i9"),
+            Fidelity(warmup_instructions=150_000,
+                     measure_instructions=25_000))
+        assert cold.counters.jit_started >= 1
+        assert warm.counters.jit_started == 0
+
+    def test_native_workload_runs(self):
+        r = run_workload(spec_of("leela"), get_machine("i9"), FID)
+        assert r.counters.gc_triggered == 0
+        assert r.counters.jit_started == 0
+        assert r.counters.page_faults < 5
+
+    def test_gc_config_respected(self):
+        spec = spec_of("System.Linq")
+        ws = run_workload(spec, get_machine("i9"), FID,
+                          gc_config=GcConfig(flavor=WORKSTATION,
+                                             max_heap_bytes=200 * 2 ** 20))
+        srv = run_workload(spec, get_machine("i9"), FID,
+                           gc_config=GcConfig(flavor=SERVER,
+                                              max_heap_bytes=2000 * 2 ** 20))
+        assert ws.counters is not None and srv.counters is not None
+
+    def test_collections_oom_at_200mib_workstation(self):
+        """§VII-B: System.Collections cannot run with workstation GC and a
+        200 MiB heap cap (OutOfMemory)."""
+        from repro.runtime.gc import OutOfManagedMemory
+        with pytest.raises(OutOfManagedMemory):
+            run_workload(spec_of("System.Collections"), get_machine("i9"),
+                         FID,
+                         gc_config=GcConfig(flavor=WORKSTATION,
+                                            max_heap_bytes=200 * 2 ** 20))
+
+    def test_sampling_produces_series(self):
+        r = run_with_sampling(spec_of("Json"), get_machine("i9"), FID,
+                              sample_interval=2e-6)
+        assert r.samples is not None
+        assert len(r.samples) >= 2
+
+    def test_no_sampling_by_default(self):
+        r = run_workload(spec_of("Json"), get_machine("i9"), FID)
+        assert r.samples is None
+
+
+class TestRunMulticore:
+    def test_runs_and_profiles(self):
+        result, td, counters = run_multicore(
+            spec_of("Json"), get_machine("i9"), n_cores=2, fidelity=FID)
+        assert len(result.cores) == 2
+        assert counters.instructions >= FID.measure_instructions
+        assert 0 <= td.be_l3_bound <= 1
+
+    def test_llc_contention_present(self):
+        result, _, _ = run_multicore(spec_of("Plaintext"),
+                                     get_machine("i9"), 4, FID)
+        assert result.llc.extra_latency > 0
+
+
+class TestSuite:
+    def test_characterize_suite_collects_all(self):
+        specs = dotnet_category_specs()[:3]
+        sr = characterize_suite(specs, get_machine("i9"), FID)
+        assert sr.names == [s.name for s in specs]
+        m = sr.metric_matrix()
+        assert m.values.shape == (3, 24)
+        assert all(t > 0 for t in sr.times().values())
+
+    def test_progress_callback(self):
+        seen = []
+        characterize_suite(dotnet_category_specs()[:2], get_machine("i9"),
+                           FID, progress=lambda i, n, name:
+                           seen.append((i, n, name)))
+        assert len(seen) == 2
+
+    def test_result_lookup(self):
+        specs = dotnet_category_specs()[:2]
+        sr = characterize_suite(specs, get_machine("i9"), FID)
+        assert sr.result_of(specs[0].name).spec == specs[0]
+        with pytest.raises(KeyError):
+            sr.result_of("nope")
+
+
+class TestFidelity:
+    def test_presets_ordered(self):
+        assert Fidelity.test().measure_instructions \
+            < Fidelity.default().measure_instructions \
+            < Fidelity.paper().measure_instructions
+
+    def test_paper_uses_full_corpus(self):
+        assert Fidelity.paper().workloads_per_category is None

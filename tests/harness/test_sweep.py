@@ -1,0 +1,81 @@
+"""Tests for the parameter-sweep utility."""
+
+import pytest
+
+from repro.harness.runner import Fidelity
+from repro.harness.sweep import Axis, sweep
+from repro.runtime.gc import GcConfig, OutOfManagedMemory, SERVER, \
+    WORKSTATION
+from repro.uarch.machine import get_machine
+from repro.workloads.dotnet import dotnet_category_specs
+
+FID = Fidelity(warmup_instructions=10_000, measure_instructions=15_000)
+
+
+def spec_of(name):
+    return next(s for s in dotnet_category_specs() if s.name == name)
+
+
+class TestAxis:
+    def test_rejects_unknown_target(self):
+        with pytest.raises(ValueError):
+            Axis("x", (1,), target="nope")
+
+    def test_rejects_empty_values(self):
+        with pytest.raises(ValueError):
+            Axis("x", ())
+
+
+class TestSweep:
+    def test_run_axis_product(self):
+        axes = [Axis("seed", (0, 1), target="run")]
+        result = sweep(spec_of("SeekUnroll"), get_machine("i9"), axes,
+                       FID)
+        assert len(result.results) == 2
+        assert result.point(seed=0).counters.instructions >= 15_000
+
+    def test_machine_axis_changes_behavior(self):
+        axes = [Axis("mispredict_penalty", (5, 40), target="machine")]
+        result = sweep(spec_of("System.Runtime"), get_machine("i9"), axes,
+                       FID)
+        cheap = result.point(mispredict_penalty=5)
+        dear = result.point(mispredict_penalty=40)
+        assert dear.counters.cycles > cheap.counters.cycles
+
+    def test_spec_axis(self):
+        axes = [Axis("temporal_reuse", (0.5, 0.95), target="spec")]
+        result = sweep(spec_of("System.Runtime"), get_machine("i9"), axes,
+                       FID)
+        low = result.point(temporal_reuse=0.5).counters
+        high = result.point(temporal_reuse=0.95).counters
+        assert low.mpki(low.l1d_misses) > high.mpki(high.l1d_misses)
+
+    def test_two_axes_product(self):
+        axes = [Axis("seed", (0, 1), target="run"),
+                Axis("mispredict_penalty", (8, 16), target="machine")]
+        result = sweep(spec_of("SeekUnroll"), get_machine("i9"), axes, FID)
+        assert len(result.results) == 4
+
+    def test_failures_caught(self):
+        axes = [Axis("gc_config",
+                     (GcConfig(flavor=WORKSTATION,
+                               max_heap_bytes=200 * 2 ** 20),
+                      GcConfig(flavor=SERVER,
+                               max_heap_bytes=20_000 * 2 ** 20)),
+                     target="run")]
+        result = sweep(spec_of("System.Collections"), get_machine("i9"),
+                       axes, FID, catch=(OutOfManagedMemory,))
+        assert len(result.failures) == 1      # 200 MiB cell OOMs (§VII-B)
+        assert len(result.results) == 1
+
+    def test_table_rendering(self):
+        axes = [Axis("seed", (0, 1), target="run")]
+        result = sweep(spec_of("SeekUnroll"), get_machine("i9"), axes, FID)
+        text = result.table(lambda r: r.counters.cpi, "cpi")
+        assert "seed" in text and "cpi" in text
+
+    def test_series(self):
+        axes = [Axis("seed", (0, 1), target="run")]
+        result = sweep(spec_of("SeekUnroll"), get_machine("i9"), axes, FID)
+        series = result.series(lambda r: r.counters.cpi)
+        assert set(series) == {(0,), (1,)}

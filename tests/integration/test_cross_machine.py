@@ -1,0 +1,69 @@
+"""Cross-machine sanity: the Fig 2 / Fig 7 comparisons rest on these."""
+
+import pytest
+
+from repro.harness.runner import Fidelity, run_workload
+from repro.uarch.machine import get_machine
+from repro.workloads.dotnet import dotnet_category_specs
+from repro.workloads.speccpu import speccpu_specs
+
+FID = Fidelity(warmup_instructions=25_000, measure_instructions=50_000)
+SAMPLE = ("System.Runtime", "System.MathBenchmarks", "System.Linq")
+
+
+def spec_of(name):
+    for s in dotnet_category_specs() + speccpu_specs():
+        if s.name == name:
+            return s
+    raise KeyError(name)
+
+
+@pytest.fixture(scope="module")
+def cross_runs():
+    out = {}
+    for name in SAMPLE:
+        for key in ("i9", "xeon", "arm"):
+            out[(name, key)] = run_workload(spec_of(name),
+                                            get_machine(key), FID, seed=2)
+    return out
+
+
+class TestMachineOrdering:
+    def test_i9_beats_xeon_wall_clock(self, cross_runs):
+        """The §IV-C scores assume the i9 is the faster machine."""
+        for name in SAMPLE:
+            assert cross_runs[(name, "i9")].seconds \
+                < cross_runs[(name, "xeon")].seconds, name
+
+    def test_arm_slowest_wall_clock(self, cross_runs):
+        for name in SAMPLE:
+            assert cross_runs[(name, "arm")].seconds \
+                > cross_runs[(name, "i9")].seconds, name
+
+    def test_same_workload_same_instruction_mix_everywhere(self,
+                                                           cross_runs):
+        """ISA differences change cycles/misses, not the program's
+        instruction-mix metrics (modulo the Arm bloat factor applied to
+        the measured budget)."""
+        for name in SAMPLE:
+            mixes = []
+            for key in ("i9", "xeon"):
+                c = cross_runs[(name, key)].counters
+                mixes.append(round(c.branches / c.instructions, 3))
+            assert len(set(mixes)) == 1, name
+
+    def test_arm_worse_itlb_everywhere(self, cross_runs):
+        worse = 0
+        for name in SAMPLE:
+            arm = cross_runs[(name, "arm")].counters
+            i9 = cross_runs[(name, "i9")].counters
+            if arm.mpki(arm.itlb_misses) >= i9.mpki(i9.itlb_misses):
+                worse += 1
+        assert worse >= 2
+
+    def test_runs_deterministic_per_machine(self):
+        a = run_workload(spec_of("System.Linq"), get_machine("arm"), FID,
+                         seed=9)
+        b = run_workload(spec_of("System.Linq"), get_machine("arm"), FID,
+                         seed=9)
+        assert a.counters == b.counters

@@ -1,0 +1,164 @@
+"""Integration tests: the paper's qualitative claims at test fidelity.
+
+These run real (small) simulations and assert the *shapes* the paper
+reports — orderings and directions, not absolute values.  The benchmark
+harness re-checks the same claims at full fidelity.
+"""
+
+import pytest
+
+from repro.harness.report import geomean
+from repro.harness.runner import Fidelity, run_workload
+from repro.uarch.machine import get_machine
+from repro.workloads.aspnet import aspnet_specs
+from repro.workloads.dotnet import dotnet_category_specs
+from repro.workloads.speccpu import speccpu_specs
+
+FID = Fidelity(warmup_instructions=60_000, measure_instructions=60_000)
+MACHINE = get_machine("i9")
+
+DOTNET_SAMPLE = ("System.Runtime", "System.Linq", "System.MathBenchmarks",
+                 "System.Collections")
+ASPNET_SAMPLE = ("Plaintext", "Json", "DbFortunesRaw")
+SPEC_SAMPLE = ("mcf", "bwaves", "gcc", "xalancbmk")
+
+
+@pytest.fixture(scope="module")
+def results():
+    """One shared run of a representative slice of each suite."""
+    specs = {s.name: s for s in (dotnet_category_specs() + aspnet_specs()
+                                 + speccpu_specs())}
+    out = {}
+    for name in DOTNET_SAMPLE + ASPNET_SAMPLE + SPEC_SAMPLE:
+        out[name] = run_workload(specs[name], MACHINE, FID, seed=2)
+    return out
+
+
+def gm(results, names, metric):
+    return geomean([metric(results[n].counters) for n in names])
+
+
+class TestFig3KernelShare:
+    def test_aspnet_much_more_kernel_than_spec(self, results):
+        aspnet = gm(results, ASPNET_SAMPLE,
+                    lambda c: max(1e-3, 100 * c.kernel_instructions
+                                  / c.instructions))
+        spec = gm(results, SPEC_SAMPLE,
+                  lambda c: max(1e-3, 100 * c.kernel_instructions
+                                / c.instructions))
+        assert aspnet > 20          # tens of percent
+        assert spec < 1             # essentially none
+
+    def test_dotnet_kernel_between(self, results):
+        for name in SPEC_SAMPLE:
+            c = results[name].counters
+            assert c.kernel_instructions == 0
+
+
+class TestFig4InstructionMix:
+    def test_spec_more_loads(self, results):
+        spec = gm(results, SPEC_SAMPLE, lambda c: 100 * c.loads
+                  / c.instructions)
+        managed = gm(results, DOTNET_SAMPLE + ASPNET_SAMPLE,
+                     lambda c: 100 * c.loads / c.instructions)
+        assert spec > managed
+
+    def test_spec_fewer_stores(self, results):
+        spec = gm(results, SPEC_SAMPLE, lambda c: 100 * c.stores
+                  / c.instructions)
+        managed = gm(results, DOTNET_SAMPLE + ASPNET_SAMPLE,
+                     lambda c: 100 * c.stores / c.instructions)
+        assert spec < managed
+
+    def test_managed_branch_share_uniform(self, results):
+        """'ASP.NET and .NET benchmarks do not show much variety' vs
+        SPEC's diverse branch fractions."""
+        managed = [100 * results[n].counters.branches
+                   / results[n].counters.instructions
+                   for n in DOTNET_SAMPLE + ASPNET_SAMPLE]
+        spec = [100 * results[n].counters.branches
+                / results[n].counters.instructions for n in SPEC_SAMPLE]
+        spread = max(spec) - min(spec)
+        managed_spread = max(managed) - min(managed)
+        assert spread > managed_spread
+
+
+class TestFig8Counters:
+    def test_icache_worse_for_managed_than_fp_spec(self, results):
+        aspnet_l1i = gm(results, ASPNET_SAMPLE,
+                        lambda c: c.mpki(c.l1i_misses) + 0.01)
+        bwaves_l1i = results["bwaves"].counters
+        assert aspnet_l1i > bwaves_l1i.mpki(bwaves_l1i.l1i_misses)
+
+    def test_aspnet_l2_exceeds_llc_massively(self, results):
+        """ASP.NET: high L2 MPKI (20.4) but tiny LLC MPKI (0.16) — most
+        L2 misses are absorbed by the LLC.  (At test fidelity the window
+        is compulsory-heavy so the gap is smaller than at bench scale.)"""
+        for name in ASPNET_SAMPLE:
+            c = results[name].counters
+            assert c.mpki(c.l2_misses) > 2 * c.mpki(c.llc_misses)
+
+    def test_spec_llc_mpki_dominates_managed(self, results):
+        spec = gm(results, SPEC_SAMPLE, lambda c: c.mpki(c.llc_misses)
+                  + 1e-3)
+        dotnet = gm(results, DOTNET_SAMPLE, lambda c: c.mpki(c.llc_misses)
+                    + 1e-3)
+        assert spec > dotnet
+
+    def test_dotnet_micro_lowest_mpkis(self, results):
+        """'The .NET microbenchmarks have much lower MPKIs'."""
+        micro = gm(results, DOTNET_SAMPLE,
+                   lambda c: c.mpki(c.l1d_misses) + 0.01)
+        aspnet = gm(results, ASPNET_SAMPLE,
+                    lambda c: c.mpki(c.l1d_misses) + 0.01)
+        assert micro < aspnet
+
+    def test_aspnet_cpi_higher_than_spec_fp(self, results):
+        aspnet_cpi = gm(results, ASPNET_SAMPLE, lambda c: c.cpi)
+        assert aspnet_cpi > results["bwaves"].counters.cpi
+
+    def test_aspnet_page_faults_dominate_spec(self, results):
+        """§VII-A: ASP.NET has ~300x the page faults of SPEC."""
+        aspnet = sum(results[n].counters.page_faults
+                     for n in ASPNET_SAMPLE)
+        spec = sum(results[n].counters.page_faults for n in SPEC_SAMPLE)
+        assert aspnet > 20 * max(1, spec)
+
+
+class TestFig9TopDown:
+    def test_managed_low_bad_speculation(self, results):
+        for name in DOTNET_SAMPLE + ASPNET_SAMPLE:
+            assert results[name].topdown.bad_speculation < 0.30
+
+    def test_memory_spec_backend_bound(self, results):
+        for name in ("mcf", "bwaves"):
+            td = results[name].topdown
+            assert td.backend_bound > td.frontend_bound
+
+    def test_managed_significant_frontend(self, results):
+        """'Some .NET and ASP.NET applications have a significant
+        frontend bound component.'"""
+        fe = [results[n].topdown.frontend_bound
+              for n in DOTNET_SAMPLE + ASPNET_SAMPLE]
+        assert max(fe) > 0.3
+
+    def test_spec_memory_programs_dram_bound_not_l3(self, results):
+        for name in ("mcf", "bwaves"):
+            td = results[name].topdown
+            assert td.be_dram_bound > td.be_l3_bound
+
+    def test_aspnet_l3_bound_exceeds_spec_fp(self, results):
+        aspnet_l3 = max(results[n].topdown.be_l3_bound
+                        for n in ASPNET_SAMPLE)
+        assert aspnet_l3 > results["bwaves"].topdown.be_l3_bound
+
+
+class TestFig10Frontend:
+    def test_managed_fe_latency_sources(self, results):
+        """I-cache / I-TLB / resteers / MS dominate FE-latency for
+        .NET-like workloads."""
+        td = results["Json"].topdown
+        assert td.frontend_latency > 0
+        leaf_sum = (td.fe_icache + td.fe_itlb + td.fe_branch_resteers
+                    + td.fe_ms_switches + td.fe_ifault)
+        assert leaf_sum == pytest.approx(td.frontend_latency, rel=1e-6)

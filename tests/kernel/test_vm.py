@@ -1,0 +1,84 @@
+"""Tests for virtual memory / demand paging."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.kernel.vm import VirtualMemory
+
+
+class TestDemandPaging:
+    def test_first_touch_faults(self):
+        vm = VirtualMemory()
+        cost = vm.touch(0x1000)
+        assert cost > 0
+        assert vm.stats.faults == 1
+
+    def test_second_touch_free(self):
+        vm = VirtualMemory()
+        vm.touch(0x1000)
+        assert vm.touch(0x1234) == 0         # same page
+        assert vm.stats.faults == 1
+
+    def test_distinct_pages_fault_separately(self):
+        vm = VirtualMemory()
+        vm.touch(0x0)
+        vm.touch(0x1000)
+        vm.touch(0x2000)
+        assert vm.stats.faults == 3
+
+    def test_major_fault_cadence(self):
+        vm = VirtualMemory(major_fault_fraction=0.5)
+        vm.touch(0x0000)
+        vm.touch(0x1000)
+        vm.touch(0x2000)
+        vm.touch(0x3000)
+        assert vm.stats.major_faults == 2
+        assert vm.stats.minor_faults == 2
+
+    def test_major_faults_cost_more(self):
+        assert VirtualMemory.MAJOR_FAULT_CYCLES \
+            > VirtualMemory.MINOR_FAULT_CYCLES
+
+
+class TestPremapUnmap:
+    def test_premap_prevents_faults(self):
+        vm = VirtualMemory()
+        vm.premap_range(0x10000, 8192)
+        assert vm.touch(0x10000) == 0
+        assert vm.touch(0x11000) == 0
+        assert vm.stats.faults == 0
+
+    def test_premap_covers_partial_pages(self):
+        vm = VirtualMemory()
+        vm.premap_range(0x10FFF, 2)          # straddles two pages
+        assert vm.is_mapped(0x10000)
+        assert vm.is_mapped(0x11000)
+
+    def test_unmap_causes_refault(self):
+        vm = VirtualMemory()
+        vm.touch(0x10000)
+        vm.unmap_range(0x10000, 4096)
+        assert vm.stats.unmapped_pages == 1
+        assert vm.touch(0x10000) > 0
+
+    def test_resident_bytes(self):
+        vm = VirtualMemory()
+        vm.premap_range(0, 3 * 4096)
+        assert vm.resident_bytes == 3 * 4096
+
+    def test_reset_stats_keeps_mappings(self):
+        vm = VirtualMemory()
+        vm.touch(0x5000)
+        vm.reset_stats()
+        assert vm.stats.faults == 0
+        assert vm.touch(0x5000) == 0
+
+
+@given(st.lists(st.integers(min_value=0, max_value=1 << 24), min_size=1,
+                max_size=200))
+@settings(max_examples=50, deadline=None)
+def test_property_fault_count_equals_distinct_pages(addrs):
+    vm = VirtualMemory(major_fault_fraction=0.0)
+    for a in addrs:
+        vm.touch(a)
+    assert vm.stats.faults == len({a >> 12 for a in addrs})
+    assert vm.stats.mapped_pages == vm.stats.faults

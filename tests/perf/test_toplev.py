@@ -1,0 +1,85 @@
+"""Tests for the toplev-style hierarchical reporting."""
+
+import pytest
+
+from repro.harness.runner import Fidelity, run_workload
+from repro.perf.toplev import (NOISE_FLOOR, bottlenecks, build_tree,
+                               compare, render)
+from repro.uarch.machine import get_machine
+from repro.workloads.dotnet import dotnet_category_specs
+from repro.workloads.speccpu import speccpu_specs
+
+FID = Fidelity(warmup_instructions=30_000, measure_instructions=40_000)
+
+
+def profile_of(name):
+    specs = {s.name: s for s in (dotnet_category_specs()
+                                 + speccpu_specs())}
+    return run_workload(specs[name], get_machine("i9"), FID).topdown
+
+
+@pytest.fixture(scope="module")
+def runtime_profile():
+    return profile_of("System.Runtime")
+
+
+@pytest.fixture(scope="module")
+def mcf_profile():
+    return profile_of("mcf")
+
+
+class TestTree:
+    def test_level1_children_sum_to_one(self, runtime_profile):
+        root = build_tree(runtime_profile)
+        total = sum(child.fraction for child in root.children)
+        assert total == pytest.approx(1.0, abs=1e-6)
+
+    def test_hierarchy_internal_consistency(self, runtime_profile):
+        root = build_tree(runtime_profile)
+        fe = root.find("Frontend_Bound")
+        assert fe.fraction == pytest.approx(
+            sum(c.fraction for c in fe.children), abs=1e-9)
+        mem = root.find("Memory_Bound")
+        assert mem.fraction == pytest.approx(
+            sum(c.fraction for c in mem.children), abs=1e-9)
+
+    def test_find(self, runtime_profile):
+        root = build_tree(runtime_profile)
+        assert root.find("L3_Bound") is not None
+        assert root.find("NoSuchNode") is None
+
+    def test_walk_depths(self, runtime_profile):
+        depths = [d for d, _ in build_tree(runtime_profile).walk()]
+        assert min(depths) == 0
+        assert max(depths) == 3
+
+
+class TestBottlenecks:
+    def test_mcf_is_dram_bound(self, mcf_profile):
+        flagged = bottlenecks(mcf_profile, threshold=0.15)
+        assert "DRAM_Bound" in flagged
+        assert flagged[0] in ("Memory_Bound", "DRAM_Bound")
+
+    def test_threshold_filters(self, mcf_profile):
+        assert len(bottlenecks(mcf_profile, threshold=0.9)) == 0
+
+
+class TestRender:
+    def test_render_contains_hierarchy(self, runtime_profile):
+        text = render(runtime_profile)
+        for name in ("Retiring", "Frontend_Bound", "Backend_Bound"):
+            assert name in text
+
+    def test_bottleneck_marker(self, mcf_profile):
+        text = render(mcf_profile, threshold=0.15)
+        assert "<== bottleneck" in text
+
+    def test_noise_caveat_present(self, runtime_profile):
+        text = render(runtime_profile)
+        assert f"{NOISE_FLOOR:.0%}" in text
+
+    def test_compare_table(self, runtime_profile, mcf_profile):
+        text = compare({"System.Runtime": runtime_profile,
+                        "mcf": mcf_profile})
+        assert "System.Runtime" in text and "mcf" in text
+        assert "DRAM_Bound" in text

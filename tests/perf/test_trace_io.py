@@ -1,0 +1,147 @@
+"""Tests for trace record / replay."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.perf.trace_io import (TraceFormatError, TraceWriteError, record,
+                                 replay, trace_info)
+from repro.trace import (OP_BLOCK, OP_BRANCH, OP_EVENT, OP_LOAD, OP_STORE,
+                         EV_GC_TRIGGERED, EV_JIT_STARTED)
+from repro.workloads.dotnet import dotnet_category_specs
+from repro.workloads.program import build_program
+
+SAMPLE_OPS = [
+    (OP_BLOCK, 0x4000_0000, 10, 48, False),
+    (OP_LOAD, 0x8000_0000),
+    (OP_STORE, 0x8000_0040),
+    (OP_BRANCH, 0x4000_0030, 0x4000_0000, True),
+    (OP_EVENT, EV_JIT_STARTED, 42),
+    (OP_BLOCK, 0xFFFF_8000_0000, 5, 24, True),
+    (OP_EVENT, EV_GC_TRIGGERED, None),
+]
+
+
+class TestRoundTrip:
+    def test_ops_survive_roundtrip(self, tmp_path):
+        path = tmp_path / "t.trace"
+        record(iter(SAMPLE_OPS), path)
+        out = list(replay(path))
+        assert len(out) == len(SAMPLE_OPS)
+        for orig, back in zip(SAMPLE_OPS, out):
+            assert back[0] == orig[0]
+            if orig[0] in (OP_LOAD, OP_STORE):
+                assert back[1] == orig[1]
+            elif orig[0] == OP_BLOCK:
+                assert back[1:] == orig[1:]
+            elif orig[0] == OP_BRANCH:
+                assert back[1:] == (orig[1], orig[2], orig[3])
+            elif orig[0] == OP_EVENT:
+                assert back[1] == orig[1]     # kind preserved
+
+    def test_instruction_count_returned(self, tmp_path):
+        path = tmp_path / "t.trace"
+        n = record(iter(SAMPLE_OPS), path)
+        assert n == 10 + 1 + 1 + 1 + 5
+
+    def test_max_instructions_bounds_recording(self, tmp_path):
+        path = tmp_path / "t.trace"
+        ops = ((OP_BLOCK, 0x4000_0000 + i * 64, 10, 48, False)
+               for i in range(1000))
+        n = record(ops, path, max_instructions=55)
+        assert 55 <= n <= 65
+
+    def test_real_workload_trace_replays_identically(self, tmp_path):
+        spec = next(s for s in dotnet_category_specs()
+                    if s.name == "System.Runtime")
+        prog = build_program(spec, seed=4)
+        ops = list(itertools.islice(prog.ops(), 5000))
+        path = tmp_path / "w.trace"
+        record(iter(ops), path)
+        replayed = list(replay(path))
+        # Memory/code behavior is bit-identical; event payloads are
+        # intentionally dropped.
+        assert len(replayed) == len(ops)
+        for a, b in zip(ops, replayed):
+            if a[0] != OP_EVENT:
+                assert a[0] == b[0] and a[1] == b[1]
+
+    def test_replayed_trace_drives_core_identically(self, tmp_path):
+        from repro.kernel.vm import VirtualMemory
+        from repro.uarch.machine import i9_9980xe
+        from repro.uarch.pipeline import Core
+        spec = next(s for s in dotnet_category_specs()
+                    if s.name == "System.Linq")
+        prog = build_program(spec, seed=4)
+        ops = list(itertools.islice(prog.ops(), 8000))
+        path = tmp_path / "w.trace"
+        record(iter(ops), path)
+
+        def run(op_iter):
+            core = Core(i9_9980xe(), VirtualMemory())
+            core.set_hints(spec.hints())
+            core.consume(op_iter)
+            return (core.counts.instructions, core.counts.loads,
+                    core.l1d.stats.demand_misses,
+                    core.branch_unit.stats.mispredicts)
+
+        assert run(iter(ops)) == run(replay(path))
+
+
+class TestInfoAndErrors:
+    def test_trace_info(self, tmp_path):
+        path = tmp_path / "t.trace"
+        record(iter(SAMPLE_OPS), path)
+        info = trace_info(path)
+        assert info["blocks"] == 2
+        assert info["loads"] == 1 and info["stores"] == 1
+        assert info["events"] == 2
+        assert info["instructions"] == 18
+        assert info["kernel_instructions"] == 5
+        assert info["bytes"] > 16
+
+    def test_bad_magic_rejected(self, tmp_path):
+        path = tmp_path / "bad.trace"
+        path.write_bytes(b"NOTATRACExxxxxxx")
+        with pytest.raises(TraceFormatError):
+            list(replay(path))
+
+    def test_truncated_header_rejected(self, tmp_path):
+        path = tmp_path / "short.trace"
+        path.write_bytes(b"RPR")
+        with pytest.raises(TraceFormatError):
+            list(replay(path))
+
+    def test_unknown_tag_rejected(self, tmp_path):
+        path = tmp_path / "t.trace"
+        record(iter(SAMPLE_OPS[:1]), path)
+        with open(path, "ab") as fh:
+            fh.write(b"\x7f")
+        with pytest.raises(TraceFormatError):
+            list(replay(path))
+
+    def test_oversized_block_rejected(self, tmp_path):
+        with pytest.raises(TraceWriteError):
+            record(iter([(OP_BLOCK, 0, 1 << 17, 48, False)]),
+                   tmp_path / "t.trace")
+
+    def test_unknown_op_rejected(self, tmp_path):
+        with pytest.raises(TraceWriteError):
+            record(iter([(99, 0)]), tmp_path / "t.trace")
+
+
+@given(st.lists(st.one_of(
+    st.tuples(st.just(OP_LOAD), st.integers(0, (1 << 48) - 1)),
+    st.tuples(st.just(OP_STORE), st.integers(0, (1 << 48) - 1)),
+    st.tuples(st.just(OP_BRANCH), st.integers(0, (1 << 48) - 1),
+              st.integers(0, (1 << 48) - 1), st.booleans()),
+    st.tuples(st.just(OP_BLOCK), st.integers(0, (1 << 48) - 1),
+              st.integers(0, 65535), st.integers(1, 65535),
+              st.booleans())),
+    max_size=80))
+@settings(max_examples=40, deadline=None)
+def test_property_roundtrip_identity(tmp_path_factory, ops):
+    path = tmp_path_factory.mktemp("traces") / "p.trace"
+    record(iter(ops), path)
+    assert list(replay(path)) == [tuple(op) for op in ops]

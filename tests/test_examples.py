@@ -1,0 +1,56 @@
+"""Smoke tests: every example script runs end to end (small arguments)."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def run_example(name, *args, timeout=240):
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True, text=True, timeout=timeout)
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    return proc.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py", "SeekUnroll")
+        assert "Top-Down" in out
+        assert "llc_mpki" in out
+
+    def test_subset_selection(self):
+        out = run_example("subset_selection.py", "--k", "4",
+                          "--instructions", "20000")
+        assert "representative subset" in out
+        assert "subset accuracy" in out
+
+    def test_gc_study(self):
+        out = run_example("gc_study.py", "--category", "System.Linq",
+                          "--instructions", "60000")
+        assert "GC/Triggered" in out
+        assert "speedup" in out
+
+    def test_jit_coldstart(self):
+        out = run_example("jit_coldstart.py", "--instructions", "120000")
+        assert "pearson r" in out
+        assert "reused pages" in out
+
+    def test_aspnet_scaling(self):
+        out = run_example("aspnet_scaling.py", "--instructions", "20000")
+        assert "per-core LLC MPKI" in out
+
+    def test_trace_record_replay(self):
+        out = run_example("trace_record_replay.py",
+                          "--instructions", "25000")
+        assert "recorded" in out
+        assert "same trace, different machines" in out
+
+    def test_arm_comparison(self):
+        out = run_example("arm_comparison.py", "--categories", "3",
+                          "--instructions", "30000")
+        assert "arm/x86" in out

@@ -1,0 +1,72 @@
+"""Public-API sanity: exports, docstrings, and the quickstart path."""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+PACKAGES = ["repro", "repro.core", "repro.uarch", "repro.kernel",
+            "repro.runtime", "repro.workloads", "repro.perf",
+            "repro.harness"]
+
+
+def all_modules():
+    out = []
+    for pkg_name in PACKAGES:
+        pkg = importlib.import_module(pkg_name)
+        out.append(pkg)
+        for info in pkgutil.iter_modules(pkg.__path__,
+                                         prefix=pkg_name + "."):
+            out.append(importlib.import_module(info.name))
+    return out
+
+
+class TestModuleHygiene:
+    def test_every_module_has_a_docstring(self):
+        bare = [m.__name__ for m in all_modules() if not (m.__doc__ or
+                                                          "").strip()]
+        assert not bare, f"modules without docstrings: {bare}"
+
+    def test_all_exports_resolve(self):
+        for module in all_modules():
+            for name in getattr(module, "__all__", ()):
+                assert hasattr(module, name), (module.__name__, name)
+
+    def test_public_classes_documented(self):
+        undocumented = []
+        for module in all_modules():
+            for name, obj in vars(module).items():
+                if (inspect.isclass(obj) and not name.startswith("_")
+                        and obj.__module__ == module.__name__
+                        and not (obj.__doc__ or "").strip()):
+                    undocumented.append(f"{module.__name__}.{name}")
+        assert not undocumented, undocumented
+
+    def test_version(self):
+        assert repro.__version__
+
+
+class TestQuickCharacterize:
+    def test_dotnet_lookup(self):
+        from repro import Fidelity, quick_characterize
+        r = quick_characterize(
+            "SeekUnroll",
+            fidelity=Fidelity(warmup_instructions=8_000,
+                              measure_instructions=12_000))
+        assert r.counters.instructions >= 12_000
+
+    def test_unknown_name(self):
+        from repro import quick_characterize
+        with pytest.raises(KeyError):
+            quick_characterize("NopeBench")
+
+    def test_machine_key(self):
+        from repro import Fidelity, quick_characterize
+        r = quick_characterize(
+            "SeekUnroll", machine="xeon",
+            fidelity=Fidelity(warmup_instructions=8_000,
+                              measure_instructions=12_000))
+        assert "Xeon" in r.machine.name

@@ -1,0 +1,190 @@
+"""Unit tests for branch prediction structures."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.uarch.branch import (BranchUnit, Btb, GsharePredictor,
+                                LoopPredictor)
+
+
+class TestGshare:
+    def test_learns_always_taken(self):
+        p = GsharePredictor(history_bits=0)
+        pc = 0x400
+        for _ in range(4):
+            p.update(pc, True)
+        assert p.predict(pc) is True
+
+    def test_learns_never_taken(self):
+        p = GsharePredictor(history_bits=0)
+        pc = 0x400
+        for _ in range(4):
+            p.update(pc, False)
+        assert p.predict(pc) is False
+
+    def test_hysteresis_survives_single_flip(self):
+        p = GsharePredictor(history_bits=0)
+        pc = 0x400
+        for _ in range(4):
+            p.update(pc, True)
+        p.update(pc, False)                  # one not-taken
+        assert p.predict(pc) is True         # 2-bit counter still >= 2
+
+    def test_biased_branch_accuracy(self):
+        p = GsharePredictor(history_bits=0)
+        rng = random.Random(1)
+        pc = 0x1230
+        correct = 0
+        n = 2000
+        for _ in range(n):
+            taken = rng.random() < 0.95
+            if p.predict(pc) == taken:
+                correct += 1
+            p.update(pc, taken)
+        assert correct / n > 0.88
+
+    def test_history_mode_updates_history(self):
+        p = GsharePredictor(history_bits=4)
+        p.update(0x100, True)
+        p.update(0x100, True)
+        assert p._history == 0b11
+
+
+class TestBtb:
+    def test_insert_lookup(self):
+        b = Btb(entries=64, ways=4)
+        b.insert(0x400, 0x800)
+        assert b.lookup(0x400) == 0x800
+
+    def test_miss_on_unknown(self):
+        b = Btb(entries=64, ways=4)
+        assert b.lookup(0x400) is None
+
+    def test_update_existing_target(self):
+        b = Btb(entries=64, ways=4)
+        b.insert(0x400, 0x800)
+        b.insert(0x400, 0xC00)
+        assert b.lookup(0x400) == 0xC00
+
+    def test_lru_eviction_within_set(self):
+        b = Btb(entries=8, ways=2)           # 4 sets
+        set_stride = 4 * 4                   # pcs mapping to the same set
+        pcs = [i * set_stride for i in range(3)]
+        b.insert(pcs[0], 1)
+        b.insert(pcs[1], 2)
+        b.lookup(pcs[0])                      # MRU
+        b.insert(pcs[2], 3)                   # evicts pcs[1]
+        assert b.lookup(pcs[0]) == 1
+        assert b.lookup(pcs[1]) is None
+
+
+class TestLoopPredictor:
+    def test_learns_fixed_trip_count(self):
+        lp = LoopPredictor()
+        pc = 0x500
+        mispredicts = 0
+        # 10 executions of a loop with 5 trips: T T T T N
+        for it in range(10):
+            for trip in range(5):
+                taken = trip < 4
+                pred = lp.predict(pc)
+                if it >= 4 and pred is not None and pred != taken:
+                    mispredicts += 1
+                if taken:
+                    lp.allocate(pc)
+                lp.update(pc, taken)
+        assert mispredicts == 0
+
+    def test_not_confident_on_variable_trips(self):
+        lp = LoopPredictor()
+        pc = 0x500
+        rng = random.Random(3)
+        for _ in range(20):
+            trips = rng.choice([3, 5, 7])
+            for t in range(trips):
+                taken = t < trips - 1
+                if taken:
+                    lp.allocate(pc)
+                lp.update(pc, taken)
+        assert lp.predict(pc) is None
+
+    def test_untracked_pc_predicts_none(self):
+        lp = LoopPredictor()
+        assert lp.predict(0x999) is None
+
+    def test_capacity_bounded(self):
+        lp = LoopPredictor(max_entries=4)
+        for i in range(10):
+            lp.allocate(0x100 + i * 4)
+        assert len(lp._table) <= 4
+
+
+class TestBranchUnit:
+    def test_counts_branches_and_taken(self):
+        bu = BranchUnit()
+        bu.resolve(0x100, True, 0x200)
+        bu.resolve(0x104, False, 0x108)
+        assert bu.stats.branches == 2
+        assert bu.stats.taken == 1
+
+    def test_btb_miss_on_first_taken(self):
+        bu = BranchUnit()
+        _, btb_miss = bu.resolve(0x100, True, 0x200)
+        assert btb_miss
+        _, btb_miss = bu.resolve(0x100, True, 0x200)
+        assert not btb_miss
+
+    def test_target_change_counts_resteer(self):
+        bu = BranchUnit()
+        bu.resolve(0x100, True, 0x200)
+        _, btb_miss = bu.resolve(0x100, True, 0x300)
+        assert btb_miss
+
+    def test_not_taken_never_btb_miss(self):
+        bu = BranchUnit()
+        _, btb_miss = bu.resolve(0x100, False, 0x104)
+        assert not btb_miss
+
+    def test_biased_stream_low_mispredicts(self):
+        bu = BranchUnit()
+        rng = random.Random(7)
+        pcs = [0x1000 + i * 16 for i in range(20)]
+        n = 0
+        for _ in range(200):
+            for pc in pcs:
+                bu.resolve(pc, rng.random() < 0.97, pc + 64)
+                n += 1
+        assert bu.stats.mispredicts / n < 0.10
+
+    def test_loop_exit_predicted_after_training(self):
+        bu = BranchUnit()
+        pc, body = 0x2000, 0x1F00            # backward target
+        for _ in range(30):
+            for trip in range(6):
+                bu.resolve(pc, trip < 5, body)
+        # Steady state: essentially no mispredicts in the last iterations.
+        before = bu.stats.mispredicts
+        for _ in range(10):
+            for trip in range(6):
+                bu.resolve(pc, trip < 5, body)
+        assert bu.stats.mispredicts - before <= 1
+
+    def test_reset_stats(self):
+        bu = BranchUnit()
+        bu.resolve(0x100, True, 0x200)
+        bu.reset_stats()
+        assert bu.stats.branches == 0
+
+
+@given(st.lists(st.tuples(st.integers(0, 1023), st.booleans()),
+                min_size=1, max_size=500))
+@settings(max_examples=30, deadline=None)
+def test_property_mispredicts_bounded_by_branches(events):
+    bu = BranchUnit()
+    for pc_idx, taken in events:
+        bu.resolve(0x1000 + pc_idx * 4, taken, 0x1000 + (pc_idx * 7 % 997) * 4)
+    s = bu.stats
+    assert 0 <= s.mispredicts <= s.branches
+    assert 0 <= s.btb_misses <= s.taken
+    assert s.branches == len(events)

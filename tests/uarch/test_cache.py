@@ -1,0 +1,236 @@
+"""Unit tests for the set-associative cache model."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.uarch.cache import Cache, CacheHierarchy, L1, L2, L3, DRAM
+
+
+def make_cache(size=4096, line=64, ways=4, name="T"):
+    return Cache(name, size, line, ways)
+
+
+class TestConstruction:
+    def test_basic_geometry(self):
+        c = make_cache(size=8192, line=64, ways=4)
+        assert c.n_sets == 32
+        assert c.line_size == 64
+        assert c.ways == 4
+
+    def test_rejects_non_divisible_size(self):
+        with pytest.raises(ValueError):
+            Cache("bad", 1000, 64, 4)
+
+    def test_rejects_non_power_of_two_sets(self):
+        # 3 sets: 3 * 64 * 4 = 768 bytes
+        with pytest.raises(ValueError):
+            Cache("bad", 768, 64, 4)
+
+    def test_single_set_fully_associative(self):
+        c = Cache("fa", 64 * 8, 64, 8)
+        assert c.n_sets == 1
+
+
+class TestAccessSemantics:
+    def test_miss_then_fill_then_hit(self):
+        c = make_cache()
+        assert not c.access(0x1000)
+        c.fill(0x1000)
+        assert c.access(0x1000)
+        assert c.stats.demand_accesses == 2
+        assert c.stats.demand_misses == 1
+
+    def test_same_line_different_offsets_hit(self):
+        c = make_cache()
+        c.fill(0x1000)
+        assert c.access(0x1001)
+        assert c.access(0x103F)
+
+    def test_adjacent_lines_are_distinct(self):
+        c = make_cache()
+        c.fill(0x1000)
+        assert not c.access(0x1040)
+
+    def test_lru_eviction_order(self):
+        c = Cache("t", 64 * 2, 64, 2)       # 1 set, 2 ways
+        c.fill(0x0)
+        c.fill(0x40)
+        c.access(0x0)                        # make 0x0 MRU
+        c.fill(0x80)                         # evicts 0x40 (LRU)
+        assert c.contains(0x0)
+        assert not c.contains(0x40)
+        assert c.contains(0x80)
+
+    def test_occupancy_bounded_by_capacity(self):
+        c = make_cache(size=1024, ways=4)    # 16 lines
+        for i in range(100):
+            c.fill(i * 64)
+        assert c.occupancy <= 16
+
+    def test_contains_does_not_update_stats(self):
+        c = make_cache()
+        c.contains(0x1000)
+        assert c.stats.accesses == 0
+
+
+class TestPrefetchTagging:
+    def test_useful_prefetch_counted_on_first_hit(self):
+        c = make_cache()
+        c.fill(0x1000, prefetch=True)
+        assert c.stats.prefetch_fills == 1
+        c.access(0x1000)
+        assert c.stats.useful_prefetches == 1
+        c.access(0x1000)                     # only first hit counts
+        assert c.stats.useful_prefetches == 1
+
+    def test_useless_prefetch_counted_on_unused_eviction(self):
+        c = Cache("t", 64 * 2, 64, 2)
+        c.fill(0x0, prefetch=True)
+        c.fill(0x40)
+        c.fill(0x80)                         # evicts unused prefetch 0x0
+        assert c.stats.useless_prefetches == 1
+
+    def test_used_prefetch_not_useless_on_eviction(self):
+        c = Cache("t", 64 * 2, 64, 2)
+        c.fill(0x0, prefetch=True)
+        c.access(0x0)
+        c.fill(0x40)
+        c.fill(0x80)
+        assert c.stats.useless_prefetches == 0
+
+    def test_demand_fill_over_prefetched_line_marks_used(self):
+        c = Cache("t", 64 * 2, 64, 2)
+        c.fill(0x0, prefetch=True)
+        c.fill(0x0)                          # demand fill of same line
+        c.fill(0x40)
+        c.fill(0x80)
+        assert c.stats.useless_prefetches == 0
+
+
+class TestWritebacks:
+    def test_dirty_eviction_counts_writeback(self):
+        c = Cache("t", 64 * 2, 64, 2)
+        c.fill(0x0, dirty=True)
+        c.fill(0x40)
+        c.fill(0x80)
+        assert c.stats.writebacks == 1
+
+    def test_clean_eviction_no_writeback(self):
+        c = Cache("t", 64 * 2, 64, 2)
+        c.fill(0x0)
+        c.fill(0x40)
+        c.fill(0x80)
+        assert c.stats.writebacks == 0
+
+    def test_write_hit_marks_dirty(self):
+        c = Cache("t", 64 * 2, 64, 2)
+        c.fill(0x0)
+        c.access(0x0, is_write=True)
+        c.fill(0x40)
+        c.fill(0x80)
+        assert c.stats.writebacks == 1
+
+
+class TestInvalidate:
+    def test_invalidate_range(self):
+        c = make_cache()
+        c.fill(0x1000)
+        c.fill(0x1040)
+        c.fill(0x2000)
+        n = c.invalidate_range(0x1000, 128)
+        assert n == 2
+        assert not c.contains(0x1000)
+        assert not c.contains(0x1040)
+        assert c.contains(0x2000)
+
+    def test_reset_stats_keeps_contents(self):
+        c = make_cache()
+        c.fill(0x1000)
+        c.access(0x1000)
+        c.reset_stats()
+        assert c.stats.accesses == 0
+        assert c.contains(0x1000)
+
+
+class TestHierarchy:
+    def make(self):
+        l1 = Cache("l1", 64 * 4, 64, 4)
+        l2 = Cache("l2", 64 * 16, 64, 4)
+        llc = Cache("llc", 64 * 64, 64, 4)
+        return CacheHierarchy(l1, l2, llc), l1, l2, llc
+
+    def test_first_access_goes_to_dram(self):
+        h, *_ = self.make()
+        assert h.access(0x1000) == DRAM
+
+    def test_second_access_hits_l1(self):
+        h, *_ = self.make()
+        h.access(0x1000)
+        assert h.access(0x1000) == L1
+
+    def test_l1_eviction_falls_to_l2(self):
+        h, l1, l2, llc = self.make()
+        h.access(0x0)
+        # Fill the single-set-conflicting lines to evict 0x0 from L1.
+        for i in range(1, 5):
+            h.access(i * 64 * l1.n_sets)
+        level = h.access(0x0)
+        assert level in (L2, L3)
+
+    def test_no_llc_hierarchy(self):
+        l1 = Cache("l1", 64 * 4, 64, 4)
+        l2 = Cache("l2", 64 * 16, 64, 4)
+        h = CacheHierarchy(l1, l2, None)
+        assert h.access(0x1000) == L3        # memory level when 2-level
+
+
+# ---------------------------------------------------------------------------
+# Property-based tests
+# ---------------------------------------------------------------------------
+
+@given(st.lists(st.integers(min_value=0, max_value=1 << 20), min_size=1,
+                max_size=400))
+@settings(max_examples=50, deadline=None)
+def test_property_occupancy_never_exceeds_capacity(addrs):
+    c = Cache("p", 2048, 64, 4)              # 32 lines
+    for a in addrs:
+        if not c.access(a):
+            c.fill(a)
+    assert c.occupancy <= 32
+
+
+@given(st.lists(st.integers(min_value=0, max_value=1 << 16), min_size=1,
+                max_size=200))
+@settings(max_examples=50, deadline=None)
+def test_property_access_after_fill_always_hits(addrs):
+    c = Cache("p", 4096, 64, 8)
+    for a in addrs:
+        c.fill(a)
+        assert c.access(a), f"just-filled line {a:#x} must hit (MRU)"
+
+
+@given(st.lists(st.integers(min_value=0, max_value=1 << 18), min_size=1,
+                max_size=300))
+@settings(max_examples=50, deadline=None)
+def test_property_stats_are_consistent(addrs):
+    c = Cache("p", 1024, 64, 2)
+    for a in addrs:
+        if not c.access(a):
+            c.fill(a)
+    st_ = c.stats
+    assert st_.hits + st_.misses == st_.accesses
+    assert 0.0 <= st_.miss_rate <= 1.0
+    assert st_.demand_accesses == len(addrs)
+
+
+@given(st.lists(st.integers(min_value=0, max_value=63), min_size=5,
+                max_size=100))
+@settings(max_examples=30, deadline=None)
+def test_property_contains_agrees_with_hit(line_ids):
+    c = Cache("p", 2048, 64, 4)
+    for lid in line_ids:
+        addr = lid * 64
+        expected = c.contains(addr)
+        assert c.access(addr) == expected
+        if not expected:
+            c.fill(addr)

@@ -1,0 +1,93 @@
+"""Tests for the Table II machine configurations."""
+
+import pytest
+
+from repro.uarch.machine import (arm_server, get_machine, i9_9980xe, scaled,
+                                 xeon_e5_2620v4)
+
+
+class TestTable2Fidelity:
+    """The presets must match the paper's Table II."""
+
+    def test_xeon(self):
+        m = xeon_e5_2620v4()
+        assert m.isa == "x86-64"
+        assert (m.physical_cores, m.logical_cores) == (16, 32)
+        assert m.nominal_freq_hz == 2.1e9 and m.max_freq_hz == 3.0e9
+        assert m.l1d.size_bytes == 32 * 1024
+        assert m.l1i.size_bytes == 32 * 1024
+        assert m.l2.size_bytes == 256 * 1024
+        assert m.llc.size_bytes == 40 * 1024 * 1024      # 20 MiB x 2
+
+    def test_i9(self):
+        m = i9_9980xe()
+        assert m.isa == "x86-64"
+        assert (m.physical_cores, m.logical_cores) == (18, 18)
+        assert m.nominal_freq_hz == 3.0e9 and m.max_freq_hz == 4.5e9
+        assert m.l2.size_bytes == 1024 * 1024
+        # Paper: 24.8 MiB; modeled as 24 MiB for power-of-two sets.
+        assert abs(m.llc.size_bytes - 24.8 * 1024 * 1024) \
+            < 1024 * 1024
+
+    def test_arm(self):
+        m = arm_server()
+        assert m.isa == "aarch64"
+        assert (m.physical_cores, m.logical_cores) == (32, 32)
+        assert m.nominal_freq_hz == 1.6e9 and m.max_freq_hz == 2.2e9
+        assert m.llc.size_bytes == 32 * 1024 * 1024
+        # §III-B: 4-wide decode, 180-entry ROB, 2K-entry secondary TLB.
+        assert m.decode_width == 4
+        assert m.rob_entries == 180
+        assert m.stlb.entries == 2048
+
+    def test_arm_software_stack_immaturity(self):
+        m = arm_server()
+        assert m.code_bloat > 1.0
+        assert m.dynamic_instr_bloat > 1.0
+
+
+class TestLookupAndScaling:
+    def test_get_machine(self):
+        assert get_machine("i9").name.startswith("Intel Core")
+        assert get_machine("xeon").name.startswith("Intel Xeon")
+        assert get_machine("arm").isa == "aarch64"
+
+    def test_get_machine_unknown(self):
+        with pytest.raises(KeyError):
+            get_machine("m1")
+
+    def test_scaled_override(self):
+        m = scaled(i9_9980xe(), pipeline_width=6)
+        assert m.pipeline_width == 6
+        assert m.l2 == i9_9980xe().l2
+
+    def test_sim_cache_scaling(self):
+        m = i9_9980xe()
+        assert m.sim_cache(m.l2).size_bytes \
+            == m.l2.size_bytes // m.capacity_scale
+        assert m.sim_cache(m.l1d, small=True).size_bytes \
+            == m.l1d.size_bytes // m.l1_scale
+
+    def test_sim_cache_never_below_one_set(self):
+        m = scaled(i9_9980xe(), capacity_scale=10 ** 9)
+        cfg = m.sim_cache(m.l2)
+        assert cfg.size_bytes >= cfg.line_size * cfg.ways
+
+    def test_sim_tlb_scaling(self):
+        m = i9_9980xe()
+        assert m.sim_tlb(m.itlb).entries == m.itlb.entries // m.l1_scale
+
+    def test_predictor_table_not_scaled(self):
+        m = i9_9980xe()
+        assert m.sim_bp_table_bits == m.bp_table_bits
+
+    def test_describe(self):
+        text = i9_9980xe().describe()
+        assert "18C" in text and "GHz" in text
+
+    def test_scaled_geometries_are_constructible(self):
+        """Every preset must instantiate a Core without geometry errors."""
+        from repro.kernel.vm import VirtualMemory
+        from repro.uarch.pipeline import Core
+        for key in ("xeon", "i9", "arm"):
+            Core(get_machine(key), VirtualMemory())

@@ -1,0 +1,80 @@
+"""Unit tests for the DRAM model."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.uarch.memory import DramModel
+
+
+class TestRowBuffer:
+    def test_first_access_is_row_miss(self):
+        d = DramModel()
+        lat = d.access(0x1000)
+        assert d.stats.row_misses == 1
+        assert lat == d.base_latency + d.row_miss_extra
+
+    def test_same_row_hits(self):
+        d = DramModel(row_size=8192)
+        d.access(0x0)
+        lat = d.access(0x40)
+        assert d.stats.row_hits == 1
+        assert lat == d.base_latency
+
+    def test_row_conflict_in_same_bank(self):
+        d = DramModel(n_banks=2, row_size=8192)
+        d.access(0)                           # bank 0, row 0
+        d.access(2 * 8192 * 2)                # bank 0, different row
+        assert d.stats.row_misses == 2
+
+    def test_different_banks_independent(self):
+        d = DramModel(n_banks=2, row_size=8192)
+        d.access(0)                           # bank 0
+        d.access(8192)                        # bank 1
+        d.access(0)                           # bank 0 row still open
+        assert d.stats.row_hits == 1
+
+
+class TestBandwidthAccounting:
+    def test_read_write_bytes(self):
+        d = DramModel(line_size=64)
+        d.access(0x0)
+        d.access(0x1000, is_write=True)
+        assert d.stats.bytes_read == 64
+        assert d.stats.bytes_written == 64
+        assert d.stats.reads == 1
+        assert d.stats.writes == 1
+
+    def test_page_miss_rate(self):
+        d = DramModel(row_size=8192)
+        d.access(0)
+        d.access(64)
+        d.access(128)
+        d.access(192)
+        assert abs(d.stats.page_miss_rate - 0.25) < 1e-9
+
+    def test_reset(self):
+        d = DramModel()
+        d.access(0)
+        d.reset_stats()
+        assert d.stats.reads == 0
+        assert d.stats.page_miss_rate == 0.0
+
+
+@given(st.lists(st.integers(min_value=0, max_value=1 << 24), min_size=1,
+                max_size=300))
+@settings(max_examples=40, deadline=None)
+def test_property_accounting_consistent(addrs):
+    d = DramModel()
+    for a in addrs:
+        d.access(a)
+    s = d.stats
+    assert s.row_hits + s.row_misses == len(addrs)
+    assert s.bytes_read == 64 * len(addrs)
+    assert 0.0 <= s.page_miss_rate <= 1.0
+
+
+@given(st.integers(min_value=0, max_value=1 << 30))
+@settings(max_examples=50, deadline=None)
+def test_property_repeat_access_is_row_hit(addr):
+    d = DramModel()
+    d.access(addr)
+    assert d.access(addr) == d.base_latency

@@ -1,0 +1,112 @@
+"""Unit tests for the prefetcher models (incl. the page-boundary rule)."""
+
+from repro.uarch.cache import Cache
+from repro.uarch.prefetch import NextLinePrefetcher, StreamPrefetcher
+
+
+def make_target():
+    return Cache("t", 64 * 1024, 64, 8)
+
+
+class TestStreamPrefetcher:
+    def test_no_prefetch_before_stream_detected(self):
+        c = make_target()
+        pf = StreamPrefetcher(c)
+        pf.observe(0x1000)
+        assert pf.stats.issued == 0
+
+    def test_prefetch_after_two_sequential_lines(self):
+        c = make_target()
+        pf = StreamPrefetcher(c, degree=2)
+        pf.observe(0x1000)
+        pf.observe(0x1040)
+        assert pf.stats.issued == 2
+        assert c.contains(0x1080)
+        assert c.contains(0x10C0)
+
+    def test_never_crosses_page_boundary(self):
+        """The paper's central JIT observation: prefetchers stop at 4 KiB."""
+        c = make_target()
+        pf = StreamPrefetcher(c, degree=4)
+        pf.observe(0x1F80)                    # last-but-one line of the page
+        pf.observe(0x1FC0)                    # last line
+        assert not c.contains(0x2000), "prefetch crossed a page boundary"
+        assert pf.stats.page_bounded >= 1
+
+    def test_prefetch_clamped_within_page(self):
+        c = make_target()
+        pf = StreamPrefetcher(c, degree=4)
+        pf.observe(0x1EC0)
+        pf.observe(0x1F00)
+        assert c.contains(0x1F40)
+        assert c.contains(0x1F80)
+        assert c.contains(0x1FC0)
+        assert not c.contains(0x2000)
+
+    def test_prefetched_lines_tagged(self):
+        c = make_target()
+        pf = StreamPrefetcher(c, degree=1)
+        pf.observe(0x1000)
+        pf.observe(0x1040)
+        assert c.stats.prefetch_fills == 1
+
+    def test_stream_table_bounded(self):
+        c = make_target()
+        pf = StreamPrefetcher(c, max_streams=4)
+        for page in range(10):
+            pf.observe(page * 4096)
+        assert len(pf._streams) <= 4
+
+    def test_backing_fetch_called(self):
+        c = make_target()
+        fetched = []
+        pf = StreamPrefetcher(c, degree=1, fetch=fetched.append)
+        pf.observe(0x1000)
+        pf.observe(0x1040)
+        assert fetched == [0x1080]
+
+    def test_no_duplicate_prefetch_of_resident_line(self):
+        c = make_target()
+        c.fill(0x1080)
+        pf = StreamPrefetcher(c, degree=1)
+        pf.observe(0x1000)
+        pf.observe(0x1040)
+        assert pf.stats.issued == 0
+
+
+class TestNextLinePrefetcher:
+    def test_prefetches_next_line(self):
+        c = make_target()
+        pf = NextLinePrefetcher(c)
+        pf.observe(0x1000)
+        assert c.contains(0x1040)
+
+    def test_page_bounded(self):
+        c = make_target()
+        pf = NextLinePrefetcher(c)
+        pf.observe(0x1FC0)
+        assert not c.contains(0x2000)
+        assert pf.stats.page_bounded == 1
+
+    def test_same_line_burst_is_cheap(self):
+        c = make_target()
+        pf = NextLinePrefetcher(c)
+        pf.observe(0x1000)
+        issued = pf.stats.issued
+        for _ in range(10):
+            pf.observe(0x1008)               # same line
+        assert pf.stats.issued == issued
+
+    def test_backing_fetch(self):
+        c = make_target()
+        fetched = []
+        pf = NextLinePrefetcher(c, fetch=fetched.append)
+        pf.observe(0x1000)
+        assert fetched == [0x1040]
+
+    def test_reset_stats(self):
+        c = make_target()
+        pf = NextLinePrefetcher(c)
+        pf.observe(0x1000)
+        pf.reset_stats()
+        assert pf.stats.issued == 0

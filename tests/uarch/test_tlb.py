@@ -1,0 +1,100 @@
+"""Unit tests for the TLB models."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.uarch.tlb import (Tlb, TlbHierarchy, TLB_L1, TLB_STLB, TLB_WALK)
+
+PAGE = 4096
+
+
+class TestTlb:
+    def test_miss_then_fill_then_hit(self):
+        t = Tlb("t", 8)
+        assert not t.access(0x1000)
+        t.fill(0x1000)
+        assert t.access(0x1234)              # same page
+
+    def test_different_pages_are_distinct(self):
+        t = Tlb("t", 8)
+        t.fill(0)
+        assert not t.access(PAGE)
+
+    def test_fully_associative_when_ways_omitted(self):
+        t = Tlb("t", 8)
+        assert t.ways == 8
+        assert t.n_sets == 1
+
+    def test_set_associative_geometry(self):
+        t = Tlb("t", 16, ways=4)
+        assert t.n_sets == 4
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ValueError):
+            Tlb("t", 12, ways=5)
+
+    def test_lru_eviction(self):
+        t = Tlb("t", 2)
+        t.fill(0 * PAGE)
+        t.fill(1 * PAGE)
+        t.access(0)                           # page 0 -> MRU
+        t.fill(2 * PAGE)                      # evicts page 1
+        assert t.access(0)
+        assert not t.access(1 * PAGE)
+
+    def test_fill_idempotent(self):
+        t = Tlb("t", 2)
+        t.fill(0)
+        t.fill(0)
+        t.fill(PAGE)
+        assert t.access(0)
+
+    def test_stats(self):
+        t = Tlb("t", 4)
+        t.access(0)
+        t.fill(0)
+        t.access(0)
+        assert t.stats.accesses == 2
+        assert t.stats.misses == 1
+
+    def test_reset_stats(self):
+        t = Tlb("t", 4)
+        t.access(0)
+        t.reset_stats()
+        assert t.stats.accesses == 0
+
+
+class TestHierarchy:
+    def test_walk_then_stlb_then_l1(self):
+        h = TlbHierarchy(Tlb("l1", 2), Tlb("stlb", 8))
+        assert h.access(0x1000) == TLB_WALK
+        assert h.access(0x1000) == TLB_L1
+        # Push the entry out of the small L1 but keep it in the STLB.
+        h.access(0x10000)
+        h.access(0x20000)
+        assert h.access(0x1000) == TLB_STLB
+
+    def test_walks_counted_on_l1(self):
+        h = TlbHierarchy(Tlb("l1", 2), Tlb("stlb", 8))
+        h.access(0)
+        h.access(PAGE)
+        assert h.l1.stats.walks == 2
+
+    def test_no_stlb(self):
+        h = TlbHierarchy(Tlb("l1", 2), None)
+        assert h.access(0) == TLB_WALK
+        assert h.access(0) == TLB_L1
+
+
+@given(st.lists(st.integers(min_value=0, max_value=255), min_size=1,
+                max_size=300))
+@settings(max_examples=50, deadline=None)
+def test_property_tlb_capacity_and_mru(pages):
+    t = Tlb("p", 16, ways=4)
+    for p in pages:
+        addr = p * PAGE
+        if not t.access(addr):
+            t.fill(addr)
+            assert t.access(addr)            # just-filled page must hit
+    total_entries = sum(len(b) for b in t._sets)
+    assert total_entries <= 16

@@ -1,0 +1,191 @@
+"""Tests for the three benchmark-suite registries (§II fidelity)."""
+
+import random
+from dataclasses import FrozenInstanceError
+
+import pytest
+
+from repro.paperdata import (TABLE4_ASPNET_SUBSET, TABLE4_DOTNET_SUBSET,
+                             TABLE4_SPEC_SUBSET)
+from repro.workloads.aspnet import ASPNET_BENCHMARKS, aspnet_specs
+from repro.workloads.dotnet import (DOTNET_CATEGORIES,
+                                    category_workload_count,
+                                    dotnet_category_specs, dotnet_workloads,
+                                    total_workload_count)
+from repro.workloads.spec import SuiteName, WorkloadSpec
+from repro.workloads.speccpu import SPEC_PROGRAMS, speccpu_specs
+
+
+class TestDotnetRegistry:
+    def test_44_categories(self):
+        """§II-A: 44 categories."""
+        assert len(DOTNET_CATEGORIES) == 44
+        assert len(dotnet_category_specs()) == 44
+
+    def test_2906_total_workloads(self):
+        """§II-A: 2906 individual microbenchmarks."""
+        assert total_workload_count() == 2906
+        assert len(dotnet_workloads()) == 2906
+
+    def test_category_counts_positive(self):
+        for cat in DOTNET_CATEGORIES:
+            assert category_workload_count(cat) > 0
+
+    def test_table4_categories_exist(self):
+        for name in TABLE4_DOTNET_SUBSET:
+            assert name in DOTNET_CATEGORIES
+
+    def test_unique_names(self):
+        assert len(set(DOTNET_CATEGORIES)) == 44
+        names = [w.name for w in dotnet_workloads()]
+        assert len(set(names)) == len(names)
+
+    def test_per_category_cap(self):
+        ws = dotnet_workloads(per_category=3)
+        per_cat = {}
+        for w in ws:
+            per_cat[w.category] = per_cat.get(w.category, 0) + 1
+        assert all(c <= 3 for c in per_cat.values())
+        assert len(per_cat) == 44
+
+    def test_workload_generation_deterministic(self):
+        a = dotnet_workloads(per_category=2, seed=5)
+        b = dotnet_workloads(per_category=2, seed=5)
+        assert a == b
+
+    def test_variants_differ_from_template(self):
+        ws = dotnet_workloads(per_category=4)
+        by_cat = {}
+        for w in ws:
+            by_cat.setdefault(w.category, []).append(w)
+        some = by_cat["System.Runtime"]
+        assert len({w.n_methods for w in some}) > 1
+
+    def test_all_managed(self):
+        assert all(s.managed for s in dotnet_category_specs())
+
+    def test_diagnostics_and_cscbench_are_outliers(self):
+        """Fig 1: these two split off at the top of the dendrogram —
+        they must be extreme in the registry (kernel share / code size)."""
+        by_name = {s.name: s for s in dotnet_category_specs()}
+        diag = by_name["System.Diagnostics"]
+        csc = by_name["CscBench"]
+        others = [s for s in dotnet_category_specs()
+                  if s.name not in ("System.Diagnostics", "CscBench")]
+        assert diag.syscalls_per_kinstr \
+            > max(s.syscalls_per_kinstr for s in others)
+        assert csc.n_methods > max(s.n_methods for s in others)
+
+
+class TestAspnetRegistry:
+    def test_53_benchmarks(self):
+        """§II-B: 53 benchmarks."""
+        assert len(ASPNET_BENCHMARKS) == 53
+        assert len(aspnet_specs()) == 53
+
+    def test_unique_names(self):
+        assert len(set(ASPNET_BENCHMARKS)) == 53
+
+    def test_table4_benchmarks_exist(self):
+        for name in TABLE4_ASPNET_SUBSET:
+            assert name in ASPNET_BENCHMARKS
+
+    def test_all_have_request_loop(self):
+        for s in aspnet_specs():
+            assert s.suite == SuiteName.ASPNET
+            assert s.response_bytes > 0 or s.request_bytes > 0
+
+    def test_2mb_payloads(self):
+        by_name = {s.name: s for s in aspnet_specs()}
+        assert by_name["MvcJsonNetOutput2M"].response_bytes == 2 * 1024 * 1024
+        assert by_name["MvcJsonNetInput2M"].request_bytes == 2 * 1024 * 1024
+
+    def test_db_benchmarks_query(self):
+        by_name = {s.name: s for s in aspnet_specs()}
+        assert by_name["DbFortunesRaw"].db_queries_per_request >= 1
+        assert by_name["MvcDbMultiUpdateRaw"].db_queries_per_request == 20
+        assert by_name["Plaintext"].db_queries_per_request == 0
+
+    def test_multithreaded(self):
+        assert all(s.threads > 1 for s in aspnet_specs())
+
+
+class TestSpecRegistry:
+    def test_23_distinct_programs(self):
+        assert len(SPEC_PROGRAMS) == 23
+        assert len(set(SPEC_PROGRAMS)) == 23
+
+    def test_table4_subset(self):
+        subset = speccpu_specs(subset_only=True)
+        assert [s.name for s in subset] == list(TABLE4_SPEC_SUBSET)
+
+    def test_all_native(self):
+        for s in speccpu_specs():
+            assert not s.managed
+            assert s.allocs_per_kinstr == 0.0
+            assert s.syscalls_per_kinstr == 0.0
+
+    def test_memory_monsters_have_big_working_sets(self):
+        by_name = {s.name: s for s in speccpu_specs()}
+        gb = 1024 ** 3
+        assert by_name["mcf"].native_ws_bytes > 1 * gb
+        assert by_name["bwaves"].native_ws_bytes > 1 * gb
+
+    def test_fp_programs_low_branch(self):
+        by_name = {s.name: s for s in speccpu_specs()}
+        for name in ("bwaves", "lbm", "fotonik3d", "cactuBSSN", "wrf"):
+            assert by_name[name].branch_frac < 0.10
+            assert by_name[name].fp_heavy
+
+    def test_branchy_int_programs(self):
+        by_name = {s.name: s for s in speccpu_specs()}
+        assert by_name["xalancbmk"].branch_frac > 0.2
+        assert by_name["perlbench"].branch_frac > 0.2
+
+    def test_spec_more_loads_fewer_stores_than_managed(self):
+        """§V-B: SPEC loads GM ~35% vs ~29%; stores ~11.5% vs ~16%."""
+        import numpy as np
+        spec_loads = np.mean([s.load_frac for s in speccpu_specs(True)])
+        spec_stores = np.mean([s.store_frac for s in speccpu_specs(True)])
+        dn_loads = np.mean([s.load_frac for s in dotnet_category_specs()])
+        dn_stores = np.mean([s.store_frac for s in dotnet_category_specs()])
+        assert spec_loads > dn_loads
+        assert spec_stores < dn_stores
+
+
+class TestWorkloadSpec:
+    def test_frozen(self):
+        s = dotnet_category_specs()[0]
+        with pytest.raises(FrozenInstanceError):
+            s.n_methods = 5
+
+    def test_varied_respects_overrides(self):
+        s = dotnet_category_specs()[0]
+        v = s.varied(random.Random(0), name="X")
+        assert v.name == "X"
+        assert v.category == s.category
+
+    def test_varied_bounds(self):
+        s = dotnet_category_specs()[0]
+        rng = random.Random(1)
+        for i in range(50):
+            v = s.varied(rng, name=f"v{i}")
+            assert v.n_methods >= 4
+            assert 0.05 <= v.taken_bias <= 0.95
+            assert v.mlp >= 1.1
+
+    def test_hints_reflect_pointer_chasing(self):
+        chaser = WorkloadSpec(name="x", suite="speccpu",
+                              pointer_chase_frac=0.5)
+        plain = WorkloadSpec(name="y", suite="speccpu")
+        assert chaser.hints().mlp < plain.hints().mlp
+
+    def test_mix_profile_roundtrip(self):
+        s = dotnet_category_specs()[0]
+        mix = s.mix_profile()
+        assert mix.branch_frac == s.branch_frac
+        assert mix.load_frac == s.load_frac
+
+    def test_qualified_name(self):
+        s = dotnet_category_specs()[0]
+        assert s.qualified_name == f"dotnet/{s.name}"

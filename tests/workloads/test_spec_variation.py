@@ -1,0 +1,49 @@
+"""Property-based tests for workload-spec variation and hints."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.workloads.dotnet import dotnet_category_specs
+from repro.workloads.spec import WorkloadSpec
+
+
+TEMPLATES = dotnet_category_specs()
+
+
+@given(st.integers(min_value=0, max_value=10 ** 6),
+       st.integers(min_value=0, max_value=len(TEMPLATES) - 1))
+@settings(max_examples=60, deadline=None)
+def test_property_varied_specs_always_valid(seed, idx):
+    """Every generated variant must produce a constructible mix profile
+    and sane hint values (these feed the simulator directly)."""
+    template = TEMPLATES[idx]
+    v = template.varied(random.Random(seed), name="v")
+    mix = v.mix_profile()                      # must not raise
+    assert 0 < mix.branch_frac <= 0.5
+    hints = v.hints()
+    assert hints.ilp >= 1.0
+    assert hints.mlp >= 1.0
+    assert 0 <= hints.microcode_frac < 0.5
+    assert v.n_methods >= 4
+    assert v.hot_objects >= 16
+    assert v.work_item_instructions >= 400
+
+
+@given(st.integers(min_value=0, max_value=10 ** 6))
+@settings(max_examples=30, deadline=None)
+def test_property_variation_is_deterministic(seed):
+    t = TEMPLATES[0]
+    a = t.varied(random.Random(seed), name="x")
+    b = t.varied(random.Random(seed), name="x")
+    assert a == b
+
+
+@given(st.floats(min_value=0.0, max_value=1.0))
+@settings(max_examples=30, deadline=None)
+def test_property_pointer_chasing_reduces_mlp(chase):
+    base = WorkloadSpec(name="b", suite="speccpu", mlp=4.0)
+    chaser = WorkloadSpec(name="c", suite="speccpu", mlp=4.0,
+                          pointer_chase_frac=chase)
+    assert chaser.hints().mlp <= base.hints().mlp
+    assert chaser.hints().mlp >= 1.0
