@@ -10,16 +10,20 @@ Fidelity is controlled by ``REPRO_BENCH_FIDELITY``:
 * ``quick``  — fast sanity pass (small windows, 2 workloads/category);
 * ``default``— the standard setting used for EXPERIMENTS.md;
 * ``paper``  — largest windows, full 2906-workload corpus for Subset B.
+
+``REPRO_BENCH_JOBS`` sets the worker-process count for suite runs
+(results are bit-identical to serial; parallelism only changes
+wall-clock time).
 """
 
 from __future__ import annotations
 
 import os
-import pickle
 from pathlib import Path
 
 import pytest
 
+from repro.exec.store import ResultStore
 from repro.harness.runner import Fidelity
 from repro.harness.suite import SuiteResult, characterize_suite
 from repro.uarch.machine import get_machine
@@ -69,71 +73,82 @@ def machine_arm():
 # ---------------------------------------------------------------------------
 # Cached suite characterizations (the backbone of most figures).
 #
-# Runs are cached on disk under benchmarks/.cache keyed by fidelity and
-# machine, so separate pytest invocations (and re-runs) share them.  The
-# simulator is fully deterministic, so caching is sound; delete the cache
-# directory after changing simulator code.
+# Runs are served from the content-addressed result store under
+# benchmarks/.cache, so separate pytest invocations (and re-runs) share
+# them.  Keys include a fingerprint of the simulator source tree, so
+# editing anything under src/repro/ invalidates stale entries
+# automatically — no manual cache deletion needed.
 # ---------------------------------------------------------------------------
 
 CACHE_DIR = Path(__file__).parent / ".cache"
 
 
-def _cached_suite(key: str, fidelity: Fidelity, specs, machine
-                  ) -> SuiteResult:
-    CACHE_DIR.mkdir(exist_ok=True)
-    tag = (f"{key}-w{fidelity.warmup_instructions}"
-           f"-m{fidelity.measure_instructions}"
-           f"-c{fidelity.workloads_per_category}")
-    path = CACHE_DIR / f"{tag}.pkl"
-    if path.exists():
-        with path.open("rb") as fh:
-            return pickle.load(fh)
-    result = characterize_suite(specs, machine, fidelity)
-    with path.open("wb") as fh:
-        pickle.dump(result, fh)
-    return result
+def bench_jobs() -> int:
+    return max(1, int(os.environ.get("REPRO_BENCH_JOBS", "1")))
+
+
+def _purge_legacy_cache() -> None:
+    # The pre-`repro.exec` cache was flat `<tag>.pkl` pickles keyed only
+    # by fidelity/machine — unsound across simulator changes and
+    # superseded by the store's fingerprinted layout.  Drop any left
+    # over so they can never be confused for live entries.
+    for stale in CACHE_DIR.glob("*.pkl"):
+        stale.unlink()
 
 
 @pytest.fixture(scope="session")
-def dotnet_i9(fidelity, machine_i9) -> SuiteResult:
+def result_store() -> ResultStore:
+    _purge_legacy_cache()
+    return ResultStore(CACHE_DIR)
+
+
+def _cached_suite(fidelity: Fidelity, specs, machine,
+                  store: ResultStore) -> SuiteResult:
+    return characterize_suite(specs, machine, fidelity,
+                              jobs=bench_jobs(), store=store)
+
+
+@pytest.fixture(scope="session")
+def dotnet_i9(fidelity, machine_i9, result_store) -> SuiteResult:
     """All 44 .NET categories on the i9 (category-as-a-unit runs)."""
-    return _cached_suite("dotnet-i9", fidelity, dotnet_category_specs(),
-                         machine_i9)
+    return _cached_suite(fidelity, dotnet_category_specs(), machine_i9,
+                         result_store)
 
 
 @pytest.fixture(scope="session")
-def aspnet_i9(fidelity, machine_i9) -> SuiteResult:
+def aspnet_i9(fidelity, machine_i9, result_store) -> SuiteResult:
     """All 53 ASP.NET benchmarks on the i9."""
-    return _cached_suite("aspnet-i9", fidelity, aspnet_specs(), machine_i9)
+    return _cached_suite(fidelity, aspnet_specs(), machine_i9,
+                         result_store)
 
 
 @pytest.fixture(scope="session")
-def spec_i9(fidelity, machine_i9) -> SuiteResult:
+def spec_i9(fidelity, machine_i9, result_store) -> SuiteResult:
     """The Table IV SPEC CPU17 subset on the i9."""
-    return _cached_suite("spec-i9", fidelity,
-                         speccpu_specs(subset_only=True), machine_i9)
+    return _cached_suite(fidelity, speccpu_specs(subset_only=True),
+                         machine_i9, result_store)
 
 
 @pytest.fixture(scope="session")
-def spec_full_i9(fidelity, machine_i9) -> SuiteResult:
+def spec_full_i9(fidelity, machine_i9, result_store) -> SuiteResult:
     """All 23 distinct SPEC CPU17 programs (for the subset-creation
     experiment, which clusters the full suite)."""
-    return _cached_suite("spec-full-i9", fidelity, speccpu_specs(),
-                         machine_i9)
+    return _cached_suite(fidelity, speccpu_specs(), machine_i9,
+                         result_store)
 
 
 @pytest.fixture(scope="session")
-def dotnet_xeon(fidelity, machine_xeon) -> SuiteResult:
+def dotnet_xeon(fidelity, machine_xeon, result_store) -> SuiteResult:
     """The 44 categories on the baseline Xeon (for Fig 2 scores)."""
-    return _cached_suite("dotnet-xeon", fidelity, dotnet_category_specs(),
-                         machine_xeon)
+    return _cached_suite(fidelity, dotnet_category_specs(), machine_xeon,
+                         result_store)
 
 
 @pytest.fixture(scope="session")
-def dotnet_arm(fidelity, machine_arm) -> SuiteResult:
+def dotnet_arm(fidelity, machine_arm, result_store) -> SuiteResult:
     """The 44 categories on the Arm server (Fig 7)."""
-    return _cached_suite("dotnet-arm", fidelity, dotnet_category_specs(),
-                         machine_arm)
+    return _cached_suite(fidelity, dotnet_category_specs(), machine_arm,
+                         result_store)
 
 
 @pytest.fixture(scope="session")
@@ -143,14 +158,17 @@ def micro_workloads(fidelity):
 
 
 @pytest.fixture(scope="session")
-def micro_i9(fidelity, machine_i9, micro_workloads) -> SuiteResult:
-    return _cached_suite("micro-i9", fidelity, micro_workloads, machine_i9)
+def micro_i9(fidelity, machine_i9, micro_workloads,
+             result_store) -> SuiteResult:
+    return _cached_suite(fidelity, micro_workloads, machine_i9,
+                         result_store)
 
 
 @pytest.fixture(scope="session")
-def micro_xeon(fidelity, machine_xeon, micro_workloads) -> SuiteResult:
-    return _cached_suite("micro-xeon", fidelity, micro_workloads,
-                         machine_xeon)
+def micro_xeon(fidelity, machine_xeon, micro_workloads,
+               result_store) -> SuiteResult:
+    return _cached_suite(fidelity, micro_workloads, machine_xeon,
+                         result_store)
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,36 @@
+"""Parallel execution engine with a content-addressed result store.
+
+``repro.exec`` turns suite/sweep execution from "loop over
+:func:`~repro.harness.runner.run_workload`" into a scheduled job system:
+
+* :mod:`repro.exec.jobs` — :class:`JobSpec` describes one run; its
+  :meth:`~JobSpec.cache_key` is a stable content hash of everything that
+  determines the result, including a fingerprint of the ``repro`` source
+  tree, so cached results invalidate automatically when simulator code
+  changes;
+* :mod:`repro.exec.store` — :class:`ResultStore`, an on-disk
+  content-addressed store (atomic writes, versioned layout, ``gc`` and
+  ``stats`` maintenance);
+* :mod:`repro.exec.pool` — :func:`run_jobs`, a multiprocessing scheduler
+  with chunked dispatch, per-job timeouts, one crash retry, and a serial
+  in-process fallback;
+* :mod:`repro.exec.progress` — :class:`ProgressReporter`, throughput /
+  ETA / per-worker accounting behind the existing ``(i, total, name)``
+  progress-callback shape.
+
+The simulator is seeded-deterministic, so parallel execution is
+bit-identical to serial — ``characterize_suite(specs, m, jobs=8)``
+returns exactly the matrix of ``jobs=1``, only faster.
+"""
+
+from repro.exec.jobs import JobSpec, code_fingerprint, execute_job
+from repro.exec.pool import JobFailure, JobTimeout, WorkerCrash, run_jobs
+from repro.exec.progress import ProgressReporter
+from repro.exec.store import ResultStore, StoreStats
+
+__all__ = [
+    "JobSpec", "code_fingerprint", "execute_job",
+    "JobFailure", "JobTimeout", "WorkerCrash", "run_jobs",
+    "ProgressReporter",
+    "ResultStore", "StoreStats",
+]

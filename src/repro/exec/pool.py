@@ -1,0 +1,319 @@
+"""Multiprocessing job scheduler with store integration.
+
+:func:`run_jobs` executes a list of :class:`~repro.exec.jobs.JobSpec`
+and returns one outcome per job, in job order: a ``RunResult`` on
+success or a :class:`JobFailure` for failures the caller asked to
+tolerate.  Scheduling properties:
+
+* **store first** — with a :class:`~repro.exec.store.ResultStore`, keys
+  are computed once (one source-tree fingerprint for the batch) and
+  hits are returned without simulating; fresh results are published to
+  the store as they complete;
+* **spawn-safe workers** — the worker entry point is a module-level
+  function fed picklable ``JobSpec``\\ s, so every start method
+  (``fork``, ``spawn``, ``forkserver``) works;
+* **chunked dispatch** — jobs are handed to workers in chunks to
+  amortize queue round-trips, with results streamed back per job;
+* **per-job timeout** — a worker that exceeds ``timeout`` seconds on a
+  job is terminated and replaced;
+* **crash retry** — a job whose worker died (or timed out) is requeued
+  exactly once; a second infrastructure failure is recorded as a
+  :class:`JobFailure` instead of raised, so one poisonous job cannot
+  sink a corpus-scale batch;
+* **serial fallback** — ``n_jobs=1`` (or a platform with no usable
+  start method) runs everything in-process with identical semantics.
+
+Because the simulator is seeded-deterministic, the outcome list is
+bit-identical across ``n_jobs`` values and start methods — parallelism
+is purely a wall-clock optimization.
+
+Workload exceptions (raised *by the simulator*) are not retried: they
+are deterministic.  Types listed in ``catch`` become :class:`JobFailure`
+outcomes (the sweep OOM-cell semantics); anything else propagates to
+the caller after the pool shuts down.
+"""
+
+from __future__ import annotations
+
+import math
+import pickle
+import queue as queue_mod
+import time
+from collections import Counter, deque
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.exec.jobs import JobSpec, code_fingerprint, execute_job
+from repro.exec.progress import ProgressReporter
+from repro.exec.store import ResultStore
+
+#: indirection so tests (and embedders) can swap the job runner; workers
+#: resolve it at call time, so under ``fork`` a patched value propagates
+_execute = execute_job
+
+#: seconds between scheduler health checks while waiting for results
+_POLL_SECONDS = 0.05
+
+
+class JobTimeout(RuntimeError):
+    """A job exceeded the per-job timeout and its worker was killed."""
+
+
+class WorkerCrash(RuntimeError):
+    """A worker process died while a job was in flight."""
+
+
+@dataclass
+class JobFailure:
+    """Terminal failure outcome for one job."""
+
+    job: JobSpec
+    error: BaseException
+    #: True when the job got (and exhausted) its one crash/timeout retry
+    retried: bool = False
+
+
+def _default_start_method() -> str | None:
+    import multiprocessing
+
+    methods = multiprocessing.get_all_start_methods()
+    if "fork" in methods:       # cheapest where available (POSIX)
+        return "fork"
+    if "spawn" in methods:
+        return "spawn"
+    return None
+
+
+def _worker_main(worker_id: int, task_queue, result_queue) -> None:
+    """Worker loop: chunks of ``(index, job)`` in, per-job results out."""
+    while True:
+        chunk = task_queue.get()
+        if chunk is None:
+            return
+        for index, job in chunk:
+            try:
+                ok, payload = True, _execute(job)
+            except BaseException as exc:  # noqa: BLE001 — forwarded
+                ok, payload = False, exc
+                try:
+                    pickle.dumps(payload)
+                except Exception:
+                    payload = WorkerCrash(
+                        f"worker exception not picklable: {exc!r}")
+            result_queue.put((index, worker_id, ok, payload))
+
+
+@dataclass
+class _Worker:
+    wid: int
+    process: object
+    tasks: object
+    #: index -> job for everything dispatched and not yet reported
+    inflight: dict[int, JobSpec]
+    deadline: float | None = None
+
+
+def _spawn_worker(ctx, wid: int, result_queue) -> _Worker:
+    tasks = ctx.SimpleQueue()
+    process = ctx.Process(target=_worker_main,
+                          args=(wid, tasks, result_queue), daemon=True)
+    process.start()
+    return _Worker(wid=wid, process=process, tasks=tasks, inflight={})
+
+
+def run_jobs(jobs: Sequence[JobSpec], n_jobs: int = 1, *,
+             store: ResultStore | None = None,
+             progress=None,
+             reporter: ProgressReporter | None = None,
+             catch: tuple[type, ...] = (),
+             timeout: float | None = None,
+             start_method: str | None = None,
+             chunk_size: int | None = None) -> list:
+    """Execute ``jobs`` and return per-job outcomes in job order.
+
+    ``progress`` is the harness's ``(index, total, name)`` callback
+    shape (invoked per completion, including store hits); pass a
+    prebuilt ``reporter`` instead for throughput/ETA telemetry.
+    """
+    jobs = list(jobs)
+    total = len(jobs)
+    outcomes: list = [None] * total
+    if reporter is None:
+        reporter = ProgressReporter(total, callback=progress)
+    if total == 0:
+        return outcomes
+
+    keys: list[str] | None = None
+    misses = list(range(total))
+    if store is not None:
+        fingerprint = code_fingerprint()
+        keys = [job.cache_key(fingerprint) for job in jobs]
+
+    method = start_method or _default_start_method()
+    serial = n_jobs <= 1 or method is None
+
+    if serial:
+        for i, job in enumerate(jobs):
+            outcomes[i], cached = _run_one_serial(
+                job, keys[i] if keys else None, store, catch)
+            reporter.job_done(job.name, worker_id=-1 if cached else 0,
+                              cached=cached)
+        return outcomes
+
+    # Resolve store hits up front so only real work is dispatched.
+    if store is not None and keys is not None:
+        still_missing = []
+        for i in misses:
+            hit = store.get(keys[i], _MISS)
+            if hit is _MISS:
+                still_missing.append(i)
+            else:
+                outcomes[i] = hit
+                reporter.job_done(jobs[i].name, worker_id=-1, cached=True)
+        misses = still_missing
+    if not misses:
+        return outcomes
+
+    _run_parallel(jobs, misses, outcomes, keys, store, reporter,
+                  catch, timeout, method, min(n_jobs, len(misses)),
+                  chunk_size)
+    return outcomes
+
+
+_MISS = object()
+
+
+def _run_one_serial(job: JobSpec, key: str | None,
+                    store: ResultStore | None,
+                    catch: tuple[type, ...]) -> tuple[object, bool]:
+    """One in-process job: ``(outcome, served_from_store)``."""
+    if store is not None and key is not None:
+        hit = store.get(key, _MISS)
+        if hit is not _MISS:
+            return hit, True
+    try:
+        result = _execute(job)
+    except catch as exc:
+        return JobFailure(job=job, error=exc), False
+    if store is not None and key is not None:
+        store.put(key, result)
+    return result, False
+
+
+def _auto_chunk(n_misses: int, n_jobs: int) -> int:
+    # ~4 chunks per worker balances dispatch overhead against tail
+    # latency (a straggler holds at most 1/4 of its fair share).
+    return max(1, min(8, math.ceil(n_misses / (n_jobs * 4))))
+
+
+def _run_parallel(jobs, misses, outcomes, keys, store, reporter, catch,
+                  timeout, method, n_jobs, chunk_size) -> None:
+    import multiprocessing
+
+    ctx = multiprocessing.get_context(method)
+    chunk = chunk_size or _auto_chunk(len(misses), n_jobs)
+    result_queue = ctx.Queue()
+    workers = [_spawn_worker(ctx, wid, result_queue)
+               for wid in range(n_jobs)]
+    pending: deque[int] = deque(misses)
+    attempts: Counter[int] = Counter()
+    done: set[int] = set()
+    fatal: BaseException | None = None
+
+    def assign(worker: _Worker) -> None:
+        batch = []
+        while pending and len(batch) < chunk:
+            index = pending.popleft()
+            attempts[index] += 1
+            batch.append((index, jobs[index]))
+        if batch:
+            worker.inflight.update(batch)
+            worker.deadline = (time.monotonic() + timeout
+                               if timeout else None)
+            worker.tasks.put(batch)
+
+    def settle_infra_failure(worker: _Worker, make_error) -> None:
+        """Requeue (once) or fail every job the dead worker held."""
+        for index, job in list(worker.inflight.items()):
+            if index in done:
+                continue
+            if attempts[index] >= 2:
+                outcomes[index] = JobFailure(
+                    job=job, error=make_error(job), retried=True)
+                done.add(index)
+                reporter.job_done(job.name, worker.wid)
+            else:
+                pending.appendleft(index)
+        worker.inflight.clear()
+
+    try:
+        while len(done) < len(misses) and fatal is None:
+            for worker in workers:
+                if not worker.inflight and pending:
+                    if not worker.process.is_alive():
+                        workers[worker.wid] = worker = _spawn_worker(
+                            ctx, worker.wid, result_queue)
+                    assign(worker)
+            try:
+                index, wid, ok, payload = result_queue.get(
+                    timeout=_POLL_SECONDS)
+            except queue_mod.Empty:
+                pass
+            else:
+                worker = workers[wid]
+                worker.inflight.pop(index, None)
+                worker.deadline = (time.monotonic() + timeout
+                                   if timeout and worker.inflight
+                                   else None)
+                if index in done:       # duplicate after a retry race
+                    continue
+                if ok:
+                    outcomes[index] = payload
+                    done.add(index)
+                    if store is not None and keys is not None:
+                        store.put(keys[index], payload)
+                    reporter.job_done(jobs[index].name, wid)
+                elif isinstance(payload, catch):
+                    outcomes[index] = JobFailure(job=jobs[index],
+                                                 error=payload)
+                    done.add(index)
+                    reporter.job_done(jobs[index].name, wid)
+                else:
+                    fatal = payload
+                continue
+            now = time.monotonic()
+            for worker in workers:
+                if not worker.inflight:
+                    continue
+                if not worker.process.is_alive():
+                    settle_infra_failure(
+                        worker, lambda job: WorkerCrash(
+                            f"worker died running {job.name!r}"))
+                    workers[worker.wid] = _spawn_worker(
+                        ctx, worker.wid, result_queue)
+                elif worker.deadline is not None and now > worker.deadline:
+                    worker.process.terminate()
+                    worker.process.join(1.0)
+                    settle_infra_failure(
+                        worker, lambda job: JobTimeout(
+                            f"{job.name!r} exceeded {timeout}s"))
+                    workers[worker.wid] = _spawn_worker(
+                        ctx, worker.wid, result_queue)
+    finally:
+        for worker in workers:
+            if worker.process.is_alive():
+                try:
+                    worker.tasks.put(None)
+                except Exception:
+                    pass
+        deadline = time.monotonic() + 2.0
+        for worker in workers:
+            worker.process.join(max(0.0, deadline - time.monotonic()))
+            if worker.process.is_alive():
+                worker.process.terminate()
+                worker.process.join(1.0)
+        result_queue.cancel_join_thread()
+        result_queue.close()
+
+    if fatal is not None:
+        raise fatal

@@ -1,0 +1,97 @@
+"""Throughput / ETA / per-worker accounting for the execution engine.
+
+:class:`ProgressReporter` consumes one ``job_done`` event per completed
+job and exposes derived telemetry.  It *emits* through the harness's
+long-standing progress-callback shape — a callable
+``(index, total, name)`` — so every existing caller of
+``characterize_suite(progress=...)`` works unchanged whether execution
+is serial, parallel, or served from the result store.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import Counter
+from typing import Callable
+
+
+class ProgressReporter:
+    """Aggregate completion events; forward them to a callback.
+
+    ``callback`` (optional) receives ``(completed - 1, total, name)`` on
+    every completion — in a serial run this reproduces the historical
+    pre-run ``(index, total, name)`` sequence exactly.
+    """
+
+    def __init__(self, total: int,
+                 callback: Callable[[int, int, str], None] | None = None,
+                 clock: Callable[[], float] = time.monotonic):
+        self.total = total
+        self.callback = callback
+        self._clock = clock
+        self._started_at: float | None = None
+        self.completed = 0
+        self.cache_hits = 0
+        self.per_worker: Counter[int] = Counter()
+
+    def start(self) -> None:
+        """Mark the batch start (implicit on the first completion)."""
+        if self._started_at is None:
+            self._started_at = self._clock()
+
+    def job_done(self, name: str, worker_id: int = 0,
+                 cached: bool = False) -> None:
+        """Record one completed job (``cached`` = served from the store)."""
+        self.start()
+        self.completed += 1
+        self.per_worker[worker_id] += 1
+        if cached:
+            self.cache_hits += 1
+        if self.callback is not None:
+            self.callback(self.completed - 1, self.total, name)
+
+    # -- derived telemetry ----------------------------------------------
+
+    @property
+    def elapsed(self) -> float:
+        if self._started_at is None:
+            return 0.0
+        return self._clock() - self._started_at
+
+    @property
+    def throughput(self) -> float:
+        """Completed jobs per second so far (0 before any completes)."""
+        elapsed = self.elapsed
+        if elapsed <= 0.0 or self.completed == 0:
+            return 0.0
+        return self.completed / elapsed
+
+    @property
+    def eta_seconds(self) -> float | None:
+        """Estimated seconds to finish, or ``None`` before any data."""
+        rate = self.throughput
+        if rate == 0.0:
+            return None
+        return (self.total - self.completed) / rate
+
+    def worker_counts(self) -> dict[int, int]:
+        """Completed-job count per worker id (-1 = cache hits)."""
+        return dict(self.per_worker)
+
+    def status_line(self) -> str:
+        """One-line human summary (throughput, ETA, per-worker counts)."""
+        parts = [f"{self.completed}/{self.total} jobs"]
+        if self.cache_hits:
+            parts.append(f"{self.cache_hits} cached")
+        rate = self.throughput
+        if rate > 0.0:
+            parts.append(f"{rate:.2f} jobs/s")
+        eta = self.eta_seconds
+        if eta is not None:
+            parts.append(f"ETA {eta:.1f}s")
+        workers = " ".join(
+            f"w{wid}:{count}" for wid, count
+            in sorted(self.per_worker.items()) if wid >= 0)
+        if workers:
+            parts.append(workers)
+        return " | ".join(parts)

@@ -1,0 +1,132 @@
+"""On-disk content-addressed result store.
+
+Entries are pickles keyed by :meth:`~repro.exec.jobs.JobSpec.cache_key`
+hex digests and laid out as ``<root>/v1/<key[:2]>/<key>.pkl`` (the
+two-character fan-out keeps directories small at paper-corpus scale).
+Writes go to a temp file in the same directory and are published with
+``os.replace``, so concurrent readers — parallel pytest invocations,
+several CLI runs — never observe a half-written entry.  Corrupt or
+unreadable entries are treated as misses and deleted.
+
+The top-level ``v1`` component is the layout version: a future
+incompatible layout bumps it and coexists with (rather than
+misinterprets) old entries.  ``gc()`` and ``stats()`` are the
+maintenance surface.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Iterator
+
+LAYOUT_VERSION = "v1"
+
+_MISSING = object()
+
+
+@dataclass(frozen=True)
+class StoreStats:
+    """Snapshot of store occupancy."""
+
+    root: Path
+    entries: int
+    total_bytes: int
+
+
+class ResultStore:
+    """Content-addressed pickle store with atomic publication."""
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+
+    @property
+    def _base(self) -> Path:
+        return self.root / LAYOUT_VERSION
+
+    def path_for(self, key: str) -> Path:
+        return self._base / key[:2] / f"{key}.pkl"
+
+    def __contains__(self, key: str) -> bool:
+        return self.path_for(key).exists()
+
+    def get(self, key: str, default=None) -> Any:
+        """The stored value, or ``default`` on miss/corruption."""
+        path = self.path_for(key)
+        try:
+            with path.open("rb") as fh:
+                return pickle.load(fh)
+        except FileNotFoundError:
+            return default
+        except Exception:
+            # Torn write from a killed process or an entry pickled
+            # against classes that no longer unpickle (unpickling
+            # surfaces anything from UnpicklingError to ValueError):
+            # drop it and treat as a miss.
+            path.unlink(missing_ok=True)
+            return default
+
+    def put(self, key: str, value) -> Path:
+        """Atomically publish ``value`` under ``key``."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.parent / f".{key}.{os.getpid()}.tmp"
+        try:
+            with tmp.open("wb") as fh:
+                pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        finally:
+            tmp.unlink(missing_ok=True)
+        return path
+
+    def delete(self, key: str) -> bool:
+        path = self.path_for(key)
+        if path.exists():
+            path.unlink()
+            return True
+        return False
+
+    def keys(self) -> Iterator[str]:
+        if not self._base.exists():
+            return
+        for path in sorted(self._base.glob("*/*.pkl")):
+            yield path.stem
+
+    def gc(self, keep: set[str] | None = None,
+           max_age_seconds: float | None = None) -> int:
+        """Drop entries outside ``keep`` and/or older than the age cap.
+
+        Also sweeps orphaned temp files from crashed writers.  Returns
+        the number of files removed.
+        """
+        removed = 0
+        if not self._base.exists():
+            return removed
+        now = time.time()
+        for tmp in self._base.glob("*/.*.tmp"):
+            tmp.unlink(missing_ok=True)
+            removed += 1
+        for path in self._base.glob("*/*.pkl"):
+            stale = ((keep is not None and path.stem not in keep)
+                     or (max_age_seconds is not None
+                         and now - path.stat().st_mtime > max_age_seconds))
+            if stale:
+                path.unlink(missing_ok=True)
+                removed += 1
+        return removed
+
+    def stats(self) -> StoreStats:
+        entries = 0
+        total = 0
+        if self._base.exists():
+            for path in self._base.glob("*/*.pkl"):
+                entries += 1
+                total += path.stat().st_size
+        return StoreStats(root=self.root, entries=entries,
+                          total_bytes=total)
+
+    def __repr__(self) -> str:
+        return f"ResultStore({str(self.root)!r})"

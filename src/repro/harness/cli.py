@@ -1,20 +1,29 @@
-"""Command-line entry point: characterize a benchmark from the shell.
+"""Command-line entry point: characterize benchmarks from the shell.
 
 Examples::
 
     repro-characterize System.Runtime
     repro-characterize Plaintext --machine arm --instructions 200000
+    repro-characterize Json Plaintext mcf --jobs 4 --cache-dir ~/.repro
+    repro-characterize --suite dotnet --jobs 8 --cache-dir ~/.repro
     repro-characterize --list
+
+With ``--cache-dir`` (or ``$REPRO_CACHE_DIR``) results are served from
+and persisted to a content-addressed store: a repeated invocation with
+an unchanged source tree simulates nothing, and any edit under
+``src/repro/`` automatically invalidates the affected entries.
+``--no-cache`` bypasses the store for one invocation.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from repro.core.metrics import METRICS, metric_vector
 from repro.harness.report import format_table
-from repro.harness.runner import Fidelity, run_workload
+from repro.harness.runner import Fidelity
 from repro.uarch.machine import get_machine
 from repro.workloads.aspnet import aspnet_specs
 from repro.workloads.dotnet import dotnet_category_specs
@@ -25,49 +34,17 @@ def _all_specs():
     return dotnet_category_specs() + aspnet_specs() + speccpu_specs()
 
 
-def main(argv: list[str] | None = None) -> int:
-    parser = argparse.ArgumentParser(
-        prog="repro-characterize",
-        description="Characterize a benchmark on a simulated machine "
-                    "(ISPASS'21 .NET characterization reproduction).")
-    parser.add_argument("benchmark", nargs="?",
-                        help="benchmark name (see --list)")
-    parser.add_argument("--machine", default="i9",
-                        choices=["xeon", "i9", "arm"])
-    parser.add_argument("--instructions", type=int, default=150_000,
-                        help="measured instruction budget")
-    parser.add_argument("--warmup", type=int, default=60_000)
-    parser.add_argument("--seed", type=int, default=0)
-    parser.add_argument("--topdown", action="store_true",
-                        help="print the full Top-Down breakdown")
-    parser.add_argument("--toplev", action="store_true",
-                        help="print the toplev-style hierarchy tree")
-    parser.add_argument("--trace-out", metavar="PATH",
-                        help="also record the measured op stream to PATH")
-    parser.add_argument("--list", action="store_true",
-                        help="list all known benchmarks and exit")
-    args = parser.parse_args(argv)
+def _make_store(args):
+    if args.no_cache or not args.cache_dir:
+        return None
+    from repro.exec.store import ResultStore
+    return ResultStore(os.path.expanduser(args.cache_dir))
 
-    specs = _all_specs()
-    if args.list:
-        for s in specs:
-            print(f"{s.suite:8s} {s.name}")
-        return 0
-    if not args.benchmark:
-        parser.error("benchmark name required (or --list)")
-    by_name = {s.name: s for s in specs}
-    if args.benchmark not in by_name:
-        print(f"error: unknown benchmark {args.benchmark!r} "
-              f"(try --list)", file=sys.stderr)
-        return 2
-    fidelity = Fidelity(warmup_instructions=args.warmup,
-                        measure_instructions=args.instructions)
-    result = run_workload(by_name[args.benchmark],
-                          get_machine(args.machine), fidelity,
-                          seed=args.seed)
+
+def _print_single(result, args) -> None:
     vec = metric_vector(result.counters)
     rows = [[m.id, m.name, f"{vec[m.id]:.4g}", m.unit] for m in METRICS]
-    print(f"# {args.benchmark} on {result.machine.name}")
+    print(f"# {result.spec.name} on {result.machine.name}")
     print(format_table(["id", "metric", "value", "unit"], rows))
     td = result.topdown
     print(f"\nTop-Down L1: retiring={td.retiring:.1%} "
@@ -84,10 +61,94 @@ def main(argv: list[str] | None = None) -> int:
     if args.toplev:
         from repro.perf.toplev import render
         print("\n" + render(td))
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-characterize",
+        description="Characterize benchmarks on a simulated machine "
+                    "(ISPASS'21 .NET characterization reproduction).")
+    parser.add_argument("benchmark", nargs="*",
+                        help="benchmark name(s) (see --list); several "
+                             "names are run as one suite")
+    parser.add_argument("--suite", choices=["dotnet", "aspnet", "speccpu"],
+                        help="characterize every benchmark of one suite")
+    parser.add_argument("--machine", default="i9",
+                        choices=["xeon", "i9", "arm"])
+    parser.add_argument("--instructions", type=int, default=150_000,
+                        help="measured instruction budget")
+    parser.add_argument("--warmup", type=int, default=60_000)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="parallel worker processes for multi-"
+                             "benchmark runs (results are bit-identical "
+                             "to --jobs 1)")
+    parser.add_argument("--cache-dir", metavar="DIR",
+                        default=os.environ.get("REPRO_CACHE_DIR"),
+                        help="content-addressed result store (default: "
+                             "$REPRO_CACHE_DIR; unset = no caching)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="ignore the result store for this run")
+    parser.add_argument("--topdown", action="store_true",
+                        help="print the full Top-Down breakdown")
+    parser.add_argument("--toplev", action="store_true",
+                        help="print the toplev-style hierarchy tree")
+    parser.add_argument("--trace-out", metavar="PATH",
+                        help="also record the measured op stream to PATH")
+    parser.add_argument("--list", action="store_true",
+                        help="list all known benchmarks and exit")
+    args = parser.parse_args(argv)
+
+    specs = _all_specs()
+    if args.list:
+        for s in specs:
+            print(f"{s.suite:8s} {s.name}")
+        return 0
+    if args.suite:
+        selected = [s for s in specs if s.suite == args.suite]
+    else:
+        if not args.benchmark:
+            parser.error("benchmark name required (or --suite / --list)")
+        by_name = {s.name: s for s in specs}
+        missing = [n for n in args.benchmark if n not in by_name]
+        if missing:
+            print(f"error: unknown benchmark {missing[0]!r} "
+                  f"(try --list)", file=sys.stderr)
+            return 2
+        selected = [by_name[n] for n in args.benchmark]
+
+    fidelity = Fidelity(warmup_instructions=args.warmup,
+                        measure_instructions=args.instructions)
+    store = _make_store(args)
+    machine = get_machine(args.machine)
+
+    from repro.exec.progress import ProgressReporter
+    from repro.harness.suite import characterize_suite
+
+    reporter = ProgressReporter(len(selected))
+    suite = characterize_suite(
+        selected, machine, fidelity, seed=args.seed,
+        jobs=args.jobs, store=store, reporter=reporter)
+
+    if len(selected) == 1:
+        _print_single(suite.results[0], args)
+    else:
+        rows = [[r.spec.suite, r.spec.name, f"{r.counters.cpi:.3f}",
+                 f"{r.counters.ipc:.3f}", f"{r.seconds * 1e3:.3f}"]
+                for r in suite.results]
+        print(f"# {len(rows)} benchmarks on {machine.name}")
+        print(format_table(["suite", "benchmark", "cpi", "ipc", "ms"],
+                           rows))
+        print(f"\n[{reporter.status_line()}]")
+    if store is not None:
+        stats = store.stats()
+        print(f"[store: {stats.entries} entries, "
+              f"{stats.total_bytes / 1e6:.1f} MB at {stats.root}]")
+
     if args.trace_out:
         from repro.perf.trace_io import record
         from repro.workloads.program import build_program
-        program = build_program(by_name[args.benchmark], seed=args.seed)
+        program = build_program(selected[0], seed=args.seed)
         n = record(program.ops(), args.trace_out,
                    max_instructions=args.instructions)
         print(f"\nrecorded {n} instructions to {args.trace_out}")

@@ -7,7 +7,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.metrics import MetricMatrix, metric_vector
-from repro.harness.runner import Fidelity, RunResult, run_workload
+from repro.harness.runner import Fidelity, RunResult
 from repro.uarch.machine import MachineConfig
 from repro.workloads.spec import WorkloadSpec
 
@@ -18,6 +18,10 @@ class SuiteResult:
 
     machine: MachineConfig
     results: list[RunResult] = field(default_factory=list)
+    #: lazily built name -> RunResult index (first occurrence wins, like
+    #: the linear scan it replaces); rebuilt when ``results`` grows
+    _index: dict[str, RunResult] | None = field(
+        default=None, init=False, repr=False, compare=False)
 
     @property
     def names(self) -> list[str]:
@@ -40,33 +44,54 @@ class SuiteResult:
         return {r.spec.name: r.seconds for r in self.results}
 
     def result_of(self, name: str) -> RunResult:
-        for r in self.results:
-            if r.spec.name == name:
-                return r
-        raise KeyError(name)
+        # Subset validation calls this in a loop over the full corpus;
+        # an O(n) scan per lookup made that quadratic.
+        if self._index is None or len(self._index) < len(self.results):
+            index: dict[str, RunResult] = {}
+            for r in self.results:
+                index.setdefault(r.spec.name, r)
+            self._index = index
+        try:
+            return self._index[name]
+        except KeyError:
+            raise KeyError(name) from None
 
 
 def characterize_suite(specs: list[WorkloadSpec], machine: MachineConfig,
                        fidelity: Fidelity | None = None, seed: int = 0,
-                       progress=None, **run_kwargs) -> SuiteResult:
+                       progress=None, jobs: int = 1, store=None,
+                       reporter=None, **run_kwargs) -> SuiteResult:
     """Run every spec on ``machine`` and collect the results.
 
     ``progress`` is an optional callable ``(index, total, name)`` for
-    long-running experiments.
+    long-running experiments.  ``jobs`` > 1 runs workloads in parallel
+    worker processes (results are bit-identical to serial — the
+    simulator is seeded-deterministic); ``store`` is an optional
+    :class:`repro.exec.ResultStore` that serves previously computed runs
+    and persists fresh ones, keyed by workload/machine/fidelity/kwargs
+    *and* a fingerprint of the simulator source tree.
     """
+    from repro.exec.jobs import JobSpec
+    from repro.exec.pool import JobFailure, run_jobs
+
     fidelity = fidelity or Fidelity.default()
+    jobspecs = [JobSpec(spec=spec, machine=machine, fidelity=fidelity,
+                        seed=seed, run_kwargs=run_kwargs)
+                for spec in specs]
+    outcomes = run_jobs(jobspecs, n_jobs=jobs, store=store,
+                        progress=progress, reporter=reporter)
     out = SuiteResult(machine=machine)
-    total = len(specs)
-    for i, spec in enumerate(specs):
-        if progress is not None:
-            progress(i, total, spec.name)
-        out.results.append(
-            run_workload(spec, machine, fidelity, seed=seed, **run_kwargs))
+    for outcome in outcomes:
+        if isinstance(outcome, JobFailure):
+            raise outcome.error
+        out.results.append(outcome)
     return out
 
 
 def suite_times(specs: list[WorkloadSpec], machine: MachineConfig,
                 fidelity: Fidelity | None = None,
-                seed: int = 0) -> dict[str, float]:
+                seed: int = 0, jobs: int = 1,
+                store=None) -> dict[str, float]:
     """Just the per-workload times (cheaper mental model for validation)."""
-    return characterize_suite(specs, machine, fidelity, seed=seed).times()
+    return characterize_suite(specs, machine, fidelity, seed=seed,
+                              jobs=jobs, store=store).times()

@@ -14,7 +14,7 @@ import itertools
 from dataclasses import dataclass, replace as dc_replace, field
 
 from repro.harness.report import format_table
-from repro.harness.runner import Fidelity, RunResult, run_workload
+from repro.harness.runner import Fidelity, RunResult
 from repro.uarch.machine import MachineConfig
 from repro.workloads.spec import WorkloadSpec
 
@@ -54,13 +54,24 @@ class SweepResult:
         key = tuple(coords[a.name] for a in self.axes)
         return self.results[key]
 
+    def _axis_order(self, key: tuple) -> tuple:
+        # Order rows by declaration position along each axis, not by
+        # repr of the values — repr-sorting put heap sizes 200/2000/
+        # 20000 MiB in the order 200, 20000, 2000.
+        def position(axis: Axis, value):
+            try:
+                return axis.values.index(value)
+            except ValueError:
+                return len(axis.values)
+        return tuple(position(a, v) for a, v in zip(self.axes, key))
+
     def table(self, metric, metric_name: str = "value") -> str:
         """Render the grid: one row per point, metric in the last column."""
         rows = []
-        for key in sorted(self.results, key=repr):
+        for key in sorted(self.results, key=self._axis_order):
             rows.append([*[str(v) for v in key],
                          metric(self.results[key])])
-        for key in sorted(self.failures, key=repr):
+        for key in sorted(self.failures, key=self._axis_order):
             rows.append([*[str(v) for v in key],
                          type(self.failures[key]).__name__])
         return format_table([a.name for a in self.axes] + [metric_name],
@@ -72,14 +83,24 @@ class SweepResult:
 
 def sweep(spec: WorkloadSpec, machine: MachineConfig, axes: list[Axis],
           fidelity: Fidelity | None = None,
-          catch: tuple[type, ...] = (), **base_run_kwargs) -> SweepResult:
+          catch: tuple[type, ...] = (), jobs: int = 1, store=None,
+          **base_run_kwargs) -> SweepResult:
     """Run ``spec`` at every point of the axis product.
 
     ``catch`` lists exception types recorded as failures instead of
     raised (e.g. ``OutOfManagedMemory`` in heap-size sweeps, matching the
-    paper's OOM cells in Fig 14).
+    paper's OOM cells in Fig 14) — the semantics are identical whether
+    the grid is evaluated serially or with ``jobs`` worker processes.
+    ``store`` is an optional :class:`repro.exec.ResultStore` for reuse
+    of grid points across invocations.
     """
+    from repro.exec.jobs import JobSpec
+    from repro.exec.pool import JobFailure, run_jobs
+
+    fidelity = fidelity or Fidelity.default()
     result = SweepResult(axes=tuple(axes))
+    combos = []
+    jobspecs = []
     for combo in itertools.product(*(a.values for a in axes)):
         m = machine
         s = spec
@@ -91,9 +112,13 @@ def sweep(spec: WorkloadSpec, machine: MachineConfig, axes: list[Axis],
                 s = dc_replace(s, **{axis.name: value})
             else:
                 run_kwargs[axis.name] = value
-        try:
-            result.results[combo] = run_workload(s, m, fidelity,
-                                                 **run_kwargs)
-        except catch as exc:
-            result.failures[combo] = exc
+        combos.append(combo)
+        jobspecs.append(JobSpec(spec=s, machine=m, fidelity=fidelity,
+                                run_kwargs=run_kwargs))
+    outcomes = run_jobs(jobspecs, n_jobs=jobs, store=store, catch=catch)
+    for combo, outcome in zip(combos, outcomes):
+        if isinstance(outcome, JobFailure):
+            result.failures[combo] = outcome.error
+        else:
+            result.results[combo] = outcome
     return result

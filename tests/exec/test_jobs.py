@@ -1,0 +1,114 @@
+"""Tests for job cache keys and the simulator-code fingerprint."""
+
+import pytest
+
+from repro.exec.jobs import (JobSpec, canonical_encode, code_fingerprint,
+                             execute_job)
+from repro.harness.runner import Fidelity, run_workload
+from repro.runtime.gc import GcConfig, SERVER
+from repro.uarch.machine import get_machine
+from repro.workloads.dotnet import dotnet_category_specs
+
+FID = Fidelity(warmup_instructions=8_000, measure_instructions=12_000)
+
+
+def make_job(**overrides) -> JobSpec:
+    fields = dict(spec=dotnet_category_specs()[0],
+                  machine=get_machine("i9"), fidelity=FID, seed=0)
+    fields.update(overrides)
+    return JobSpec(**fields)
+
+
+class TestCanonicalEncode:
+    def test_primitives_stable(self):
+        value = (None, True, False, 3, 2.5, "x", b"y", [1, 2], {"a": 1})
+        assert canonical_encode(value) == canonical_encode(value)
+
+    def test_dict_order_irrelevant(self):
+        assert canonical_encode({"a": 1, "b": 2}) \
+            == canonical_encode({"b": 2, "a": 1})
+
+    def test_distinguishes_types(self):
+        assert canonical_encode(1) != canonical_encode(1.0)
+        assert canonical_encode("1") != canonical_encode(1)
+
+    def test_dataclasses_by_field(self):
+        a = GcConfig(flavor=SERVER)
+        b = GcConfig(flavor=SERVER)
+        assert canonical_encode(a) == canonical_encode(b)
+        assert canonical_encode(a) != canonical_encode(GcConfig())
+
+    def test_rejects_unstable_objects(self):
+        with pytest.raises(TypeError):
+            canonical_encode(lambda: None)
+        with pytest.raises(TypeError):
+            canonical_encode(object())
+
+
+class TestCacheKey:
+    def test_stable_across_constructions(self):
+        assert make_job().cache_key("fp") == make_job().cache_key("fp")
+
+    def test_varies_with_every_input(self):
+        base = make_job().cache_key("fp")
+        assert make_job(seed=1).cache_key("fp") != base
+        assert make_job(machine=get_machine("arm")).cache_key("fp") != base
+        assert make_job(fidelity=Fidelity.test()).cache_key("fp") != base
+        assert make_job(spec=dotnet_category_specs()[1]) \
+            .cache_key("fp") != base
+        assert make_job(run_kwargs={"compaction_enabled": False}) \
+            .cache_key("fp") != base
+
+    def test_varies_with_code_fingerprint(self):
+        job = make_job()
+        assert job.cache_key("fp-a") != job.cache_key("fp-b")
+
+    def test_default_fingerprint_is_live_tree(self):
+        job = make_job()
+        assert job.cache_key() == job.cache_key(code_fingerprint())
+
+
+class TestCodeFingerprint:
+    def _tree(self, tmp_path, content="x = 1\n"):
+        (tmp_path / "pkg").mkdir(exist_ok=True)
+        (tmp_path / "pkg" / "mod.py").write_text(content)
+        (tmp_path / "top.py").write_text("y = 2\n")
+        return tmp_path
+
+    def test_deterministic(self, tmp_path):
+        root = self._tree(tmp_path)
+        assert code_fingerprint(root, refresh=True) \
+            == code_fingerprint(root, refresh=True)
+
+    def test_content_change_invalidates(self, tmp_path):
+        root = self._tree(tmp_path)
+        before = code_fingerprint(root, refresh=True)
+        self._tree(tmp_path, content="x = 2\n")
+        assert code_fingerprint(root, refresh=True) != before
+
+    def test_new_file_invalidates(self, tmp_path):
+        root = self._tree(tmp_path)
+        before = code_fingerprint(root, refresh=True)
+        (root / "pkg" / "extra.py").write_text("z = 3\n")
+        assert code_fingerprint(root, refresh=True) != before
+
+    def test_memoized_until_refresh(self, tmp_path):
+        root = self._tree(tmp_path)
+        before = code_fingerprint(root, refresh=True)
+        self._tree(tmp_path, content="x = 99\n")
+        assert code_fingerprint(root) == before          # memo hit
+        assert code_fingerprint(root, refresh=True) != before
+
+
+class TestExecuteJob:
+    def test_matches_run_workload(self):
+        job = make_job(run_kwargs={"compaction_enabled": False})
+        direct = run_workload(job.spec, job.machine, FID, seed=0,
+                              compaction_enabled=False)
+        assert execute_job(job).counters == direct.counters
+
+    def test_run_kwargs_seed_wins(self):
+        with_field = execute_job(make_job(seed=3))
+        with_kwarg = execute_job(make_job(seed=0,
+                                          run_kwargs={"seed": 3}))
+        assert with_field.counters == with_kwarg.counters

@@ -1,0 +1,193 @@
+"""Tests for the scheduler: determinism, store integration, failures.
+
+The central correctness contract: the simulator is seeded-deterministic,
+so a parallel run must be **bit-identical** to a serial run — never just
+statistically close.
+"""
+
+import multiprocessing
+import os
+import time
+
+import numpy as np
+import pytest
+
+import repro.exec.pool as pool_mod
+from repro.exec.jobs import JobSpec
+from repro.exec.pool import JobFailure, JobTimeout, WorkerCrash, run_jobs
+from repro.exec.store import ResultStore
+from repro.harness.runner import Fidelity
+from repro.harness.suite import characterize_suite
+from repro.runtime.gc import GcConfig, OutOfManagedMemory, WORKSTATION
+from repro.uarch.machine import get_machine
+from repro.workloads.dotnet import dotnet_category_specs
+
+FID = Fidelity(warmup_instructions=6_000, measure_instructions=10_000)
+
+needs_fork = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="fork start method unavailable")
+
+
+def make_jobs(n=3, **overrides):
+    fields = dict(machine=get_machine("i9"), fidelity=FID, seed=0)
+    fields.update(overrides)
+    return [JobSpec(spec=s, **fields)
+            for s in dotnet_category_specs()[:n]]
+
+
+class TestDeterminism:
+    def test_parallel_matches_serial_bit_identical(self):
+        specs = dotnet_category_specs()[:6]
+        machine = get_machine("i9")
+        serial = characterize_suite(specs, machine, FID, jobs=1)
+        parallel = characterize_suite(specs, machine, FID, jobs=4)
+        assert parallel.names == serial.names
+        assert np.array_equal(parallel.metric_matrix().values,
+                              serial.metric_matrix().values)
+
+    def test_spawn_start_method_is_safe(self):
+        jobs = make_jobs(2)
+        serial = run_jobs(jobs, n_jobs=1)
+        spawned = run_jobs(jobs, n_jobs=2, start_method="spawn")
+        assert [r.counters for r in spawned] \
+            == [r.counters for r in serial]
+
+    def test_outcomes_in_job_order(self):
+        jobs = make_jobs(4)
+        outcomes = run_jobs(jobs, n_jobs=2)
+        assert [r.spec.name for r in outcomes] \
+            == [j.spec.name for j in jobs]
+
+
+class TestStoreIntegration:
+    def test_second_invocation_runs_zero_simulations(self, tmp_path,
+                                                     monkeypatch):
+        store = ResultStore(tmp_path)
+        jobs = make_jobs(3)
+        first = run_jobs(jobs, n_jobs=1, store=store)
+
+        def boom(job):
+            raise AssertionError("simulated on a warm store")
+
+        monkeypatch.setattr(pool_mod, "_execute", boom)
+        second = run_jobs(jobs, n_jobs=1, store=store)
+        assert [r.counters for r in second] \
+            == [r.counters for r in first]
+
+    def test_parallel_hits_warm_store(self, tmp_path):
+        store = ResultStore(tmp_path)
+        jobs = make_jobs(3)
+        first = run_jobs(jobs, n_jobs=2, store=store)
+        again = run_jobs(jobs, n_jobs=2, store=store)
+        assert [r.counters for r in again] \
+            == [r.counters for r in first]
+        assert store.stats().entries == 3
+
+    def test_code_fingerprint_invalidates(self, tmp_path, monkeypatch):
+        store = ResultStore(tmp_path)
+        jobs = make_jobs(2)
+        monkeypatch.setattr(pool_mod, "code_fingerprint",
+                            lambda: "tree-state-a")
+        run_jobs(jobs, n_jobs=1, store=store)
+        assert store.stats().entries == 2
+
+        executed = []
+
+        def counting(job):
+            executed.append(job.name)
+            return pool_mod.execute_job(job)
+
+        monkeypatch.setattr(pool_mod, "_execute", counting)
+        monkeypatch.setattr(pool_mod, "code_fingerprint",
+                            lambda: "tree-state-b")
+        run_jobs(jobs, n_jobs=1, store=store)
+        assert len(executed) == 2          # every key missed
+        assert store.stats().entries == 4  # old entries still addressable
+
+
+class TestFailureSemantics:
+    def _oom_jobs(self):
+        spec = next(s for s in dotnet_category_specs()
+                    if s.name == "System.Collections")
+        gc_config = GcConfig(flavor=WORKSTATION,
+                             max_heap_bytes=200 * 2 ** 20)
+        return [JobSpec(spec=spec, machine=get_machine("i9"),
+                        fidelity=FID, run_kwargs={"gc_config": gc_config})]
+
+    def test_caught_exception_becomes_failure_outcome(self):
+        outcomes = run_jobs(self._oom_jobs(), n_jobs=1,
+                            catch=(OutOfManagedMemory,))
+        assert isinstance(outcomes[0], JobFailure)
+        assert isinstance(outcomes[0].error, OutOfManagedMemory)
+        assert not outcomes[0].retried
+
+    def test_uncaught_exception_raises_serial(self):
+        with pytest.raises(OutOfManagedMemory):
+            run_jobs(self._oom_jobs(), n_jobs=1)
+
+    @needs_fork
+    def test_uncaught_exception_raises_parallel(self):
+        with pytest.raises(OutOfManagedMemory):
+            run_jobs(self._oom_jobs() * 2, n_jobs=2, start_method="fork")
+
+    @needs_fork
+    def test_caught_exception_parallel(self):
+        outcomes = run_jobs(self._oom_jobs() * 2, n_jobs=2,
+                            start_method="fork",
+                            catch=(OutOfManagedMemory,))
+        assert all(isinstance(o, JobFailure) for o in outcomes)
+
+
+class TestCrashAndTimeout:
+    @needs_fork
+    def test_worker_crash_retried_once_then_failure(self, monkeypatch):
+        monkeypatch.setattr(pool_mod, "_execute",
+                            lambda job: os._exit(13))
+        outcomes = run_jobs(make_jobs(1), n_jobs=2, start_method="fork")
+        assert isinstance(outcomes[0], JobFailure)
+        assert isinstance(outcomes[0].error, WorkerCrash)
+        assert outcomes[0].retried
+
+    @needs_fork
+    def test_crash_does_not_poison_other_jobs(self, monkeypatch):
+        def selective(job):
+            if job.name == dotnet_category_specs()[0].name:
+                os._exit(13)
+            return pool_mod.execute_job(job)
+
+        monkeypatch.setattr(pool_mod, "_execute", selective)
+        jobs = make_jobs(3)
+        outcomes = run_jobs(jobs, n_jobs=2, start_method="fork",
+                            chunk_size=1)
+        assert isinstance(outcomes[0], JobFailure)
+        assert not isinstance(outcomes[1], JobFailure)
+        assert not isinstance(outcomes[2], JobFailure)
+
+    @needs_fork
+    def test_timeout_kills_and_records(self, monkeypatch):
+        monkeypatch.setattr(pool_mod, "_execute",
+                            lambda job: time.sleep(60))
+        start = time.monotonic()
+        outcomes = run_jobs(make_jobs(1), n_jobs=2, start_method="fork",
+                            timeout=0.3)
+        assert time.monotonic() - start < 10
+        assert isinstance(outcomes[0], JobFailure)
+        assert isinstance(outcomes[0].error, JobTimeout)
+        assert outcomes[0].retried
+
+
+class TestEdgeCases:
+    def test_empty_job_list(self):
+        assert run_jobs([], n_jobs=4) == []
+
+    def test_progress_called_per_job(self):
+        seen = []
+        run_jobs(make_jobs(3), n_jobs=1,
+                 progress=lambda i, n, name: seen.append((i, n, name)))
+        assert [(i, n) for i, n, _ in seen] == [(0, 3), (1, 3), (2, 3)]
+
+    def test_single_job_parallel_request(self):
+        outcomes = run_jobs(make_jobs(1), n_jobs=8)
+        assert len(outcomes) == 1 and not isinstance(outcomes[0],
+                                                     JobFailure)

@@ -1,0 +1,63 @@
+"""Tests for throughput/ETA/per-worker progress accounting."""
+
+from repro.exec.progress import ProgressReporter
+
+
+class FakeClock:
+    """Deterministic monotonic clock."""
+
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self):
+        return self.now
+
+
+class TestReporter:
+    def test_callback_shape_matches_harness(self):
+        seen = []
+        rep = ProgressReporter(3, callback=lambda i, n, name:
+                               seen.append((i, n, name)))
+        rep.job_done("a")
+        rep.job_done("b")
+        rep.job_done("c")
+        assert seen == [(0, 3, "a"), (1, 3, "b"), (2, 3, "c")]
+
+    def test_throughput_and_eta(self):
+        clock = FakeClock()
+        rep = ProgressReporter(10, clock=clock)
+        rep.start()
+        clock.now += 2.0
+        rep.job_done("a")
+        rep.job_done("b")
+        assert rep.throughput == 1.0          # 2 jobs in 2s
+        assert rep.eta_seconds == 8.0          # 8 left at 1 job/s
+
+    def test_no_eta_before_data(self):
+        rep = ProgressReporter(5, clock=FakeClock())
+        assert rep.throughput == 0.0
+        assert rep.eta_seconds is None
+
+    def test_per_worker_and_cache_accounting(self):
+        rep = ProgressReporter(4, clock=FakeClock())
+        rep.job_done("a", worker_id=0)
+        rep.job_done("b", worker_id=1)
+        rep.job_done("c", worker_id=1)
+        rep.job_done("d", worker_id=-1, cached=True)
+        assert rep.worker_counts() == {0: 1, 1: 2, -1: 1}
+        assert rep.cache_hits == 1
+        assert rep.completed == 4
+
+    def test_status_line(self):
+        clock = FakeClock()
+        rep = ProgressReporter(4, clock=clock)
+        rep.start()
+        clock.now += 1.0
+        rep.job_done("a", worker_id=0)
+        rep.job_done("b", worker_id=1, cached=True)
+        line = rep.status_line()
+        assert "2/4 jobs" in line
+        assert "1 cached" in line
+        assert "jobs/s" in line
+        assert "ETA" in line
+        assert "w0:1" in line

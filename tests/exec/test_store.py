@@ -1,0 +1,92 @@
+"""Tests for the content-addressed on-disk result store."""
+
+import pickle
+
+from repro.exec.store import LAYOUT_VERSION, ResultStore
+
+KEY_A = "aa" + "0" * 62
+KEY_B = "bb" + "0" * 62
+
+
+class TestRoundTrip:
+    def test_put_get(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(KEY_A, {"cpi": 1.25, "name": "Json"})
+        assert store.get(KEY_A) == {"cpi": 1.25, "name": "Json"}
+
+    def test_miss_returns_default(self, tmp_path):
+        store = ResultStore(tmp_path)
+        assert store.get(KEY_A) is None
+        assert store.get(KEY_A, default=42) == 42
+        assert KEY_A not in store
+
+    def test_contains_and_keys(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(KEY_A, 1)
+        store.put(KEY_B, 2)
+        assert KEY_A in store and KEY_B in store
+        assert sorted(store.keys()) == sorted([KEY_A, KEY_B])
+
+    def test_overwrite(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(KEY_A, 1)
+        store.put(KEY_A, 2)
+        assert store.get(KEY_A) == 2
+
+
+class TestLayout:
+    def test_versioned_fanout_path(self, tmp_path):
+        store = ResultStore(tmp_path)
+        path = store.put(KEY_A, 1)
+        assert path == tmp_path / LAYOUT_VERSION / "aa" / f"{KEY_A}.pkl"
+
+    def test_no_temp_files_after_put(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(KEY_A, list(range(1000)))
+        assert not list(tmp_path.rglob("*.tmp"))
+
+    def test_corrupt_entry_is_a_miss_and_removed(self, tmp_path):
+        store = ResultStore(tmp_path)
+        path = store.put(KEY_A, 1)
+        path.write_bytes(b"\x80this is not a pickle")
+        assert store.get(KEY_A, default="miss") == "miss"
+        assert not path.exists()
+
+
+class TestMaintenance:
+    def test_gc_keep_set(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(KEY_A, 1)
+        store.put(KEY_B, 2)
+        removed = store.gc(keep={KEY_A})
+        assert removed == 1
+        assert KEY_A in store and KEY_B not in store
+
+    def test_gc_sweeps_orphan_tmp(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(KEY_A, 1)
+        orphan = store.path_for(KEY_B).parent / f".{KEY_B}.999.tmp"
+        orphan.parent.mkdir(parents=True, exist_ok=True)
+        orphan.write_bytes(b"partial")
+        assert store.gc() == 1
+        assert not orphan.exists() and KEY_A in store
+
+    def test_gc_max_age(self, tmp_path):
+        import os
+        import time
+        store = ResultStore(tmp_path)
+        old = store.put(KEY_A, 1)
+        store.put(KEY_B, 2)
+        past = time.time() - 3600
+        os.utime(old, (past, past))
+        assert store.gc(max_age_seconds=60) == 1
+        assert KEY_A not in store and KEY_B in store
+
+    def test_stats(self, tmp_path):
+        store = ResultStore(tmp_path)
+        assert store.stats().entries == 0
+        store.put(KEY_A, "payload")
+        stats = store.stats()
+        assert stats.entries == 1
+        assert stats.total_bytes >= len(pickle.dumps("payload"))
+        assert stats.root == tmp_path

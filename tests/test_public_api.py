@@ -10,7 +10,7 @@ import repro
 
 PACKAGES = ["repro", "repro.core", "repro.uarch", "repro.kernel",
             "repro.runtime", "repro.workloads", "repro.perf",
-            "repro.harness"]
+            "repro.harness", "repro.exec"]
 
 
 def all_modules():
