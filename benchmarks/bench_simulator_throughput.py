@@ -1,0 +1,134 @@
+"""Simulator throughput: batched trace engine vs the legacy interpreter.
+
+Not a paper figure — infrastructure tracking.  Measures sustained
+simulated instructions per wall-clock second for one representative
+workload per suite on both deployed consume paths:
+
+* ``legacy`` — the tuple-at-a-time path (``REPRO_LEGACY_CONSUME=1``):
+  build the workload program and generate + consume per-op tuples,
+  every run.
+* ``batched`` — the default path against a *warm* trace store: the op
+  stream is decoded from the recorded SoA chunks and run through
+  ``Core.consume_stream``; the workload program is never built.  This
+  is what a second machine config of a multi-machine suite pays.
+
+Both paths produce bit-identical results (asserted here per workload,
+and exhaustively by tests/integration/test_batched_equivalence.py), so
+the ratio is pure engine speed.  Timings use best-of-``_ROUNDS`` to
+shave scheduler noise.
+
+Results land in ``benchmarks/results/simulator_throughput.txt`` and —
+for the perf trajectory from PR 2 on — in ``BENCH_throughput.json`` at
+the repo root (uploaded as a CI artifact).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.exec.traces import TraceStore
+from repro.harness.report import format_table
+from repro.harness.runner import run_workload
+from repro.workloads.aspnet import aspnet_specs
+from repro.workloads.dotnet import dotnet_category_specs
+from repro.workloads.speccpu import speccpu_specs
+
+REPO_ROOT = Path(__file__).parent.parent
+JSON_PATH = REPO_ROOT / "BENCH_throughput.json"
+
+#: one representative workload per suite (paper suites: micro / ASP.NET /
+#: SPEC CPU17)
+_REPRESENTATIVES = (
+    ("dotnet", dotnet_category_specs, "System.Runtime"),
+    ("aspnet", aspnet_specs, "Json"),
+    ("speccpu", speccpu_specs, "mcf"),
+)
+
+_ROUNDS = 5
+
+
+def _best_of(fn, rounds: int = _ROUNDS) -> tuple[float, object]:
+    """Best-of-N CPU seconds (robust against scheduler noise)."""
+    best, result = float("inf"), None
+    for _ in range(rounds):
+        t0 = time.process_time()
+        out = fn()
+        dt = time.process_time() - t0
+        if dt < best:
+            best, result = dt, out
+    return best, result
+
+
+def test_simulator_throughput(fidelity, machine_i9, emit, tmp_path):
+    store = TraceStore(tmp_path / "traces")
+    rows = []
+    payload = {
+        "machine": machine_i9.name,
+        "fidelity": {
+            "warmup_instructions": fidelity.warmup_instructions,
+            "measure_instructions": fidelity.measure_instructions,
+        },
+        "rounds": _ROUNDS,
+        "workloads": {},
+    }
+    for suite, specs_fn, name in _REPRESENTATIVES:
+        spec = next(s for s in specs_fn() if s.name == name)
+        # Warm the trace store once (records the stream), so the timed
+        # batched runs below measure the replay path.
+        warm = run_workload(spec, machine_i9, fidelity, trace_store=store)
+        # Interleave the engines round by round so slow system phases
+        # penalize both paths alike.
+        t_leg = t_bat = float("inf")
+        legacy = batched = None
+        for _ in range(_ROUNDS):
+            dt, res = _best_of(
+                lambda: run_workload(spec, machine_i9, fidelity,
+                                     engine="legacy"), rounds=1)
+            if dt < t_leg:
+                t_leg, legacy = dt, res
+            dt, res = _best_of(
+                lambda: run_workload(spec, machine_i9, fidelity,
+                                     trace_store=store), rounds=1)
+            if dt < t_bat:
+                t_bat, batched = dt, res
+        # The two engines must agree exactly before their speeds are
+        # comparable at all.
+        assert batched.counters == legacy.counters == warm.counters
+        assert batched.topdown == legacy.topdown
+        instr = batched.counters.instructions
+        ips_leg = instr / t_leg
+        ips_bat = instr / t_bat
+        ratio = ips_bat / ips_leg
+        rows.append([suite, name, f"{ips_leg:,.0f}", f"{ips_bat:,.0f}",
+                     f"{ratio:.2f}x"])
+        payload["workloads"][name] = {
+            "suite": suite,
+            "instructions": instr,
+            "legacy_instr_per_s": round(ips_leg),
+            "batched_instr_per_s": round(ips_bat),
+            "speedup": round(ratio, 3),
+        }
+    ratios = [w["speedup"] for w in payload["workloads"].values()]
+    payload["min_speedup"] = min(ratios)
+    JSON_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+
+    text = ("Simulator throughput (measured instructions / CPU "
+            f"second, best of {_ROUNDS}):\n"
+            + format_table(
+                ["suite", "workload", "legacy instr/s", "batched instr/s",
+                 "speedup"], rows))
+    text += ("\n\nlegacy = build + generate + consume per run; batched = "
+             "warm-trace-store replay\n(the second machine config of a "
+             "multi-machine suite never regenerates).\n"
+             f"JSON written to {JSON_PATH.name}")
+    emit("simulator_throughput", text)
+
+    # Regression guard: the batched engine must beat the legacy
+    # interpreter on every suite.  The bound is deliberately below the
+    # steady-state speedup (~1.3-2x per suite on an idle machine, on
+    # top of the shared-model optimizations that lifted the legacy
+    # baseline itself ~1.6x over the PR-1 interpreter) because CI boxes
+    # are noisy; the JSON artifact carries the exact numbers.
+    assert payload["min_speedup"] > 1.05

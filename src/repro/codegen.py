@@ -20,7 +20,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.trace import OP_BLOCK, OP_BRANCH, OP_LOAD, OP_STORE
+from repro.trace import (OP_BLOCK, OP_BRANCH, OP_LOAD, OP_STORE,
+                         _KERNEL_BIT)
 
 
 @dataclass(frozen=True)
@@ -244,3 +245,102 @@ class CodeRegion:
                         nxt = (i + 1) % n_blocks
                         yield (OP_BRANCH, branch_pc, pcs[nxt] + off, False)
                         i = nxt
+
+    def walk_into(self, buf, rng: random.Random, n_instructions: int,
+                  load_addr, store_addr, is_kernel: bool = False,
+                  entry: int | None = None) -> None:
+        """Push twin of :meth:`walk`: emit into a ``TraceBuffer``.
+
+        Identical control flow and RNG call order to :meth:`walk` — the
+        two must stay in lockstep so a pushed trace is bit-identical to a
+        pulled one.  Pushing onto the buffer's columns directly skips one
+        tuple build + one generator resume per op, which is most of the
+        generation cost.
+        """
+        pcs = self._pc
+        n_other = self._n_other
+        n_bytes = self._n_bytes
+        p_taken = self._p_taken
+        n_loads = self._n_loads
+        n_stores = self._n_stores
+        is_loop = self._is_loop
+        trips = self._trips
+        taken_target = self._taken_target
+        n_blocks = self.n_blocks
+        hot_entries = self._hot_entries
+        n_hot = len(hot_entries)
+        n_chunks = self.n_chunks
+        chunk_bytes = self._chunk_bytes
+        kinds = buf.kinds
+        a0 = buf.a0
+        a1 = buf.a1
+        a2 = buf.a2
+        kernel_bit = _KERNEL_BIT if is_kernel else 0
+        random_ = rng.random
+        off = 0                      # current chunk's address offset
+        if entry is None:
+            i = hot_entries[int(random_() ** 3 * n_hot)]
+        else:
+            i = entry % n_blocks
+        executed = 0
+        run_len = 0
+        while executed < n_instructions:
+            reps = trips[i] if is_loop[i] else 1
+            for rep in range(reps):
+                other = n_other[i]
+                if other:
+                    kinds.append(OP_BLOCK)
+                    a0.append(pcs[i] + off)
+                    a1.append(other)
+                    a2.append(n_bytes[i] | kernel_bit)
+                for _ in range(n_loads[i]):
+                    kinds.append(OP_LOAD)
+                    a0.append(load_addr())
+                    a1.append(0)
+                    a2.append(0)
+                for _ in range(n_stores[i]):
+                    kinds.append(OP_STORE)
+                    a0.append(store_addr())
+                    a1.append(0)
+                    a2.append(0)
+                executed += other + n_loads[i] + n_stores[i] + 1
+                branch_pc = pcs[i] + off + n_bytes[i] - 4
+                if rep < reps - 1:
+                    # Loop backedge: taken, target = same block.
+                    kinds.append(OP_BRANCH)
+                    a0.append(branch_pc)
+                    a1.append(pcs[i] + off)
+                    a2.append(1)
+                    continue
+                run_len += 1
+                if run_len >= 8:
+                    run_len = 0
+                    if random_() < 0.98:
+                        j = hot_entries[int(random_() ** 3 * n_hot)]
+                        off = 0
+                    else:
+                        j = int(random_() * n_blocks)
+                        if n_chunks > 1:
+                            off = int(random_() * n_chunks) * chunk_bytes
+                    kinds.append(OP_BRANCH)
+                    a0.append(branch_pc)
+                    a1.append(pcs[j] + off)
+                    a2.append(1)
+                    i = j
+                else:
+                    taken = random_() < p_taken[i]
+                    if taken:
+                        j = taken_target[i]
+                        kinds.append(OP_BRANCH)
+                        a0.append(branch_pc)
+                        a1.append(pcs[j] + off)
+                        a2.append(1)
+                        i = j
+                    else:
+                        nxt = (i + 1) % n_blocks
+                        kinds.append(OP_BRANCH)
+                        a0.append(branch_pc)
+                        a1.append(pcs[nxt] + off)
+                        a2.append(0)
+                        i = nxt
+        buf.n_instructions += executed

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import dataclasses
 import hashlib
+import os
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Mapping
@@ -162,8 +163,19 @@ class JobSpec:
 
 
 def execute_job(job: JobSpec) -> RunResult:
-    """Run one job in the current process."""
+    """Run one job in the current process.
+
+    ``REPRO_TRACE_DIR`` attaches a :class:`~repro.exec.traces.TraceStore`
+    to every job, so a batch over several machine configs generates each
+    workload's trace once and replays it thereafter.  The trace store is
+    deliberately not part of the cache key — it changes how a result is
+    produced, never what it is.
+    """
     kwargs = dict(job.run_kwargs)
     seed = kwargs.pop("seed", job.seed)
+    trace_dir = os.environ.get("REPRO_TRACE_DIR")
+    if trace_dir and "trace_store" not in kwargs:
+        from repro.exec.traces import TraceStore
+        kwargs["trace_store"] = TraceStore(os.path.expanduser(trace_dir))
     return run_workload(job.spec, job.machine, job.fidelity,
                         seed=seed, **kwargs)

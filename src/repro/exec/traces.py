@@ -1,0 +1,208 @@
+"""Content-addressed trace store: generate each trace once, replay many.
+
+Multi-machine experiments (cross-machine validation, x86-vs-Arm, machine
+sweeps) run the *same* op stream through different core geometries — the
+stream depends only on the workload model, not on the microarchitecture.
+This store keys recorded traces (:mod:`repro.perf.trace_io`) by exactly
+the trace-relevant inputs:
+
+* workload spec, seed, ablation flags (``reuse_code_pages``,
+  ``compaction_enabled``),
+* generation-side sizing (``code_bloat`` — the only machine parameter
+  that reaches the generator — plus GC/heap config),
+* a fingerprint of the generation-side sources
+  (:func:`trace_fingerprint`).
+
+Crucially the key excludes the microarchitectural model, so editing
+``uarch/`` or re-running on a second machine config replays the cached
+trace instead of regenerating it.  Entries carry a JSON sidecar with the
+instruction count and the program's premap ranges, so replay can
+reconstruct the initial VM state without building the program at all.
+
+Layout mirrors :class:`repro.exec.store.ResultStore`:
+``<root>/traces/v1/<key[:2]>/<key>.trace`` + ``<key>.json``, published
+atomically with ``os.replace``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+
+from repro.exec.jobs import canonical_encode
+from repro.perf.trace_io import record_buffers, replay_buffers
+from repro.trace import TraceBuffer
+
+TRACE_LAYOUT_VERSION = "v1"
+
+#: bump when the key schema changes (invalidates every old trace)
+TRACE_KEY_VERSION = "1"
+
+#: chunk size used when generating store entries
+_CHUNK_INSTRUCTIONS = 65536
+
+#: headroom recorded beyond the first requester's need, so machine
+#: configs with slightly larger dynamic instruction budgets still hit
+_SLACK = 1.10
+
+#: generation-side subtrees/modules, relative to the ``repro`` package —
+#: the microarchitecture (uarch/, most of perf/, harness/, exec/) never
+#: influences the op stream and must not invalidate traces
+_TRACE_SOURCES = ("trace.py", "seeding.py", "codegen.py", "workloads",
+                  "runtime", "kernel", "perf/trace_io.py")
+
+_TRACE_FPRINT: dict[Path, str] = {}
+
+
+def trace_fingerprint(root: str | Path | None = None, *,
+                      refresh: bool = False) -> str:
+    """Stable hash of the trace-*generation* sources only.
+
+    The deliberate counterpart of
+    :func:`repro.exec.jobs.code_fingerprint` (which hashes the whole
+    tree): a pipeline-model edit changes result-cache keys but keeps
+    recorded traces valid.
+    """
+    if root is None:
+        import repro
+        root = Path(repro.__file__).parent
+    root = Path(root).resolve()
+    if not refresh and root in _TRACE_FPRINT:
+        return _TRACE_FPRINT[root]
+    digest = hashlib.sha256()
+    for rel in _TRACE_SOURCES:
+        path = root / rel
+        files = sorted(path.rglob("*.py")) if path.is_dir() else [path]
+        for f in files:
+            if not f.exists():
+                continue
+            digest.update(f.relative_to(root).as_posix().encode())
+            digest.update(b"\0")
+            digest.update(f.read_bytes())
+            digest.update(b"\0")
+    _TRACE_FPRINT[root] = digest.hexdigest()
+    return _TRACE_FPRINT[root]
+
+
+class TraceStore:
+    """Content-addressed store of recorded op-stream traces."""
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+
+    @property
+    def _base(self) -> Path:
+        return self.root / "traces" / TRACE_LAYOUT_VERSION
+
+    def trace_path(self, key: str) -> Path:
+        return self._base / key[:2] / f"{key}.trace"
+
+    def meta_path(self, key: str) -> Path:
+        return self._base / key[:2] / f"{key}.json"
+
+    # ------------------------------------------------------------------
+    def key_for(self, spec, *, seed: int, code_bloat: float,
+                gc_config, heap_config,
+                reuse_code_pages: bool = False,
+                compaction_enabled: bool = True,
+                fingerprint: str | None = None) -> str:
+        """Content hash identifying one workload's op stream."""
+        if fingerprint is None:
+            fingerprint = trace_fingerprint()
+        payload = canonical_encode(
+            (TRACE_KEY_VERSION, fingerprint, spec, seed,
+             round(code_bloat, 6), gc_config, heap_config,
+             reuse_code_pages, compaction_enabled))
+        return hashlib.sha256(payload).hexdigest()
+
+    def meta(self, key: str) -> dict | None:
+        """The entry's sidecar metadata, or ``None`` on miss/corruption."""
+        try:
+            with self.meta_path(key).open() as fh:
+                return json.load(fh)
+        except FileNotFoundError:
+            return None
+        except Exception:
+            self.delete(key)
+            return None
+
+    def lookup(self, key: str, required_instructions: int) -> dict | None:
+        """Metadata if a long-enough trace exists, else ``None``."""
+        meta = self.meta(key)
+        if meta is None or not self.trace_path(key).exists():
+            return None
+        if meta.get("n_instructions", 0) < required_instructions:
+            return None
+        return meta
+
+    def ensure(self, key: str, required_instructions: int,
+               make_program) -> tuple[dict, bool]:
+        """Guarantee a trace of ≥ ``required_instructions`` under ``key``.
+
+        ``make_program`` is a zero-argument callable building the
+        workload program (only invoked on miss).  Returns ``(meta,
+        generated)`` — ``generated`` is ``False`` on a warm hit, which
+        is what lets the second machine config of a multi-machine suite
+        skip trace generation entirely.
+        """
+        meta = self.lookup(key, required_instructions)
+        if meta is not None:
+            return meta, False
+        program = make_program()
+        target = int(required_instructions * _SLACK)
+
+        def chunks():
+            emitted = 0
+            fill = getattr(program, "fill_buffer", None)
+            ops = None if fill is not None else program.ops()
+            while emitted < target:
+                buf = TraceBuffer()
+                if fill is not None:
+                    fill(buf, _CHUNK_INSTRUCTIONS)
+                else:
+                    buf.fill_from(ops, _CHUNK_INSTRUCTIONS)
+                emitted += buf.n_instructions
+                yield buf
+
+        path = self.trace_path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.parent / f".{key}.{os.getpid()}.trace.tmp"
+        try:
+            n_instr = record_buffers(chunks(), tmp)
+            os.replace(tmp, path)
+        finally:
+            tmp.unlink(missing_ok=True)
+        meta = {
+            "n_instructions": n_instr,
+            "premap_ranges": [list(r) for r in program.premap_ranges()],
+        }
+        mtmp = path.parent / f".{key}.{os.getpid()}.json.tmp"
+        try:
+            mtmp.write_text(json.dumps(meta))
+            os.replace(mtmp, self.meta_path(key))
+        finally:
+            mtmp.unlink(missing_ok=True)
+        return meta, True
+
+    def replay(self, key: str):
+        """Sealed :class:`TraceBuffer` chunks of the stored trace."""
+        return replay_buffers(self.trace_path(key))
+
+    def delete(self, key: str) -> bool:
+        removed = False
+        for path in (self.trace_path(key), self.meta_path(key)):
+            if path.exists():
+                path.unlink()
+                removed = True
+        return removed
+
+    def keys(self):
+        if not self._base.exists():
+            return
+        for path in sorted(self._base.glob("*/*.trace")):
+            yield path.stem
+
+    def __repr__(self) -> str:
+        return f"TraceStore({str(self.root)!r})"

@@ -89,6 +89,14 @@ def main(argv: list[str] | None = None) -> int:
                              "$REPRO_CACHE_DIR; unset = no caching)")
     parser.add_argument("--no-cache", action="store_true",
                         help="ignore the result store for this run")
+    parser.add_argument("--trace-dir", metavar="DIR",
+                        default=os.environ.get("REPRO_TRACE_DIR"),
+                        help="content-addressed trace store: record each "
+                             "workload's op stream once, replay it on "
+                             "later runs (default: $REPRO_TRACE_DIR)")
+    parser.add_argument("--profile", action="store_true",
+                        help="cProfile one run of the first benchmark and "
+                             "print the top-25 functions by tottime")
     parser.add_argument("--topdown", action="store_true",
                         help="print the full Top-Down breakdown")
     parser.add_argument("--toplev", action="store_true",
@@ -121,6 +129,28 @@ def main(argv: list[str] | None = None) -> int:
                         measure_instructions=args.instructions)
     store = _make_store(args)
     machine = get_machine(args.machine)
+    if args.trace_dir:
+        # execute_job picks the store up from the environment, which also
+        # covers --jobs worker processes.
+        os.environ["REPRO_TRACE_DIR"] = os.path.expanduser(args.trace_dir)
+
+    if args.profile:
+        import cProfile
+        import pstats
+        from repro.harness.runner import run_workload
+        trace_store = None
+        if args.trace_dir:
+            from repro.exec.traces import TraceStore
+            trace_store = TraceStore(os.path.expanduser(args.trace_dir))
+        profiler = cProfile.Profile()
+        profiler.enable()
+        result = run_workload(selected[0], machine, fidelity,
+                              seed=args.seed, trace_store=trace_store)
+        profiler.disable()
+        print(f"# cProfile of one {selected[0].name} run on "
+              f"{machine.name} ({result.counters.instructions} instr)")
+        pstats.Stats(profiler).sort_stats("tottime").print_stats(25)
+        return 0
 
     from repro.exec.progress import ProgressReporter
     from repro.harness.suite import characterize_suite

@@ -16,6 +16,7 @@ load), which feeds the §IV-C score validation.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 
 from repro.kernel.vm import VirtualMemory
@@ -24,12 +25,28 @@ from repro.perf.sampler import CounterSampler, SampleSeries
 from repro.perf.tracer import LttngTracer
 from repro.runtime.gc import GcConfig
 from repro.runtime.heap import HeapConfig
+from repro.trace import TraceBufferStream
 from repro.uarch.machine import MachineConfig
 from repro.uarch.multicore import MulticoreRunner, MulticoreResult
 from repro.uarch.pipeline import Core
 from repro.uarch.topdown import TopDownProfile, profile_core
 from repro.workloads.program import build_program
 from repro.workloads.spec import SuiteName, WorkloadSpec
+
+
+def _use_legacy_consume(engine: str | None) -> bool:
+    """Resolve the consume-engine choice.
+
+    ``engine`` overrides explicitly (``"legacy"``/``"batched"``);
+    otherwise ``REPRO_LEGACY_CONSUME=1`` selects the tuple-at-a-time
+    path.  The batched engine is the default — the two are bit-identical
+    (enforced by tests/integration/test_batched_equivalence.py).
+    """
+    if engine is not None:
+        if engine not in ("legacy", "batched"):
+            raise ValueError(f"unknown engine {engine!r}")
+        return engine == "legacy"
+    return os.environ.get("REPRO_LEGACY_CONSUME", "0") not in ("", "0")
 
 
 @dataclass(frozen=True)
@@ -98,8 +115,17 @@ def run_workload(spec: WorkloadSpec, machine: MachineConfig,
                  sample_interval: float = 1e-3,
                  reuse_code_pages: bool = False,
                  compaction_enabled: bool = True,
-                 seed: int = 0) -> RunResult:
-    """Warm up, measure, and package one workload run."""
+                 seed: int = 0,
+                 trace_store=None,
+                 engine: str | None = None) -> RunResult:
+    """Warm up, measure, and package one workload run.
+
+    ``trace_store`` (a :class:`repro.exec.traces.TraceStore`) makes the
+    run record-once/replay-many: on a warm store the op stream is
+    replayed from disk and the workload program is never built.
+    ``engine`` selects the consume path (default: batched, or legacy
+    when ``REPRO_LEGACY_CONSUME=1``).
+    """
     fidelity = fidelity or Fidelity.default()
     heap_config, gc_config = _heap_and_gc(spec, heap_config, gc_config)
     vm = VirtualMemory()
@@ -107,26 +133,49 @@ def run_workload(spec: WorkloadSpec, machine: MachineConfig,
     core.set_hints(spec.hints())
     tracer = LttngTracer(machine.max_freq_hz)
     core.event_hook = tracer.hook
-    program = build_program(
-        spec, seed=seed, heap_config=heap_config, gc_config=gc_config,
-        code_bloat=machine.code_bloat,
-        reuse_code_pages=reuse_code_pages,
-        compaction_enabled=compaction_enabled)
-    program.premap(vm)
-    ops = program.ops()
     warmup = fidelity.warmup_instructions
     if spec.suite == SuiteName.ASPNET:
         warmup = int(warmup * fidelity.aspnet_warmup_factor)
-    core.consume(ops, max_instructions=warmup)
+    measure = int(fidelity.measure_instructions
+                  * machine.dynamic_instr_bloat)
+
+    def make_program():
+        return build_program(
+            spec, seed=seed, heap_config=heap_config, gc_config=gc_config,
+            code_bloat=machine.code_bloat,
+            reuse_code_pages=reuse_code_pages,
+            compaction_enabled=compaction_enabled)
+
+    if _use_legacy_consume(engine):
+        program = make_program()
+        program.premap(vm)
+        source = program.ops()
+        consume = core.consume
+    else:
+        consume = core.consume_stream
+        if trace_store is not None:
+            key = trace_store.key_for(
+                spec, seed=seed, code_bloat=machine.code_bloat,
+                gc_config=gc_config, heap_config=heap_config,
+                reuse_code_pages=reuse_code_pages,
+                compaction_enabled=compaction_enabled)
+            meta, _ = trace_store.ensure(key, warmup + measure,
+                                         make_program)
+            for start, length in meta["premap_ranges"]:
+                vm.premap_range(start, length)
+            source = TraceBufferStream(buffers=trace_store.replay(key))
+        else:
+            program = make_program()
+            program.premap(vm)
+            source = TraceBufferStream(filler=program.fill_buffer)
+    consume(source, max_instructions=warmup)
     core.reset_stats()
     tracer.clear()
     sampler = None
     if sampling:
         sampler = CounterSampler(core, tracer.counts,
                                  interval_seconds=sample_interval)
-    measure = int(fidelity.measure_instructions
-                  * machine.dynamic_instr_bloat)
-    core.consume(ops, max_instructions=measure)
+    consume(source, max_instructions=measure)
     samples = sampler.finish() if sampler is not None else None
     counters = collect_counters(core, tracer.counts,
                                 cpu_utilization=spec.cpu_utilization)
@@ -182,8 +231,9 @@ def _color_ops(ops, core_id: int):
 
 def run_multicore(spec: WorkloadSpec, machine: MachineConfig,
                   n_cores: int, fidelity: Fidelity | None = None,
-                  seed: int = 0) -> tuple[MulticoreResult, TopDownProfile,
-                                          CounterSnapshot]:
+                  seed: int = 0, engine: str | None = None
+                  ) -> tuple[MulticoreResult, TopDownProfile,
+                             CounterSnapshot]:
     """Run one ASP.NET-style workload replicated across ``n_cores``.
 
     Cores model worker threads of one server process: identical code
@@ -191,10 +241,15 @@ def run_multicore(spec: WorkloadSpec, machine: MachineConfig,
     LLC) with per-core private data (see :func:`_color_ops`).  Warm up
     all cores, reset, then measure — returns the multicore result plus
     the Top-Down profile and counters of core 0 (cores are symmetric).
+
+    On the batched engine, per-core address coloring is one vectorized
+    mask per chunk (:meth:`repro.trace.TraceBuffer.color_private`)
+    instead of one tuple rebuild per memory op.
     """
     fidelity = fidelity or Fidelity.default()
     heap_config, gc_config = _heap_and_gc(spec, None, None)
     programs = {}
+    legacy = _use_legacy_consume(engine)
 
     def factory(core_id: int):
         program = build_program(
@@ -204,7 +259,15 @@ def run_multicore(spec: WorkloadSpec, machine: MachineConfig,
         # layout: jump the program's RNG ahead by a core-specific amount.
         program.rng.seed((seed << 8) ^ core_id)
         programs[core_id] = program
-        return _color_ops(program.ops(), core_id), spec.hints()
+        if legacy:
+            return _color_ops(program.ops(), core_id), spec.hints()
+        transform = None
+        if core_id:
+            color = core_id << 40
+            transform = (lambda buf, _c=color:
+                         buf.color_private(_PRIVATE_SPANS, _c))
+        return (TraceBufferStream(filler=program.fill_buffer,
+                                  transform=transform), spec.hints())
 
     runner = MulticoreRunner(machine, n_cores, factory)
     for core_id, core in enumerate(runner.cores):

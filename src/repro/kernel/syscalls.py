@@ -167,6 +167,49 @@ class SyscallModel:
                 yield (OP_BRANCH, loop_pc + 12, loop_pc, i + 1 < n_lines)
         yield (OP_BRANCH, loop_pc + 12, loop_pc, False)
 
+    # -- push twins (batched emission; see repro.trace.TraceBuffer) ------
+    def emit_into(self, buf, kind: str, rng: random.Random,
+                  payload_bytes: int = 0, user_buffer: int = 0) -> None:
+        """Push twin of :meth:`emit` — same ops, same RNG call order."""
+        prof = _PROFILES[kind]
+        region = self._regions[kind]
+        meta_base = self._meta_base
+        meta_lines = self._meta_bytes // _LINE
+        ring = self._meta_ring
+
+        def meta_load() -> int:
+            if ring and rng.random() < 0.90:
+                return ring[int(rng.random() * len(ring))]
+            addr = meta_base + int(rng.random() ** 2 * meta_lines) * _LINE
+            if len(ring) >= 8:
+                ring.pop(0)
+            ring.append(addr)
+            return addr
+
+        region.walk_into(buf, rng, prof.base_instructions,
+                         load_addr=meta_load, store_addr=meta_load,
+                         is_kernel=True, entry=0)
+        if prof.touches_buffers and payload_bytes > 0:
+            self._copy_loop_into(buf, region, payload_bytes, user_buffer,
+                                 to_user=(kind in (SyscallKind.RECV,
+                                                   SyscallKind.READ)))
+
+    def _copy_loop_into(self, buf, region: CodeRegion, payload_bytes: int,
+                        user_buffer: int, to_user: bool) -> None:
+        """Push twin of :meth:`_copy_loop` (no RNG use at all)."""
+        kbuf = self._acquire_buffer()
+        n_lines = max(1, payload_bytes // _LINE)
+        loop_pc = region.base + region.size_bytes - 64
+        src_base = kbuf if to_user else user_buffer
+        dst_base = user_buffer if to_user else kbuf
+        for i in range(n_lines):
+            buf.load(src_base + i * _LINE)
+            buf.store(dst_base + i * _LINE)
+            buf.block(loop_pc, 2, 16, kernel=True)
+            if i % 8 == 7:
+                buf.branch(loop_pc + 12, loop_pc, i + 1 < n_lines)
+        buf.branch(loop_pc + 12, loop_pc, False)
+
     # ------------------------------------------------------------------
     def instructions_estimate(self, kind: str, payload_bytes: int = 0) -> int:
         """Rough instruction count of one invocation (for pacing logic)."""

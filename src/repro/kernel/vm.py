@@ -89,19 +89,19 @@ class VirtualMemory:
         """
         first = start >> self._page_shift
         last = (start + max(length, 1) - 1) >> self._page_shift
-        for vpn in range(first, last + 1):
-            if vpn not in self._mapped:
-                self._mapped.add(vpn)
-                self.stats.mapped_pages += 1
+        mapped = self._mapped
+        before = len(mapped)
+        mapped.update(range(first, last + 1))
+        self.stats.mapped_pages += len(mapped) - before
 
     def unmap_range(self, start: int, length: int) -> None:
         """Decommit pages (heap shrink after GC); future touches fault again."""
         first = start >> self._page_shift
         last = (start + max(length, 1) - 1) >> self._page_shift
-        for vpn in range(first, last + 1):
-            if vpn in self._mapped:
-                self._mapped.discard(vpn)
-                self.stats.unmapped_pages += 1
+        mapped = self._mapped
+        before = len(mapped)
+        mapped.difference_update(range(first, last + 1))
+        self.stats.unmapped_pages += before - len(mapped)
 
     @property
     def resident_bytes(self) -> int:

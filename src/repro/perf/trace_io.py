@@ -6,35 +6,52 @@ decoupling trace *generation* (workload + runtime model) from trace
 *consumption* (microarchitecture studies), exactly how trace-driven
 simulators are used in practice.
 
-Format (version 1): little-endian, a 16-byte header
-(``b"RPRTRACE"``, u32 version, u32 reserved) followed by records:
+Format (version 2): little-endian, a 16-byte header
+(``b"RPRTRACE"``, u32 version, u32 reserved) followed by chunk records,
+one per :class:`repro.trace.TraceBuffer`:
 
-====  =======================================================
-tag   payload
-====  =======================================================
-0x01  block:  u64 pc, u16 n_instr, u16 n_bytes, u8 kernel
-0x02  branch: u64 pc, u64 target, u8 taken
-0x03  load:   u64 addr
-0x04  store:  u64 addr
-0x05  event:  u8 kind_idx (RUNTIME_EVENT_KINDS index; 0xFF=other)
-====  =======================================================
+=====  ==================================================================
+field  contents
+=====  ==================================================================
+tag    u8 ``0x10``
+n_ops  u32 op count
+n_ins  u64 instruction count of the chunk
+ev_len u32 byte length of the pickled event side-table
+kinds  ``n_ops`` bytes (opcode column)
+a0-a2  3 × ``n_ops`` int64 arrays (raw column dumps)
+events ``ev_len`` bytes: pickled ``[(kind, payload), ...]``
+=====  ==================================================================
 
-Events carry only their kind (payloads are analysis-side data the
-microarchitecture never sees), keeping records fixed-width and fast.
+Storing the SoA columns verbatim makes decode nearly free — one
+``np.frombuffer`` + ``tolist`` per column — so replaying a cached trace
+costs a small fraction of regenerating it.  Event payloads survive the
+round trip (pickled side-table), which matters for bit-identity: JIT
+metadata events carry ``(base, size)`` payloads the pipeline consumes.
+
+Version-1 files (fixed-width per-op records, payload-less events) are
+still readable; see the tag table in :func:`_replay_v1`.
 """
 
 from __future__ import annotations
 
+import pickle
 import struct
 from pathlib import Path
 
+import numpy as np
+
 from repro.trace import (OP_BLOCK, OP_BRANCH, OP_EVENT, OP_LOAD, OP_STORE,
-                         RUNTIME_EVENT_KINDS)
+                         BLOCK_KERNEL_SHIFT, RUNTIME_EVENT_KINDS,
+                         TraceBuffer)
 
 MAGIC = b"RPRTRACE"
-VERSION = 1
+VERSION = 2
 
 _HEADER = struct.Struct("<8sII")
+_CHUNK = struct.Struct("<IQI")
+_CHUNK_TAG = 0x10
+
+# -- version-1 record structs (read-compatibility) -----------------------
 _BLOCK = struct.Struct("<QHHB")
 _BRANCH = struct.Struct("<QQB")
 _ADDR = struct.Struct("<Q")
@@ -43,125 +60,226 @@ _EVENT = struct.Struct("<B")
 _KIND_TO_IDX = {k: i for i, k in enumerate(RUNTIME_EVENT_KINDS)}
 _OTHER_KIND = 0xFF
 
+#: ops per chunk when recording from a plain op iterator
+_RECORD_CHUNK_INSTRUCTIONS = 65536
+
 
 class TraceWriteError(ValueError):
     """An op could not be encoded."""
-
-
-def record(ops, path, max_instructions: int | None = None) -> int:
-    """Write ``ops`` to ``path``; returns the instruction count recorded.
-
-    ``max_instructions`` bounds recording the same way the pipeline
-    bounds execution (checked at block boundaries).
-    """
-    n_instr = 0
-    with open(path, "wb") as fh:
-        fh.write(_HEADER.pack(MAGIC, VERSION, 0))
-        write = fh.write
-        for op in ops:
-            kind = op[0]
-            if kind == OP_LOAD:
-                write(b"\x03")
-                write(_ADDR.pack(op[1]))
-                n_instr += 1
-            elif kind == OP_STORE:
-                write(b"\x04")
-                write(_ADDR.pack(op[1]))
-                n_instr += 1
-            elif kind == OP_BLOCK:
-                if not (0 <= op[2] < 1 << 16 and 0 <= op[3] < 1 << 16):
-                    raise TraceWriteError(f"block out of range: {op}")
-                write(b"\x01")
-                write(_BLOCK.pack(op[1], op[2], op[3], int(op[4])))
-                n_instr += op[2]
-                if max_instructions is not None \
-                        and n_instr >= max_instructions:
-                    break
-            elif kind == OP_BRANCH:
-                write(b"\x02")
-                write(_BRANCH.pack(op[1], op[2], int(op[3])))
-                n_instr += 1
-            elif kind == OP_EVENT:
-                write(b"\x05")
-                write(_EVENT.pack(_KIND_TO_IDX.get(op[1], _OTHER_KIND)))
-            else:
-                raise TraceWriteError(f"unknown op kind {kind!r}")
-    return n_instr
 
 
 class TraceFormatError(ValueError):
     """The file is not a valid trace."""
 
 
-def replay(path):
-    """Yield ops from a recorded trace (generator).
+# ----------------------------------------------------------------------
+# writing
+# ----------------------------------------------------------------------
 
-    Event records come back as ``(OP_EVENT, kind, None)`` with the kind
-    string restored (or ``"other"`` for non-Table-I events).
+def _write_chunk(fh, buf: TraceBuffer) -> None:
+    n_ops = len(buf.kinds)
+    try:
+        kinds = np.asarray(buf.kinds, dtype=np.uint8)
+        a0 = np.asarray(buf.a0, dtype=np.int64)
+        a1 = np.asarray(buf.a1, dtype=np.int64)
+        a2 = np.asarray(buf.a2, dtype=np.int64)
+    except (OverflowError, ValueError) as exc:
+        raise TraceWriteError(f"op column not encodable: {exc}") from exc
+    blocks = kinds == OP_BLOCK
+    if blocks.any() and int(a1[blocks].max()) >= 1 << 16:
+        raise TraceWriteError("block n_instr out of range")
+    ev_blob = pickle.dumps(buf.events, protocol=pickle.HIGHEST_PROTOCOL)
+    fh.write(bytes((_CHUNK_TAG,)))
+    fh.write(_CHUNK.pack(n_ops, buf.n_instructions, len(ev_blob)))
+    fh.write(kinds.tobytes())
+    fh.write(a0.tobytes())
+    fh.write(a1.tobytes())
+    fh.write(a2.tobytes())
+    fh.write(ev_blob)
+
+
+def record_buffers(buffers, path) -> int:
+    """Write an iterable of :class:`TraceBuffer` chunks to ``path``.
+
+    Returns the total instruction count written.  The chunk structure is
+    preserved, so ``replay_buffers`` hands back the same chunking.
+    """
+    n_instr = 0
+    with open(path, "wb") as fh:
+        fh.write(_HEADER.pack(MAGIC, VERSION, 0))
+        for buf in buffers:
+            if not buf.kinds:
+                continue
+            _write_chunk(fh, buf)
+            n_instr += buf.n_instructions
+    return n_instr
+
+
+def record(ops, path, max_instructions: int | None = None) -> int:
+    """Write ``ops`` to ``path``; returns the instruction count recorded.
+
+    ``max_instructions`` bounds recording the same way
+    :meth:`TraceBuffer.fill_from` bounds buffering: the trace ends after
+    the op that crosses the limit, never mid-op.
+    """
+    def chunks():
+        remaining = max_instructions
+        ops_iter = iter(ops)
+        while True:
+            take = _RECORD_CHUNK_INSTRUCTIONS
+            if remaining is not None:
+                take = min(take, remaining)
+            buf = TraceBuffer()
+            try:
+                done = buf.fill_from(ops_iter, take)
+            except ValueError as exc:
+                raise TraceWriteError(str(exc)) from exc
+            if buf.kinds:
+                yield buf
+            if done:
+                return
+            if remaining is not None:
+                remaining -= buf.n_instructions
+                if remaining <= 0:
+                    return
+
+    return record_buffers(chunks(), path)
+
+
+# ----------------------------------------------------------------------
+# reading
+# ----------------------------------------------------------------------
+
+def _read_header(fh) -> int:
+    header = fh.read(_HEADER.size)
+    if len(header) < _HEADER.size:
+        raise TraceFormatError("truncated header")
+    magic, version, _ = _HEADER.unpack(header)
+    if magic != MAGIC:
+        raise TraceFormatError(f"bad magic {magic!r}")
+    if version not in (1, VERSION):
+        raise TraceFormatError(f"unsupported version {version}")
+    return version
+
+
+def replay_buffers(path):
+    """Yield sealed :class:`TraceBuffer` chunks from a recorded trace.
+
+    The fast replay path: feeds
+    :meth:`repro.uarch.pipeline.Core.consume_stream` directly via
+    ``TraceBufferStream(buffers=replay_buffers(path))`` with no per-op
+    decode.  Version-1 traces are up-converted chunk by chunk.
     """
     with open(path, "rb") as fh:
-        header = fh.read(_HEADER.size)
-        if len(header) < _HEADER.size:
-            raise TraceFormatError("truncated header")
-        magic, version, _ = _HEADER.unpack(header)
-        if magic != MAGIC:
-            raise TraceFormatError(f"bad magic {magic!r}")
-        if version != VERSION:
-            raise TraceFormatError(f"unsupported version {version}")
+        version = _read_header(fh)
         data = fh.read()
+    if version == 1:
+        ops = _replay_v1(data)
+        while True:
+            buf = TraceBuffer()
+            done = buf.fill_from(ops, _RECORD_CHUNK_INSTRUCTIONS)
+            if buf.kinds:
+                yield buf.seal()
+            if done:
+                return
+        return
     pos = 0
     end = len(data)
     while pos < end:
         tag = data[pos]
         pos += 1
-        if tag == 0x03:
-            (addr,) = _ADDR.unpack_from(data, pos)
-            pos += _ADDR.size
-            yield (OP_LOAD, addr)
-        elif tag == 0x04:
-            (addr,) = _ADDR.unpack_from(data, pos)
-            pos += _ADDR.size
-            yield (OP_STORE, addr)
-        elif tag == 0x01:
-            pc, n_instr, n_bytes, kernel = _BLOCK.unpack_from(data, pos)
-            pos += _BLOCK.size
-            yield (OP_BLOCK, pc, n_instr, n_bytes, bool(kernel))
-        elif tag == 0x02:
-            pc, target, taken = _BRANCH.unpack_from(data, pos)
-            pos += _BRANCH.size
-            yield (OP_BRANCH, pc, target, bool(taken))
-        elif tag == 0x05:
-            (idx,) = _EVENT.unpack_from(data, pos)
-            pos += _EVENT.size
-            kind = (RUNTIME_EVENT_KINDS[idx]
-                    if idx < len(RUNTIME_EVENT_KINDS) else "other")
-            yield (OP_EVENT, kind, None)
-        else:
+        if tag != _CHUNK_TAG:
             raise TraceFormatError(f"unknown record tag {tag:#x} at "
                                    f"offset {pos - 1}")
+        if pos + _CHUNK.size > end:
+            raise TraceFormatError("truncated chunk header")
+        n_ops, n_instr, ev_len = _CHUNK.unpack_from(data, pos)
+        pos += _CHUNK.size
+        need = n_ops * 25 + ev_len       # 1 + 3*8 bytes per op
+        if pos + need > end:
+            raise TraceFormatError("truncated chunk body")
+        buf = TraceBuffer()
+        buf.kinds = np.frombuffer(data, dtype=np.uint8, count=n_ops,
+                                  offset=pos).tolist()
+        pos += n_ops
+        for col in ("a0", "a1", "a2"):
+            setattr(buf, col,
+                    np.frombuffer(data, dtype="<i8", count=n_ops,
+                                  offset=pos).tolist())
+            pos += n_ops * 8
+        try:
+            buf.events = pickle.loads(data[pos:pos + ev_len])
+        except Exception as exc:
+            raise TraceFormatError(
+                f"corrupt event table: {exc}") from exc
+        pos += ev_len
+        buf.n_instructions = n_instr
+        yield buf.seal()
+
+
+def replay(path):
+    """Yield ops from a recorded trace as plain tuples (generator).
+
+    Version-1 event records come back as ``(OP_EVENT, kind, None)`` (v1
+    stored no payloads); version-2 events round-trip exactly.
+    """
+    for buf in replay_buffers(path):
+        yield from buf.iter_ops()
+
+
+def _replay_v1(data):
+    """Decode version-1 fixed-width records."""
+    pos = 0
+    end = len(data)
+    try:
+        while pos < end:
+            tag = data[pos]
+            pos += 1
+            if tag == 0x03:
+                (addr,) = _ADDR.unpack_from(data, pos)
+                pos += _ADDR.size
+                yield (OP_LOAD, addr)
+            elif tag == 0x04:
+                (addr,) = _ADDR.unpack_from(data, pos)
+                pos += _ADDR.size
+                yield (OP_STORE, addr)
+            elif tag == 0x01:
+                pc, n_instr, n_bytes, kernel = _BLOCK.unpack_from(data, pos)
+                pos += _BLOCK.size
+                yield (OP_BLOCK, pc, n_instr, n_bytes, bool(kernel))
+            elif tag == 0x02:
+                pc, target, taken = _BRANCH.unpack_from(data, pos)
+                pos += _BRANCH.size
+                yield (OP_BRANCH, pc, target, bool(taken))
+            elif tag == 0x05:
+                (idx,) = _EVENT.unpack_from(data, pos)
+                pos += _EVENT.size
+                kind = (RUNTIME_EVENT_KINDS[idx]
+                        if idx < len(RUNTIME_EVENT_KINDS) else "other")
+                yield (OP_EVENT, kind, None)
+            else:
+                raise TraceFormatError(f"unknown record tag {tag:#x} at "
+                                       f"offset {pos - 1}")
+    except struct.error as exc:
+        raise TraceFormatError(f"truncated record: {exc}") from exc
 
 
 def trace_info(path) -> dict:
     """Summary statistics of a trace file (no full materialization)."""
     counts = {"blocks": 0, "branches": 0, "loads": 0, "stores": 0,
               "events": 0, "instructions": 0, "kernel_instructions": 0}
-    for op in replay(path):
-        kind = op[0]
-        if kind == OP_BLOCK:
-            counts["blocks"] += 1
-            counts["instructions"] += op[2]
-            if op[4]:
-                counts["kernel_instructions"] += op[2]
-        elif kind == OP_BRANCH:
-            counts["branches"] += 1
-            counts["instructions"] += 1
-        elif kind == OP_LOAD:
-            counts["loads"] += 1
-            counts["instructions"] += 1
-        elif kind == OP_STORE:
-            counts["stores"] += 1
-            counts["instructions"] += 1
-        else:
-            counts["events"] += 1
+    for buf in replay_buffers(path):
+        kinds = buf.kinds
+        counts["blocks"] += kinds.count(OP_BLOCK)
+        counts["branches"] += kinds.count(OP_BRANCH)
+        counts["loads"] += kinds.count(OP_LOAD)
+        counts["stores"] += kinds.count(OP_STORE)
+        counts["events"] += kinds.count(OP_EVENT)
+        counts["instructions"] += buf.n_instructions
+        a1 = buf.a1
+        a2 = buf.a2
+        for i, kind in enumerate(kinds):
+            if kind == OP_BLOCK and a2[i] >> BLOCK_KERNEL_SHIFT:
+                counts["kernel_instructions"] += a1[i]
     counts["bytes"] = Path(path).stat().st_size
     return counts

@@ -170,6 +170,23 @@ class Clr:
                 self._churn_accum -= n
                 self._churn_live_set(n)
 
+    def enter_method_into(self, buf, method: Method) -> None:
+        """Push twin of :meth:`enter_method`.
+
+        JIT/tiering op streams are rare and stay generator-based (drained
+        through ``buf.extend``), so compilation semantics live in one
+        place; only the per-call bookkeeping is duplicated.
+        """
+        method.call_count += 1
+        self.stats.method_calls += 1
+        buf.extend(self.ensure_jitted(method))
+        if self.churn_per_call > 0:
+            self._churn_accum += self.churn_per_call
+            n = int(self._churn_accum)
+            if n:
+                self._churn_accum -= n
+                self._churn_live_set(n)
+
     def _churn_live_set(self, n: int) -> None:
         """Replace ``n`` long-lived objects with freshly allocated ones.
 
@@ -214,6 +231,29 @@ class Clr:
             yield (OP_EVENT, EV_GC_ALLOCATION_TICK, None)
         if heap.needs_collection:
             yield from self.maybe_collect()
+
+    def allocate_batch_into(self, buf, n: int,
+                            mean_size: int | None = None) -> None:
+        """Push twin of :meth:`allocate_batch` — same RNG call order."""
+        heap = self.heap
+        rng = self.rng
+        mean_size = mean_size or heap.config.object_size_mean
+        alloc_pc = self.image.regions["alloc"].base
+        loh_threshold = heap.config.loh_threshold_bytes
+        for _ in range(n):
+            size = max(16, int(rng.expovariate(1.0 / mean_size)))
+            if size >= loh_threshold:
+                buf.extend(self.alloc_large(size))
+                continue
+            addr = heap.allocate(size)
+            buf.block(alloc_pc, self.ALLOC_FASTPATH_INSTR, 64)
+            for off in range(0, min(size, 256), 64):
+                buf.store(addr + off)
+        self.stats.allocations += n
+        for _ in range(heap.take_allocation_ticks()):
+            buf.event(EV_GC_ALLOCATION_TICK, None)
+        if heap.needs_collection:
+            buf.extend(self.maybe_collect())
 
     def alloc_large(self, size: int, zero: bool = True):
         """Allocate on the Large Object Heap (big arrays/buffers).

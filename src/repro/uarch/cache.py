@@ -87,7 +87,7 @@ class Cache:
 
     __slots__ = ("name", "size_bytes", "line_size", "ways", "n_sets",
                  "_index_mask", "_line_shift", "_sets", "stats",
-                 "policy", "_lru", "_rand_state")
+                 "policy", "_lru", "_evict_head", "_rand_state", "_lines")
 
     def __init__(self, name: str, size_bytes: int, line_size: int = 64,
                  ways: int = 8,
@@ -118,7 +118,13 @@ class Cache:
         self.stats = CacheStats()
         self.policy = policy
         self._lru = policy == ReplacementPolicy.LRU
+        self._evict_head = policy != ReplacementPolicy.RANDOM
         self._rand_state = 0x9E3779B9      # deterministic LCG for RANDOM
+        # All resident line numbers.  A line maps to exactly one set, so
+        # membership here mirrors membership in `_sets`; it gives O(1)
+        # miss detection / `contains` / `occupancy` while the per-set
+        # lists keep carrying the replacement order and line flags.
+        self._lines: set[int] = set()
 
     # ------------------------------------------------------------------
     def access(self, addr: int, is_write: bool = False) -> bool:
@@ -132,21 +138,25 @@ class Cache:
         st.accesses += 1
         st.demand_accesses += 1
         line = addr >> self._line_shift
+        if line not in self._lines:
+            st.misses += 1
+            st.demand_misses += 1
+            return False
         bucket = self._sets[line & self._index_mask]
-        tag = line
-        for i, entry in enumerate(bucket):
-            if entry[0] == tag:
-                if entry[1] and not entry[2]:
-                    st.useful_prefetches += 1
-                entry[2] = True
-                if is_write:
-                    entry[3] = True
-                if self._lru and i != len(bucket) - 1:
-                    bucket.append(bucket.pop(i))
-                return True
-        st.misses += 1
-        st.demand_misses += 1
-        return False
+        entry = bucket[-1]
+        if entry[0] != line:               # resident but not at MRU
+            for i in range(len(bucket) - 2, -1, -1):
+                if bucket[i][0] == line:
+                    entry = bucket[i]
+                    if self._lru:
+                        bucket.append(bucket.pop(i))
+                    break
+        if entry[1] and not entry[2]:
+            st.useful_prefetches += 1
+        entry[2] = True
+        if is_write:
+            entry[3] = True
+        return True
 
     def _victim_index(self, bucket) -> int:
         if self.policy == ReplacementPolicy.RANDOM:
@@ -159,31 +169,34 @@ class Cache:
              dirty: bool = False) -> None:
         """Insert the line containing ``addr``."""
         line = addr >> self._line_shift
+        lines = self._lines
         bucket = self._sets[line & self._index_mask]
-        for i, entry in enumerate(bucket):
-            if entry[0] == line:          # already present (e.g. prefetch race)
-                entry[2] = entry[2] or not prefetch
-                entry[3] = entry[3] or dirty
-                if self._lru and i != len(bucket) - 1:
-                    bucket.append(bucket.pop(i))
-                return
+        if line in lines:                 # already present (e.g. prefetch race)
+            for i, entry in enumerate(bucket):
+                if entry[0] == line:
+                    entry[2] = entry[2] or not prefetch
+                    entry[3] = entry[3] or dirty
+                    if self._lru and i != len(bucket) - 1:
+                        bucket.append(bucket.pop(i))
+                    return
         st = self.stats
         if prefetch:
             st.prefetch_fills += 1
         if len(bucket) >= self.ways:
-            victim = bucket.pop(self._victim_index(bucket))
+            victim = bucket.pop(0) if self._evict_head \
+                else bucket.pop(self._victim_index(bucket))
+            lines.discard(victim[0])
             st.evictions += 1
             if victim[1] and not victim[2]:
                 st.useless_prefetches += 1
             if victim[3]:
                 st.writebacks += 1
+        lines.add(line)
         bucket.append([line, prefetch, not prefetch, dirty])
 
     def contains(self, addr: int) -> bool:
         """Non-destructive lookup (does not update LRU or stats)."""
-        line = addr >> self._line_shift
-        bucket = self._sets[line & self._index_mask]
-        return any(entry[0] == line for entry in bucket)
+        return (addr >> self._line_shift) in self._lines
 
     def invalidate_range(self, start: int, length: int) -> int:
         """Invalidate all lines overlapping ``[start, start+length)``.
@@ -194,11 +207,15 @@ class Cache:
         first = start >> self._line_shift
         last = (start + max(length, 1) - 1) >> self._line_shift
         invalidated = 0
+        lines = self._lines
         for line in range(first, last + 1):
+            if line not in lines:
+                continue
             bucket = self._sets[line & self._index_mask]
             for i, entry in enumerate(bucket):
                 if entry[0] == line:
                     bucket.pop(i)
+                    lines.discard(line)
                     invalidated += 1
                     break
         return invalidated
@@ -208,8 +225,14 @@ class Cache:
 
     @property
     def occupancy(self) -> int:
-        """Number of valid lines currently resident."""
-        return sum(len(bucket) for bucket in self._sets)
+        """Number of valid lines currently resident.
+
+        Maintained incrementally by :meth:`fill` / :meth:`invalidate_range`
+        (the ``_lines`` membership set) — the sampler polls this per
+        bucket, and summing thousands of sets per poll showed up in
+        profiles.
+        """
+        return len(self._lines)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (f"Cache({self.name}, {self.size_bytes >> 10}KiB, "

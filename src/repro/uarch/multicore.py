@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.kernel.vm import VirtualMemory
+from repro.trace import TraceBufferStream
 from repro.uarch.cache import Cache
 from repro.uarch.machine import MachineConfig
 from repro.uarch.pipeline import Core
@@ -129,7 +130,10 @@ class MulticoreRunner:
     Each core gets its own :class:`VirtualMemory` (separate process images
     would share kernel text; for simplicity each core's stream includes
     its own kernel activity) and its own stream factory — a callable
-    ``(core_id) -> (ops_iterable, WorkloadHints)``.
+    ``(core_id) -> (source, WorkloadHints)`` where ``source`` is either
+    an op-tuple iterable (legacy consume) or a
+    :class:`~repro.trace.TraceBufferStream` (batched consume); both keep
+    a resume position, so quantum-interleaved execution is identical.
     """
 
     def __init__(self, machine: MachineConfig, n_cores: int,
@@ -143,10 +147,13 @@ class MulticoreRunner:
         for core_id in range(n_cores):
             vm = VirtualMemory()
             core = Core(machine, vm, shared_llc=self.llc, core_id=core_id)
-            ops, hints = stream_factory(core_id)
+            source, hints = stream_factory(core_id)
             core.set_hints(hints)
             self.cores.append(core)
-            self._streams.append(iter(ops))
+            if isinstance(source, TraceBufferStream):
+                self._streams.append(source)
+            else:
+                self._streams.append(iter(source))
 
     def run(self, instructions_per_core: int) -> MulticoreResult:
         """Run all cores to ``instructions_per_core``, interleaved."""
@@ -159,8 +166,12 @@ class MulticoreRunner:
                 if remaining[i] <= 0:
                     continue
                 quantum = min(self.epoch_instructions, remaining[i])
-                done = core.consume(self._streams[i],
-                                    max_instructions=quantum)
+                stream = self._streams[i]
+                if isinstance(stream, TraceBufferStream):
+                    done = core.consume_stream(stream,
+                                               max_instructions=quantum)
+                else:
+                    done = core.consume(stream, max_instructions=quantum)
                 remaining[i] -= done if done else remaining[i]
                 if done:
                     progressed = True

@@ -86,7 +86,7 @@ class NextLinePrefetcher:
     """Next-line prefetcher (L1i fetch-ahead, L1d DCU prefetcher)."""
 
     __slots__ = ("target", "line_size", "page_size", "stats", "fetch",
-                 "_last_line")
+                 "_last_line", "_line_shift", "_page_shift")
 
     def __init__(self, target: Cache, page_size: int = 4096,
                  fetch=None) -> None:
@@ -96,16 +96,22 @@ class NextLinePrefetcher:
         self.stats = PrefetchStats()
         self.fetch = fetch
         self._last_line = -1
+        # line_size and page_size are powers of two on every Table II
+        # machine; shifts replace the divisions in the per-access path.
+        self._line_shift = self.line_size.bit_length() - 1
+        self._page_shift = page_size.bit_length() - 1
 
     def observe(self, addr: int) -> None:
-        line = addr // self.line_size
+        line = addr >> self._line_shift
         if line == self._last_line:     # burst on one line: nothing new
             return
         self._last_line = line
-        next_addr = (addr // self.line_size + 1) * self.line_size
-        if next_addr // self.page_size != addr // self.page_size:
+        next_line = line + 1
+        if (next_line << self._line_shift) >> self._page_shift \
+                != addr >> self._page_shift:
             self.stats.page_bounded += 1
             return
+        next_addr = next_line << self._line_shift
         if not self.target.contains(next_addr):
             if self.fetch is not None:
                 self.fetch(next_addr)

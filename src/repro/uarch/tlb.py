@@ -31,7 +31,7 @@ class Tlb:
     """
 
     __slots__ = ("name", "entries", "ways", "page_shift", "n_sets",
-                 "_index_mask", "_sets", "stats")
+                 "_index_mask", "_sets", "stats", "_resident")
 
     def __init__(self, name: str, entries: int, ways: int | None = None,
                  page_size: int = 4096) -> None:
@@ -51,28 +51,35 @@ class Tlb:
         self.n_sets = n_sets
         self._index_mask = n_sets - 1
         self._sets: list[list[int]] = [[] for _ in range(n_sets)]
+        # All resident VPNs (a VPN maps to exactly one set): O(1) miss
+        # detection, which matters for the wide fully-associative first
+        # levels where a miss otherwise scans every entry.
+        self._resident: set[int] = set()
         self.stats = TlbStats()
 
     def access(self, addr: int) -> bool:
         """Translate ``addr``; returns ``True`` on hit."""
         self.stats.accesses += 1
         vpn = addr >> self.page_shift
+        if vpn not in self._resident:
+            self.stats.misses += 1
+            return False
         bucket = self._sets[vpn & self._index_mask]
-        for i, entry in enumerate(bucket):
-            if entry == vpn:
-                if i != len(bucket) - 1:
+        if bucket[-1] != vpn:              # resident but not at MRU
+            for i in range(len(bucket) - 2, -1, -1):
+                if bucket[i] == vpn:
                     bucket.append(bucket.pop(i))
-                return True
-        self.stats.misses += 1
-        return False
+                    break
+        return True
 
     def fill(self, addr: int) -> None:
         vpn = addr >> self.page_shift
-        bucket = self._sets[vpn & self._index_mask]
-        if vpn in bucket:
+        if vpn in self._resident:
             return
+        bucket = self._sets[vpn & self._index_mask]
         if len(bucket) >= self.ways:
-            bucket.pop(0)
+            self._resident.discard(bucket.pop(0))
+        self._resident.add(vpn)
         bucket.append(vpn)
 
     def reset_stats(self) -> None:

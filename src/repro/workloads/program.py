@@ -200,13 +200,22 @@ class NativeProgram:
                              max(spec.native_ws_bytes, _LINE)
                              + spec.stream_bytes + 0x100000)
 
+    def premap_ranges(self) -> list[tuple[int, int]]:
+        """(start, length) ranges faulted in before execution.
+
+        Recorded in trace metadata so a replayed trace can reconstruct
+        the same initial VM state without rebuilding the program.
+        """
+        start, length = self._native_span
+        return [(start, length),
+                (REGION_CODE_BASE, self.code.size_bytes),
+                (REGION_STACK_BASE, DataModel.STACK_BYTES)]
+
     def premap(self, vm) -> None:
         """Fault in the working set (SPEC initializes its data at startup,
         outside the measurement window)."""
-        start, length = self._native_span
-        vm.premap_range(start, length)
-        vm.premap_range(REGION_CODE_BASE, self.code.size_bytes)
-        vm.premap_range(REGION_STACK_BASE, DataModel.STACK_BYTES)
+        for start, length in self.premap_ranges():
+            vm.premap_range(start, length)
 
     def ops(self):
         """Infinite op stream."""
@@ -216,6 +225,23 @@ class NativeProgram:
             yield from self.code.walk(rng, 4096,
                                       load_addr=data.load_addr,
                                       store_addr=data.store_addr)
+
+    def fill_buffer(self, buf, n_instructions: int) -> bool:
+        """Push ~``n_instructions`` of ops into ``buf`` (never exhausts).
+
+        The batched twin of :meth:`ops` — same RNG call order, so the op
+        sequence is identical; only chunk boundaries differ (pushes stop
+        at walk-segment granularity instead of mid-segment).
+        """
+        rng = self.rng
+        data = self.data
+        walk_into = self.code.walk_into
+        target = buf.n_instructions + n_instructions
+        while buf.n_instructions < target:
+            walk_into(buf, rng, 4096,
+                      load_addr=data.load_addr,
+                      store_addr=data.store_addr)
+        return False
 
 
 class ManagedProgram:
@@ -327,16 +353,76 @@ class ManagedProgram:
                                       payload_bytes=spec.syscall_payload_bytes,
                                       user_buffer=REGION_STACK_BASE + 0x8000)
 
+    def premap_ranges(self) -> list[tuple[int, int]]:
+        """Static data ranges faulted in before execution (see
+        :meth:`NativeProgram.premap_ranges`)."""
+        return [(REGION_STACK_BASE, DataModel.STACK_BYTES),
+                (self.data.stream_base, self.spec.stream_bytes)]
+
     def premap(self, vm) -> None:
         """Fault in static data regions only (managed code/heap faults are
         part of the phenomenon being measured)."""
-        vm.premap_range(REGION_STACK_BASE, DataModel.STACK_BYTES)
-        vm.premap_range(self.data.stream_base, self.spec.stream_bytes)
+        for start, length in self.premap_ranges():
+            vm.premap_range(start, length)
 
     def ops(self):
         """Infinite op stream of work items."""
         while True:
             yield from self._work_item()
+
+    # -- push twins (batched emission) ----------------------------------
+    def _call_chain_into(self, buf, budget: int) -> None:
+        spec = self.spec
+        depth = max(1, spec.call_chain_depth)
+        per_method = max(60, budget // depth)
+        rng = self.rng
+        data = self.data
+        for _ in range(depth):
+            method = self._pick_method()
+            self.clr.enter_method_into(buf, method)
+            method.region.walk_into(
+                buf, rng, per_method,
+                load_addr=data.load_addr, store_addr=data.store_addr)
+
+    def _work_item_into(self, buf) -> None:
+        spec = self.spec
+        wi = spec.work_item_instructions
+        n_alloc = self._take("alloc", spec.allocs_per_kinstr * wi / 1000)
+        if n_alloc:
+            self.clr.allocate_batch_into(buf, n_alloc,
+                                         spec.alloc_size_mean)
+        n_sys = self._take("sys", spec.syscalls_per_kinstr * wi / 1000)
+        for _ in range(n_sys):
+            self._emit_syscall_into(buf)
+        self._call_chain_into(buf, wi)
+        if self._take("exc", spec.exceptions_per_minstr * wi / 1e6):
+            buf.extend(self.clr.throw_exception())
+        if self._take("con", spec.contentions_per_minstr * wi / 1e6):
+            buf.extend(self.clr.contend_lock())
+
+    def _emit_syscall_into(self, buf) -> None:
+        spec = self.spec
+        if not spec.syscall_mix:
+            return
+        r = self.rng.random() * sum(w for _, w in spec.syscall_mix)
+        for kind, weight in spec.syscall_mix:
+            r -= weight
+            if r <= 0:
+                break
+        self.syscalls.emit_into(buf, kind, self.rng,
+                                payload_bytes=spec.syscall_payload_bytes,
+                                user_buffer=REGION_STACK_BASE + 0x8000)
+
+    def fill_buffer(self, buf, n_instructions: int) -> bool:
+        """Push ~``n_instructions`` of work items into ``buf``.
+
+        Same RNG call order as :meth:`ops`; chunk boundaries land on
+        work-item boundaries instead of mid-item.  Never exhausts.
+        """
+        target = buf.n_instructions + n_instructions
+        while buf.n_instructions < target:
+            self._work_item_into(buf)
+        return False
 
 
 class AspNetProgram(ManagedProgram):
@@ -412,6 +498,63 @@ class AspNetProgram(ManagedProgram):
                       * spec.work_item_instructions / 1e6):
             yield from self.clr.contend_lock()
         yield (OP_EVENT, EV_REQUEST_DONE, None)
+
+    def _work_item_into(self, buf) -> None:
+        """Push twin of :meth:`_work_item` — same ops, same RNG order."""
+        spec = self.spec
+        rng = self.rng
+        sysm = self.syscalls
+        ubuf = REGION_STACK_BASE + 0x8000
+        sysm.emit_into(buf, SyscallKind.EPOLL_WAIT, rng)
+        remaining = max(spec.request_bytes, 1)
+        recv_chunks = max(1, (remaining + self.CHUNK - 1) // self.CHUNK)
+        n_alloc = self._take("alloc", spec.allocs_per_kinstr
+                             * spec.work_item_instructions / 1000)
+        parse_budget = int(spec.work_item_instructions
+                           * (0.5 if recv_chunks > 1 else 0.0))
+        for _ in range(recv_chunks):
+            chunk = min(self.CHUNK, remaining)
+            sysm.emit_into(buf, SyscallKind.RECV, rng, payload_bytes=chunk,
+                           user_buffer=ubuf)
+            remaining -= chunk
+            if recv_chunks > 1:
+                self._call_chain_into(buf, parse_budget // recv_chunks)
+        if n_alloc:
+            self.clr.allocate_batch_into(buf, n_alloc, spec.alloc_size_mean)
+        send_chunks = max(1, (spec.response_bytes + self.CHUNK - 1)
+                          // self.CHUNK)
+        app_budget = spec.work_item_instructions - parse_budget
+        serialize_budget = (int(app_budget * 0.55) if send_chunks > 1 else 0)
+        loh_buffer = None
+        if send_chunks > 1:
+            loh_size = min(spec.response_bytes, self.CHUNK)
+            buf.extend(self.clr.alloc_large(loh_size))
+            loh_buffer = (self.clr._last_loh[0], loh_size)
+        self._call_chain_into(buf, app_budget - serialize_budget)
+        for _ in range(spec.db_queries_per_request):
+            sysm.emit_into(buf, SyscallKind.SEND, rng, payload_bytes=256,
+                           user_buffer=ubuf)
+            sysm.emit_into(buf, SyscallKind.RECV, rng,
+                           payload_bytes=spec.db_response_bytes,
+                           user_buffer=ubuf)
+        remaining = spec.response_bytes
+        send_buf = loh_buffer[0] if loh_buffer else ubuf
+        while remaining > 0:
+            chunk = min(self.CHUNK, remaining)
+            if send_chunks > 1:
+                self._call_chain_into(buf, serialize_budget // send_chunks)
+            sysm.emit_into(buf, SyscallKind.SEND, rng, payload_bytes=chunk,
+                           user_buffer=send_buf)
+            remaining -= chunk
+        if loh_buffer is not None:
+            self.clr.free_large(*loh_buffer)
+        if self._take("exc", spec.exceptions_per_minstr
+                      * spec.work_item_instructions / 1e6):
+            buf.extend(self.clr.throw_exception())
+        if self._take("con", spec.contentions_per_minstr
+                      * spec.work_item_instructions / 1e6):
+            buf.extend(self.clr.contend_lock())
+        buf.event(EV_REQUEST_DONE, None)
 
 
 def build_program(spec: WorkloadSpec, seed: int = 0, *,

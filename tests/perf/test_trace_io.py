@@ -1,14 +1,16 @@
 """Tests for trace record / replay."""
 
 import itertools
+import struct
 
 import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.perf.trace_io import (TraceFormatError, TraceWriteError, record,
-                                 replay, trace_info)
+                                 record_buffers, replay, replay_buffers,
+                                 trace_info)
 from repro.trace import (OP_BLOCK, OP_BRANCH, OP_EVENT, OP_LOAD, OP_STORE,
-                         EV_GC_TRIGGERED, EV_JIT_STARTED)
+                         EV_GC_TRIGGERED, EV_JIT_STARTED, TraceBuffer)
 from repro.workloads.dotnet import dotnet_category_specs
 from repro.workloads.program import build_program
 
@@ -60,12 +62,9 @@ class TestRoundTrip:
         path = tmp_path / "w.trace"
         record(iter(ops), path)
         replayed = list(replay(path))
-        # Memory/code behavior is bit-identical; event payloads are
-        # intentionally dropped.
-        assert len(replayed) == len(ops)
-        for a, b in zip(ops, replayed):
-            if a[0] != OP_EVENT:
-                assert a[0] == b[0] and a[1] == b[1]
+        # Version 2 round-trips *everything*, event payloads included
+        # (the pickled side-table).
+        assert replayed == [tuple(op) for op in ops]
 
     def test_replayed_trace_drives_core_identically(self, tmp_path):
         from repro.kernel.vm import VirtualMemory
@@ -87,6 +86,75 @@ class TestRoundTrip:
                     core.branch_unit.stats.mispredicts)
 
         assert run(iter(ops)) == run(replay(path))
+
+
+class TestEventSideChannel:
+    """Version-2 event payloads must survive the round trip bit-for-bit —
+    the pipeline consumes JIT metadata ``(base, size)`` payloads, so a
+    lossy side-channel would silently break replay equivalence."""
+
+    def test_structured_payloads_roundtrip(self, tmp_path):
+        from repro.trace import EV_JIT_CODE_EMITTED, EV_JIT_CODE_MOVED
+        ops = [
+            (OP_BLOCK, 0x4000_0000, 8, 32, False),
+            (OP_EVENT, EV_JIT_CODE_EMITTED, (0x7F00_0000, 1024)),
+            (OP_EVENT, EV_GC_TRIGGERED, {"gen": 2, "reason": "budget"}),
+            (OP_LOAD, 0x8000_0000),
+            (OP_EVENT, EV_JIT_CODE_MOVED, (0x7F00_0000, 0x7F10_0000, 512)),
+        ]
+        path = tmp_path / "t.trace"
+        record(iter(ops), path)
+        assert list(replay(path)) == ops
+
+    def test_real_suite_event_stream_identical(self, tmp_path):
+        """Consume a real ASP.NET op stream directly and via a recorded
+        trace; the tracer event streams (kind, payload, cycle) and the
+        counters must match exactly."""
+        from repro.kernel.vm import VirtualMemory
+        from repro.uarch.machine import i9_9980xe
+        from repro.uarch.pipeline import Core
+        from repro.workloads.aspnet import aspnet_specs
+        spec = next(s for s in aspnet_specs() if s.name == "Json")
+        prog = build_program(spec, seed=7)
+        ops = list(itertools.islice(prog.ops(), 20000))
+        path = tmp_path / "w.trace"
+        record(iter(ops), path)
+
+        def run(op_iter):
+            core = Core(i9_9980xe(), VirtualMemory())
+            core.set_hints(spec.hints())
+            events = []
+            core.event_hook = lambda k, p, c: events.append((k, p, c))
+            core.consume(op_iter)
+            return events, (core.counts.instructions, core.counts.loads,
+                            core.l1d.stats.demand_misses,
+                            core.itlb.l1.stats.walks)
+
+        ev_direct, ctr_direct = run(iter(ops))
+        ev_replay, ctr_replay = run(replay(path))
+        assert ev_direct, "suite stream produced no runtime events"
+        assert ev_direct == ev_replay
+        assert ctr_direct == ctr_replay
+
+    def test_replay_buffers_preserves_chunking(self, tmp_path):
+        bufs = []
+        ops_iter = iter(SAMPLE_OPS * 40)
+        while True:
+            buf = TraceBuffer()
+            done = buf.fill_from(ops_iter, 64)
+            if buf.kinds:
+                bufs.append(buf)
+            if done:
+                break
+        path = tmp_path / "t.trace"
+        n = record_buffers(bufs, path)
+        assert n == sum(b.n_instructions for b in bufs)
+        back = list(replay_buffers(path))
+        assert [(b.kinds, b.a0, b.a1, b.a2, b.n_instructions)
+                for b in back] \
+            == [(b.kinds, b.a0, b.a1, b.a2, b.n_instructions)
+                for b in bufs]
+        assert [b.events for b in back] == [b.events for b in bufs]
 
 
 class TestInfoAndErrors:
@@ -129,6 +197,40 @@ class TestInfoAndErrors:
     def test_unknown_op_rejected(self, tmp_path):
         with pytest.raises(TraceWriteError):
             record(iter([(99, 0)]), tmp_path / "t.trace")
+
+    def test_truncated_chunk_body_rejected(self, tmp_path):
+        path = tmp_path / "t.trace"
+        record(iter(SAMPLE_OPS), path)
+        path.write_bytes(path.read_bytes()[:-10])
+        with pytest.raises(TraceFormatError, match="truncated chunk"):
+            list(replay(path))
+
+    def test_corrupt_event_table_rejected(self, tmp_path):
+        path = tmp_path / "t.trace"
+        header = struct.pack("<8sII", b"RPRTRACE", 2, 0)
+        # empty chunk whose 4-byte event blob is not a valid pickle
+        chunk = b"\x10" + struct.pack("<IQI", 0, 0, 4) + b"\xff\xff\xff\xff"
+        path.write_bytes(header + chunk)
+        with pytest.raises(TraceFormatError, match="corrupt event table"):
+            list(replay(path))
+
+    def test_v1_trace_still_readable(self, tmp_path):
+        """Pre-SoA traces (fixed-width records, payload-less events)
+        decode through the same API."""
+        from repro.trace import RUNTIME_EVENT_KINDS
+        path = tmp_path / "v1.trace"
+        body = (b"\x01" + struct.pack("<QHHB", 0x4000_0000, 10, 48, 0)
+                + b"\x03" + struct.pack("<Q", 0x8000_0000)
+                + b"\x02" + struct.pack("<QQB", 0x4000_0030,
+                                        0x4000_0000, 1)
+                + b"\x05" + struct.pack("<B", 0))
+        path.write_bytes(struct.pack("<8sII", b"RPRTRACE", 1, 0) + body)
+        assert list(replay(path)) == [
+            (OP_BLOCK, 0x4000_0000, 10, 48, False),
+            (OP_LOAD, 0x8000_0000),
+            (OP_BRANCH, 0x4000_0030, 0x4000_0000, True),
+            (OP_EVENT, RUNTIME_EVENT_KINDS[0], None),
+        ]
 
 
 @given(st.lists(st.one_of(
