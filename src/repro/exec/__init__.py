@@ -9,11 +9,19 @@
   tree, so cached results invalidate automatically when simulator code
   changes;
 * :mod:`repro.exec.store` — :class:`ResultStore`, an on-disk
-  content-addressed store (atomic writes, versioned layout, ``gc`` and
-  ``stats`` maintenance);
+  content-addressed store (CRC32-framed entries, atomic fsync'd writes,
+  quarantine of corrupt entries, cross-process locked ``gc``,
+  ``verify`` and ``stats`` maintenance);
 * :mod:`repro.exec.pool` — :func:`run_jobs`, a multiprocessing scheduler
-  with chunked dispatch, per-job timeouts, one crash retry, and a serial
-  in-process fallback;
+  with chunked dispatch, per-job timeouts, transient-failure retry with
+  backoff, graceful interruption, and a serial in-process fallback;
+* :mod:`repro.exec.campaign` — the campaign failure model:
+  :class:`WorkloadFailure` records, the transient/permanent error
+  taxonomy, the append-only :class:`CampaignManifest` journal behind
+  ``--resume``, and :func:`graceful_shutdown` signal handling;
+* :mod:`repro.exec.chaos` — deterministic fault injection (worker
+  crashes, hangs, flaky ``OSError``\\ s, corrupted/truncated store
+  writes) that the chaos tests use to prove every recovery path;
 * :mod:`repro.exec.progress` — :class:`ProgressReporter`, throughput /
   ETA / per-worker accounting behind the existing ``(i, total, name)``
   progress-callback shape.
@@ -23,14 +31,19 @@ bit-identical to serial — ``characterize_suite(specs, m, jobs=8)``
 returns exactly the matrix of ``jobs=1``, only faster.
 """
 
+from repro.exec.campaign import (CampaignInterrupted, CampaignManifest,
+                                 WorkloadFailure, classify_error,
+                                 graceful_shutdown)
 from repro.exec.jobs import JobSpec, code_fingerprint, execute_job
 from repro.exec.pool import JobFailure, JobTimeout, WorkerCrash, run_jobs
 from repro.exec.progress import ProgressReporter
-from repro.exec.store import ResultStore, StoreStats
+from repro.exec.store import (ResultStore, StoreCorruption, StoreStats)
 
 __all__ = [
     "JobSpec", "code_fingerprint", "execute_job",
     "JobFailure", "JobTimeout", "WorkerCrash", "run_jobs",
+    "CampaignInterrupted", "CampaignManifest", "WorkloadFailure",
+    "classify_error", "graceful_shutdown",
     "ProgressReporter",
-    "ResultStore", "StoreStats",
+    "ResultStore", "StoreCorruption", "StoreStats",
 ]

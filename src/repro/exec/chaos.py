@@ -1,0 +1,187 @@
+"""Deterministic fault injection for the execution engine.
+
+Robustness guarantees rot unless something exercises them on every PR.
+This module injects the campaign failure modes — worker crashes, hangs,
+transient exceptions, corrupted and truncated store entries — under
+test control, with two properties the chaos tests depend on:
+
+* **seed-driven determinism** — every fault decision is a pure function
+  of ``(seed, fault kind, target)`` via :func:`roll`, so a chaos run is
+  reproducible and a test can *predict* exactly which jobs are doomed;
+* **cross-process once-markers** — with ``once=True`` a fault fires on
+  the first attempt only (marker files under ``state_dir`` survive
+  worker boundaries), modelling transient weather that a retry rides
+  out; ``once=False`` models a persistently poisonous target that must
+  exhaust its retry budget and surface as a failure record.
+
+:class:`ChaosExecutor` wraps the pool's job runner (install it with
+:func:`injected`; the pool resolves ``_execute`` at call time, so under
+``fork`` workers inherit the patched value).  :class:`ChaosStore`
+sabotages a deterministic fraction of result-store writes with bit
+flips or partial writes — exactly the damage a killed writer or bad
+disk inflicts — which the store's CRC framing must then catch.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+import repro.exec.pool as pool_mod
+from repro.exec.jobs import execute_job
+from repro.exec.store import ResultStore
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """Fault rates in [0, 1]; a rate of 0 disables that fault."""
+
+    seed: int = 0
+    #: worker calls ``os._exit`` mid-job (parallel runs only — in a
+    #: serial run this would kill the test process itself)
+    crash_rate: float = 0.0
+    #: raise ``OSError`` (the transient taxonomy arm); serial-safe
+    flaky_rate: float = 0.0
+    #: sleep ``hang_seconds`` so the pool's timeout must kill the worker
+    hang_rate: float = 0.0
+    hang_seconds: float = 30.0
+    #: flip a byte in the middle of a just-written store entry
+    corrupt_rate: float = 0.0
+    #: truncate a just-written store entry (partial-write model)
+    truncate_rate: float = 0.0
+    #: fire each fault once per target (needs ``state_dir``); False =
+    #: the target is doomed on every attempt
+    once: bool = True
+    #: directory for cross-process once-markers
+    state_dir: str | None = None
+
+
+def roll(seed: int, kind: str, target: str) -> float:
+    """Deterministic uniform draw in [0, 1) for one fault decision."""
+    digest = hashlib.sha256(f"{seed}:{kind}:{target}".encode()).digest()
+    return int.from_bytes(digest[:8], "little") / 2.0 ** 64
+
+
+def doomed(config: ChaosConfig, kind: str, rate: float,
+           target: str) -> bool:
+    """Would this fault fire for ``target`` (ignoring once-markers)?"""
+    return rate > 0.0 and roll(config.seed, kind, target) < rate
+
+
+def _first_firing(config: ChaosConfig, kind: str, target: str) -> bool:
+    """Consume the once-marker; True exactly once per (kind, target)."""
+    state = Path(config.state_dir)
+    state.mkdir(parents=True, exist_ok=True)
+    tag = hashlib.sha256(target.encode()).hexdigest()[:16]
+    marker = state / f"{kind}-{tag}"
+    try:
+        marker.touch(exist_ok=False)
+        return True
+    except FileExistsError:
+        return False
+
+
+def _fire(config: ChaosConfig, kind: str, rate: float,
+          target: str) -> bool:
+    if not doomed(config, kind, rate, target):
+        return False
+    if config.once:
+        if config.state_dir is None:
+            raise ValueError(
+                "ChaosConfig(once=True) needs a state_dir so retries "
+                "can observe that the fault already fired")
+        return _first_firing(config, kind, target)
+    return True
+
+
+class ChaosExecutor:
+    """Wrap the pool's job executor with seed-driven faults."""
+
+    def __init__(self, config: ChaosConfig, inner=execute_job):
+        self.config = config
+        self.inner = inner
+
+    def doomed_names(self, kind: str, names) -> list[str]:
+        """The subset of ``names`` this config will fault (prediction
+        helper for tests)."""
+        rate = {"crash": self.config.crash_rate,
+                "flaky": self.config.flaky_rate,
+                "hang": self.config.hang_rate}[kind]
+        return [n for n in names if doomed(self.config, kind, rate, n)]
+
+    def __call__(self, job):
+        cfg = self.config
+        name = job.name
+        if _fire(cfg, "crash", cfg.crash_rate, name):
+            os._exit(86)
+        if _fire(cfg, "flaky", cfg.flaky_rate, name):
+            raise OSError(f"chaos: injected transient fault in {name!r}")
+        if _fire(cfg, "hang", cfg.hang_rate, name):
+            time.sleep(cfg.hang_seconds)
+        return self.inner(job)
+
+
+class _Injection:
+    """Handle returned by :func:`injected`; also a context manager."""
+
+    def __init__(self, executor):
+        self.executor = executor
+        self._previous = pool_mod._execute
+        pool_mod._execute = executor
+
+    def uninstall(self) -> None:
+        pool_mod._execute = self._previous
+
+    def __enter__(self):
+        return self.executor
+
+    def __exit__(self, *exc):
+        self.uninstall()
+        return False
+
+
+def injected(config_or_executor) -> _Injection:
+    """Install a chaos executor as the pool's job runner.
+
+    Accepts a :class:`ChaosConfig` or a prebuilt executor.  Use as a
+    context manager (or call ``.uninstall()``) to restore the real
+    executor — forked workers resolve the module attribute at call
+    time, so installation covers serial and ``fork``-parallel runs.
+    """
+    executor = (config_or_executor
+                if callable(config_or_executor)
+                else ChaosExecutor(config_or_executor))
+    return _Injection(executor)
+
+
+class ChaosStore(ResultStore):
+    """Result store that sabotages a deterministic fraction of writes.
+
+    Damage is applied *after* the atomic publish — the entry looks
+    successfully written (exactly like a bad disk or a writer killed
+    after ``os.replace``), and only the CRC framing can tell.
+    """
+
+    def __init__(self, root, config: ChaosConfig):
+        super().__init__(root)
+        self.config = config
+
+    def doomed_keys(self, kind: str, keys) -> list[str]:
+        rate = {"corrupt": self.config.corrupt_rate,
+                "truncate": self.config.truncate_rate}[kind]
+        return [k for k in keys if doomed(self.config, kind, rate, k)]
+
+    def put(self, key: str, value) -> Path:
+        path = super().put(key, value)
+        cfg = self.config
+        if _fire(cfg, "corrupt", cfg.corrupt_rate, key):
+            data = bytearray(path.read_bytes())
+            data[len(data) // 2] ^= 0xFF
+            path.write_bytes(bytes(data))
+        elif _fire(cfg, "truncate", cfg.truncate_rate, key):
+            data = path.read_bytes()
+            path.write_bytes(data[:max(1, int(len(data) * 0.6))])
+        return path

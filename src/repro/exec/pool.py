@@ -16,10 +16,17 @@ tolerate.  Scheduling properties:
   amortize queue round-trips, with results streamed back per job;
 * **per-job timeout** — a worker that exceeds ``timeout`` seconds on a
   job is terminated and replaced;
-* **crash retry** — a job whose worker died (or timed out) is requeued
-  exactly once; a second infrastructure failure is recorded as a
+* **transient-failure retry** — a job whose worker died, timed out, or
+  raised an ``OSError`` (the transient arm of the error taxonomy; see
+  :mod:`repro.exec.campaign`) is requeued up to ``max_retries`` times
+  with exponential ``retry_backoff``; exhaustion is recorded as a
   :class:`JobFailure` instead of raised, so one poisonous job cannot
   sink a corpus-scale batch;
+* **graceful interruption** — ``should_stop`` (a zero-argument
+  callable, e.g. the flag set by a SIGINT handler) is polled between
+  completions; once true, no new work is dispatched, workers are torn
+  down, and unfinished outcomes stay ``None`` so the caller can journal
+  what completed and resume later;
 * **serial fallback** — ``n_jobs=1`` (or a platform with no usable
   start method) runs everything in-process with identical semantics.
 
@@ -27,10 +34,10 @@ Because the simulator is seeded-deterministic, the outcome list is
 bit-identical across ``n_jobs`` values and start methods — parallelism
 is purely a wall-clock optimization.
 
-Workload exceptions (raised *by the simulator*) are not retried: they
-are deterministic.  Types listed in ``catch`` become :class:`JobFailure`
-outcomes (the sweep OOM-cell semantics); anything else propagates to
-the caller after the pool shuts down.
+Deterministic workload exceptions (raised *by the simulator*, not
+``OSError``) are never retried.  Types listed in ``catch`` become
+:class:`JobFailure` outcomes (the sweep OOM-cell semantics); anything
+else propagates to the caller after the pool shuts down.
 """
 
 from __future__ import annotations
@@ -41,7 +48,7 @@ import queue as queue_mod
 import time
 from collections import Counter, deque
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Callable, Sequence
 
 from repro.exec.jobs import JobSpec, code_fingerprint, execute_job
 from repro.exec.progress import ProgressReporter
@@ -69,8 +76,10 @@ class JobFailure:
 
     job: JobSpec
     error: BaseException
-    #: True when the job got (and exhausted) its one crash/timeout retry
+    #: True when the job got (and exhausted) at least one retry
     retried: bool = False
+    #: execution attempts consumed (1 = failed on the first try)
+    attempts: int = 1
 
 
 def _default_start_method() -> str | None:
@@ -127,20 +136,24 @@ def run_jobs(jobs: Sequence[JobSpec], n_jobs: int = 1, *,
              reporter: ProgressReporter | None = None,
              catch: tuple[type, ...] = (),
              timeout: float | None = None,
+             max_retries: int = 1,
+             retry_backoff: float = 0.0,
+             should_stop: Callable[[], bool] | None = None,
              start_method: str | None = None,
              chunk_size: int | None = None) -> list:
     """Execute ``jobs`` and return per-job outcomes in job order.
 
     ``progress`` is the harness's ``(index, total, name)`` callback
     shape (invoked per completion, including store hits); pass a
-    prebuilt ``reporter`` instead for throughput/ETA telemetry.
+    prebuilt ``reporter`` instead for throughput/ETA telemetry.  When
+    ``should_stop`` fires, unfinished outcomes are left as ``None``.
     """
     jobs = list(jobs)
     total = len(jobs)
     outcomes: list = [None] * total
     if reporter is None:
         reporter = ProgressReporter(total, callback=progress)
-    if total == 0:
+    if total == 0 or (should_stop is not None and should_stop()):
         return outcomes
 
     keys: list[str] | None = None
@@ -154,8 +167,11 @@ def run_jobs(jobs: Sequence[JobSpec], n_jobs: int = 1, *,
 
     if serial:
         for i, job in enumerate(jobs):
+            if should_stop is not None and should_stop():
+                break
             outcomes[i], cached = _run_one_serial(
-                job, keys[i] if keys else None, store, catch)
+                job, keys[i] if keys else None, store, catch,
+                max_retries, retry_backoff)
             reporter.job_done(job.name, worker_id=-1 if cached else 0,
                               cached=cached)
         return outcomes
@@ -176,25 +192,50 @@ def run_jobs(jobs: Sequence[JobSpec], n_jobs: int = 1, *,
 
     _run_parallel(jobs, misses, outcomes, keys, store, reporter,
                   catch, timeout, method, min(n_jobs, len(misses)),
-                  chunk_size)
+                  chunk_size, max_retries, retry_backoff, should_stop)
     return outcomes
 
 
 _MISS = object()
 
 
+def _backoff_seconds(retry_backoff: float, attempt: int) -> float:
+    """Exponential backoff before re-attempt ``attempt + 1``."""
+    if retry_backoff <= 0.0:
+        return 0.0
+    return retry_backoff * (2.0 ** (attempt - 1))
+
+
 def _run_one_serial(job: JobSpec, key: str | None,
                     store: ResultStore | None,
-                    catch: tuple[type, ...]) -> tuple[object, bool]:
+                    catch: tuple[type, ...],
+                    max_retries: int = 1,
+                    retry_backoff: float = 0.0) -> tuple[object, bool]:
     """One in-process job: ``(outcome, served_from_store)``."""
     if store is not None and key is not None:
         hit = store.get(key, _MISS)
         if hit is not _MISS:
             return hit, True
-    try:
-        result = _execute(job)
-    except catch as exc:
-        return JobFailure(job=job, error=exc), False
+    attempt = 0
+    while True:
+        attempt += 1
+        try:
+            result = _execute(job)
+            break
+        except OSError as exc:
+            # Transient per the campaign taxonomy: retry with backoff.
+            if attempt <= max_retries:
+                delay = _backoff_seconds(retry_backoff, attempt)
+                if delay:
+                    time.sleep(delay)
+                continue
+            if isinstance(exc, catch):
+                return JobFailure(job=job, error=exc,
+                                  retried=attempt > 1,
+                                  attempts=attempt), False
+            raise
+        except catch as exc:
+            return JobFailure(job=job, error=exc, attempts=attempt), False
     if store is not None and key is not None:
         store.put(key, result)
     return result, False
@@ -207,7 +248,8 @@ def _auto_chunk(n_misses: int, n_jobs: int) -> int:
 
 
 def _run_parallel(jobs, misses, outcomes, keys, store, reporter, catch,
-                  timeout, method, n_jobs, chunk_size) -> None:
+                  timeout, method, n_jobs, chunk_size, max_retries,
+                  retry_backoff, should_stop) -> None:
     import multiprocessing
 
     ctx = multiprocessing.get_context(method)
@@ -217,13 +259,24 @@ def _run_parallel(jobs, misses, outcomes, keys, store, reporter, catch,
                for wid in range(n_jobs)]
     pending: deque[int] = deque(misses)
     attempts: Counter[int] = Counter()
+    #: earliest monotonic time a retried job may be re-dispatched
+    ready_at: dict[int, float] = {}
     done: set[int] = set()
     fatal: BaseException | None = None
 
+    def stopping() -> bool:
+        return should_stop is not None and should_stop()
+
     def assign(worker: _Worker) -> None:
         batch = []
-        while pending and len(batch) < chunk:
+        now = time.monotonic()
+        for _ in range(len(pending)):
+            if len(batch) >= chunk:
+                break
             index = pending.popleft()
+            if ready_at.get(index, 0.0) > now:
+                pending.append(index)     # still backing off
+                continue
             attempts[index] += 1
             batch.append((index, jobs[index]))
         if batch:
@@ -232,22 +285,33 @@ def _run_parallel(jobs, misses, outcomes, keys, store, reporter, catch,
                                if timeout else None)
             worker.tasks.put(batch)
 
+    def requeue(index: int) -> None:
+        delay = _backoff_seconds(retry_backoff, attempts[index])
+        if delay:
+            ready_at[index] = time.monotonic() + delay
+        pending.appendleft(index)
+
     def settle_infra_failure(worker: _Worker, make_error) -> None:
-        """Requeue (once) or fail every job the dead worker held."""
+        """Requeue (with backoff) or fail every job the dead worker
+        held, depending on remaining retry budget."""
         for index, job in list(worker.inflight.items()):
             if index in done:
                 continue
-            if attempts[index] >= 2:
+            if attempts[index] > max_retries:
                 outcomes[index] = JobFailure(
-                    job=job, error=make_error(job), retried=True)
+                    job=job, error=make_error(job),
+                    retried=attempts[index] > 1,
+                    attempts=attempts[index])
                 done.add(index)
                 reporter.job_done(job.name, worker.wid)
             else:
-                pending.appendleft(index)
+                requeue(index)
         worker.inflight.clear()
 
     try:
         while len(done) < len(misses) and fatal is None:
+            if stopping():
+                break
             for worker in workers:
                 if not worker.inflight and pending:
                     if not worker.process.is_alive():
@@ -273,9 +337,14 @@ def _run_parallel(jobs, misses, outcomes, keys, store, reporter, catch,
                     if store is not None and keys is not None:
                         store.put(keys[index], payload)
                     reporter.job_done(jobs[index].name, wid)
+                elif (isinstance(payload, OSError)
+                        and attempts[index] <= max_retries):
+                    requeue(index)      # transient: retry with backoff
                 elif isinstance(payload, catch):
-                    outcomes[index] = JobFailure(job=jobs[index],
-                                                 error=payload)
+                    outcomes[index] = JobFailure(
+                        job=jobs[index], error=payload,
+                        retried=attempts[index] > 1,
+                        attempts=attempts[index])
                     done.add(index)
                     reporter.job_done(jobs[index].name, wid)
                 else:

@@ -1,31 +1,60 @@
-"""On-disk content-addressed result store.
+"""On-disk content-addressed result store with integrity framing.
 
-Entries are pickles keyed by :meth:`~repro.exec.jobs.JobSpec.cache_key`
-hex digests and laid out as ``<root>/v1/<key[:2]>/<key>.pkl`` (the
-two-character fan-out keeps directories small at paper-corpus scale).
-Writes go to a temp file in the same directory and are published with
-``os.replace``, so concurrent readers — parallel pytest invocations,
-several CLI runs — never observe a half-written entry.  Corrupt or
-unreadable entries are treated as misses and deleted.
+Entries are CRC32-framed pickles keyed by
+:meth:`~repro.exec.jobs.JobSpec.cache_key` hex digests and laid out as
+``<root>/v2/<key[:2]>/<key>.pkl`` (the two-character fan-out keeps
+directories small at paper-corpus scale).  Each file is a fixed header —
+magic, CRC32 of the payload, payload length — followed by the pickle
+bytes, so a torn write from a killed process, a flipped bit, or an
+entry pickled against classes that no longer unpickle is *detected*
+rather than trusted.
 
-The top-level ``v1`` component is the layout version: a future
-incompatible layout bumps it and coexists with (rather than
-misinterprets) old entries.  ``gc()`` and ``stats()`` are the
-maintenance surface.
+Writes go to a temp file in the same directory, are fsync'd, and are
+published with ``os.replace``, so concurrent readers — parallel pytest
+invocations, several CLI runs — never observe a half-written entry.
+Corrupt or unreadable entries are quarantined to ``<root>/corrupt/``
+(kept for post-mortem, out of the addressable namespace) and treated as
+misses, so one bad entry left by a crashed writer can never poison
+later runs with the same key.
+
+``gc()`` takes a cross-process exclusive file lock (``<root>/.lock``)
+and writers take it shared, so a concurrent ``gc()`` cannot sweep a
+temp file out from under an in-flight ``put()``.
+
+The top-level ``v2`` component is the layout version: v1 stored bare
+pickles; bumping the version lets the framed layout coexist with (rather
+than misinterpret) old entries.  ``gc()``, ``verify()`` and ``stats()``
+are the maintenance surface.
 """
 
 from __future__ import annotations
 
+import contextlib
 import os
 import pickle
+import struct
 import time
+import zlib
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Iterator
 
-LAYOUT_VERSION = "v1"
+try:
+    import fcntl
+except ImportError:          # non-POSIX: locking degrades to a no-op
+    fcntl = None
+
+LAYOUT_VERSION = "v2"
+
+#: frame header: magic, CRC32 of payload, payload byte length
+_FRAME = struct.Struct("<4sIQ")
+_MAGIC = b"RPS2"
 
 _MISSING = object()
+
+
+class StoreCorruption(ValueError):
+    """An entry's frame failed validation (torn write / bit rot)."""
 
 
 @dataclass(frozen=True)
@@ -35,10 +64,12 @@ class StoreStats:
     root: Path
     entries: int
     total_bytes: int
+    #: entries quarantined to ``corrupt/`` after failing validation
+    corrupt: int = 0
 
 
 class ResultStore:
-    """Content-addressed pickle store with atomic publication."""
+    """Content-addressed pickle store with CRC framing and quarantine."""
 
     def __init__(self, root: str | Path):
         self.root = Path(root)
@@ -47,39 +78,105 @@ class ResultStore:
     def _base(self) -> Path:
         return self.root / LAYOUT_VERSION
 
+    @property
+    def corrupt_dir(self) -> Path:
+        return self.root / "corrupt"
+
     def path_for(self, key: str) -> Path:
         return self._base / key[:2] / f"{key}.pkl"
 
     def __contains__(self, key: str) -> bool:
         return self.path_for(key).exists()
 
+    # -- locking --------------------------------------------------------
+
+    @contextlib.contextmanager
+    def _lock(self, exclusive: bool):
+        """Cross-process advisory lock: shared for writers, exclusive
+        for ``gc()`` — a sweep cannot race a publication."""
+        if fcntl is None:
+            yield
+            return
+        self.root.mkdir(parents=True, exist_ok=True)
+        with (self.root / ".lock").open("a+b") as fh:
+            fcntl.flock(fh, fcntl.LOCK_EX if exclusive else fcntl.LOCK_SH)
+            try:
+                yield
+            finally:
+                fcntl.flock(fh, fcntl.LOCK_UN)
+
+    # -- integrity ------------------------------------------------------
+
+    @staticmethod
+    def _check_frame(data: bytes) -> bytes:
+        """Validate the frame and return the payload bytes."""
+        if len(data) < _FRAME.size:
+            raise StoreCorruption("truncated frame header")
+        magic, crc, length = _FRAME.unpack_from(data)
+        if magic != _MAGIC:
+            raise StoreCorruption(f"bad magic {magic!r}")
+        payload = data[_FRAME.size:]
+        if len(payload) != length:
+            raise StoreCorruption(
+                f"payload length {len(payload)} != framed {length}")
+        if zlib.crc32(payload) != crc:
+            raise StoreCorruption("payload CRC mismatch")
+        return payload
+
+    def _quarantine(self, path: Path) -> Path | None:
+        """Move a bad entry to ``corrupt/`` (never deleted, never read)."""
+        qdir = self.corrupt_dir
+        qdir.mkdir(parents=True, exist_ok=True)
+        dest = qdir / path.name
+        n = 0
+        while dest.exists():
+            n += 1
+            dest = qdir / f"{path.name}.{n}"
+        try:
+            os.replace(path, dest)
+        except FileNotFoundError:
+            return None
+        return dest
+
+    # -- core operations ------------------------------------------------
+
     def get(self, key: str, default=None) -> Any:
-        """The stored value, or ``default`` on miss/corruption."""
+        """The stored value, or ``default`` on miss/corruption.
+
+        A corrupt entry — truncated frame, CRC mismatch, unpicklable
+        payload — is quarantined and reported as a miss, so later runs
+        with the same key recompute instead of crashing.
+        """
         path = self.path_for(key)
         try:
-            with path.open("rb") as fh:
-                return pickle.load(fh)
+            data = path.read_bytes()
         except FileNotFoundError:
             return default
+        except OSError:
+            return default
+        try:
+            return pickle.loads(self._check_frame(data))
         except Exception:
-            # Torn write from a killed process or an entry pickled
-            # against classes that no longer unpickle (unpickling
-            # surfaces anything from UnpicklingError to ValueError):
-            # drop it and treat as a miss.
-            path.unlink(missing_ok=True)
+            self._quarantine(path)
             return default
 
     def put(self, key: str, value) -> Path:
-        """Atomically publish ``value`` under ``key``."""
+        """Atomically publish ``value`` under ``key`` (framed, fsync'd)."""
         path = self.path_for(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = path.parent / f".{key}.{os.getpid()}.tmp"
-        try:
-            with tmp.open("wb") as fh:
-                pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
-            os.replace(tmp, path)
-        finally:
-            tmp.unlink(missing_ok=True)
+        payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        with self._lock(exclusive=False):
+            path.parent.mkdir(parents=True, exist_ok=True)
+            tmp = path.parent / f".{key}.{os.getpid()}.tmp"
+            try:
+                with tmp.open("wb") as fh:
+                    fh.write(_FRAME.pack(_MAGIC, zlib.crc32(payload),
+                                         len(payload)))
+                    fh.write(payload)
+                    fh.flush()
+                    os.fsync(fh.fileno())
+                os.replace(tmp, path)
+            finally:
+                tmp.unlink(missing_ok=True)
         return path
 
     def delete(self, key: str) -> bool:
@@ -95,27 +192,56 @@ class ResultStore:
         for path in sorted(self._base.glob("*/*.pkl")):
             yield path.stem
 
+    # -- maintenance ----------------------------------------------------
+
+    def verify(self) -> list[str]:
+        """Frame-check every entry; quarantine and return the bad keys.
+
+        Cheaper than ``get()`` per entry (no unpickling) — the integrity
+        sweep a long campaign runs before trusting a warm store.
+        """
+        bad: list[str] = []
+        if not self._base.exists():
+            return bad
+        for path in sorted(self._base.glob("*/*.pkl")):
+            try:
+                self._check_frame(path.read_bytes())
+            except Exception:
+                self._quarantine(path)
+                bad.append(path.stem)
+        return bad
+
     def gc(self, keep: set[str] | None = None,
-           max_age_seconds: float | None = None) -> int:
+           max_age_seconds: float | None = None,
+           purge_quarantine: bool = False) -> int:
         """Drop entries outside ``keep`` and/or older than the age cap.
 
-        Also sweeps orphaned temp files from crashed writers.  Returns
-        the number of files removed.
+        Also sweeps orphaned temp files from crashed writers and — with
+        ``purge_quarantine`` — the ``corrupt/`` directory.  Holds the
+        exclusive store lock, so a concurrent ``put()`` (shared lock)
+        can never have its temp file swept mid-publication.  Returns the
+        number of files removed.
         """
         removed = 0
-        if not self._base.exists():
-            return removed
-        now = time.time()
-        for tmp in self._base.glob("*/.*.tmp"):
-            tmp.unlink(missing_ok=True)
-            removed += 1
-        for path in self._base.glob("*/*.pkl"):
-            stale = ((keep is not None and path.stem not in keep)
-                     or (max_age_seconds is not None
-                         and now - path.stat().st_mtime > max_age_seconds))
-            if stale:
-                path.unlink(missing_ok=True)
+        with self._lock(exclusive=True):
+            if purge_quarantine and self.corrupt_dir.exists():
+                for path in self.corrupt_dir.iterdir():
+                    path.unlink(missing_ok=True)
+                    removed += 1
+            if not self._base.exists():
+                return removed
+            now = time.time()
+            for tmp in self._base.glob("*/.*.tmp"):
+                tmp.unlink(missing_ok=True)
                 removed += 1
+            for path in self._base.glob("*/*.pkl"):
+                stale = ((keep is not None and path.stem not in keep)
+                         or (max_age_seconds is not None
+                             and now - path.stat().st_mtime
+                             > max_age_seconds))
+                if stale:
+                    path.unlink(missing_ok=True)
+                    removed += 1
         return removed
 
     def stats(self) -> StoreStats:
@@ -125,8 +251,10 @@ class ResultStore:
             for path in self._base.glob("*/*.pkl"):
                 entries += 1
                 total += path.stat().st_size
+        corrupt = (sum(1 for _ in self.corrupt_dir.iterdir())
+                   if self.corrupt_dir.exists() else 0)
         return StoreStats(root=self.root, entries=entries,
-                          total_bytes=total)
+                          total_bytes=total, corrupt=corrupt)
 
     def __repr__(self) -> str:
         return f"ResultStore({str(self.root)!r})"

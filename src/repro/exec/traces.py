@@ -21,7 +21,11 @@ reconstruct the initial VM state without building the program at all.
 
 Layout mirrors :class:`repro.exec.store.ResultStore`:
 ``<root>/traces/v1/<key[:2]>/<key>.trace`` + ``<key>.json``, published
-atomically with ``os.replace``.
+atomically with ``os.replace``.  The sidecar records the CRC32 and byte
+length of the trace file; :meth:`TraceStore.lookup` validates both, so
+a truncated or bit-rotted trace is quarantined to
+``<root>/traces/corrupt/`` and regenerated instead of feeding a decode
+error into the runner mid-replay.
 """
 
 from __future__ import annotations
@@ -29,6 +33,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import zlib
 from pathlib import Path
 
 from repro.exec.jobs import canonical_encode
@@ -102,6 +107,10 @@ class TraceStore:
     def meta_path(self, key: str) -> Path:
         return self._base / key[:2] / f"{key}.json"
 
+    @property
+    def corrupt_dir(self) -> Path:
+        return self.root / "traces" / "corrupt"
+
     # ------------------------------------------------------------------
     def key_for(self, spec, *, seed: int, code_bloat: float,
                 gc_config, heap_config,
@@ -125,15 +134,60 @@ class TraceStore:
         except FileNotFoundError:
             return None
         except Exception:
-            self.delete(key)
+            self.quarantine(key)
             return None
 
+    def _verify(self, key: str, meta: dict) -> bool:
+        """Check the trace file against the sidecar's size and CRC32.
+
+        Entries written before checksums existed (no ``crc32`` field)
+        pass — the runner-level :class:`TraceFormatError` fallback still
+        covers them.
+        """
+        expected_crc = meta.get("crc32")
+        if expected_crc is None:
+            return True
+        path = self.trace_path(key)
+        try:
+            if (meta.get("bytes") is not None
+                    and path.stat().st_size != meta["bytes"]):
+                return False
+            crc = 0
+            with path.open("rb") as fh:
+                while chunk := fh.read(1 << 20):
+                    crc = zlib.crc32(chunk, crc)
+            return crc == expected_crc
+        except OSError:
+            return False
+
+    def quarantine(self, key: str) -> None:
+        """Move a bad entry out of the addressable namespace."""
+        qdir = self.corrupt_dir
+        for path in (self.trace_path(key), self.meta_path(key)):
+            if not path.exists():
+                continue
+            qdir.mkdir(parents=True, exist_ok=True)
+            dest = qdir / path.name
+            n = 0
+            while dest.exists():
+                n += 1
+                dest = qdir / f"{path.name}.{n}"
+            os.replace(path, dest)
+
     def lookup(self, key: str, required_instructions: int) -> dict | None:
-        """Metadata if a long-enough trace exists, else ``None``."""
+        """Metadata if a long-enough *valid* trace exists, else ``None``.
+
+        A trace whose bytes no longer match the recorded checksum —
+        truncated by a killed writer, corrupted on disk — is quarantined
+        and reported as a miss, so :meth:`ensure` regenerates it.
+        """
         meta = self.meta(key)
         if meta is None or not self.trace_path(key).exists():
             return None
         if meta.get("n_instructions", 0) < required_instructions:
+            return None
+        if not self._verify(key, meta):
+            self.quarantine(key)
             return None
         return meta
 
@@ -171,12 +225,20 @@ class TraceStore:
         tmp = path.parent / f".{key}.{os.getpid()}.trace.tmp"
         try:
             n_instr = record_buffers(chunks(), tmp)
+            crc = 0
+            size = 0
+            with tmp.open("rb") as fh:
+                while chunk := fh.read(1 << 20):
+                    crc = zlib.crc32(chunk, crc)
+                    size += len(chunk)
             os.replace(tmp, path)
         finally:
             tmp.unlink(missing_ok=True)
         meta = {
             "n_instructions": n_instr,
             "premap_ranges": [list(r) for r in program.premap_ranges()],
+            "crc32": crc,
+            "bytes": size,
         }
         mtmp = path.parent / f".{key}.{os.getpid()}.json.tmp"
         try:

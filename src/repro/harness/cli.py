@@ -13,6 +13,15 @@ and persisted to a content-addressed store: a repeated invocation with
 an unchanged source tree simulates nothing, and any edit under
 ``src/repro/`` automatically invalidates the affected entries.
 ``--no-cache`` bypasses the store for one invocation.
+
+Long campaigns add the resilience surface: ``--on-error skip|retry``
+degrades failed workloads into a per-workload summary (exit status 1)
+instead of aborting, ``--max-retries`` sizes the transient retry
+budget, ``--manifest PATH`` journals every outcome to an append-only
+JSONL file, and ``--resume PATH`` continues an interrupted campaign —
+completed work is served from the store, transient failures are
+re-attempted, deterministic ones are skipped.  The first Ctrl-C stops
+gracefully (journal written, exit 130); the second kills the run.
 """
 
 from __future__ import annotations
@@ -89,6 +98,25 @@ def main(argv: list[str] | None = None) -> int:
                              "$REPRO_CACHE_DIR; unset = no caching)")
     parser.add_argument("--no-cache", action="store_true",
                         help="ignore the result store for this run")
+    parser.add_argument("--on-error", choices=["raise", "skip", "retry"],
+                        default="raise",
+                        help="failure policy: abort on the first failed "
+                             "workload (raise, default), record it and "
+                             "keep going (skip), or retry transient "
+                             "failures with backoff first (retry)")
+    parser.add_argument("--max-retries", type=int, default=None,
+                        metavar="N",
+                        help="transient-failure retry budget per "
+                             "workload (default: 3 with --on-error "
+                             "retry, else 1)")
+    parser.add_argument("--manifest", metavar="PATH",
+                        help="journal every job outcome to an append-"
+                             "only JSONL campaign manifest")
+    parser.add_argument("--resume", metavar="PATH",
+                        help="resume the campaign journaled at PATH: "
+                             "skip completed work (via the result "
+                             "store), re-attempt transient failures, "
+                             "carry deterministic ones")
     parser.add_argument("--trace-dir", metavar="DIR",
                         default=os.environ.get("REPRO_TRACE_DIR"),
                         help="content-addressed trace store: record each "
@@ -152,15 +180,37 @@ def main(argv: list[str] | None = None) -> int:
         pstats.Stats(profiler).sort_stats("tottime").print_stats(25)
         return 0
 
+    from repro.exec.campaign import (CampaignInterrupted, CampaignManifest,
+                                     graceful_shutdown)
     from repro.exec.progress import ProgressReporter
     from repro.harness.suite import characterize_suite
 
-    reporter = ProgressReporter(len(selected))
-    suite = characterize_suite(
-        selected, machine, fidelity, seed=args.seed,
-        jobs=args.jobs, store=store, reporter=reporter)
+    manifest = None
+    manifest_path = args.resume or args.manifest
+    on_error = args.on_error
+    if manifest_path:
+        manifest = CampaignManifest(os.path.expanduser(manifest_path))
+        if args.resume and store is None:
+            print("note: --resume without --cache-dir re-runs completed "
+                  "work (results were not persisted)", file=sys.stderr)
+        if args.resume and on_error == "raise":
+            # A resumed campaign is by definition one that hit trouble;
+            # aborting on the first failure would defeat the resume.
+            on_error = "skip"
 
-    if len(selected) == 1:
+    reporter = ProgressReporter(len(selected))
+    with graceful_shutdown() as stop:
+        try:
+            suite = characterize_suite(
+                selected, machine, fidelity, seed=args.seed,
+                jobs=args.jobs, store=store, reporter=reporter,
+                on_error=on_error, max_retries=args.max_retries,
+                manifest=manifest, should_stop=stop.is_set)
+        except CampaignInterrupted as exc:
+            print(f"\ninterrupted: {exc}", file=sys.stderr)
+            return 130
+
+    if len(selected) == 1 and suite.results:
         _print_single(suite.results[0], args)
     else:
         rows = [[r.spec.suite, r.spec.name, f"{r.counters.cpi:.3f}",
@@ -182,6 +232,20 @@ def main(argv: list[str] | None = None) -> int:
         n = record(program.ops(), args.trace_out,
                    max_instructions=args.instructions)
         print(f"\nrecorded {n} instructions to {args.trace_out}")
+
+    if suite.failures:
+        rows = [[f.name, f.error_type, f.classification,
+                 str(f.attempts), f.worker_fate]
+                for f in suite.failures]
+        print(f"\n# {len(suite.failures)} workload(s) failed",
+              file=sys.stderr)
+        print(format_table(["benchmark", "error", "class", "attempts",
+                            "worker"], rows), file=sys.stderr)
+        if manifest is not None:
+            print(f"[failures journaled to {manifest.path}; re-run with "
+                  f"--resume {manifest.path} to retry transient ones]",
+                  file=sys.stderr)
+        return 1
     return 0
 
 

@@ -22,6 +22,7 @@ from dataclasses import dataclass
 from repro.kernel.vm import VirtualMemory
 from repro.perf.counters import CounterSnapshot, collect_counters
 from repro.perf.sampler import CounterSampler, SampleSeries
+from repro.perf.trace_io import TraceFormatError
 from repro.perf.tracer import LttngTracer
 from repro.runtime.gc import GcConfig
 from repro.runtime.heap import HeapConfig
@@ -122,17 +123,15 @@ def run_workload(spec: WorkloadSpec, machine: MachineConfig,
 
     ``trace_store`` (a :class:`repro.exec.traces.TraceStore`) makes the
     run record-once/replay-many: on a warm store the op stream is
-    replayed from disk and the workload program is never built.
-    ``engine`` selects the consume path (default: batched, or legacy
-    when ``REPRO_LEGACY_CONSUME=1``).
+    replayed from disk and the workload program is never built.  A
+    stored trace that fails to decode (corruption that slipped past the
+    store's checksum — e.g. a legacy entry without one) is quarantined
+    and the run falls back to regenerating the trace instead of
+    propagating the decode error.  ``engine`` selects the consume path
+    (default: batched, or legacy when ``REPRO_LEGACY_CONSUME=1``).
     """
     fidelity = fidelity or Fidelity.default()
     heap_config, gc_config = _heap_and_gc(spec, heap_config, gc_config)
-    vm = VirtualMemory()
-    core = Core(machine, vm)
-    core.set_hints(spec.hints())
-    tracer = LttngTracer(machine.max_freq_hz)
-    core.event_hook = tracer.hook
     warmup = fidelity.warmup_instructions
     if spec.suite == SuiteName.ASPNET:
         warmup = int(warmup * fidelity.aspnet_warmup_factor)
@@ -146,43 +145,62 @@ def run_workload(spec: WorkloadSpec, machine: MachineConfig,
             reuse_code_pages=reuse_code_pages,
             compaction_enabled=compaction_enabled)
 
-    if _use_legacy_consume(engine):
-        program = make_program()
-        program.premap(vm)
-        source = program.ops()
-        consume = core.consume
-    else:
-        consume = core.consume_stream
-        if trace_store is not None:
-            key = trace_store.key_for(
-                spec, seed=seed, code_bloat=machine.code_bloat,
-                gc_config=gc_config, heap_config=heap_config,
-                reuse_code_pages=reuse_code_pages,
-                compaction_enabled=compaction_enabled)
-            meta, _ = trace_store.ensure(key, warmup + measure,
-                                         make_program)
-            for start, length in meta["premap_ranges"]:
-                vm.premap_range(start, length)
-            source = TraceBufferStream(buffers=trace_store.replay(key))
-        else:
+    legacy = _use_legacy_consume(engine)
+    trace_key = None
+    if trace_store is not None and not legacy:
+        trace_key = trace_store.key_for(
+            spec, seed=seed, code_bloat=machine.code_bloat,
+            gc_config=gc_config, heap_config=heap_config,
+            reuse_code_pages=reuse_code_pages,
+            compaction_enabled=compaction_enabled)
+
+    def attempt() -> RunResult:
+        vm = VirtualMemory()
+        core = Core(machine, vm)
+        core.set_hints(spec.hints())
+        tracer = LttngTracer(machine.max_freq_hz)
+        core.event_hook = tracer.hook
+        if legacy:
             program = make_program()
             program.premap(vm)
-            source = TraceBufferStream(filler=program.fill_buffer)
-    consume(source, max_instructions=warmup)
-    core.reset_stats()
-    tracer.clear()
-    sampler = None
-    if sampling:
-        sampler = CounterSampler(core, tracer.counts,
-                                 interval_seconds=sample_interval)
-    consume(source, max_instructions=measure)
-    samples = sampler.finish() if sampler is not None else None
-    counters = collect_counters(core, tracer.counts,
-                                cpu_utilization=spec.cpu_utilization)
-    return RunResult(
-        spec=spec, machine=machine, counters=counters,
-        topdown=profile_core(core),
-        seconds=counters.seconds, samples=samples)
+            source = program.ops()
+            consume = core.consume
+        else:
+            consume = core.consume_stream
+            if trace_key is not None:
+                meta, _ = trace_store.ensure(trace_key, warmup + measure,
+                                             make_program)
+                for start, length in meta["premap_ranges"]:
+                    vm.premap_range(start, length)
+                source = TraceBufferStream(
+                    buffers=trace_store.replay(trace_key))
+            else:
+                program = make_program()
+                program.premap(vm)
+                source = TraceBufferStream(filler=program.fill_buffer)
+        consume(source, max_instructions=warmup)
+        core.reset_stats()
+        tracer.clear()
+        sampler = None
+        if sampling:
+            sampler = CounterSampler(core, tracer.counts,
+                                     interval_seconds=sample_interval)
+        consume(source, max_instructions=measure)
+        samples = sampler.finish() if sampler is not None else None
+        counters = collect_counters(core, tracer.counts,
+                                    cpu_utilization=spec.cpu_utilization)
+        return RunResult(
+            spec=spec, machine=machine, counters=counters,
+            topdown=profile_core(core),
+            seconds=counters.seconds, samples=samples)
+
+    if trace_key is None:
+        return attempt()
+    try:
+        return attempt()
+    except TraceFormatError:
+        trace_store.quarantine(trace_key)
+        return attempt()
 
 
 def run_with_sampling(spec: WorkloadSpec, machine: MachineConfig,

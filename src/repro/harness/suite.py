@@ -1,4 +1,16 @@
-"""Suite-level orchestration: characterize many workloads, build matrices."""
+"""Suite-level orchestration: characterize many workloads, build matrices.
+
+A suite run is the unit the paper's campaigns are built from, so this
+layer carries the campaign failure model: ``on_error`` selects whether
+a failed workload aborts the batch (``"raise"``, the historical
+default), degrades into a structured :class:`WorkloadFailure` record on
+``SuiteResult.failures`` (``"skip"``), or gets transient-failure
+retries with backoff before degrading (``"retry"``).  A
+:class:`~repro.exec.campaign.CampaignManifest` journals every settled
+job, and ``should_stop`` (typically wired to SIGINT via
+:func:`~repro.exec.campaign.graceful_shutdown`) stops the run early
+with a resumable :class:`~repro.exec.campaign.CampaignInterrupted`.
+"""
 
 from __future__ import annotations
 
@@ -14,10 +26,16 @@ from repro.workloads.spec import WorkloadSpec
 
 @dataclass
 class SuiteResult:
-    """All runs of one suite on one machine."""
+    """All runs of one suite on one machine.
+
+    ``failures`` holds the structured records of workloads that did not
+    produce a result (only populated under ``on_error="skip"|"retry"``
+    or on resume); ``results`` holds the successes, in spec order.
+    """
 
     machine: MachineConfig
     results: list[RunResult] = field(default_factory=list)
+    failures: list = field(default_factory=list)
     #: lazily built name -> RunResult index (first occurrence wins, like
     #: the linear scan it replaces); rebuilt when ``results`` grows
     _index: dict[str, RunResult] | None = field(
@@ -26,6 +44,10 @@ class SuiteResult:
     @property
     def names(self) -> list[str]:
         return [r.spec.name for r in self.results]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
 
     def metric_matrix(self) -> MetricMatrix:
         return MetricMatrix(
@@ -60,7 +82,11 @@ class SuiteResult:
 def characterize_suite(specs: list[WorkloadSpec], machine: MachineConfig,
                        fidelity: Fidelity | None = None, seed: int = 0,
                        progress=None, jobs: int = 1, store=None,
-                       reporter=None, **run_kwargs) -> SuiteResult:
+                       reporter=None, on_error: str = "raise",
+                       max_retries: int | None = None,
+                       retry_backoff: float = 0.0,
+                       manifest=None, should_stop=None,
+                       **run_kwargs) -> SuiteResult:
     """Run every spec on ``machine`` and collect the results.
 
     ``progress`` is an optional callable ``(index, total, name)`` for
@@ -70,21 +96,101 @@ def characterize_suite(specs: list[WorkloadSpec], machine: MachineConfig,
     :class:`repro.exec.ResultStore` that serves previously computed runs
     and persists fresh ones, keyed by workload/machine/fidelity/kwargs
     *and* a fingerprint of the simulator source tree.
+
+    ``on_error`` selects the failure policy: ``"raise"`` (default)
+    re-raises the first failure, ``"skip"`` records failures on
+    ``SuiteResult.failures`` and keeps going, ``"retry"`` additionally
+    raises the transient retry budget (``max_retries`` defaults to 3
+    there, 1 otherwise).  ``manifest`` (a
+    :class:`~repro.exec.campaign.CampaignManifest`) journals outcomes;
+    on resume, permanent prior failures are skipped without
+    re-execution and transient ones are re-attempted.  ``should_stop``
+    (zero-arg callable) stops the run early: completed work is
+    journaled and :class:`~repro.exec.campaign.CampaignInterrupted`
+    is raised.
     """
-    from repro.exec.jobs import JobSpec
+    from repro.exec.campaign import (PERMANENT, CampaignInterrupted,
+                                     WorkloadFailure)
+    from repro.exec.jobs import JobSpec, code_fingerprint
     from repro.exec.pool import JobFailure, run_jobs
+
+    if on_error not in ("raise", "skip", "retry"):
+        raise ValueError(f"unknown on_error policy {on_error!r}")
+    if max_retries is None:
+        max_retries = 3 if on_error == "retry" else 1
 
     fidelity = fidelity or Fidelity.default()
     jobspecs = [JobSpec(spec=spec, machine=machine, fidelity=fidelity,
                         seed=seed, run_kwargs=run_kwargs)
                 for spec in specs]
-    outcomes = run_jobs(jobspecs, n_jobs=jobs, store=store,
-                        progress=progress, reporter=reporter)
+    total = len(jobspecs)
+
+    keys: list[str] | None = None
+    carried: dict[int, WorkloadFailure] = {}
+    if manifest is not None:
+        fingerprint = code_fingerprint()
+        manifest.begin(fingerprint, total=total)
+        keys = [job.cache_key(fingerprint) for job in jobspecs]
+        if on_error in ("skip", "retry"):
+            prior = manifest.failure_records()
+            for i, key in enumerate(keys):
+                failure = prior.get(key)
+                # Deterministic failures reproduce on retry: carry the
+                # record instead of burning another attempt.  Transient
+                # ones are re-attempted by simply not carrying them.
+                if failure is not None \
+                        and failure.classification == PERMANENT:
+                    carried[i] = failure
+
+    pending = [i for i in range(total) if i not in carried]
+    catch = () if on_error == "raise" else (Exception,)
+    sub_outcomes = run_jobs(
+        [jobspecs[i] for i in pending], n_jobs=jobs, store=store,
+        progress=progress, reporter=reporter, catch=catch,
+        max_retries=max_retries, retry_backoff=retry_backoff,
+        should_stop=should_stop)
+
+    outcomes: list = [None] * total
+    for i, outcome in zip(pending, sub_outcomes):
+        outcomes[i] = outcome
+
     out = SuiteResult(machine=machine)
-    for outcome in outcomes:
+    unfinished = 0
+    for i, (job, outcome) in enumerate(zip(jobspecs, outcomes)):
+        key = keys[i] if keys is not None else None
+        if i in carried:
+            out.failures.append(carried[i])
+            if manifest is not None:
+                manifest.record(key, job.name, "skipped",
+                                failure=carried[i])
+            continue
+        if outcome is None:             # interrupted before this job ran
+            unfinished += 1
+            continue
         if isinstance(outcome, JobFailure):
-            raise outcome.error
-        out.results.append(outcome)
+            failure = WorkloadFailure.from_job_failure(outcome, key=key)
+            out.failures.append(failure)
+            if manifest is not None:
+                manifest.record(key, job.name, "failed", failure=failure)
+        else:
+            out.results.append(outcome)
+            if manifest is not None:
+                manifest.record(key, job.name, "done")
+
+    if unfinished:
+        if manifest is not None:
+            manifest.record_event("interrupted", unfinished=unfinished)
+        raise CampaignInterrupted(
+            manifest.path if manifest is not None else None,
+            completed=len(out.results), failed=len(out.failures),
+            remaining=unfinished)
+
+    if on_error == "raise" and out.failures:
+        first = out.failures[0]
+        if first.error is not None:
+            raise first.error
+        raise RuntimeError(
+            f"{first.name} failed: {first.error_type}: {first.message}")
     return out
 
 

@@ -84,6 +84,8 @@ class SweepResult:
 def sweep(spec: WorkloadSpec, machine: MachineConfig, axes: list[Axis],
           fidelity: Fidelity | None = None,
           catch: tuple[type, ...] = (), jobs: int = 1, store=None,
+          on_error: str = "raise", max_retries: int | None = None,
+          retry_backoff: float = 0.0,
           **base_run_kwargs) -> SweepResult:
     """Run ``spec`` at every point of the axis product.
 
@@ -93,9 +95,22 @@ def sweep(spec: WorkloadSpec, machine: MachineConfig, axes: list[Axis],
     the grid is evaluated serially or with ``jobs`` worker processes.
     ``store`` is an optional :class:`repro.exec.ResultStore` for reuse
     of grid points across invocations.
+
+    ``on_error`` widens the failure policy the same way
+    :func:`~repro.harness.suite.characterize_suite` does: ``"skip"``
+    records *any* exception as a grid failure instead of only the
+    ``catch`` types, ``"retry"`` additionally raises the transient
+    retry budget (``max_retries`` defaults to 3 there, 1 otherwise).
     """
     from repro.exec.jobs import JobSpec
     from repro.exec.pool import JobFailure, run_jobs
+
+    if on_error not in ("raise", "skip", "retry"):
+        raise ValueError(f"unknown on_error policy {on_error!r}")
+    if max_retries is None:
+        max_retries = 3 if on_error == "retry" else 1
+    if on_error != "raise":
+        catch = (Exception,)
 
     fidelity = fidelity or Fidelity.default()
     result = SweepResult(axes=tuple(axes))
@@ -115,7 +130,9 @@ def sweep(spec: WorkloadSpec, machine: MachineConfig, axes: list[Axis],
         combos.append(combo)
         jobspecs.append(JobSpec(spec=s, machine=m, fidelity=fidelity,
                                 run_kwargs=run_kwargs))
-    outcomes = run_jobs(jobspecs, n_jobs=jobs, store=store, catch=catch)
+    outcomes = run_jobs(jobspecs, n_jobs=jobs, store=store, catch=catch,
+                        max_retries=max_retries,
+                        retry_backoff=retry_backoff)
     for combo, outcome in zip(combos, outcomes):
         if isinstance(outcome, JobFailure):
             result.failures[combo] = outcome.error

@@ -1,0 +1,308 @@
+"""Tests for the campaign layer: taxonomy, failure records, manifest,
+failure policies, graceful interruption and resume."""
+
+import json
+import os
+import signal
+
+import pytest
+
+import repro.exec.pool as pool_mod
+from repro.exec.campaign import (PERMANENT, TRANSIENT, CampaignInterrupted,
+                                 CampaignManifest, WorkloadFailure,
+                                 classify_error, graceful_shutdown)
+from repro.exec.jobs import JobSpec, code_fingerprint
+from repro.exec.pool import JobFailure, JobTimeout, WorkerCrash
+from repro.exec.store import ResultStore
+from repro.harness.runner import Fidelity
+from repro.harness.suite import characterize_suite
+from repro.runtime.gc import OutOfManagedMemory
+from repro.uarch.machine import get_machine
+from repro.workloads.dotnet import dotnet_category_specs
+
+FID = Fidelity(warmup_instructions=6_000, measure_instructions=10_000)
+
+
+def _specs(n=3):
+    return dotnet_category_specs()[:n]
+
+
+def _failing(bad_name, exc_factory):
+    """Executor that fails for one workload, runs the rest for real."""
+    def execute(job):
+        if job.name == bad_name:
+            raise exc_factory()
+        return pool_mod.execute_job(job)
+    return execute
+
+
+class TestTaxonomy:
+    @pytest.mark.parametrize("exc", [
+        WorkerCrash("died"), JobTimeout("slow"), OSError("io"),
+        ConnectionError("net"), TimeoutError("t"),
+    ])
+    def test_transient(self, exc):
+        assert classify_error(exc) == TRANSIENT
+
+    @pytest.mark.parametrize("exc", [
+        ValueError("bad"), OutOfManagedMemory("oom"), RuntimeError("x"),
+        KeyError("k"),
+    ])
+    def test_permanent(self, exc):
+        assert classify_error(exc) == PERMANENT
+
+    def test_accepts_types(self):
+        assert classify_error(WorkerCrash) == TRANSIENT
+        assert classify_error(ValueError) == PERMANENT
+
+
+class TestWorkloadFailure:
+    def _failure(self, error):
+        job = JobSpec(spec=_specs(1)[0], machine=get_machine("i9"),
+                      fidelity=FID)
+        return JobFailure(job=job, error=error, retried=True, attempts=2)
+
+    def test_from_job_failure_crash(self):
+        wf = WorkloadFailure.from_job_failure(
+            self._failure(WorkerCrash("worker died")), key="k1")
+        assert wf.worker_fate == "crashed"
+        assert wf.classification == TRANSIENT
+        assert wf.attempts == 2 and wf.key == "k1"
+        assert wf.error_type == "WorkerCrash"
+        assert isinstance(wf.error, WorkerCrash)
+
+    def test_from_job_failure_timeout_and_model_error(self):
+        assert WorkloadFailure.from_job_failure(
+            self._failure(JobTimeout("t"))).worker_fate == "killed"
+        wf = WorkloadFailure.from_job_failure(
+            self._failure(ValueError("model")))
+        assert wf.worker_fate == "completed"
+        assert wf.classification == PERMANENT
+
+    def test_json_roundtrip(self):
+        wf = WorkloadFailure.from_job_failure(
+            self._failure(OSError("flaky disk")), key="abcd")
+        back = WorkloadFailure.from_json(
+            json.loads(json.dumps(wf.to_json())))
+        assert back.name == wf.name
+        assert back.error_type == "OSError"
+        assert back.classification == TRANSIENT
+        assert back.attempts == 2 and back.key == "abcd"
+        assert back.error is None       # live exception not serialized
+
+
+class TestManifest:
+    def test_roundtrip_and_views(self, tmp_path):
+        path = tmp_path / "c.jsonl"
+        m = CampaignManifest(path)
+        m.begin("fp0", total=3)
+        m.record("k1", "A", "done")
+        m.record("k2", "B", "failed", failure=WorkloadFailure(
+            name="B", error_type="OSError", message="io",
+            classification=TRANSIENT, attempts=2, key="k2"))
+        loaded = CampaignManifest(path)
+        assert loaded.header["fingerprint"] == "fp0"
+        assert loaded.done_keys() == {"k1"}
+        assert set(loaded.failure_records()) == {"k2"}
+        assert loaded.failure_records()["k2"].error_type == "OSError"
+
+    def test_later_records_win(self, tmp_path):
+        m = CampaignManifest(tmp_path / "c.jsonl")
+        m.begin("fp0")
+        m.record("k1", "A", "failed", failure=WorkloadFailure(
+            name="A", error_type="WorkerCrash", message="died",
+            classification=TRANSIENT, key="k1"))
+        m.record("k1", "A", "done")
+        assert m.done_keys() == {"k1"}
+        assert m.failure_records() == {}
+        # the full journal still remembers the injected failure
+        assert [f.error_type for f in m.all_failures()] == ["WorkerCrash"]
+
+    def test_torn_tail_tolerated(self, tmp_path):
+        path = tmp_path / "c.jsonl"
+        m = CampaignManifest(path)
+        m.begin("fp0")
+        m.record("k1", "A", "done")
+        with path.open("a") as fh:      # SIGKILL mid-append
+            fh.write('{"type": "outcome", "key": "k2", "sta')
+        loaded = CampaignManifest(path)
+        assert loaded.done_keys() == {"k1"}
+
+    def test_fingerprint_mismatch_resets_view(self, tmp_path):
+        path = tmp_path / "c.jsonl"
+        m = CampaignManifest(path)
+        m.begin("fp0")
+        m.record("k1", "A", "done")
+        resumed = CampaignManifest(path)
+        resumed.begin("fp1")            # source tree changed
+        assert resumed.done_keys() == set()
+        events = [json.loads(line)["type"]
+                  for line in path.read_text().splitlines()]
+        assert "fingerprint-mismatch" in events
+
+    def test_resume_event_recorded(self, tmp_path):
+        path = tmp_path / "c.jsonl"
+        CampaignManifest(path).begin("fp0")
+        CampaignManifest(path).begin("fp0")
+        events = [json.loads(line)["type"]
+                  for line in path.read_text().splitlines()]
+        assert events.count("resume") == 1
+
+
+class TestFailurePolicies:
+    def test_default_raise_preserved(self, monkeypatch):
+        specs = _specs(3)
+        monkeypatch.setattr(pool_mod, "_execute",
+                            _failing(specs[1].name, lambda: ValueError("m")))
+        with pytest.raises(ValueError):
+            characterize_suite(specs, get_machine("i9"), FID)
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            characterize_suite(_specs(1), get_machine("i9"), FID,
+                               on_error="ignore")
+
+    def test_skip_records_structured_failure(self, monkeypatch):
+        specs = _specs(3)
+        monkeypatch.setattr(pool_mod, "_execute",
+                            _failing(specs[1].name, lambda: ValueError("m")))
+        suite = characterize_suite(specs, get_machine("i9"), FID,
+                                   on_error="skip")
+        assert [r.spec.name for r in suite.results] \
+            == [specs[0].name, specs[2].name]
+        assert not suite.ok
+        (failure,) = suite.failures
+        assert failure.name == specs[1].name
+        assert failure.error_type == "ValueError"
+        assert failure.classification == PERMANENT
+        assert "ValueError" in failure.traceback
+
+    def test_skip_journals_to_manifest(self, tmp_path, monkeypatch):
+        specs = _specs(3)
+        manifest = CampaignManifest(tmp_path / "c.jsonl")
+        monkeypatch.setattr(pool_mod, "_execute",
+                            _failing(specs[0].name, lambda: ValueError("m")))
+        characterize_suite(specs, get_machine("i9"), FID,
+                           on_error="skip", manifest=manifest)
+        outcomes = CampaignManifest(tmp_path / "c.jsonl").outcomes()
+        statuses = sorted(r["status"] for r in outcomes.values())
+        assert statuses == ["done", "done", "failed"]
+
+    def test_resume_skips_permanent_without_rerun(self, tmp_path,
+                                                  monkeypatch):
+        specs = _specs(2)
+        manifest_path = tmp_path / "c.jsonl"
+        monkeypatch.setattr(pool_mod, "_execute",
+                            _failing(specs[0].name, lambda: ValueError("m")))
+        characterize_suite(specs, get_machine("i9"), FID, on_error="skip",
+                           manifest=CampaignManifest(manifest_path))
+
+        executed = []
+
+        def counting(job):
+            executed.append(job.name)
+            return pool_mod.execute_job(job)
+
+        monkeypatch.setattr(pool_mod, "_execute", counting)
+        suite = characterize_suite(specs, get_machine("i9"), FID,
+                                   on_error="skip",
+                                   manifest=CampaignManifest(manifest_path))
+        # the deterministic failure is carried, not re-executed
+        assert specs[0].name not in executed
+        assert [f.name for f in suite.failures] == [specs[0].name]
+        latest = CampaignManifest(manifest_path).outcomes()
+        assert sorted(r["status"] for r in latest.values()) \
+            == ["done", "skipped"]
+
+    def test_resume_reattempts_transient(self, tmp_path, monkeypatch):
+        specs = _specs(2)
+        manifest_path = tmp_path / "c.jsonl"
+        monkeypatch.setattr(pool_mod, "_execute",
+                            _failing(specs[0].name, lambda: OSError("io")))
+        first = characterize_suite(specs, get_machine("i9"), FID,
+                                   on_error="skip",
+                                   manifest=CampaignManifest(manifest_path))
+        (failure,) = first.failures
+        assert failure.classification == TRANSIENT
+        assert failure.attempts == 2    # default budget: one retry
+
+        monkeypatch.setattr(pool_mod, "_execute", pool_mod.execute_job)
+        suite = characterize_suite(specs, get_machine("i9"), FID,
+                                   on_error="skip",
+                                   manifest=CampaignManifest(manifest_path))
+        assert suite.ok and len(suite.results) == 2
+        assert CampaignManifest(manifest_path).failure_records() == {}
+
+
+class TestGracefulInterrupt:
+    def test_sigint_leaves_resumable_manifest(self, tmp_path):
+        """SIGINT mid-campaign: completed work journaled + stored, the
+        rest resumable to a result bit-identical to an unbroken run."""
+        specs = _specs(4)
+        machine = get_machine("i9")
+        reference = characterize_suite(specs, machine, FID)
+        store = ResultStore(tmp_path / "cache")
+        manifest_path = tmp_path / "c.jsonl"
+
+        completions = {"n": 0}
+
+        def progress(i, total, name):
+            completions["n"] += 1
+            if completions["n"] == 2:
+                os.kill(os.getpid(), signal.SIGINT)
+
+        with graceful_shutdown() as stop:
+            with pytest.raises(CampaignInterrupted) as excinfo:
+                characterize_suite(
+                    specs, machine, FID, store=store, progress=progress,
+                    on_error="skip",
+                    manifest=CampaignManifest(manifest_path),
+                    should_stop=stop.is_set)
+        assert excinfo.value.remaining == 2
+        assert len(CampaignManifest(manifest_path).done_keys()) == 2
+
+        resumed = characterize_suite(
+            specs, machine, FID, store=store, on_error="skip",
+            manifest=CampaignManifest(manifest_path))
+        assert resumed.ok
+        assert resumed.names == reference.names
+        assert [r.counters for r in resumed.results] \
+            == [r.counters for r in reference.results]
+
+    def test_second_signal_hard_interrupts(self):
+        with graceful_shutdown() as stop:
+            os.kill(os.getpid(), signal.SIGINT)
+            # first signal: flag only
+            assert stop.is_set()
+            with pytest.raises(KeyboardInterrupt):
+                os.kill(os.getpid(), signal.SIGINT)
+                signal.raise_signal(signal.SIGINT)  # ensure delivery
+
+    def test_handlers_restored(self):
+        before = signal.getsignal(signal.SIGINT)
+        with graceful_shutdown():
+            assert signal.getsignal(signal.SIGINT) is not before
+        assert signal.getsignal(signal.SIGINT) is before
+
+    def test_interrupt_without_manifest(self):
+        with pytest.raises(CampaignInterrupted) as excinfo:
+            characterize_suite(_specs(2), get_machine("i9"), FID,
+                               should_stop=lambda: True)
+        assert excinfo.value.manifest_path is None
+        assert excinfo.value.remaining == 2
+
+
+class TestKeysMatchPool:
+    def test_manifest_keys_are_store_keys(self, tmp_path):
+        """The manifest journals the same content-addressed keys the
+        result store uses, so `done` implies a warm store entry."""
+        specs = _specs(2)
+        store = ResultStore(tmp_path / "cache")
+        manifest = CampaignManifest(tmp_path / "c.jsonl")
+        characterize_suite(specs, get_machine("i9"), FID, store=store,
+                           on_error="skip", manifest=manifest)
+        fp = code_fingerprint()
+        expected = {JobSpec(spec=s, machine=get_machine("i9"),
+                            fidelity=FID).cache_key(fp) for s in specs}
+        assert manifest.done_keys() == expected
+        assert all(k in store for k in expected)

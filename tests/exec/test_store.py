@@ -90,3 +90,109 @@ class TestMaintenance:
         assert stats.entries == 1
         assert stats.total_bytes >= len(pickle.dumps("payload"))
         assert stats.root == tmp_path
+
+
+class TestIntegrity:
+    def test_truncated_entry_is_a_miss_not_an_error(self, tmp_path):
+        """Regression: a reader killed mid-entry used to leave bytes
+        that poisoned every later ``get`` with the same key."""
+        store = ResultStore(tmp_path)
+        path = store.put(KEY_A, list(range(1000)))
+        data = path.read_bytes()
+        path.write_bytes(data[:len(data) // 2])
+        assert store.get(KEY_A, default="miss") == "miss"
+        assert KEY_A not in store
+        # and the key is immediately writable again
+        store.put(KEY_A, "fresh")
+        assert store.get(KEY_A) == "fresh"
+
+    def test_bit_flip_caught_by_crc(self, tmp_path):
+        store = ResultStore(tmp_path)
+        path = store.put(KEY_A, {"cpi": 1.25})
+        data = bytearray(path.read_bytes())
+        data[-3] ^= 0x01                    # payload bit rot
+        path.write_bytes(bytes(data))
+        assert store.get(KEY_A, default="miss") == "miss"
+
+    def test_quarantine_preserves_bytes_for_postmortem(self, tmp_path):
+        store = ResultStore(tmp_path)
+        path = store.put(KEY_A, 1)
+        path.write_bytes(b"\x80damaged beyond recognition")
+        assert store.get(KEY_A) is None
+        (quarantined,) = store.corrupt_dir.iterdir()
+        assert quarantined.read_bytes() == b"\x80damaged beyond recognition"
+        assert store.stats().corrupt == 1
+
+    def test_repeated_corruption_never_collides_in_quarantine(self,
+                                                              tmp_path):
+        store = ResultStore(tmp_path)
+        for tag in (b"first", b"second"):
+            path = store.put(KEY_A, 1)
+            path.write_bytes(tag)
+            assert store.get(KEY_A) is None
+        assert store.stats().corrupt == 2
+
+    def test_valid_frame_unpicklable_payload_is_a_miss(self, tmp_path):
+        import zlib
+        from repro.exec.store import _FRAME, _MAGIC
+        store = ResultStore(tmp_path)
+        payload = b"well-framed but not a pickle"
+        path = store.path_for(KEY_A)
+        path.parent.mkdir(parents=True)
+        path.write_bytes(_FRAME.pack(_MAGIC, zlib.crc32(payload),
+                                     len(payload)) + payload)
+        assert store.get(KEY_A, default="miss") == "miss"
+        assert store.stats().corrupt == 1
+
+    def test_verify_sweeps_without_unpickling(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(KEY_A, 1)
+        bad = store.put(KEY_B, 2)
+        bad.write_bytes(bad.read_bytes()[:10])
+        assert store.verify() == [KEY_B]
+        assert KEY_A in store and KEY_B not in store
+        assert store.verify() == []         # idempotent
+
+    def test_gc_purges_quarantine_on_request(self, tmp_path):
+        store = ResultStore(tmp_path)
+        path = store.put(KEY_A, 1)
+        path.write_bytes(b"bad")
+        store.get(KEY_A)
+        assert store.stats().corrupt == 1
+        assert store.gc() == 0              # default keeps the evidence
+        assert store.stats().corrupt == 1
+        assert store.gc(purge_quarantine=True) == 1
+        assert store.stats().corrupt == 0
+
+
+class TestConcurrentAccess:
+    def test_parallel_writers_with_concurrent_gc(self, tmp_path):
+        """Writers hold the shared lock, gc the exclusive one: a sweep
+        can never observe (or remove) a half-published entry."""
+        import multiprocessing
+        if "fork" not in multiprocessing.get_all_start_methods():
+            import pytest
+            pytest.skip("fork start method unavailable")
+        ctx = multiprocessing.get_context("fork")
+        keys = [f"{i:02x}" * 32 for i in range(20)]
+
+        def writer(chunk):
+            store = ResultStore(tmp_path)
+            for k in chunk:
+                store.put(k, {"key": k, "blob": list(range(500))})
+
+        procs = [ctx.Process(target=writer, args=(keys[i::4],))
+                 for i in range(4)]
+        for p in procs:
+            p.start()
+        store = ResultStore(tmp_path)
+        for _ in range(25):
+            store.gc(keep=set(keys))        # sweeps only orphan tmp files
+        for p in procs:
+            p.join(30)
+            assert p.exitcode == 0
+        store.gc(keep=set(keys))
+        assert store.verify() == []
+        assert sorted(store.keys()) == sorted(keys)
+        for k in keys:
+            assert store.get(k)["key"] == k

@@ -160,3 +160,81 @@ class TestFingerprint:
 
     def test_default_root_is_cached_and_stable(self):
         assert trace_fingerprint() == trace_fingerprint()
+
+
+class TestTraceIntegrity:
+    def test_sidecar_records_checksum(self, tmp_path):
+        import zlib
+        store = TraceStore(tmp_path)
+        key = _key(store)
+        meta, _ = store.ensure(key, 2_000, FakeProgram)
+        data = store.trace_path(key).read_bytes()
+        assert meta["bytes"] == len(data)
+        assert meta["crc32"] == zlib.crc32(data)
+
+    def test_bit_rot_is_quarantined_and_regenerated(self, tmp_path):
+        store = TraceStore(tmp_path)
+        key = _key(store)
+        meta, _ = store.ensure(key, 2_000, FakeProgram)
+        path = store.trace_path(key)
+        data = bytearray(path.read_bytes())
+        data[len(data) // 2] ^= 0xFF
+        path.write_bytes(bytes(data))
+        assert store.lookup(key, 1) is None
+        assert not path.exists()            # moved out of the namespace
+        assert any(store.corrupt_dir.iterdir())
+        meta2, generated = store.ensure(key, 2_000, FakeProgram)
+        assert generated
+        assert store.lookup(key, 2_000) == meta2
+
+    def test_truncation_detected_by_size(self, tmp_path):
+        store = TraceStore(tmp_path)
+        key = _key(store)
+        store.ensure(key, 2_000, FakeProgram)
+        path = store.trace_path(key)
+        data = path.read_bytes()
+        path.write_bytes(data[:len(data) // 2])
+        assert store.lookup(key, 1) is None
+        assert any(store.corrupt_dir.iterdir())
+
+    def test_legacy_meta_without_checksum_still_replays(self, tmp_path):
+        import json
+        store = TraceStore(tmp_path)
+        key = _key(store)
+        meta, _ = store.ensure(key, 2_000, FakeProgram)
+        legacy = {k: v for k, v in meta.items()
+                  if k not in ("crc32", "bytes")}
+        store.meta_path(key).write_text(json.dumps(legacy))
+        assert store.lookup(key, 2_000) == legacy
+
+
+class TestRunnerFallback:
+    def test_corrupt_legacy_trace_regenerates_not_raises(self, tmp_path):
+        """Satellite: a corrupted trace chunk that slips past the store
+        checksum (legacy entry without one) must fall back to
+        regeneration inside run_workload, not propagate the decode
+        error — and the recovered run is bit-identical."""
+        import json
+        from repro.harness.runner import Fidelity, run_workload
+        from repro.uarch.machine import get_machine
+
+        fid = Fidelity(warmup_instructions=6_000,
+                       measure_instructions=10_000)
+        spec = _spec()
+        machine = get_machine("i9")
+        store = TraceStore(tmp_path)
+        clean = run_workload(spec, machine, fid, trace_store=store)
+        (key,) = store.keys()
+
+        # Age the entry to the pre-checksum format, then damage it.
+        meta = json.loads(store.meta_path(key).read_text())
+        del meta["crc32"], meta["bytes"]
+        store.meta_path(key).write_text(json.dumps(meta))
+        data = store.trace_path(key).read_bytes()
+        store.trace_path(key).write_bytes(data[:len(data) // 2])
+
+        rerun = run_workload(spec, machine, fid, trace_store=store)
+        assert rerun.counters == clean.counters
+        assert any(store.corrupt_dir.iterdir())
+        # the store now holds a fresh valid entry under the same key
+        assert store.lookup(key, 1) is not None

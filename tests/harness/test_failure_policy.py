@@ -1,0 +1,139 @@
+"""CLI resilience surface: --on-error, --max-retries, --manifest,
+--resume, exit codes and the per-workload failure summary."""
+
+import json
+
+import pytest
+
+import repro.exec.pool as pool_mod
+from repro.exec.campaign import CampaignManifest
+from repro.harness.cli import main
+from repro.workloads.dotnet import dotnet_category_specs
+
+ARGS = ["--instructions", "10000", "--warmup", "6000"]
+
+
+def _names(n=3):
+    return [s.name for s in dotnet_category_specs()[:n]]
+
+
+def _fail_one(monkeypatch, bad_name, exc_factory=lambda: ValueError("m")):
+    def execute(job):
+        if job.name == bad_name:
+            raise exc_factory()
+        return pool_mod.execute_job(job)
+
+    monkeypatch.setattr(pool_mod, "_execute", execute)
+
+
+class TestOnErrorFlag:
+    def test_default_policy_aborts(self, monkeypatch):
+        names = _names(3)
+        _fail_one(monkeypatch, names[1])
+        with pytest.raises(ValueError):
+            main(names + ARGS)
+
+    def test_skip_degrades_to_summary_and_exit_1(self, monkeypatch,
+                                                 capsys):
+        names = _names(3)
+        _fail_one(monkeypatch, names[1])
+        rc = main(names + ARGS + ["--on-error", "skip"])
+        assert rc == 1
+        captured = capsys.readouterr()
+        # the survivors still get their table on stdout
+        assert names[0] in captured.out and names[2] in captured.out
+        # the failure summary goes to stderr with the taxonomy columns
+        assert "1 workload(s) failed" in captured.err
+        assert names[1] in captured.err
+        assert "ValueError" in captured.err
+        assert "permanent" in captured.err
+
+    def test_all_green_exits_0(self, capsys):
+        rc = main(_names(2) + ARGS + ["--on-error", "skip"])
+        assert rc == 0
+        assert "failed" not in capsys.readouterr().err
+
+    def test_max_retries_flag_feeds_pool(self, monkeypatch, capsys):
+        names = _names(1)
+        calls = []
+
+        def flaky(job):
+            calls.append(job.name)
+            raise OSError("weather")
+
+        monkeypatch.setattr(pool_mod, "_execute", flaky)
+        rc = main(names + ARGS + ["--on-error", "skip",
+                                  "--max-retries", "2"])
+        assert rc == 1
+        assert len(calls) == 3              # initial try + 2 retries
+        err = capsys.readouterr().err
+        assert "transient" in err and "OSError" in err
+
+
+class TestManifestFlag:
+    def test_outcomes_are_journaled(self, tmp_path, capsys):
+        path = tmp_path / "campaign.jsonl"
+        rc = main(_names(2) + ARGS + ["--manifest", str(path)])
+        assert rc == 0
+        records = [json.loads(line)
+                   for line in path.read_text().splitlines()]
+        assert records[0]["type"] == "campaign"
+        statuses = [r["status"] for r in records
+                    if r["type"] == "outcome"]
+        assert statuses == ["done", "done"]
+
+    def test_failures_journaled_with_resume_hint(self, tmp_path,
+                                                 monkeypatch, capsys):
+        names = _names(2)
+        path = tmp_path / "campaign.jsonl"
+        _fail_one(monkeypatch, names[0])
+        rc = main(names + ARGS + ["--on-error", "skip",
+                                  "--manifest", str(path)])
+        assert rc == 1
+        err = capsys.readouterr().err
+        assert f"--resume {path}" in err
+        failures = CampaignManifest(path).failure_records()
+        assert [f.name for f in failures.values()] == [names[0]]
+
+
+class TestResumeFlag:
+    def test_resume_completes_prior_campaign(self, tmp_path, monkeypatch,
+                                             capsys):
+        names = _names(2)
+        path = tmp_path / "campaign.jsonl"
+        cache = tmp_path / "cache"
+        _fail_one(monkeypatch, names[0], lambda: OSError("weather"))
+        assert main(names + ARGS + ["--on-error", "skip",
+                                    "--manifest", str(path),
+                                    "--cache-dir", str(cache)]) == 1
+        capsys.readouterr()
+
+        monkeypatch.setattr(pool_mod, "_execute", pool_mod.execute_job)
+        rc = main(names + ARGS + ["--resume", str(path),
+                                  "--cache-dir", str(cache)])
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert names[0] in captured.out and names[1] in captured.out
+        assert CampaignManifest(path).failure_records() == {}
+
+    def test_resume_implies_skip_policy(self, tmp_path, monkeypatch,
+                                        capsys):
+        """--resume with the default raise policy must not abort on the
+        journaled failure it exists to deal with."""
+        names = _names(2)
+        path = tmp_path / "campaign.jsonl"
+        _fail_one(monkeypatch, names[0])    # deterministic: carried
+        assert main(names + ARGS + ["--on-error", "skip",
+                                    "--manifest", str(path)]) == 1
+        capsys.readouterr()
+        rc = main(names + ARGS + ["--resume", str(path)])
+        assert rc == 1                      # degraded summary, no raise
+        assert "1 workload(s) failed" in capsys.readouterr().err
+
+    def test_resume_without_cache_dir_warns(self, tmp_path, capsys):
+        path = tmp_path / "campaign.jsonl"
+        assert main(_names(1) + ARGS + ["--manifest", str(path)]) == 0
+        capsys.readouterr()
+        rc = main(_names(1) + ARGS + ["--resume", str(path)])
+        assert rc == 0
+        assert "--resume without --cache-dir" in capsys.readouterr().err
