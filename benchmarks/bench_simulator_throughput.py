@@ -24,13 +24,20 @@ the repo root (uploaded as a CI artifact).
 
 from __future__ import annotations
 
+import gc
 import json
+import os
 import time
+import tracemalloc
 from pathlib import Path
 
+from repro.exec.store import ResultStore
 from repro.exec.traces import TraceStore
 from repro.harness.report import format_table
 from repro.harness.runner import run_workload
+from repro.harness.suite import characterize_suite
+from repro.perf.trace_io import record, replay_buffers
+from repro.trace import OP_BLOCK
 from repro.workloads.aspnet import aspnet_specs
 from repro.workloads.dotnet import dotnet_category_specs
 from repro.workloads.speccpu import speccpu_specs
@@ -59,6 +66,28 @@ def _best_of(fn, rounds: int = _ROUNDS) -> tuple[float, object]:
         if dt < best:
             best, result = dt, out
     return best, result
+
+
+#: top-level keys of BENCH_throughput.json, one per bench function
+_SECTIONS = ("engine", "suite_wall_clock", "data_plane")
+
+
+def _merge_json(section: str, data) -> dict:
+    """Update one section of ``BENCH_throughput.json`` in place.
+
+    The bench is several pytest functions writing one artifact; each
+    owns a top-level key so partial runs never clobber the others.
+    Keys outside ``_SECTIONS`` (pre-section layouts) are dropped.
+    """
+    try:
+        payload = json.loads(JSON_PATH.read_text())
+    except (OSError, ValueError):
+        payload = {}
+    payload = {k: v for k, v in payload.items() if k in _SECTIONS}
+    payload[section] = data
+    JSON_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True)
+                         + "\n")
+    return payload
 
 
 def test_simulator_throughput(fidelity, machine_i9, emit, tmp_path):
@@ -112,7 +141,7 @@ def test_simulator_throughput(fidelity, machine_i9, emit, tmp_path):
         }
     ratios = [w["speedup"] for w in payload["workloads"].values()]
     payload["min_speedup"] = min(ratios)
-    JSON_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    _merge_json("engine", payload)
 
     text = ("Simulator throughput (measured instructions / CPU "
             f"second, best of {_ROUNDS}):\n"
@@ -132,3 +161,133 @@ def test_simulator_throughput(fidelity, machine_i9, emit, tmp_path):
     # baseline itself ~1.6x over the PR-1 interpreter) because CI boxes
     # are noisy; the JSON artifact carries the exact numbers.
     assert payload["min_speedup"] > 1.05
+
+
+def test_suite_wall_clock(fidelity, machine_i9, emit, tmp_path,
+                          monkeypatch):
+    """End-to-end ``characterize_suite`` wall clock at jobs=1 vs jobs=4.
+
+    Measures what a campaign user sees: cold result stores (every job a
+    miss), a shared warm trace store (generation excluded — it is paid
+    once per trace regardless of scheduling), LPT ordering and warm
+    workers active as deployed.  Workloads span all three paper suites
+    so per-job runtimes are genuinely skewed.
+    """
+    dotnet = {"System.Runtime", "System.Linq", "System.Text.Json"}
+    specs = [s for s in dotnet_category_specs() if s.name in dotnet]
+    specs += [s for s in aspnet_specs() if s.name in ("Json", "Plaintext")]
+    specs += [s for s in speccpu_specs() if s.name == "mcf"]
+    monkeypatch.setenv("REPRO_TRACE_DIR", str(tmp_path / "traces"))
+    # Record every trace once so both job counts measure pure replay.
+    warm = characterize_suite(specs, machine_i9, fidelity,
+                              store=ResultStore(tmp_path / "warm"))
+    assert not warm.failures
+    wall = {}
+    for n_jobs in (1, 4):
+        store = ResultStore(tmp_path / f"store-j{n_jobs}")
+        t0 = time.perf_counter()
+        result = characterize_suite(specs, machine_i9, fidelity,
+                                    jobs=n_jobs, store=store)
+        wall[n_jobs] = time.perf_counter() - t0
+        assert not result.failures
+        assert result.times() == warm.times()
+    speedup = wall[1] / wall[4]
+    cores = len(os.sched_getaffinity(0))
+    _merge_json("suite_wall_clock", {
+        "workloads": len(specs),
+        "cpu_cores": cores,
+        "jobs_1_seconds": round(wall[1], 3),
+        "jobs_4_seconds": round(wall[4], 3),
+        "parallel_speedup": round(speedup, 3),
+    })
+    emit("suite_wall_clock",
+         f"characterize_suite, {len(specs)} workloads, warm traces, "
+         f"cold results, {cores} cores:\n"
+         f"  jobs=1  {wall[1]:7.2f} s\n"
+         f"  jobs=4  {wall[4]:7.2f} s   ({speedup:.2f}x)\n"
+         f"JSON written to {JSON_PATH.name}")
+    # 6 independent jobs on 4 workers: even with fork + IPC overhead a
+    # real win must show — when the hardware can express one.  On a
+    # core-starved box (1-2 CPUs) parallelism can only add overhead, so
+    # there the numbers are report-only; the speedup bound is loose for
+    # noisy CI runners.
+    if cores >= 4:
+        assert speedup > 1.2
+    else:
+        assert speedup > 0.5          # overhead must still be bounded
+
+
+def _synthetic_trace(path, n_ops: int) -> None:
+    """A block-op trace of ``n_ops`` records (~25 bytes each on disk)."""
+    def ops():
+        base = 0x4000_0000
+        for i in range(n_ops):
+            yield (OP_BLOCK, base + (i % 1024) * 64, 10, 48, False)
+    record(ops(), path)
+
+
+def _replay_peak_bytes(path, use_mmap: bool) -> tuple[int, int]:
+    """(peak traced heap bytes, instructions) for one full streaming
+    replay.
+
+    ``tracemalloc`` counts allocations through the Python allocator —
+    the whole-file ``read()`` of the in-memory path shows up, while
+    mmap-backed pages (reclaimable page cache, dropped chunk by chunk
+    via ``MADV_DONTNEED``) do not.  That is exactly the resident-set
+    distinction the streaming path exists for.
+    """
+    gc.collect()
+    tracemalloc.start()
+    instructions = 0
+    for buf in replay_buffers(path, use_mmap=use_mmap):
+        instructions += buf.n_instructions
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    return peak, instructions
+
+
+def test_data_plane_memory_and_latency(emit, tmp_path):
+    """mmap streaming: bounded peak memory on long traces, no decode
+    wall-clock regression on short ones."""
+    long_path = tmp_path / "long.trace"
+    short_path = tmp_path / "short.trace"
+    _synthetic_trace(long_path, n_ops=400_000)      # ~10 MB on disk
+    _synthetic_trace(short_path, n_ops=8_000)
+
+    peak_mem, n_mem = _replay_peak_bytes(long_path, use_mmap=False)
+    peak_map, n_map = _replay_peak_bytes(long_path, use_mmap=True)
+    assert n_mem == n_map
+    rss_ratio = peak_mem / peak_map
+
+    t_mem, _ = _best_of(lambda: sum(
+        b.n_instructions for b in replay_buffers(short_path,
+                                                 use_mmap=False)))
+    t_map, _ = _best_of(lambda: sum(
+        b.n_instructions for b in replay_buffers(short_path,
+                                                 use_mmap=True)))
+
+    _merge_json("data_plane", {
+        "long_trace_bytes": long_path.stat().st_size,
+        "long_trace_instructions": n_map,
+        "peak_heap_inmemory_bytes": peak_mem,
+        "peak_heap_mmap_bytes": peak_map,
+        "peak_reduction": round(rss_ratio, 2),
+        "short_trace_bytes": short_path.stat().st_size,
+        "short_decode_inmemory_s": round(t_mem, 6),
+        "short_decode_mmap_s": round(t_map, 6),
+    })
+    emit("data_plane_memory",
+         "Streaming replay peak heap (tracemalloc), "
+         f"{long_path.stat().st_size / 1e6:.1f} MB trace:\n"
+         f"  in-memory  {peak_mem / 1e6:8.2f} MB\n"
+         f"  mmap       {peak_map / 1e6:8.2f} MB   "
+         f"({rss_ratio:.0f}x smaller)\n"
+         f"Short-trace decode (best of {_ROUNDS}): "
+         f"in-memory {t_mem * 1e3:.2f} ms, mmap {t_map * 1e3:.2f} ms\n"
+         f"JSON written to {JSON_PATH.name}")
+    # The acceptance bar: >= 2x peak reduction on the long trace, and
+    # the mmap path must not slow down short-trace decode (generous 2x
+    # bound — both decode the same zero-copy columns; only the read
+    # syscall pattern differs, and the times are sub-millisecond).
+    assert rss_ratio >= 2.0
+    assert t_map <= max(t_mem * 2.0, t_mem + 0.005)

@@ -1,0 +1,88 @@
+"""Previous-vs-current comparison of ``BENCH_throughput.json``.
+
+CI runs the throughput bench on every push; this prints a markdown
+table of each numeric metric against the committed baseline so a PR's
+job summary shows the perf delta at a glance.  Report-only by design:
+exit status is always 0 — CI boxes are too noisy for a hard gate, and
+the bench's own assertions already guard the invariants that matter
+(engine min speedup, mmap peak reduction).
+
+Usage::
+
+    python benchmarks/compare_throughput.py BASELINE.json CURRENT.json
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+#: metrics where a larger value is an improvement; everything else
+#: (seconds, bytes) improves downward
+_HIGHER_IS_BETTER = ("instr_per_s", "speedup", "reduction")
+
+
+def _flatten(node, prefix: str = "") -> dict[str, float]:
+    """Dotted-path -> value for every numeric leaf."""
+    out: dict[str, float] = {}
+    if isinstance(node, dict):
+        for key in sorted(node):
+            out.update(_flatten(node[key], f"{prefix}{key}."))
+    elif isinstance(node, (int, float)) and not isinstance(node, bool):
+        out[prefix[:-1]] = float(node)
+    return out
+
+
+def _load(path: Path) -> dict[str, float]:
+    try:
+        return _flatten(json.loads(path.read_text()))
+    except (OSError, ValueError) as exc:
+        print(f"<!-- {path}: {exc} -->")
+        return {}
+
+
+def _direction(metric: str, delta_pct: float) -> str:
+    if abs(delta_pct) < 2.0:
+        return ""                      # below measurement noise
+    better = any(metric.endswith(s) for s in _HIGHER_IS_BETTER)
+    improved = (delta_pct > 0) == better
+    return "✅" if improved else "⚠️"
+
+
+def compare(baseline_path: Path, current_path: Path) -> str:
+    baseline = _load(baseline_path)
+    current = _load(current_path)
+    if not current:
+        return "No current throughput numbers to compare."
+    lines = ["| metric | previous | current | Δ |",
+             "|---|---:|---:|---:|"]
+    for metric in sorted(set(baseline) | set(current)):
+        prev, cur = baseline.get(metric), current.get(metric)
+        if prev is None or cur is None:
+            shown = prev if cur is None else cur
+            tag = "removed" if cur is None else "new"
+            lines.append(f"| {metric} | "
+                         f"{'' if prev is None else f'{prev:g}'} | "
+                         f"{'' if cur is None else f'{cur:g}'} | {tag} |")
+            continue
+        if prev == 0:
+            delta = "n/a"
+        else:
+            pct = (cur - prev) / prev * 100.0
+            delta = f"{pct:+.1f}% {_direction(metric, pct)}".rstrip()
+        lines.append(f"| {metric} | {prev:g} | {cur:g} | {delta} |")
+    return "\n".join(lines)
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) != 3:
+        print(__doc__)
+        return 0
+    print("### Throughput bench: previous vs current\n")
+    print(compare(Path(argv[1]), Path(argv[2])))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -24,7 +24,13 @@
   writes) that the chaos tests use to prove every recovery path;
 * :mod:`repro.exec.progress` — :class:`ProgressReporter`, throughput /
   ETA / per-worker accounting behind the existing ``(i, total, name)``
-  progress-callback shape.
+  progress-callback shape, with work-based ETA and busy/idle straggler
+  visibility when the scheduler supplies cost estimates;
+* :mod:`repro.exec.costmodel` — :class:`CostModel`, persisted
+  per-workload EWMA runtimes (JSON sidecar next to the result store)
+  driving :func:`lpt_order` longest-processing-time-first dispatch;
+* :mod:`repro.exec.warm` — per-worker warm-state reuse (pristine model
+  snapshots, decoded trace chunks) with eviction on any job failure.
 
 The simulator is seeded-deterministic, so parallel execution is
 bit-identical to serial — ``characterize_suite(specs, m, jobs=8)``
@@ -34,10 +40,12 @@ returns exactly the matrix of ``jobs=1``, only faster.
 from repro.exec.campaign import (CampaignInterrupted, CampaignManifest,
                                  WorkloadFailure, classify_error,
                                  graceful_shutdown)
+from repro.exec.costmodel import CostModel, cost_key, lpt_order
 from repro.exec.jobs import JobSpec, code_fingerprint, execute_job
 from repro.exec.pool import JobFailure, JobTimeout, WorkerCrash, run_jobs
 from repro.exec.progress import ProgressReporter
 from repro.exec.store import (ResultStore, StoreCorruption, StoreStats)
+from repro.exec.warm import WarmCache
 
 __all__ = [
     "JobSpec", "code_fingerprint", "execute_job",
@@ -45,5 +53,7 @@ __all__ = [
     "CampaignInterrupted", "CampaignManifest", "WorkloadFailure",
     "classify_error", "graceful_shutdown",
     "ProgressReporter",
+    "CostModel", "cost_key", "lpt_order",
+    "WarmCache",
     "ResultStore", "StoreCorruption", "StoreStats",
 ]

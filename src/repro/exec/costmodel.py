@@ -1,0 +1,151 @@
+"""Per-workload runtime cost model for the job scheduler.
+
+Campaign batches mix workloads whose runtimes span orders of magnitude
+(a SPEC trace vs. a micro-benchmark), so FIFO dispatch routinely leaves
+one long job running at the tail while every other worker sits idle.
+:class:`CostModel` persists an EWMA of observed per-job wall-clock
+seconds keyed by the *workload/fidelity* component of the job — the
+part of :meth:`~repro.exec.jobs.JobSpec.cache_key` that determines how
+much work a job is, independent of the machine config or source-tree
+fingerprint — so estimates survive simulator edits that invalidate
+result-cache keys.
+
+The model lives in a small JSON sidecar next to the
+:class:`~repro.exec.store.ResultStore` (``<root>/costs.json``) and is
+written with the same atomic ``os.replace`` discipline.  Concurrent
+batches race benignly: last writer wins, and a lost update only costs
+estimate freshness, never correctness.
+
+:func:`lpt_order` is the scheduling policy: longest processing time
+first.  For ``m`` identical workers LPT's makespan is within 4/3 of
+optimal (Graham 1969), and in particular never worse than dispatching
+the longest job last — the pathological FIFO case.  Jobs with no
+estimate yet are scheduled *first* (conservatively treated as long), so
+an unknown straggler cannot hide at the tail of the first campaign run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Sequence
+
+from repro.exec.jobs import JobSpec, canonical_encode
+
+#: sidecar filename, rooted next to the ResultStore layout dirs
+COSTS_FILENAME = "costs.json"
+
+#: EWMA smoothing factor: ~3 observations to mostly forget an outlier
+EWMA_ALPHA = 0.3
+
+#: schema marker so a future format change can migrate/ignore old files
+_SCHEMA = 1
+
+
+def cost_key(job: JobSpec) -> str:
+    """Stable key of the job's work-determining inputs.
+
+    Covers workload spec, fidelity and seed-independent run kwargs that
+    change trace length (everything in ``run_kwargs`` except the seed
+    override); excludes the machine config — geometry changes simulated
+    *state*, not op-stream length — and the code fingerprint, so
+    estimates survive simulator edits.  Prefixed with the workload name
+    for a human-auditable sidecar.
+    """
+    kwargs = {k: v for k, v in dict(job.run_kwargs).items() if k != "seed"}
+    try:
+        payload = canonical_encode((job.spec, job.fidelity, kwargs))
+    except TypeError:
+        # Unencodable run kwargs (e.g. an injected trace_store object):
+        # fall back to the workload/fidelity pair alone.
+        payload = canonical_encode((job.spec, job.fidelity))
+    digest = hashlib.sha256(payload).hexdigest()[:16]
+    return f"{job.name}:{digest}"
+
+
+class CostModel:
+    """EWMA per-workload runtime estimates with a JSON sidecar."""
+
+    def __init__(self, path: str | Path, alpha: float = EWMA_ALPHA):
+        self.path = Path(path)
+        self.alpha = alpha
+        self._costs: dict[str, float] = {}
+        self._dirty = False
+        self._load()
+
+    @classmethod
+    def for_store(cls, store) -> "CostModel":
+        """The sidecar model next to a :class:`ResultStore`."""
+        return cls(Path(store.root) / COSTS_FILENAME)
+
+    def _load(self) -> None:
+        try:
+            raw = json.loads(self.path.read_text())
+        except (OSError, ValueError):
+            return
+        if not isinstance(raw, dict) or raw.get("schema") != _SCHEMA:
+            return
+        costs = raw.get("costs")
+        if isinstance(costs, dict):
+            self._costs = {str(k): float(v) for k, v in costs.items()
+                           if isinstance(v, (int, float)) and v >= 0.0}
+
+    def save(self) -> None:
+        """Atomically persist the model (no-op when nothing changed)."""
+        if not self._dirty:
+            return
+        payload = json.dumps({"schema": _SCHEMA, "alpha": self.alpha,
+                              "costs": self._costs}, sort_keys=True)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = self.path.parent / f".{self.path.name}.{os.getpid()}.tmp"
+        try:
+            tmp.write_text(payload)
+            os.replace(tmp, self.path)
+        except OSError:
+            pass                      # telemetry only — never fail a run
+        finally:
+            tmp.unlink(missing_ok=True)
+        self._dirty = False
+
+    # -- estimates -------------------------------------------------------
+
+    def estimate(self, job: JobSpec) -> float | None:
+        """Expected seconds for ``job``, or ``None`` if never observed."""
+        return self._costs.get(cost_key(job))
+
+    def observe(self, job: JobSpec, seconds: float) -> None:
+        """Fold one observed runtime into the EWMA."""
+        if seconds < 0.0:
+            return
+        key = cost_key(job)
+        prev = self._costs.get(key)
+        if prev is None:
+            self._costs[key] = seconds
+        else:
+            self._costs[key] = (self.alpha * seconds
+                                + (1.0 - self.alpha) * prev)
+        self._dirty = True
+
+    def __len__(self) -> int:
+        return len(self._costs)
+
+
+def lpt_order(indices: Sequence[int],
+              estimates: Sequence[float | None]) -> list[int]:
+    """Order job indices longest-processing-time-first.
+
+    ``estimates[i]`` is the expected cost of job ``indices[i]`` (or
+    ``None`` for unknown).  Unknown-cost jobs come first — an
+    unmeasured job must not end up scheduled last, where a surprise
+    straggler maximizes makespan.  Ties (and the unknown block) keep
+    submission order, so with no estimates at all this is exactly FIFO.
+    """
+    if len(indices) != len(estimates):
+        raise ValueError("indices and estimates must align")
+    unknown = [i for i, est in zip(indices, estimates) if est is None]
+    known = [(i, est) for i, est in zip(indices, estimates)
+             if est is not None]
+    known.sort(key=lambda pair: -pair[1])
+    return unknown + [i for i, _ in known]

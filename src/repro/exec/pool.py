@@ -50,6 +50,8 @@ from collections import Counter, deque
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
+from repro.exec import warm as warm_mod
+from repro.exec.costmodel import CostModel, lpt_order
 from repro.exec.jobs import JobSpec, code_fingerprint, execute_job
 from repro.exec.progress import ProgressReporter
 from repro.exec.store import ResultStore
@@ -94,22 +96,32 @@ def _default_start_method() -> str | None:
 
 
 def _worker_main(worker_id: int, task_queue, result_queue) -> None:
-    """Worker loop: chunks of ``(index, job)`` in, per-job results out."""
+    """Worker loop: chunks of ``(index, job)`` in, per-job results out.
+
+    Each result carries the job's wall-clock seconds (feeding the
+    scheduler's cost model).  On any failure the worker's warm-state
+    cache (:mod:`repro.exec.warm`) is dropped before the error is
+    forwarded — a job that died mid-consume may have poisoned a reused
+    model, and a retry must start from cold state.
+    """
     while True:
         chunk = task_queue.get()
         if chunk is None:
             return
         for index, job in chunk:
+            started = time.perf_counter()
             try:
                 ok, payload = True, _execute(job)
             except BaseException as exc:  # noqa: BLE001 — forwarded
+                warm_mod.evict_all()
                 ok, payload = False, exc
                 try:
                     pickle.dumps(payload)
                 except Exception:
                     payload = WorkerCrash(
                         f"worker exception not picklable: {exc!r}")
-            result_queue.put((index, worker_id, ok, payload))
+            seconds = time.perf_counter() - started
+            result_queue.put((index, worker_id, ok, payload, seconds))
 
 
 @dataclass
@@ -140,13 +152,20 @@ def run_jobs(jobs: Sequence[JobSpec], n_jobs: int = 1, *,
              retry_backoff: float = 0.0,
              should_stop: Callable[[], bool] | None = None,
              start_method: str | None = None,
-             chunk_size: int | None = None) -> list:
+             chunk_size: int | None = None,
+             cost_model: CostModel | None = None) -> list:
     """Execute ``jobs`` and return per-job outcomes in job order.
 
     ``progress`` is the harness's ``(index, total, name)`` callback
     shape (invoked per completion, including store hits); pass a
     prebuilt ``reporter`` instead for throughput/ETA telemetry.  When
     ``should_stop`` fires, unfinished outcomes are left as ``None``.
+
+    Scheduling is cost-aware: per-workload EWMA runtimes persisted next
+    to the result store (``cost_model``, built automatically when a
+    ``store`` is given) order misses longest-processing-time-first and
+    feed the reporter's work-based ETA.  With no recorded costs the
+    order degrades to FIFO — exactly the previous behavior.
     """
     jobs = list(jobs)
     total = len(jobs)
@@ -161,19 +180,34 @@ def run_jobs(jobs: Sequence[JobSpec], n_jobs: int = 1, *,
     if store is not None:
         fingerprint = code_fingerprint()
         keys = [job.cache_key(fingerprint) for job in jobs]
+        if cost_model is None:
+            cost_model = CostModel.for_store(store)
 
     method = start_method or _default_start_method()
     serial = n_jobs <= 1 or method is None
 
     if serial:
-        for i, job in enumerate(jobs):
+        estimates = [cost_model.estimate(job) if cost_model else None
+                     for job in jobs]
+        for est in estimates:
+            if est is not None:
+                reporter.add_work(est)
+        for i in lpt_order(list(range(total)), estimates):
             if should_stop is not None and should_stop():
                 break
-            outcomes[i], cached = _run_one_serial(
+            job = jobs[i]
+            reporter.worker_busy(0, job.name)
+            outcomes[i], cached, seconds = _run_one_serial(
                 job, keys[i] if keys else None, store, catch,
                 max_retries, retry_backoff)
+            reporter.worker_idle(0)
+            if cost_model is not None and not cached and seconds > 0.0:
+                cost_model.observe(job, seconds)
             reporter.job_done(job.name, worker_id=-1 if cached else 0,
-                              cached=cached)
+                              cached=cached,
+                              work=estimates[i] or 0.0)
+        if cost_model is not None:
+            cost_model.save()
         return outcomes
 
     # Resolve store hits up front so only real work is dispatched.
@@ -190,9 +224,21 @@ def run_jobs(jobs: Sequence[JobSpec], n_jobs: int = 1, *,
     if not misses:
         return outcomes
 
+    # Longest-processing-time-first over the cost model's estimates
+    # (unknown-cost jobs lead; no estimates at all keeps FIFO).
+    estimates = {i: (cost_model.estimate(jobs[i]) if cost_model else None)
+                 for i in misses}
+    misses = lpt_order(misses, [estimates[i] for i in misses])
+    for est in estimates.values():
+        if est is not None:
+            reporter.add_work(est)
+
     _run_parallel(jobs, misses, outcomes, keys, store, reporter,
                   catch, timeout, method, min(n_jobs, len(misses)),
-                  chunk_size, max_retries, retry_backoff, should_stop)
+                  chunk_size, max_retries, retry_backoff, should_stop,
+                  cost_model, estimates)
+    if cost_model is not None:
+        cost_model.save()
     return outcomes
 
 
@@ -210,19 +256,27 @@ def _run_one_serial(job: JobSpec, key: str | None,
                     store: ResultStore | None,
                     catch: tuple[type, ...],
                     max_retries: int = 1,
-                    retry_backoff: float = 0.0) -> tuple[object, bool]:
-    """One in-process job: ``(outcome, served_from_store)``."""
+                    retry_backoff: float = 0.0
+                    ) -> tuple[object, bool, float]:
+    """One in-process job: ``(outcome, served_from_store, seconds)``.
+
+    Mirrors the worker's failure hygiene: any exception from the job —
+    retried or terminal — evicts the process's warm-state cache before
+    the next attempt, so a poisoned reused model never leaks forward.
+    """
     if store is not None and key is not None:
         hit = store.get(key, _MISS)
         if hit is not _MISS:
-            return hit, True
+            return hit, True, 0.0
     attempt = 0
     while True:
         attempt += 1
+        started = time.perf_counter()
         try:
             result = _execute(job)
             break
         except OSError as exc:
+            warm_mod.evict_all()
             # Transient per the campaign taxonomy: retry with backoff.
             if attempt <= max_retries:
                 delay = _backoff_seconds(retry_backoff, attempt)
@@ -232,13 +286,19 @@ def _run_one_serial(job: JobSpec, key: str | None,
             if isinstance(exc, catch):
                 return JobFailure(job=job, error=exc,
                                   retried=attempt > 1,
-                                  attempts=attempt), False
+                                  attempts=attempt), False, 0.0
             raise
         except catch as exc:
-            return JobFailure(job=job, error=exc, attempts=attempt), False
+            warm_mod.evict_all()
+            return JobFailure(job=job, error=exc,
+                              attempts=attempt), False, 0.0
+        except BaseException:
+            warm_mod.evict_all()
+            raise
+    seconds = time.perf_counter() - started
     if store is not None and key is not None:
         store.put(key, result)
-    return result, False
+    return result, False, seconds
 
 
 def _auto_chunk(n_misses: int, n_jobs: int) -> int:
@@ -249,7 +309,8 @@ def _auto_chunk(n_misses: int, n_jobs: int) -> int:
 
 def _run_parallel(jobs, misses, outcomes, keys, store, reporter, catch,
                   timeout, method, n_jobs, chunk_size, max_retries,
-                  retry_backoff, should_stop) -> None:
+                  retry_backoff, should_stop, cost_model=None,
+                  estimates=None) -> None:
     import multiprocessing
 
     ctx = multiprocessing.get_context(method)
@@ -263,9 +324,26 @@ def _run_parallel(jobs, misses, outcomes, keys, store, reporter, catch,
     ready_at: dict[int, float] = {}
     done: set[int] = set()
     fatal: BaseException | None = None
+    estimates = estimates or {}
 
     def stopping() -> bool:
         return should_stop is not None and should_stop()
+
+    def work_of(index: int) -> float:
+        return estimates.get(index) or 0.0
+
+    def mark_running(worker: _Worker) -> None:
+        """Tell the reporter what the worker is (approximately) on.
+
+        Workers drain a chunk in dispatch order and stream one result
+        per job, so the first not-yet-reported in-flight job is the one
+        running now.
+        """
+        if worker.inflight:
+            running = next(iter(worker.inflight))
+            reporter.worker_busy(worker.wid, jobs[running].name)
+        else:
+            reporter.worker_idle(worker.wid)
 
     def assign(worker: _Worker) -> None:
         batch = []
@@ -284,6 +362,7 @@ def _run_parallel(jobs, misses, outcomes, keys, store, reporter, catch,
             worker.deadline = (time.monotonic() + timeout
                                if timeout else None)
             worker.tasks.put(batch)
+            mark_running(worker)
 
     def requeue(index: int) -> None:
         delay = _backoff_seconds(retry_backoff, attempts[index])
@@ -303,10 +382,12 @@ def _run_parallel(jobs, misses, outcomes, keys, store, reporter, catch,
                     retried=attempts[index] > 1,
                     attempts=attempts[index])
                 done.add(index)
-                reporter.job_done(job.name, worker.wid)
+                reporter.job_done(job.name, worker.wid,
+                                  work=work_of(index))
             else:
                 requeue(index)
         worker.inflight.clear()
+        reporter.worker_idle(worker.wid)
 
     try:
         while len(done) < len(misses) and fatal is None:
@@ -319,16 +400,20 @@ def _run_parallel(jobs, misses, outcomes, keys, store, reporter, catch,
                             ctx, worker.wid, result_queue)
                     assign(worker)
             try:
-                index, wid, ok, payload = result_queue.get(
-                    timeout=_POLL_SECONDS)
+                item = result_queue.get(timeout=_POLL_SECONDS)
             except queue_mod.Empty:
                 pass
             else:
+                # 5-tuple from _worker_main; tolerate the legacy
+                # 4-tuple shape from embedders that swap the worker.
+                index, wid, ok, payload = item[:4]
+                seconds = item[4] if len(item) > 4 else 0.0
                 worker = workers[wid]
                 worker.inflight.pop(index, None)
                 worker.deadline = (time.monotonic() + timeout
                                    if timeout and worker.inflight
                                    else None)
+                mark_running(worker)
                 if index in done:       # duplicate after a retry race
                     continue
                 if ok:
@@ -336,7 +421,10 @@ def _run_parallel(jobs, misses, outcomes, keys, store, reporter, catch,
                     done.add(index)
                     if store is not None and keys is not None:
                         store.put(keys[index], payload)
-                    reporter.job_done(jobs[index].name, wid)
+                    if cost_model is not None and seconds > 0.0:
+                        cost_model.observe(jobs[index], seconds)
+                    reporter.job_done(jobs[index].name, wid,
+                                      work=work_of(index))
                 elif (isinstance(payload, OSError)
                         and attempts[index] <= max_retries):
                     requeue(index)      # transient: retry with backoff
@@ -346,7 +434,8 @@ def _run_parallel(jobs, misses, outcomes, keys, store, reporter, catch,
                         retried=attempts[index] > 1,
                         attempts=attempts[index])
                     done.add(index)
-                    reporter.job_done(jobs[index].name, wid)
+                    reporter.job_done(jobs[index].name, wid,
+                                      work=work_of(index))
                 else:
                     fatal = payload
                 continue

@@ -6,6 +6,21 @@ long-standing progress-callback shape — a callable
 ``(index, total, name)`` — so every existing caller of
 ``characterize_suite(progress=...)`` works unchanged whether execution
 is serial, parallel, or served from the result store.
+
+Two optional event streams refine the telemetry when the scheduler has
+them (``run_jobs`` wires both automatically):
+
+* **work estimates** — :meth:`add_work` declares the expected seconds a
+  job will take (from the :class:`~repro.exec.costmodel.CostModel`) and
+  ``job_done(..., work=est)`` credits it on completion, so
+  :attr:`eta_seconds` reflects remaining *work*, not remaining *count*
+  — a batch of 9 micro-benchmarks plus one SPEC trace no longer claims
+  90% done by count while 50% of the wall clock remains.  Without any
+  estimates the ETA falls back to the historical count-based rate.
+* **busy/idle transitions** — :meth:`worker_busy` / :meth:`worker_idle`
+  track what each worker is running and since when, so
+  :meth:`status_line` can show per-worker state and name the longest-
+  running in-flight job (straggler visibility).
 """
 
 from __future__ import annotations
@@ -33,22 +48,66 @@ class ProgressReporter:
         self.completed = 0
         self.cache_hits = 0
         self.per_worker: Counter[int] = Counter()
+        #: declared / credited expected-seconds (0 when no cost model)
+        self.work_total = 0.0
+        self.work_done = 0.0
+        #: worker id -> (job name, busy-since timestamp)
+        self._active: dict[int, tuple[str, float]] = {}
+        #: every worker id that ever reported a busy/idle transition
+        self._workers_seen: set[int] = set()
 
     def start(self) -> None:
         """Mark the batch start (implicit on the first completion)."""
         if self._started_at is None:
             self._started_at = self._clock()
 
+    def add_work(self, seconds: float) -> None:
+        """Declare expected work for one scheduled job (cost estimate)."""
+        if seconds > 0.0:
+            self.work_total += seconds
+
     def job_done(self, name: str, worker_id: int = 0,
-                 cached: bool = False) -> None:
-        """Record one completed job (``cached`` = served from the store)."""
+                 cached: bool = False, work: float = 0.0) -> None:
+        """Record one completed job (``cached`` = served from the store).
+
+        ``work`` credits the job's declared cost estimate back, keeping
+        the work-based ETA consistent with :meth:`add_work`.
+        """
         self.start()
         self.completed += 1
         self.per_worker[worker_id] += 1
         if cached:
             self.cache_hits += 1
+        if work > 0.0:
+            self.work_done += work
         if self.callback is not None:
             self.callback(self.completed - 1, self.total, name)
+
+    # -- busy/idle transitions (parallel dispatch telemetry) -------------
+
+    def worker_busy(self, worker_id: int, name: str) -> None:
+        """Worker ``worker_id`` started running job ``name`` now."""
+        self.start()
+        self._workers_seen.add(worker_id)
+        self._active[worker_id] = (name, self._clock())
+
+    def worker_idle(self, worker_id: int) -> None:
+        """Worker ``worker_id`` has nothing in flight."""
+        self._workers_seen.add(worker_id)
+        self._active.pop(worker_id, None)
+
+    def active_jobs(self) -> dict[int, tuple[str, float]]:
+        """Worker id -> (job name, seconds running) for busy workers."""
+        now = self._clock()
+        return {wid: (name, now - since)
+                for wid, (name, since) in self._active.items()}
+
+    def longest_running(self) -> tuple[str, float] | None:
+        """(name, seconds) of the longest in-flight job, or ``None``."""
+        active = self.active_jobs()
+        if not active:
+            return None
+        return max(active.values(), key=lambda pair: pair[1])
 
     # -- derived telemetry ----------------------------------------------
 
@@ -68,7 +127,17 @@ class ProgressReporter:
 
     @property
     def eta_seconds(self) -> float | None:
-        """Estimated seconds to finish, or ``None`` before any data."""
+        """Estimated seconds to finish, or ``None`` before any data.
+
+        Work-weighted when cost estimates were declared (remaining
+        expected-seconds over the observed work rate); otherwise the
+        count-based rate the reporter always supported.
+        """
+        if self.work_total > 0.0 and self.work_done > 0.0:
+            elapsed = self.elapsed
+            if elapsed > 0.0:
+                rate = self.work_done / elapsed
+                return max(0.0, self.work_total - self.work_done) / rate
         rate = self.throughput
         if rate == 0.0:
             return None
@@ -79,7 +148,7 @@ class ProgressReporter:
         return dict(self.per_worker)
 
     def status_line(self) -> str:
-        """One-line human summary (throughput, ETA, per-worker counts)."""
+        """One-line human summary (throughput, ETA, per-worker state)."""
         parts = [f"{self.completed}/{self.total} jobs"]
         if self.cache_hits:
             parts.append(f"{self.cache_hits} cached")
@@ -89,9 +158,19 @@ class ProgressReporter:
         eta = self.eta_seconds
         if eta is not None:
             parts.append(f"ETA {eta:.1f}s")
+        active = self.active_jobs()
         workers = " ".join(
-            f"w{wid}:{count}" for wid, count
-            in sorted(self.per_worker.items()) if wid >= 0)
+            f"w{wid}:{self.per_worker.get(wid, 0)}"
+            f"{'*' if wid in active else ''}"
+            for wid in sorted(self._workers_seen
+                              | {w for w in self.per_worker if w >= 0})
+            if wid >= 0)
         if workers:
             parts.append(workers)
+        if active:
+            parts.append(f"busy {len(active)}")
+        longest = self.longest_running()
+        if longest is not None:
+            name, secs = longest
+            parts.append(f"longest {name} {secs:.1f}s")
         return " | ".join(parts)

@@ -194,6 +194,34 @@ class ResultStore:
 
     # -- maintenance ----------------------------------------------------
 
+    def _scan(self) -> tuple[list[tuple[Path, int]], int]:
+        """One directory walk: ``([(entry path, size), ...], corrupt)``.
+
+        Both :meth:`verify` and :meth:`stats` derive everything from a
+        single ``os.scandir`` sweep — the ``DirEntry`` stat is served
+        from the directory read, so no per-field re-walk and no extra
+        ``stat()`` round-trip per entry.
+        """
+        entries: list[tuple[Path, int]] = []
+        try:
+            fans = sorted(os.scandir(self._base), key=lambda e: e.name)
+        except FileNotFoundError:
+            fans = []
+        for fan in fans:
+            if not fan.is_dir():
+                continue
+            with os.scandir(fan.path) as files:
+                for f in sorted(files, key=lambda e: e.name):
+                    if f.name.endswith(".pkl") and f.is_file():
+                        entries.append((Path(f.path), f.stat().st_size))
+        corrupt = 0
+        try:
+            with os.scandir(self.corrupt_dir) as it:
+                corrupt = sum(1 for _ in it)
+        except FileNotFoundError:
+            pass
+        return entries, corrupt
+
     def verify(self) -> list[str]:
         """Frame-check every entry; quarantine and return the bad keys.
 
@@ -201,9 +229,8 @@ class ResultStore:
         sweep a long campaign runs before trusting a warm store.
         """
         bad: list[str] = []
-        if not self._base.exists():
-            return bad
-        for path in sorted(self._base.glob("*/*.pkl")):
+        entries, _ = self._scan()
+        for path, _size in entries:
             try:
                 self._check_frame(path.read_bytes())
             except Exception:
@@ -245,16 +272,10 @@ class ResultStore:
         return removed
 
     def stats(self) -> StoreStats:
-        entries = 0
-        total = 0
-        if self._base.exists():
-            for path in self._base.glob("*/*.pkl"):
-                entries += 1
-                total += path.stat().st_size
-        corrupt = (sum(1 for _ in self.corrupt_dir.iterdir())
-                   if self.corrupt_dir.exists() else 0)
-        return StoreStats(root=self.root, entries=entries,
-                          total_bytes=total, corrupt=corrupt)
+        entries, corrupt = self._scan()
+        return StoreStats(root=self.root, entries=len(entries),
+                          total_bytes=sum(size for _, size in entries),
+                          corrupt=corrupt)
 
     def __repr__(self) -> str:
         return f"ResultStore({str(self.root)!r})"

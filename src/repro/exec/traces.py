@@ -248,9 +248,15 @@ class TraceStore:
             mtmp.unlink(missing_ok=True)
         return meta, True
 
-    def replay(self, key: str):
-        """Sealed :class:`TraceBuffer` chunks of the stored trace."""
-        return replay_buffers(self.trace_path(key))
+    def replay(self, key: str, *, use_mmap: bool | None = None):
+        """Sealed :class:`TraceBuffer` chunks of the stored trace.
+
+        ``use_mmap`` forwards to
+        :func:`~repro.perf.trace_io.replay_buffers`: default (None)
+        memory-maps and streams the file so peak RSS stays bounded by
+        one chunk; ``False`` forces the whole-file in-memory read.
+        """
+        return replay_buffers(self.trace_path(key), use_mmap=use_mmap)
 
     def delete(self, key: str) -> bool:
         removed = False

@@ -22,11 +22,22 @@ a0-a2  3 × ``n_ops`` int64 arrays (raw column dumps)
 events ``ev_len`` bytes: pickled ``[(kind, payload), ...]``
 =====  ==================================================================
 
-Storing the SoA columns verbatim makes decode nearly free — one
-``np.frombuffer`` + ``tolist`` per column — so replaying a cached trace
-costs a small fraction of regenerating it.  Event payloads survive the
-round trip (pickled side-table), which matters for bit-identity: JIT
-metadata events carry ``(base, size)`` payloads the pipeline consumes.
+Storing the SoA columns verbatim makes decode nearly free: the reader
+exposes each column as a zero-copy ``memoryview`` slice of the file
+bytes (``.cast("q")`` for the int64 columns), so no per-op boxing or
+list materialization happens at all.  Indexing a memoryview yields a
+native Python ``int`` — exactly what the list-backed columns held — so
+the consume loops are bit-identical either way.  Event payloads survive
+the round trip (pickled side-table), which matters for bit-identity:
+JIT metadata events carry ``(base, size)`` payloads the pipeline
+consumes.
+
+By default the file is opened via ``mmap`` and chunks are decoded
+lazily while the map's already-consumed pages are released with
+``MADV_DONTNEED``, so peak RSS stays bounded by roughly one chunk
+regardless of trace length (set ``REPRO_TRACE_MMAP=0`` to read the
+whole file into memory instead — decode is still zero-copy over that
+one buffer).
 
 Version-1 files (fixed-width per-op records, payload-less events) are
 still readable; see the tag table in :func:`_replay_v1`.
@@ -34,8 +45,11 @@ still readable; see the tag table in :func:`_replay_v1`.
 
 from __future__ import annotations
 
+import mmap
+import os
 import pickle
 import struct
+import sys
 from pathlib import Path
 
 import numpy as np
@@ -162,17 +176,106 @@ def _read_header(fh) -> int:
     return version
 
 
-def replay_buffers(path):
+#: memoryview.cast("q") reinterprets little-endian bytes only on a
+#: little-endian host; big-endian falls back to a copying np.frombuffer
+#: decode (same values, still no .tolist()).
+_NATIVE_LE = sys.byteorder == "little"
+
+_PAGE = mmap.PAGESIZE
+_MADV_DONTNEED = getattr(mmap, "MADV_DONTNEED", None)
+
+
+def _use_mmap_default() -> bool:
+    return os.environ.get("REPRO_TRACE_MMAP", "1") not in ("0", "false", "")
+
+
+def _decode_chunks_v2(data, mm=None):
+    """Yield sealed buffers with zero-copy columns over ``data``.
+
+    ``data`` is anything exposing the buffer protocol (bytes or an
+    ``mmap.mmap``).  When ``mm`` is the backing mmap, pages of fully
+    consumed chunks are dropped with ``MADV_DONTNEED`` each time the
+    consumer asks for the next chunk — the map is file-backed and
+    read-only, so a late re-access simply refaults from the page cache.
+    """
+    view = memoryview(data)
+    end = len(view)
+    pos = _HEADER.size
+    dropped = 0                     # map offset below which pages are gone
+    while pos < end:
+        tag = view[pos]
+        pos += 1
+        if tag != _CHUNK_TAG:
+            raise TraceFormatError(f"unknown record tag {tag:#x} at "
+                                   f"offset {pos - 1}")
+        if pos + _CHUNK.size > end:
+            raise TraceFormatError("truncated chunk header")
+        n_ops, n_instr, ev_len = _CHUNK.unpack_from(view, pos)
+        pos += _CHUNK.size
+        need = n_ops * 25 + ev_len       # 1 + 3*8 bytes per op
+        if pos + need > end:
+            raise TraceFormatError("truncated chunk body")
+        kinds = view[pos:pos + n_ops]
+        pos += n_ops
+        cols = []
+        for _ in range(3):
+            raw = view[pos:pos + n_ops * 8]
+            if _NATIVE_LE:
+                cols.append(raw.cast("q"))
+            else:
+                cols.append(memoryview(np.ascontiguousarray(
+                    np.frombuffer(raw, dtype="<i8").astype(np.int64))))
+            pos += n_ops * 8
+        try:
+            events = pickle.loads(view[pos:pos + ev_len])
+        except Exception as exc:
+            raise TraceFormatError(
+                f"corrupt event table: {exc}") from exc
+        pos += ev_len
+        yield TraceBuffer.from_columns(kinds, *cols, events, n_instr).seal()
+        if mm is not None and _MADV_DONTNEED is not None:
+            # The consumer resumed us, so the chunk we just yielded is
+            # finished: release every whole page strictly before the
+            # next chunk (the boundary page stays resident).
+            keep = (pos // _PAGE) * _PAGE
+            if keep > dropped:
+                try:
+                    mm.madvise(_MADV_DONTNEED, dropped, keep - dropped)
+                except OSError:
+                    pass             # advisory only; RSS stays higher
+                dropped = keep
+
+
+def replay_buffers(path, *, use_mmap: bool | None = None):
     """Yield sealed :class:`TraceBuffer` chunks from a recorded trace.
 
     The fast replay path: feeds
     :meth:`repro.uarch.pipeline.Core.consume_stream` directly via
     ``TraceBufferStream(buffers=replay_buffers(path))`` with no per-op
-    decode.  Version-1 traces are up-converted chunk by chunk.
+    decode.  Chunk columns are zero-copy memoryviews over the file
+    bytes; by default (``use_mmap`` unset and ``REPRO_TRACE_MMAP`` not
+    ``0``) the file is memory-mapped and streamed so peak RSS is
+    bounded by one chunk.  Version-1 traces are up-converted chunk by
+    chunk.
     """
+    if use_mmap is None:
+        use_mmap = _use_mmap_default()
     with open(path, "rb") as fh:
         version = _read_header(fh)
-        data = fh.read()
+        if version == 1:
+            data = fh.read()
+        elif use_mmap:
+            try:
+                mm = mmap.mmap(fh.fileno(), 0, access=mmap.ACCESS_READ)
+            except (ValueError, OSError) as exc:
+                raise TraceFormatError(f"cannot map trace: {exc}") from exc
+        else:
+            fh.seek(0)
+            data = fh.read()         # whole file, header included
+    # The fd is closed here in every branch; an mmap holds its own
+    # reference to the file.  The map itself is never closed explicitly:
+    # yielded column views may outlive this generator, and refcounting
+    # reclaims the map once the last view is dropped.
     if version == 1:
         ops = _replay_v1(data)
         while True:
@@ -182,39 +285,10 @@ def replay_buffers(path):
                 yield buf.seal()
             if done:
                 return
-        return
-    pos = 0
-    end = len(data)
-    while pos < end:
-        tag = data[pos]
-        pos += 1
-        if tag != _CHUNK_TAG:
-            raise TraceFormatError(f"unknown record tag {tag:#x} at "
-                                   f"offset {pos - 1}")
-        if pos + _CHUNK.size > end:
-            raise TraceFormatError("truncated chunk header")
-        n_ops, n_instr, ev_len = _CHUNK.unpack_from(data, pos)
-        pos += _CHUNK.size
-        need = n_ops * 25 + ev_len       # 1 + 3*8 bytes per op
-        if pos + need > end:
-            raise TraceFormatError("truncated chunk body")
-        buf = TraceBuffer()
-        buf.kinds = np.frombuffer(data, dtype=np.uint8, count=n_ops,
-                                  offset=pos).tolist()
-        pos += n_ops
-        for col in ("a0", "a1", "a2"):
-            setattr(buf, col,
-                    np.frombuffer(data, dtype="<i8", count=n_ops,
-                                  offset=pos).tolist())
-            pos += n_ops * 8
-        try:
-            buf.events = pickle.loads(data[pos:pos + ev_len])
-        except Exception as exc:
-            raise TraceFormatError(
-                f"corrupt event table: {exc}") from exc
-        pos += ev_len
-        buf.n_instructions = n_instr
-        yield buf.seal()
+    elif use_mmap:
+        yield from _decode_chunks_v2(mm, mm=mm)
+    else:
+        yield from _decode_chunks_v2(data)
 
 
 def replay(path):
@@ -269,17 +343,17 @@ def trace_info(path) -> dict:
     counts = {"blocks": 0, "branches": 0, "loads": 0, "stores": 0,
               "events": 0, "instructions": 0, "kernel_instructions": 0}
     for buf in replay_buffers(path):
-        kinds = buf.kinds
-        counts["blocks"] += kinds.count(OP_BLOCK)
-        counts["branches"] += kinds.count(OP_BRANCH)
-        counts["loads"] += kinds.count(OP_LOAD)
-        counts["stores"] += kinds.count(OP_STORE)
-        counts["events"] += kinds.count(OP_EVENT)
+        kinds = np.asarray(buf.kinds, dtype=np.uint8)
+        counts["blocks"] += int(np.count_nonzero(kinds == OP_BLOCK))
+        counts["branches"] += int(np.count_nonzero(kinds == OP_BRANCH))
+        counts["loads"] += int(np.count_nonzero(kinds == OP_LOAD))
+        counts["stores"] += int(np.count_nonzero(kinds == OP_STORE))
+        counts["events"] += int(np.count_nonzero(kinds == OP_EVENT))
         counts["instructions"] += buf.n_instructions
-        a1 = buf.a1
-        a2 = buf.a2
-        for i, kind in enumerate(kinds):
-            if kind == OP_BLOCK and a2[i] >> BLOCK_KERNEL_SHIFT:
-                counts["kernel_instructions"] += a1[i]
+        a1 = np.asarray(buf.a1, dtype=np.int64)
+        a2 = np.asarray(buf.a2, dtype=np.int64)
+        kernel_blocks = (kinds == OP_BLOCK) & (a2 >> BLOCK_KERNEL_SHIFT > 0)
+        if kernel_blocks.any():
+            counts["kernel_instructions"] += int(a1[kernel_blocks].sum())
     counts["bytes"] = Path(path).stat().st_size
     return counts

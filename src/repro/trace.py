@@ -270,7 +270,7 @@ class TraceBuffer:
         The buffer-level form of :func:`repro.harness.runner._color_ops`:
         one vectorized mask instead of one tuple rebuild per memory op.
         """
-        if not color or not self.kinds:
+        if not color or not len(self.kinds):
             return
         kinds = np.asarray(self.kinds, dtype=np.int64)
         a0 = np.asarray(self.a0, dtype=np.int64)
@@ -280,6 +280,8 @@ class TraceBuffer:
             in_span |= (a0 >= lo) & (a0 < hi)
         mask = mem & in_span
         if mask.any():
+            if not a0.flags.writeable:       # zero-copy replay column
+                a0 = a0.copy()
             a0[mask] += color
             self.a0 = a0.tolist()
             self.lines = None
@@ -293,9 +295,41 @@ class TraceBuffer:
         sizes = np.asarray(self.a2, dtype=np.int64) & BLOCK_NBYTES_MASK
         # 64 B cache lines, matching the hardcoded shifts of the
         # pipeline's fetch/micro-TLB paths (pages derive from lines).
-        self.lines = (a0 >> 6).tolist()
-        self.line_ends = ((a0 + sizes - 1) >> 6).tolist()
+        lines = a0 >> 6
+        line_ends = (a0 + sizes - 1) >> 6
+        if isinstance(self.a0, list):
+            self.lines = lines.tolist()
+            self.line_ends = line_ends.tolist()
+        else:
+            # Zero-copy (array/memoryview-backed) columns: expose the
+            # derived columns as memoryviews too — indexing a memoryview
+            # yields native Python ints, which the consume fast path
+            # feeds into model state (repr-level bit-identity with the
+            # list-backed decode requires exact int types).
+            self.lines = memoryview(np.ascontiguousarray(lines))
+            self.line_ends = memoryview(np.ascontiguousarray(line_ends))
         return self
+
+    @classmethod
+    def from_columns(cls, kinds, a0, a1, a2, events,
+                     n_instructions: int) -> "TraceBuffer":
+        """Adopt prebuilt columns (lists, arrays or memoryviews) verbatim.
+
+        The zero-copy decode path of :mod:`repro.perf.trace_io` hands
+        ``memoryview`` columns over the trace file bytes; indexing one
+        yields a native Python ``int``, so the consume loops see exactly
+        the values the list-backed columns would hold.
+        """
+        buf = cls.__new__(cls)
+        buf.kinds = kinds
+        buf.a0 = a0
+        buf.a1 = a1
+        buf.a2 = a2
+        buf.events = events
+        buf.n_instructions = n_instructions
+        buf.lines = None
+        buf.line_ends = None
+        return buf
 
 
 class TraceBufferStream:

@@ -660,9 +660,9 @@ class Core:
         # 2**53 and elementwise IEEE-754 ops match scalar Python), so
         # accumulating the precomputed values is bit-identical to
         # evaluating them op by op.
-        a1_arr = np.array(a1, dtype=np.int64) if a1 else np.zeros(
+        a1_arr = np.asarray(a1, dtype=np.int64) if len(a1) else np.zeros(
             0, dtype=np.int64)
-        kern_l = ((np.array(a2, dtype=np.int64) if a2 else a1_arr)
+        kern_l = ((np.asarray(a2, dtype=np.int64) if len(a2) else a1_arr)
                   >> BLOCK_KERNEL_SHIFT).tolist()
         uops_arr = a1_arr * uop_factor
         uops_l = uops_arr.tolist()

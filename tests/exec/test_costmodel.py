@@ -1,0 +1,197 @@
+"""Cost model + LPT scheduling: keys, EWMA persistence, makespan."""
+
+import json
+
+import pytest
+
+from repro.exec.costmodel import (COSTS_FILENAME, CostModel, cost_key,
+                                  lpt_order)
+from repro.exec.jobs import JobSpec
+from repro.exec.store import ResultStore
+from repro.harness.runner import Fidelity
+from repro.uarch.machine import get_machine
+from repro.workloads.dotnet import dotnet_category_specs
+
+FID = Fidelity(warmup_instructions=6_000, measure_instructions=10_000)
+
+
+def make_job(spec_index=0, machine="i9", seed=0, fidelity=FID,
+             run_kwargs=None):
+    return JobSpec(spec=dotnet_category_specs()[spec_index],
+                   machine=get_machine(machine), fidelity=fidelity,
+                   seed=seed, run_kwargs=run_kwargs or {})
+
+
+class TestCostKey:
+    def test_machine_config_does_not_change_key(self):
+        # Geometry changes simulated state, not op-stream length.
+        assert cost_key(make_job(machine="i9")) \
+            == cost_key(make_job(machine="xeon"))
+
+    def test_seed_override_does_not_change_key(self):
+        assert cost_key(make_job(run_kwargs={"seed": 1})) \
+            == cost_key(make_job(run_kwargs={"seed": 2}))
+
+    def test_fidelity_changes_key(self):
+        longer = Fidelity(warmup_instructions=6_000,
+                          measure_instructions=200_000)
+        assert cost_key(make_job()) != cost_key(make_job(fidelity=longer))
+
+    def test_workload_changes_key_and_prefixes_name(self):
+        a, b = make_job(0), make_job(1)
+        assert cost_key(a) != cost_key(b)
+        assert cost_key(a).startswith(a.name + ":")
+
+    def test_unencodable_kwargs_fall_back(self):
+        job = make_job(run_kwargs={"trace_store": object()})
+        key = cost_key(job)
+        assert key.startswith(job.name + ":")
+        # Deterministic: the fallback hashes (spec, fidelity) only.
+        assert key == cost_key(make_job(run_kwargs={"trace_store": object()}))
+
+
+class TestCostModel:
+    def test_first_observation_sets_estimate(self, tmp_path):
+        model = CostModel(tmp_path / "costs.json")
+        job = make_job()
+        assert model.estimate(job) is None
+        model.observe(job, 2.0)
+        assert model.estimate(job) == pytest.approx(2.0)
+
+    def test_ewma_smooths_subsequent_observations(self, tmp_path):
+        model = CostModel(tmp_path / "costs.json", alpha=0.3)
+        job = make_job()
+        model.observe(job, 10.0)
+        model.observe(job, 20.0)
+        assert model.estimate(job) == pytest.approx(0.3 * 20.0 + 0.7 * 10.0)
+
+    def test_negative_observation_ignored(self, tmp_path):
+        model = CostModel(tmp_path / "costs.json")
+        job = make_job()
+        model.observe(job, -1.0)
+        assert model.estimate(job) is None
+        assert len(model) == 0
+
+    def test_save_then_reload_roundtrips(self, tmp_path):
+        path = tmp_path / "costs.json"
+        model = CostModel(path)
+        model.observe(make_job(0), 3.5)
+        model.observe(make_job(1), 0.25)
+        model.save()
+        reloaded = CostModel(path)
+        assert len(reloaded) == 2
+        assert reloaded.estimate(make_job(0)) == pytest.approx(3.5)
+        assert reloaded.estimate(make_job(1)) == pytest.approx(0.25)
+
+    def test_save_is_noop_when_clean(self, tmp_path):
+        path = tmp_path / "costs.json"
+        CostModel(path).save()
+        assert not path.exists()
+
+    def test_corrupt_sidecar_tolerated(self, tmp_path):
+        path = tmp_path / "costs.json"
+        path.write_text("{ not json")
+        model = CostModel(path)
+        assert len(model) == 0
+        model.observe(make_job(), 1.0)
+        model.save()
+        assert CostModel(path).estimate(make_job()) == pytest.approx(1.0)
+
+    def test_wrong_schema_ignored(self, tmp_path):
+        path = tmp_path / "costs.json"
+        path.write_text(json.dumps({"schema": 99, "costs": {"x": 1.0}}))
+        assert len(CostModel(path)) == 0
+
+    def test_non_numeric_entries_dropped(self, tmp_path):
+        path = tmp_path / "costs.json"
+        path.write_text(json.dumps(
+            {"schema": 1, "costs": {"good": 2.0, "bad": "fast", "neg": -3}}))
+        model = CostModel(path)
+        assert len(model) == 1
+
+    def test_for_store_sidecar_lives_next_to_store(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        model = CostModel.for_store(store)
+        assert model.path == store.root / COSTS_FILENAME
+        model.observe(make_job(), 1.0)
+        model.save()
+        assert (store.root / COSTS_FILENAME).exists()
+
+
+def simulate_makespan(order, costs, n_workers):
+    """Greedy list scheduling: each job to the earliest-free worker."""
+    free = [0.0] * n_workers
+    for i in order:
+        w = min(range(n_workers), key=lambda j: free[j])
+        free[w] += costs[i]
+    return max(free)
+
+
+class TestLptOrder:
+    def test_no_estimates_is_fifo(self):
+        idx = [3, 1, 4, 1, 5]
+        assert lpt_order(idx, [None] * 5) == idx
+
+    def test_descending_by_cost(self):
+        assert lpt_order([0, 1, 2], [1.0, 3.0, 2.0]) == [1, 2, 0]
+
+    def test_unknowns_scheduled_first_in_submission_order(self):
+        order = lpt_order([0, 1, 2, 3], [1.0, None, 5.0, None])
+        assert order == [1, 3, 2, 0]
+
+    def test_ties_keep_submission_order(self):
+        assert lpt_order([0, 1, 2], [2.0, 2.0, 2.0]) == [0, 1, 2]
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            lpt_order([0, 1], [1.0])
+
+    def test_makespan_no_worse_than_fifo_on_skewed_costs(self):
+        # The pathological FIFO case: the one long job submitted last.
+        costs = [1.0] * 11 + [10.0]
+        fifo = list(range(len(costs)))
+        lpt = lpt_order(fifo, costs)
+        for workers in (2, 4):
+            assert simulate_makespan(lpt, costs, workers) \
+                <= simulate_makespan(fifo, costs, workers)
+        # With 4 workers LPT overlaps the straggler with the short jobs.
+        assert simulate_makespan(lpt, costs, 4) == pytest.approx(10.0)
+        assert simulate_makespan(fifo, costs, 4) == pytest.approx(12.0)
+
+    def test_straggler_last_is_the_fifo_pathology(self):
+        # However many workers, FIFO serializes a tail straggler after
+        # all the short work; LPT starts it at t=0.
+        costs = [0.5] * 8 + [20.0]
+        fifo = list(range(len(costs)))
+        lpt = lpt_order(fifo, costs)
+        assert lpt[0] == 8
+        for workers in (2, 4, 8):
+            assert simulate_makespan(lpt, costs, workers) \
+                == pytest.approx(20.0)
+            assert simulate_makespan(fifo, costs, workers) \
+                > 20.0
+
+    def test_makespan_randomized_wins_in_aggregate(self):
+        # LPT is not pointwise <= an arbitrary submission order on every
+        # instance (both are greedy list schedules), but it dominates in
+        # aggregate and is never catastrophically worse.  Deterministic
+        # LCG so the test needs no random module seeding.
+        state = 12345
+        lpt_total = fifo_total = 0.0
+        for trial in range(20):
+            costs = []
+            for _ in range(16):
+                state = (1103515245 * state + 12345) % (1 << 31)
+                costs.append(0.1 + (state % 1000) / 100.0)
+            fifo = list(range(len(costs)))
+            lpt = lpt_order(fifo, costs)
+            for workers in (2, 3, 4):
+                lpt_span = simulate_makespan(lpt, costs, workers)
+                fifo_span = simulate_makespan(fifo, costs, workers)
+                lpt_total += lpt_span
+                fifo_total += fifo_span
+                # Graham's LPT guarantee, against the trivial lower
+                # bound max(mean load, longest job) <= OPT.
+                lower = max(sum(costs) / workers, max(costs))
+                assert lpt_span <= (4 / 3) * lower + 1e-9
+        assert lpt_total < fifo_total

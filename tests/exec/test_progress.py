@@ -61,3 +61,93 @@ class TestReporter:
         assert "jobs/s" in line
         assert "ETA" in line
         assert "w0:1" in line
+
+
+class TestWorkBasedEta:
+    def test_eta_weights_remaining_work_not_count(self):
+        # 4 jobs, one of which carries 9/12 of the estimated work.
+        # Count-based ETA after the three short jobs would predict 1s
+        # left; work-based ETA knows the straggler dominates.
+        clock = FakeClock()
+        rep = ProgressReporter(4, clock=clock)
+        rep.start()
+        for est in (1.0, 1.0, 1.0, 9.0):
+            rep.add_work(est)
+        clock.now += 3.0
+        rep.job_done("a", work=1.0)
+        rep.job_done("b", work=1.0)
+        rep.job_done("c", work=1.0)
+        # 3s of work done in 3s elapsed -> rate 1 work-sec/s, 9 left.
+        assert rep.eta_seconds == 9.0
+
+    def test_falls_back_to_count_eta_without_work(self):
+        clock = FakeClock()
+        rep = ProgressReporter(10, clock=clock)
+        rep.start()
+        clock.now += 2.0
+        rep.job_done("a")
+        rep.job_done("b")
+        assert rep.eta_seconds == 8.0
+
+    def test_unknown_estimates_fall_back_to_count_eta(self):
+        # Work registered but none completed yet: no work rate exists,
+        # so the count-based estimate keeps the ETA live.
+        clock = FakeClock()
+        rep = ProgressReporter(4, clock=clock)
+        rep.start()
+        rep.add_work(5.0)
+        clock.now += 2.0
+        rep.job_done("a", work=0.0)
+        rep.job_done("b", work=0.0)
+        assert rep.eta_seconds == 2.0
+
+    def test_eta_never_negative(self):
+        clock = FakeClock()
+        rep = ProgressReporter(2, clock=clock)
+        rep.start()
+        rep.add_work(1.0)
+        clock.now += 5.0
+        rep.job_done("a", work=1.0)       # work exhausted, 1 job left
+        assert rep.eta_seconds == 0.0
+
+
+class TestWorkerTelemetry:
+    def test_busy_idle_tracking(self):
+        clock = FakeClock()
+        rep = ProgressReporter(3, clock=clock)
+        rep.worker_busy(0, "slow-job")
+        rep.worker_busy(1, "quick-job")
+        clock.now += 2.0
+        assert set(rep.active_jobs()) == {0, 1}
+        name, seconds = rep.active_jobs()[0]
+        assert name == "slow-job" and seconds == 2.0
+        rep.worker_idle(1)
+        assert set(rep.active_jobs()) == {0}
+
+    def test_longest_running_picks_oldest(self):
+        clock = FakeClock()
+        rep = ProgressReporter(3, clock=clock)
+        rep.worker_busy(0, "old")
+        clock.now += 3.0
+        rep.worker_busy(1, "new")
+        clock.now += 1.0
+        assert rep.longest_running() == ("old", 4.0)
+        rep.worker_idle(0)
+        assert rep.longest_running() == ("new", 1.0)
+        rep.worker_idle(1)
+        assert rep.longest_running() is None
+
+    def test_status_line_shows_busy_and_longest(self):
+        clock = FakeClock()
+        rep = ProgressReporter(4, clock=clock)
+        rep.start()
+        rep.worker_busy(0, "straggler")
+        rep.worker_busy(1, "b")
+        clock.now += 2.5
+        rep.job_done("b", worker_id=1)
+        rep.worker_idle(1)
+        line = rep.status_line()
+        assert "busy 1" in line
+        assert "longest straggler 2.5s" in line
+        assert "w0:0*" in line            # busy marker, no completions
+        assert "w1:1" in line and "w1:1*" not in line

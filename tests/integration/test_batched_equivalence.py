@@ -186,6 +186,95 @@ def test_trace_store_replay_identical(tmp_path):
     assert cold.topdown == legacy.topdown == warm.topdown
 
 
+@pytest.mark.parametrize("name,kw", CASES,
+                         ids=[c[0] + ("+" + next(iter(c[1]), "") if c[1]
+                                      else "") for c in CASES])
+def test_mmap_replay_state_identical(tmp_path, name, kw):
+    """mmap-streamed decode == whole-file in-memory decode, full-state.
+
+    Records each suite's op stream once, then replays it through both
+    read paths into fresh cores and diffs every piece of observable
+    state — the zero-copy/madvise plumbing must be invisible."""
+    from repro.perf.trace_io import record, replay_buffers
+
+    machine = get_machine("i9")
+    spec = _spec_of(name)
+    core_r, prog_r, _ = _build(spec, machine, **kw)
+    path = tmp_path / "t.trace"
+    record(prog_r.ops(), path, max_instructions=WARMUP + MEASURE + 4096)
+
+    consumed, states, event_logs = [], [], []
+    for use_mmap in (False, True):
+        core, _prog, ev = _build(spec, machine, **kw)
+        stream = TraceBufferStream(
+            buffers=replay_buffers(path, use_mmap=use_mmap))
+        core.consume_stream(stream, max_instructions=WARMUP)
+        core.reset_stats()
+        ev.clear()
+        consumed.append(core.consume_stream(stream,
+                                            max_instructions=MEASURE))
+        states.append(_state(core))
+        event_logs.append(list(ev))
+    assert consumed[0] == consumed[1]
+    diffs = {k: (states[0][k], states[1][k])
+             for k in states[0] if states[0][k] != states[1][k]}
+    assert not diffs, f"mmap decode diverged: {diffs}"
+    assert event_logs[0] == event_logs[1]
+
+
+def test_suite_mmap_vs_inmemory_identical(tmp_path, monkeypatch):
+    """Acceptance: the mmap-streamed replay path produces an identical
+    SuiteResult to the v2 in-memory path end to end."""
+    from repro.exec.traces import TraceStore
+    from repro.harness.runner import Fidelity
+    from repro.harness.suite import characterize_suite
+
+    machine = get_machine("i9")
+    fid = Fidelity.test()
+    specs = [_spec_of("System.Runtime"), _spec_of("Json"), _spec_of("mcf")]
+    # Isolate the read-path axis: no warm-state reuse between runs.
+    monkeypatch.setenv("REPRO_WARM_MODELS", "0")
+    store = TraceStore(tmp_path)
+    suites = {}
+    for flag in ("0", "1"):
+        monkeypatch.setenv("REPRO_TRACE_MMAP", flag)
+        suites[flag] = characterize_suite(specs, machine, fid,
+                                          trace_store=store)
+    a, b = suites["0"], suites["1"]
+    assert [r.counters for r in a.results] == [r.counters
+                                               for r in b.results]
+    assert [r.topdown for r in a.results] == [r.topdown for r in b.results]
+    assert [r.seconds for r in a.results] == [r.seconds for r in b.results]
+
+
+def test_warm_model_reuse_identical(tmp_path, monkeypatch):
+    """A run on a rehydrated warm-cache model == a cold-constructed run
+    (trace-store replay exercises the cached-buffer path too)."""
+    from repro.exec import warm
+    from repro.exec.traces import TraceStore
+    from repro.harness.runner import Fidelity, run_workload
+
+    machine = get_machine("i9")
+    fid = Fidelity.test()
+    spec = _spec_of("System.Runtime")
+    store = TraceStore(tmp_path)
+
+    monkeypatch.setenv("REPRO_WARM_MODELS", "0")
+    cold = run_workload(spec, machine, fid, trace_store=store)
+
+    monkeypatch.setenv("REPRO_WARM_MODELS", "1")
+    monkeypatch.setattr(warm, "_CACHE", None)     # fresh cache
+    first = run_workload(spec, machine, fid, trace_store=store)
+    cache = warm.get_cache()
+    assert cache.model_misses >= 1
+    second = run_workload(spec, machine, fid, trace_store=store)
+    assert cache.model_hits >= 1                  # rehydrated snapshot
+    assert cache.buffer_hits >= 1                 # reused decoded trace
+
+    assert cold.counters == first.counters == second.counters
+    assert cold.topdown == first.topdown == second.topdown
+
+
 def test_multicore_engines_agree():
     """Vectorized buffer-level coloring == per-tuple _color_ops."""
     from repro.harness.runner import Fidelity, run_multicore

@@ -150,11 +150,15 @@ class TestEventSideChannel:
         n = record_buffers(bufs, path)
         assert n == sum(b.n_instructions for b in bufs)
         back = list(replay_buffers(path))
-        assert [(b.kinds, b.a0, b.a1, b.a2, b.n_instructions)
-                for b in back] \
-            == [(b.kinds, b.a0, b.a1, b.a2, b.n_instructions)
-                for b in bufs]
+        # Replay hands back zero-copy memoryview columns; normalize to
+        # lists for value comparison (indexing either yields plain ints).
+        assert [(list(b.kinds), list(b.a0), list(b.a1), list(b.a2),
+                 b.n_instructions) for b in back] \
+            == [(list(b.kinds), list(b.a0), list(b.a1), list(b.a2),
+                 b.n_instructions) for b in bufs]
         assert [b.events for b in back] == [b.events for b in bufs]
+        assert all(type(b.kinds[0]) is int and type(b.a0[0]) is int
+                   for b in back)
 
 
 class TestInfoAndErrors:
@@ -204,6 +208,36 @@ class TestInfoAndErrors:
         path.write_bytes(path.read_bytes()[:-10])
         with pytest.raises(TraceFormatError, match="truncated chunk"):
             list(replay(path))
+
+    def test_truncated_mmap_replay_raises_not_crashes(self, tmp_path):
+        """The zero-copy path bounds-checks every chunk before slicing,
+        so a truncated file raises the same error as the in-memory path
+        (never a SIGBUS from dereferencing past the mapping)."""
+        path = tmp_path / "t.trace"
+        record(iter(SAMPLE_OPS), path)
+        path.write_bytes(path.read_bytes()[:-10])
+        with pytest.raises(TraceFormatError, match="truncated chunk"):
+            list(replay_buffers(path, use_mmap=True))
+
+    def test_truncated_tail_chunk_raises_after_good_chunks(self, tmp_path):
+        bufs = []
+        for start in (0, 3):
+            b = TraceBuffer()
+            b.fill_from(iter(SAMPLE_OPS[start:]), 10_000)
+            bufs.append(b)
+        path = tmp_path / "t.trace"
+        record_buffers(iter(bufs), path)
+        path.write_bytes(path.read_bytes()[:-10])
+        stream = replay_buffers(path, use_mmap=True)
+        first = next(stream)              # intact chunk still decodes
+        assert len(first) == len(SAMPLE_OPS)
+        with pytest.raises(TraceFormatError, match="truncated chunk"):
+            list(stream)
+
+    def test_header_only_file_yields_no_chunks_under_mmap(self, tmp_path):
+        path = tmp_path / "t.trace"
+        path.write_bytes(struct.pack("<8sII", b"RPRTRACE", 2, 0))
+        assert list(replay_buffers(path, use_mmap=True)) == []
 
     def test_corrupt_event_table_rejected(self, tmp_path):
         path = tmp_path / "t.trace"
