@@ -69,7 +69,7 @@ def _best_of(fn, rounds: int = _ROUNDS) -> tuple[float, object]:
 
 
 #: top-level keys of BENCH_throughput.json, one per bench function
-_SECTIONS = ("engine", "suite_wall_clock", "data_plane")
+_SECTIONS = ("engine", "suite_wall_clock", "data_plane", "observability")
 
 
 def _merge_json(section: str, data) -> dict:
@@ -215,6 +215,92 @@ def test_suite_wall_clock(fidelity, machine_i9, emit, tmp_path,
         assert speedup > 1.2
     else:
         assert speedup > 0.5          # overhead must still be bounded
+
+
+def test_observability_overhead(fidelity, machine_i9, emit, tmp_path):
+    """Instrumentation cost: obs disabled (the default) vs fully enabled.
+
+    The obs layer's contract is "observe, never perturb": the disabled
+    guard is one module-global ``is`` check, and even fully enabled
+    (span JSONL + phase-timer histograms on every decode/consume/seal)
+    the same workload must stay bit-identical and within 2% of the
+    disabled run's throughput.  Rounds are interleaved so slow system
+    phases penalize both configurations alike, and this test uses more
+    rounds than the others: it compares two nearly identical times, so
+    the best-of floor must actually be reached on both sides — with too
+    few rounds, scheduler noise (easily 5-15% on shared CI boxes) would
+    dominate the sub-1% quantity under test.
+    """
+    from repro import obs
+
+    spec = next(s for s in dotnet_category_specs()
+                if s.name == "System.Runtime")
+    store = TraceStore(tmp_path / "traces")
+    warm = run_workload(spec, machine_i9, fidelity, trace_store=store)
+    run_workload(spec, machine_i9, fidelity, trace_store=store)
+
+    obs_dir = tmp_path / "obs"
+    t_off = t_on = float("inf")
+    off = on = None
+    rounds = 0
+    try:
+        # Adaptive floor-seeking: at least 12 interleaved rounds, then
+        # keep going (up to 30) while the measured gap is still above
+        # 1% — a transient CPU spike on one side is out-raced by more
+        # samples, while a *real* >2% overhead survives every round.
+        # The within-round order alternates so slow monotonic drift
+        # (allocator growth, thermal throttling) cannot systematically
+        # tax whichever configuration runs second.
+        while True:
+            rounds += 1
+            for enable in ((False, True) if rounds % 2 else (True, False)):
+                if enable:
+                    obs.configure(obs_dir)
+                else:
+                    obs.shutdown(dump=False)
+                dt, res = _best_of(
+                    lambda: run_workload(spec, machine_i9, fidelity,
+                                         trace_store=store), rounds=1)
+                if enable:
+                    snap = obs.metrics_snapshot()
+                    if dt < t_on:
+                        t_on, on = dt, res
+                elif dt < t_off:
+                    t_off, off = dt, res
+            if rounds >= 12 and (t_on <= t_off * 1.01 or rounds >= 30):
+                break
+    finally:
+        obs.shutdown(dump=False)
+
+    # Observation must not perturb: identical counters either way.
+    assert off.counters == on.counters == warm.counters
+    assert off.topdown == on.topdown
+    # The enabled runs really did record: spans on disk, phase samples
+    # in the registry.
+    assert list(obs_dir.glob("spans-*.jsonl"))
+    assert snap["histograms"]["sim.consume_buffer_seconds"]["count"] > 0
+
+    instr = off.counters.instructions
+    overhead_pct = (t_on - t_off) / t_off * 100.0
+    _merge_json("observability", {
+        "workload": spec.name,
+        "instructions": instr,
+        "rounds": rounds,
+        "disabled_instr_per_s": round(instr / t_off),
+        "enabled_instr_per_s": round(instr / t_on),
+        "overhead_pct": round(overhead_pct, 2),
+    })
+    emit("observability_overhead",
+         f"Observability overhead ({spec.name}, best of "
+         f"{rounds}, interleaved):\n"
+         f"  disabled  {instr / t_off:12,.0f} instr/s\n"
+         f"  enabled   {instr / t_on:12,.0f} instr/s   "
+         f"({overhead_pct:+.2f}%)\n"
+         f"JSON written to {JSON_PATH.name}")
+    # The acceptance bar: enabled observability costs < 2%.  Best-of
+    # interleaved rounds keeps scheduler noise out of the comparison;
+    # negative overhead just means the noise floor, not a real speedup.
+    assert overhead_pct < 2.0
 
 
 def _synthetic_trace(path, n_ops: int) -> None:

@@ -2,18 +2,23 @@
 
 CI runs the throughput bench on every push; this prints a markdown
 table of each numeric metric against the committed baseline so a PR's
-job summary shows the perf delta at a glance.  Report-only by design:
-exit status is always 0 — CI boxes are too noisy for a hard gate, and
-the bench's own assertions already guard the invariants that matter
-(engine min speedup, mmap peak reduction).
+job summary shows the perf delta at a glance.  Report-only by default:
+exit status is 0 — CI boxes are too noisy for a hard gate, and the
+bench's own assertions already guard the invariants that matter
+(engine min speedup, mmap peak reduction).  Opt into a gate with
+``--fail-on-regression PCT``: any metric that regressed by more than
+PCT percent (in its improvement direction) makes the run exit 1.
 
 Usage::
 
     python benchmarks/compare_throughput.py BASELINE.json CURRENT.json
+    python benchmarks/compare_throughput.py BASELINE.json CURRENT.json \
+        --fail-on-regression 10
 """
 
 from __future__ import annotations
 
+import argparse
 import json
 import sys
 from pathlib import Path
@@ -42,12 +47,39 @@ def _load(path: Path) -> dict[str, float]:
         return {}
 
 
+def _improvement_pct(metric: str, prev: float, cur: float) -> float:
+    """Signed percent change where positive always means *better*."""
+    pct = (cur - prev) / prev * 100.0
+    if any(metric.endswith(s) for s in _HIGHER_IS_BETTER):
+        return pct
+    return -pct
+
+
 def _direction(metric: str, delta_pct: float) -> str:
     if abs(delta_pct) < 2.0:
         return ""                      # below measurement noise
     better = any(metric.endswith(s) for s in _HIGHER_IS_BETTER)
     improved = (delta_pct > 0) == better
     return "✅" if improved else "⚠️"
+
+
+def regressions(baseline: dict[str, float], current: dict[str, float],
+                threshold_pct: float) -> list[tuple[str, float]]:
+    """Metrics that got worse by more than ``threshold_pct`` percent.
+
+    Only metrics present on both sides participate; new/removed
+    metrics can't regress.  Returns ``(metric, regression_pct)`` pairs
+    with the regression expressed as a positive percentage.
+    """
+    out: list[tuple[str, float]] = []
+    for metric in sorted(set(baseline) & set(current)):
+        prev, cur = baseline[metric], current[metric]
+        if prev == 0:
+            continue
+        improvement = _improvement_pct(metric, prev, cur)
+        if improvement < -threshold_pct:
+            out.append((metric, -improvement))
+    return out
 
 
 def compare(baseline_path: Path, current_path: Path) -> str:
@@ -60,7 +92,6 @@ def compare(baseline_path: Path, current_path: Path) -> str:
     for metric in sorted(set(baseline) | set(current)):
         prev, cur = baseline.get(metric), current.get(metric)
         if prev is None or cur is None:
-            shown = prev if cur is None else cur
             tag = "removed" if cur is None else "new"
             lines.append(f"| {metric} | "
                          f"{'' if prev is None else f'{prev:g}'} | "
@@ -75,14 +106,31 @@ def compare(baseline_path: Path, current_path: Path) -> str:
     return "\n".join(lines)
 
 
-def main(argv: list[str]) -> int:
-    if len(argv) != 3:
-        print(__doc__)
-        return 0
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Compare two BENCH_throughput.json dumps.")
+    parser.add_argument("baseline", type=Path)
+    parser.add_argument("current", type=Path)
+    parser.add_argument("--fail-on-regression", metavar="PCT", type=float,
+                        default=None,
+                        help="exit 1 if any shared metric got worse by "
+                             "more than PCT%% (default: report only)")
+    args = parser.parse_args(argv)
+
     print("### Throughput bench: previous vs current\n")
-    print(compare(Path(argv[1]), Path(argv[2])))
+    print(compare(args.baseline, args.current))
+
+    if args.fail_on_regression is not None:
+        worse = regressions(_load(args.baseline), _load(args.current),
+                            args.fail_on_regression)
+        if worse:
+            print(f"\n{len(worse)} metric(s) regressed more than "
+                  f"{args.fail_on_regression:g}%:")
+            for metric, pct in worse:
+                print(f"  {metric}: -{pct:.1f}%")
+            return 1
     return 0
 
 
 if __name__ == "__main__":
-    sys.exit(main(sys.argv))
+    sys.exit(main(sys.argv[1:]))

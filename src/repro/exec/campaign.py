@@ -52,6 +52,7 @@ import traceback as tb_mod
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from repro import obs
 from repro.exec.pool import JobFailure, JobTimeout, WorkerCrash
 
 MANIFEST_VERSION = 1
@@ -203,6 +204,7 @@ class CampaignManifest:
                 self.header["fingerprint"] = fingerprint
             else:
                 self._append({"type": "resume"})
+                obs.add("campaign.resumes")
             return
         self.header = {"type": "campaign", "version": MANIFEST_VERSION,
                        "fingerprint": fingerprint, "total": total,
@@ -217,6 +219,7 @@ class CampaignManifest:
             rec["failure"] = failure.to_json()
         self.records.append(rec)
         self._append(rec)
+        obs.add(f"campaign.outcomes_{status}")
 
     def record_event(self, kind: str, **fields) -> None:
         self._append({"type": kind, **fields})

@@ -32,6 +32,7 @@ import os
 from pathlib import Path
 from typing import Sequence
 
+from repro import obs
 from repro.exec.jobs import JobSpec, canonical_encode
 
 #: sidecar filename, rooted next to the ResultStore layout dirs
@@ -113,7 +114,10 @@ class CostModel:
 
     def estimate(self, job: JobSpec) -> float | None:
         """Expected seconds for ``job``, or ``None`` if never observed."""
-        return self._costs.get(cost_key(job))
+        est = self._costs.get(cost_key(job))
+        obs.add("costmodel.estimate_hits" if est is not None
+                else "costmodel.estimate_misses")
+        return est
 
     def observe(self, job: JobSpec, seconds: float) -> None:
         """Fold one observed runtime into the EWMA."""
@@ -127,6 +131,8 @@ class CostModel:
             self._costs[key] = (self.alpha * seconds
                                 + (1.0 - self.alpha) * prev)
         self._dirty = True
+        obs.add("costmodel.observations")
+        obs.gauge_set("costmodel.size", float(len(self._costs)))
 
     def __len__(self) -> int:
         return len(self._costs)

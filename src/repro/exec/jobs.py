@@ -169,7 +169,9 @@ def execute_job(job: JobSpec) -> RunResult:
     to every job, so a batch over several machine configs generates each
     workload's trace once and replays it thereafter.  The trace store is
     deliberately not part of the cache key — it changes how a result is
-    produced, never what it is.
+    produced, never what it is.  When the run was configured with
+    ``--obs-profile``, the job body runs under the opt-in
+    :func:`repro.obs.profiler.profile_job` harness.
     """
     kwargs = dict(job.run_kwargs)
     seed = kwargs.pop("seed", job.seed)
@@ -177,5 +179,11 @@ def execute_job(job: JobSpec) -> RunResult:
     if trace_dir and "trace_store" not in kwargs:
         from repro.exec.traces import TraceStore
         kwargs["trace_store"] = TraceStore(os.path.expanduser(trace_dir))
+    from repro import obs
+    if obs.profile_mode() is not None:
+        from repro.obs.profiler import profile_job
+        with profile_job(job.name):
+            return run_workload(job.spec, job.machine, job.fidelity,
+                                seed=seed, **kwargs)
     return run_workload(job.spec, job.machine, job.fidelity,
                         seed=seed, **kwargs)

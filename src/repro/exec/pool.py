@@ -50,6 +50,7 @@ from collections import Counter, deque
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
+from repro import obs
 from repro.exec import warm as warm_mod
 from repro.exec.costmodel import CostModel, lpt_order
 from repro.exec.jobs import JobSpec, code_fingerprint, execute_job
@@ -96,32 +97,50 @@ def _default_start_method() -> str | None:
 
 
 def _worker_main(worker_id: int, task_queue, result_queue) -> None:
-    """Worker loop: chunks of ``(index, job)`` in, per-job results out.
+    """Worker loop: chunks of ``(index, job[, span_ctx])`` in, per-job
+    results out.
 
     Each result carries the job's wall-clock seconds (feeding the
-    scheduler's cost model).  On any failure the worker's warm-state
-    cache (:mod:`repro.exec.warm`) is dropped before the error is
-    forwarded — a job that died mid-consume may have poisoned a reused
-    model, and a retry must start from cold state.
+    scheduler's cost model) and, when observability is on, the worker's
+    cumulative metrics snapshot (merged once per worker pid by the
+    parent).  Chunk items may carry the scheduler's span context as a
+    third element, which parents the worker's ``pool.job`` spans across
+    the process boundary.  On any failure the worker's warm-state cache
+    (:mod:`repro.exec.warm`) is dropped before the error is forwarded —
+    a job that died mid-consume may have poisoned a reused model, and a
+    retry must start from cold state.
     """
+    obs.configure_from_env()
     while True:
         chunk = task_queue.get()
         if chunk is None:
+            obs.flush()
             return
-        for index, job in chunk:
+        for item in chunk:
+            index, job = item[0], item[1]
+            parent = item[2] if len(item) > 2 else None
             started = time.perf_counter()
-            try:
-                ok, payload = True, _execute(job)
-            except BaseException as exc:  # noqa: BLE001 — forwarded
-                warm_mod.evict_all()
-                ok, payload = False, exc
+            with obs.span("pool.job", parent=parent,
+                          workload=job.name, worker=worker_id) as sp:
                 try:
-                    pickle.dumps(payload)
-                except Exception:
-                    payload = WorkerCrash(
-                        f"worker exception not picklable: {exc!r}")
+                    ok, payload = True, _execute(job)
+                except BaseException as exc:  # noqa: BLE001 — forwarded
+                    warm_mod.evict_all()
+                    ok, payload = False, exc
+                    try:
+                        pickle.dumps(payload)
+                    except Exception:
+                        payload = WorkerCrash(
+                            f"worker exception not picklable: {exc!r}")
+                    sp.set_attr("error", type(exc).__name__)
             seconds = time.perf_counter() - started
-            result_queue.put((index, worker_id, ok, payload, seconds))
+            if ok:
+                obs.add("pool.jobs_executed")
+                obs.observe("pool.job_seconds", seconds)
+            else:
+                obs.add("pool.jobs_failed")
+            result_queue.put((index, worker_id, ok, payload, seconds,
+                              obs.metrics_snapshot()))
 
 
 @dataclass
@@ -168,6 +187,15 @@ def run_jobs(jobs: Sequence[JobSpec], n_jobs: int = 1, *,
     order degrades to FIFO — exactly the previous behavior.
     """
     jobs = list(jobs)
+    with obs.span("pool.run_jobs", jobs=len(jobs), n_jobs=n_jobs):
+        return _run_jobs(jobs, n_jobs, store, progress, reporter, catch,
+                         timeout, max_retries, retry_backoff, should_stop,
+                         start_method, chunk_size, cost_model)
+
+
+def _run_jobs(jobs: list, n_jobs: int, store, progress, reporter, catch,
+              timeout, max_retries, retry_backoff, should_stop,
+              start_method, chunk_size, cost_model) -> list:
     total = len(jobs)
     outcomes: list = [None] * total
     if reporter is None:
@@ -197,10 +225,20 @@ def run_jobs(jobs: Sequence[JobSpec], n_jobs: int = 1, *,
                 break
             job = jobs[i]
             reporter.worker_busy(0, job.name)
-            outcomes[i], cached, seconds = _run_one_serial(
-                job, keys[i] if keys else None, store, catch,
-                max_retries, retry_backoff)
+            with obs.span("pool.job", workload=job.name, worker=0) as sp:
+                outcomes[i], cached, seconds = _run_one_serial(
+                    job, keys[i] if keys else None, store, catch,
+                    max_retries, retry_backoff)
+                if cached:
+                    sp.set_attr("cached", True)
             reporter.worker_idle(0)
+            if cached:
+                obs.add("pool.store_hits")
+            elif isinstance(outcomes[i], JobFailure):
+                obs.add("pool.jobs_failed")
+            else:
+                obs.add("pool.jobs_executed")
+                obs.observe("pool.job_seconds", seconds)
             if cost_model is not None and not cached and seconds > 0.0:
                 cost_model.observe(job, seconds)
             reporter.job_done(job.name, worker_id=-1 if cached else 0,
@@ -219,6 +257,7 @@ def run_jobs(jobs: Sequence[JobSpec], n_jobs: int = 1, *,
                 still_missing.append(i)
             else:
                 outcomes[i] = hit
+                obs.add("pool.store_hits")
                 reporter.job_done(jobs[i].name, worker_id=-1, cached=True)
         misses = still_missing
     if not misses:
@@ -325,6 +364,10 @@ def _run_parallel(jobs, misses, outcomes, keys, store, reporter, catch,
     done: set[int] = set()
     fatal: BaseException | None = None
     estimates = estimates or {}
+    #: scheduler span the workers parent their job spans under
+    dispatch_ctx = obs.current_context() if obs.enabled() else None
+    #: worker pid -> latest cumulative metrics snapshot (merged once)
+    worker_snapshots: dict[int, dict] = {}
 
     def stopping() -> bool:
         return should_stop is not None and should_stop()
@@ -361,10 +404,16 @@ def _run_parallel(jobs, misses, outcomes, keys, store, reporter, catch,
             worker.inflight.update(batch)
             worker.deadline = (time.monotonic() + timeout
                                if timeout else None)
-            worker.tasks.put(batch)
+            if dispatch_ctx is not None:
+                worker.tasks.put([(i, job, dispatch_ctx)
+                                  for i, job in batch])
+            else:
+                worker.tasks.put(batch)
+            obs.gauge_set("pool.queue_depth", float(len(pending)))
             mark_running(worker)
 
     def requeue(index: int) -> None:
+        obs.add("pool.retries")
         delay = _backoff_seconds(retry_backoff, attempts[index])
         if delay:
             ready_at[index] = time.monotonic() + delay
@@ -404,10 +453,13 @@ def _run_parallel(jobs, misses, outcomes, keys, store, reporter, catch,
             except queue_mod.Empty:
                 pass
             else:
-                # 5-tuple from _worker_main; tolerate the legacy
-                # 4-tuple shape from embedders that swap the worker.
+                # 6-tuple from _worker_main; tolerate the legacy
+                # 4/5-tuple shapes from embedders that swap the worker.
                 index, wid, ok, payload = item[:4]
                 seconds = item[4] if len(item) > 4 else 0.0
+                snap = item[5] if len(item) > 5 else None
+                if snap is not None:
+                    worker_snapshots[snap.get("pid", wid)] = snap
                 worker = workers[wid]
                 worker.inflight.pop(index, None)
                 worker.deadline = (time.monotonic() + timeout
@@ -444,12 +496,14 @@ def _run_parallel(jobs, misses, outcomes, keys, store, reporter, catch,
                 if not worker.inflight:
                     continue
                 if not worker.process.is_alive():
+                    obs.add("pool.worker_crashes")
                     settle_infra_failure(
                         worker, lambda job: WorkerCrash(
                             f"worker died running {job.name!r}"))
                     workers[worker.wid] = _spawn_worker(
                         ctx, worker.wid, result_queue)
                 elif worker.deadline is not None and now > worker.deadline:
+                    obs.add("pool.worker_timeouts")
                     worker.process.terminate()
                     worker.process.join(1.0)
                     settle_infra_failure(
@@ -472,6 +526,8 @@ def _run_parallel(jobs, misses, outcomes, keys, store, reporter, catch,
                 worker.process.join(1.0)
         result_queue.cancel_join_thread()
         result_queue.close()
+        for snap in worker_snapshots.values():
+            obs.merge_snapshot(snap)
 
     if fatal is not None:
         raise fatal

@@ -25,6 +25,7 @@ them (``run_jobs`` wires both automatically):
 
 from __future__ import annotations
 
+import math
 import time
 from collections import Counter
 from typing import Callable
@@ -127,21 +128,28 @@ class ProgressReporter:
 
     @property
     def eta_seconds(self) -> float | None:
-        """Estimated seconds to finish, or ``None`` before any data.
+        """Estimated seconds to finish, or ``None`` when unknowable.
 
         Work-weighted when cost estimates were declared (remaining
         expected-seconds over the observed work rate); otherwise the
-        count-based rate the reporter always supported.
+        count-based rate the reporter always supported.  Degenerate
+        inputs — no completions yet, zero elapsed time (every finished
+        job took ~0 s on a coarse clock), or a rate that is zero or
+        non-finite — yield ``None`` rather than a division error or an
+        infinite/negative estimate, and remaining work/count is clamped
+        at zero so duplicate completion events can't drive the ETA
+        negative.
         """
         if self.work_total > 0.0 and self.work_done > 0.0:
             elapsed = self.elapsed
             if elapsed > 0.0:
                 rate = self.work_done / elapsed
-                return max(0.0, self.work_total - self.work_done) / rate
+                if rate > 0.0 and math.isfinite(rate):
+                    return max(0.0, self.work_total - self.work_done) / rate
         rate = self.throughput
-        if rate == 0.0:
+        if rate <= 0.0 or not math.isfinite(rate):
             return None
-        return (self.total - self.completed) / rate
+        return max(0, self.total - self.completed) / rate
 
     def worker_counts(self) -> dict[int, int]:
         """Completed-job count per worker id (-1 = cache hits)."""
@@ -156,8 +164,8 @@ class ProgressReporter:
         if rate > 0.0:
             parts.append(f"{rate:.2f} jobs/s")
         eta = self.eta_seconds
-        if eta is not None:
-            parts.append(f"ETA {eta:.1f}s")
+        parts.append(f"ETA {eta:.1f}s" if eta is not None
+                     else "ETA --:--")
         active = self.active_jobs()
         workers = " ".join(
             f"w{wid}:{self.per_worker.get(wid, 0)}"

@@ -44,6 +44,8 @@ try:
 except ImportError:          # non-POSIX: locking degrades to a no-op
     fcntl = None
 
+from repro import obs
+
 LAYOUT_VERSION = "v2"
 
 #: frame header: magic, CRC32 of payload, payload byte length
@@ -151,14 +153,20 @@ class ResultStore:
         try:
             data = path.read_bytes()
         except FileNotFoundError:
+            obs.add("store.get_misses")
             return default
         except OSError:
+            obs.add("store.get_misses")
             return default
         try:
-            return pickle.loads(self._check_frame(data))
+            value = pickle.loads(self._check_frame(data))
         except Exception:
             self._quarantine(path)
+            obs.add("store.corrupt_quarantined")
+            obs.add("store.get_misses")
             return default
+        obs.add("store.get_hits")
+        return value
 
     def put(self, key: str, value) -> Path:
         """Atomically publish ``value`` under ``key`` (framed, fsync'd)."""
@@ -177,6 +185,8 @@ class ResultStore:
                 os.replace(tmp, path)
             finally:
                 tmp.unlink(missing_ok=True)
+        obs.add("store.put_count")
+        obs.add("store.put_bytes", float(_FRAME.size + len(payload)))
         return path
 
     def delete(self, key: str) -> bool:

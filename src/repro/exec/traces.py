@@ -36,6 +36,7 @@ import os
 import zlib
 from pathlib import Path
 
+from repro import obs
 from repro.exec.jobs import canonical_encode
 from repro.perf.trace_io import record_buffers, replay_buffers
 from repro.trace import TraceBuffer
@@ -188,6 +189,7 @@ class TraceStore:
             return None
         if not self._verify(key, meta):
             self.quarantine(key)
+            obs.add("traces.corrupt_quarantined")
             return None
         return meta
 
@@ -203,7 +205,15 @@ class TraceStore:
         """
         meta = self.lookup(key, required_instructions)
         if meta is not None:
+            obs.add("traces.store_hits")
             return meta, False
+        obs.add("traces.store_misses")
+        with obs.span("trace.generate", key=key[:12],
+                      instructions=required_instructions):
+            return self._generate(key, required_instructions, make_program)
+
+    def _generate(self, key: str, required_instructions: int,
+                  make_program) -> tuple[dict, bool]:
         program = make_program()
         target = int(required_instructions * _SLACK)
 

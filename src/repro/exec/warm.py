@@ -36,6 +36,8 @@ import os
 import pickle
 from collections import OrderedDict
 
+from repro import obs
+
 #: max pristine model snapshots kept (pickle blobs are ~10-20 KB)
 _MAX_MODELS = 8
 
@@ -120,9 +122,11 @@ class WarmCache:
         blob = self._models.get(key)
         if blob is None:
             self.model_misses += 1
+            obs.add("warm.model_misses")
             return None
         self._models.move_to_end(key)
         self.model_hits += 1
+        obs.add("warm.model_hits")
         return pickle.loads(blob)
 
     def put_model(self, machine, vm, core) -> None:
@@ -139,6 +143,7 @@ class WarmCache:
         while len(self._models) > self.max_models:
             self._models.popitem(last=False)
             self.evictions += 1
+            obs.add("warm.evictions")
 
     # -- decoded sealed trace chunks ------------------------------------
 
@@ -153,6 +158,7 @@ class WarmCache:
         entry = self._buffers.get(trace_key)
         if entry is None:
             self.buffer_misses += 1
+            obs.add("warm.buffer_misses")
             return None
         bufs, n_ops, cached_identity = entry
         if identity != cached_identity:
@@ -160,9 +166,12 @@ class WarmCache:
             self._buffer_ops -= n_ops
             self.evictions += 1
             self.buffer_misses += 1
+            obs.add("warm.evictions")
+            obs.add("warm.buffer_misses")
             return None
         self._buffers.move_to_end(trace_key)
         self.buffer_hits += 1
+        obs.add("warm.buffer_hits")
         return bufs
 
     def put_buffers(self, trace_key: str, bufs: list,
@@ -187,13 +196,16 @@ class WarmCache:
             _, (_, dropped, _) = self._buffers.popitem(last=False)
             self._buffer_ops -= dropped
             self.evictions += 1
+            obs.add("warm.evictions")
 
     # -- failure hygiene -------------------------------------------------
 
     def evict_all(self) -> None:
         """Drop everything (called by the worker on any job failure)."""
         if self._models or self._buffers:
-            self.evictions += len(self._models) + len(self._buffers)
+            dropped = len(self._models) + len(self._buffers)
+            self.evictions += dropped
+            obs.add("warm.evictions", float(dropped))
         self._models.clear()
         self._buffers.clear()
         self._buffer_ops = 0

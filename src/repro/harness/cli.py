@@ -131,6 +131,23 @@ def main(argv: list[str] | None = None) -> int:
                         help="print the toplev-style hierarchy tree")
     parser.add_argument("--trace-out", metavar="PATH",
                         help="also record the measured op stream to PATH")
+    parser.add_argument("--obs-dir", metavar="DIR",
+                        default=os.environ.get("REPRO_OBS_DIR"),
+                        help="enable observability: span JSONL, metrics "
+                             "dumps and profiles land here (summarize "
+                             "with 'repro-obs report DIR'; default: "
+                             "$REPRO_OBS_DIR)")
+    parser.add_argument("--metrics-out", metavar="PATH",
+                        help="also dump merged metrics to PATH "
+                             "(.prom = Prometheus textfile, else JSON); "
+                             "implies metrics collection")
+    parser.add_argument("--trace-spans", action=argparse.BooleanOptionalAction,
+                        default=True,
+                        help="with --obs-dir, emit span JSONL "
+                             "(--no-trace-spans keeps metrics only)")
+    parser.add_argument("--obs-profile", choices=["cprofile", "tracemalloc"],
+                        help="profile every job (needs --obs-dir for "
+                             "the .pstats/heap artifacts)")
     parser.add_argument("--list", action="store_true",
                         help="list all known benchmarks and exit")
     args = parser.parse_args(argv)
@@ -161,6 +178,25 @@ def main(argv: list[str] | None = None) -> int:
         # execute_job picks the store up from the environment, which also
         # covers --jobs worker processes.
         os.environ["REPRO_TRACE_DIR"] = os.path.expanduser(args.trace_dir)
+
+    obs_on = bool(args.obs_dir or args.metrics_out or args.obs_profile)
+    if obs_on:
+        from repro import obs
+        obs.configure(
+            os.path.expanduser(args.obs_dir) if args.obs_dir else None,
+            spans=args.trace_spans, profile=args.obs_profile)
+
+    def finish_obs() -> None:
+        if not obs_on:
+            return
+        from repro import obs
+        if args.metrics_out:
+            obs.write_metrics(os.path.expanduser(args.metrics_out))
+        obs.shutdown()
+        if args.obs_dir:
+            print(f"[obs: spans + metrics in {args.obs_dir}; summarize "
+                  f"with 'repro-obs report {args.obs_dir}']",
+                  file=sys.stderr)
 
     if args.profile:
         import cProfile
@@ -198,55 +234,58 @@ def main(argv: list[str] | None = None) -> int:
             # aborting on the first failure would defeat the resume.
             on_error = "skip"
 
-    reporter = ProgressReporter(len(selected))
-    with graceful_shutdown() as stop:
-        try:
-            suite = characterize_suite(
-                selected, machine, fidelity, seed=args.seed,
-                jobs=args.jobs, store=store, reporter=reporter,
-                on_error=on_error, max_retries=args.max_retries,
-                manifest=manifest, should_stop=stop.is_set)
-        except CampaignInterrupted as exc:
-            print(f"\ninterrupted: {exc}", file=sys.stderr)
-            return 130
+    try:
+        reporter = ProgressReporter(len(selected))
+        with graceful_shutdown() as stop:
+            try:
+                suite = characterize_suite(
+                    selected, machine, fidelity, seed=args.seed,
+                    jobs=args.jobs, store=store, reporter=reporter,
+                    on_error=on_error, max_retries=args.max_retries,
+                    manifest=manifest, should_stop=stop.is_set)
+            except CampaignInterrupted as exc:
+                print(f"\ninterrupted: {exc}", file=sys.stderr)
+                return 130
 
-    if len(selected) == 1 and suite.results:
-        _print_single(suite.results[0], args)
-    else:
-        rows = [[r.spec.suite, r.spec.name, f"{r.counters.cpi:.3f}",
-                 f"{r.counters.ipc:.3f}", f"{r.seconds * 1e3:.3f}"]
-                for r in suite.results]
-        print(f"# {len(rows)} benchmarks on {machine.name}")
-        print(format_table(["suite", "benchmark", "cpi", "ipc", "ms"],
-                           rows))
-        print(f"\n[{reporter.status_line()}]")
-    if store is not None:
-        stats = store.stats()
-        print(f"[store: {stats.entries} entries, "
-              f"{stats.total_bytes / 1e6:.1f} MB at {stats.root}]")
+        if len(selected) == 1 and suite.results:
+            _print_single(suite.results[0], args)
+        else:
+            rows = [[r.spec.suite, r.spec.name, f"{r.counters.cpi:.3f}",
+                     f"{r.counters.ipc:.3f}", f"{r.seconds * 1e3:.3f}"]
+                    for r in suite.results]
+            print(f"# {len(rows)} benchmarks on {machine.name}")
+            print(format_table(["suite", "benchmark", "cpi", "ipc", "ms"],
+                               rows))
+            print(f"\n[{reporter.status_line()}]")
+        if store is not None:
+            stats = store.stats()
+            print(f"[store: {stats.entries} entries, "
+                  f"{stats.total_bytes / 1e6:.1f} MB at {stats.root}]")
 
-    if args.trace_out:
-        from repro.perf.trace_io import record
-        from repro.workloads.program import build_program
-        program = build_program(selected[0], seed=args.seed)
-        n = record(program.ops(), args.trace_out,
-                   max_instructions=args.instructions)
-        print(f"\nrecorded {n} instructions to {args.trace_out}")
+        if args.trace_out:
+            from repro.perf.trace_io import record
+            from repro.workloads.program import build_program
+            program = build_program(selected[0], seed=args.seed)
+            n = record(program.ops(), args.trace_out,
+                       max_instructions=args.instructions)
+            print(f"\nrecorded {n} instructions to {args.trace_out}")
 
-    if suite.failures:
-        rows = [[f.name, f.error_type, f.classification,
-                 str(f.attempts), f.worker_fate]
-                for f in suite.failures]
-        print(f"\n# {len(suite.failures)} workload(s) failed",
-              file=sys.stderr)
-        print(format_table(["benchmark", "error", "class", "attempts",
-                            "worker"], rows), file=sys.stderr)
-        if manifest is not None:
-            print(f"[failures journaled to {manifest.path}; re-run with "
-                  f"--resume {manifest.path} to retry transient ones]",
+        if suite.failures:
+            rows = [[f.name, f.error_type, f.classification,
+                     str(f.attempts), f.worker_fate]
+                    for f in suite.failures]
+            print(f"\n# {len(suite.failures)} workload(s) failed",
                   file=sys.stderr)
-        return 1
-    return 0
+            print(format_table(["benchmark", "error", "class", "attempts",
+                                "worker"], rows), file=sys.stderr)
+            if manifest is not None:
+                print(f"[failures journaled to {manifest.path}; re-run with "
+                      f"--resume {manifest.path} to retry transient ones]",
+                      file=sys.stderr)
+            return 1
+        return 0
+    finally:
+        finish_obs()
 
 
 if __name__ == "__main__":

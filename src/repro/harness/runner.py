@@ -19,6 +19,7 @@ from __future__ import annotations
 import os
 from dataclasses import dataclass
 
+from repro import obs
 from repro.kernel.vm import VirtualMemory
 from repro.perf.counters import CounterSnapshot, collect_counters
 from repro.perf.sampler import CounterSampler, SampleSeries
@@ -176,15 +177,17 @@ def run_workload(spec: WorkloadSpec, machine: MachineConfig,
         tracer = LttngTracer(machine.max_freq_hz)
         core.event_hook = tracer.hook
         if legacy:
-            program = make_program()
+            with obs.span("run.build_program", workload=spec.name):
+                program = make_program()
             program.premap(vm)
             source = program.ops()
             consume = core.consume
         else:
             consume = core.consume_stream
             if trace_key is not None:
-                meta, _ = trace_store.ensure(trace_key, warmup + measure,
-                                             make_program)
+                with obs.span("run.trace_ensure", workload=spec.name):
+                    meta, _ = trace_store.ensure(
+                        trace_key, warmup + measure, make_program)
                 for start, length in meta["premap_ranges"]:
                     vm.premap_range(start, length)
                 identity = (_warm.file_identity(
@@ -203,20 +206,31 @@ def run_workload(spec: WorkloadSpec, machine: MachineConfig,
                     source = TraceBufferStream(
                         buffers=trace_store.replay(trace_key))
             else:
-                program = make_program()
+                with obs.span("run.build_program", workload=spec.name):
+                    program = make_program()
                 program.premap(vm)
                 source = TraceBufferStream(filler=program.fill_buffer)
-        consume(source, max_instructions=warmup)
+        with obs.span("run.warmup", workload=spec.name,
+                      instructions=warmup):
+            consume(source, max_instructions=warmup)
         core.reset_stats()
         tracer.clear()
         sampler = None
         if sampling:
             sampler = CounterSampler(core, tracer.counts,
                                      interval_seconds=sample_interval)
-        consume(source, max_instructions=measure)
+        with obs.span("run.measure", workload=spec.name,
+                      instructions=measure):
+            consume(source, max_instructions=measure)
         samples = sampler.finish() if sampler is not None else None
         counters = collect_counters(core, tracer.counts,
                                     cpu_utilization=spec.cpu_utilization)
+        if obs.enabled():
+            # GC/JIT/exception replay volume (Table I events 19-23).
+            for kind, n in tracer.counts.as_dict().items():
+                if n:
+                    obs.add(f"runner.events.{kind}", float(n))
+            obs.observe("runner.simulated_seconds", counters.seconds)
         return RunResult(
             spec=spec, machine=machine, counters=counters,
             topdown=profile_core(core),

@@ -144,11 +144,14 @@ def characterize_suite(specs: list[WorkloadSpec], machine: MachineConfig,
 
     pending = [i for i in range(total) if i not in carried]
     catch = () if on_error == "raise" else (Exception,)
-    sub_outcomes = run_jobs(
-        [jobspecs[i] for i in pending], n_jobs=jobs, store=store,
-        progress=progress, reporter=reporter, catch=catch,
-        max_retries=max_retries, retry_backoff=retry_backoff,
-        should_stop=should_stop)
+    from repro import obs
+    with obs.span("suite.characterize", machine=machine.name,
+                  workloads=total, jobs=jobs):
+        sub_outcomes = run_jobs(
+            [jobspecs[i] for i in pending], n_jobs=jobs, store=store,
+            progress=progress, reporter=reporter, catch=catch,
+            max_retries=max_retries, retry_backoff=retry_backoff,
+            should_stop=should_stop)
 
     outcomes: list = [None] * total
     for i, outcome in zip(pending, sub_outcomes):

@@ -1,0 +1,6 @@
+"""``python -m repro.obs`` — alias for the ``repro-obs`` CLI."""
+
+from repro.obs.report import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,117 @@
+"""Span JSONL -> Chrome ``about:tracing`` / Perfetto trace export.
+
+The recorder (:mod:`repro.obs.spans`) writes one ``spans-<pid>.jsonl``
+per process; this module folds a whole observability directory into a
+single Chrome Trace Event Format JSON — complete duration events
+(``"ph": "X"``) on the shared monotonic timeline, one "thread" row per
+process — which both ``chrome://tracing`` and https://ui.perfetto.dev
+load directly.
+
+The mapping is loss-tolerant by design in one direction only: every
+span field round-trips through the exported event (name, timing, ids,
+pid, attributes travel in ``args``), which the schema-stability test
+asserts against a committed fixture.  Torn trailing lines (a worker
+killed mid-write) are skipped, matching the campaign manifest's
+read-side tolerance.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.obs.spans import SPAN_SCHEMA
+
+
+def load_spans(obs_dir: str | Path) -> list[dict]:
+    """Every span record under ``obs_dir``, across all process files.
+
+    Ordered by start time; unparseable lines (torn tails) and records
+    from a different schema version are skipped.
+    """
+    spans: list[dict] = []
+    for path in sorted(Path(obs_dir).glob("spans-*.jsonl")):
+        for line in path.read_text(encoding="utf-8").splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                rec = json.loads(line)
+            except ValueError:
+                continue
+            if rec.get("schema") == SPAN_SCHEMA and "span_id" in rec:
+                spans.append(rec)
+    spans.sort(key=lambda r: (r.get("start_us", 0), r.get("span_id", "")))
+    return spans
+
+
+def spans_to_chrome(spans: list[dict]) -> dict:
+    """Chrome Trace Event Format document for a span list.
+
+    All events share one ``pid`` (the trace viewer's "process" groups
+    the whole run) and use the recording process's pid as ``tid``, so
+    the scheduler and each worker get their own swim lane.  Span ids
+    and parent links ride in ``args`` next to the user attributes —
+    Perfetto shows them in the selection panel, and
+    :func:`chrome_to_spans` reads them back.
+    """
+    events: list[dict] = []
+    pids = sorted({rec["pid"] for rec in spans})
+    for pid in pids:
+        events.append({
+            "ph": "M", "name": "thread_name", "pid": 1, "tid": pid,
+            "args": {"name": f"process {pid}"},
+        })
+    for rec in spans:
+        events.append({
+            "ph": "X",
+            "name": rec["name"],
+            "cat": "repro",
+            "pid": 1,
+            "tid": rec["pid"],
+            "ts": rec["start_us"],
+            "dur": rec["dur_us"],
+            "args": {
+                "span_id": rec["span_id"],
+                "parent_id": rec.get("parent_id"),
+                "trace_id": rec.get("trace_id"),
+                **(rec.get("attrs") or {}),
+            },
+        })
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def chrome_to_spans(doc: dict) -> list[dict]:
+    """Inverse of :func:`spans_to_chrome` (the round-trip guarantee).
+
+    Reconstructs span records from the exported events; metadata
+    (``ph: "M"``) events are ignored.
+    """
+    spans: list[dict] = []
+    for ev in doc.get("traceEvents", ()):
+        if ev.get("ph") != "X":
+            continue
+        args = dict(ev.get("args") or {})
+        span_id = args.pop("span_id", None)
+        parent_id = args.pop("parent_id", None)
+        trace_id = args.pop("trace_id", None)
+        spans.append({"schema": SPAN_SCHEMA, "trace_id": trace_id,
+                      "span_id": span_id, "parent_id": parent_id,
+                      "name": ev["name"], "pid": ev["tid"],
+                      "start_us": ev["ts"], "dur_us": ev["dur"],
+                      "attrs": args})
+    spans.sort(key=lambda r: (r.get("start_us", 0), r.get("span_id", "")))
+    return spans
+
+
+def export_chrome_trace(obs_dir: str | Path,
+                        out_path: str | Path) -> int:
+    """Write the Perfetto-loadable JSON for ``obs_dir``; returns the
+    number of span events exported."""
+    spans = load_spans(obs_dir)
+    doc = spans_to_chrome(spans)
+    out_path = Path(out_path)
+    out_path.parent.mkdir(parents=True, exist_ok=True)
+    out_path.write_text(json.dumps(doc, sort_keys=True) + "\n",
+                        encoding="utf-8")
+    return len(spans)

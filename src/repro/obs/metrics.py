@@ -1,0 +1,191 @@
+"""Process-local metrics: counters, gauges, log-scale histograms.
+
+A :class:`MetricsRegistry` is a flat name -> instrument map.  Names are
+dotted paths (``pool.jobs_executed``, ``store.get_hits``); instruments
+are created on first touch, so call sites never pre-register.  Three
+instrument kinds cover everything the pipeline reports:
+
+* **counter** — monotonically increasing total (jobs, hits, retries,
+  bytes);
+* **gauge** — last-written value (queue depth, cost-model size); merges
+  take the max, since per-worker "depth" readings have no meaningful
+  sum;
+* **histogram** — log-scale (base-2) bucketed distribution of positive
+  samples (job seconds, phase seconds, peak heap bytes).  Buckets cost
+  O(64) memory worst case and merging is bucket-wise addition, so a
+  worker's whole distribution travels in one small dict.
+
+Workers :func:`MetricsRegistry.snapshot` their registry into a plain
+JSON-able dict; the parent folds it back with
+:meth:`MetricsRegistry.merge` — counters and histograms add, gauges
+max.  :meth:`to_json` and :meth:`to_prometheus` are the two dump
+formats (``metrics.json`` / Prometheus textfile exposition).
+"""
+
+from __future__ import annotations
+
+import math
+
+#: schema marker embedded in snapshots and dumps
+METRICS_SCHEMA = 1
+
+
+class Histogram:
+    """Log-scale (powers-of-two) histogram of positive samples.
+
+    Bucket ``b`` counts samples with ``2**(b-1) < x <= 2**b`` (``x`` in
+    the recorded unit); non-positive samples land in a dedicated
+    underflow bucket.  ``frexp`` gives the bucket index without a log
+    call, so ``record`` is a few arithmetic ops.
+    """
+
+    __slots__ = ("count", "total", "min", "max", "buckets")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        #: bucket exponent -> sample count ("u" = underflow, x <= 0)
+        self.buckets: dict = {}
+
+    def record(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        if value <= 0.0:
+            key = "u"
+        else:
+            mantissa, exponent = math.frexp(value)
+            # frexp: value = mantissa * 2**exponent, 0.5 <= mantissa < 1,
+            # so 2**(exponent-1) <= value < 2**exponent.
+            key = exponent if mantissa > 0.5 else exponent - 1
+        self.buckets[key] = self.buckets.get(key, 0) + 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def to_json(self) -> dict:
+        return {"count": self.count, "total": self.total,
+                "min": self.min if self.count else None,
+                "max": self.max if self.count else None,
+                "buckets": {str(k): v for k, v in
+                            sorted(self.buckets.items(), key=str)}}
+
+    def merge_json(self, data: dict) -> None:
+        """Fold a :meth:`to_json` snapshot into this histogram."""
+        self.count += int(data.get("count", 0))
+        self.total += float(data.get("total", 0.0))
+        lo, hi = data.get("min"), data.get("max")
+        if lo is not None and lo < self.min:
+            self.min = lo
+        if hi is not None and hi > self.max:
+            self.max = hi
+        for key, n in (data.get("buckets") or {}).items():
+            key = key if key == "u" else int(key)
+            self.buckets[key] = self.buckets.get(key, 0) + int(n)
+
+
+class MetricsRegistry:
+    """Flat name -> instrument registry with snapshot/merge."""
+
+    def __init__(self) -> None:
+        self.counters: dict[str, float] = {}
+        self.gauges: dict[str, float] = {}
+        self.histograms: dict[str, Histogram] = {}
+
+    # -- write side ------------------------------------------------------
+
+    def add(self, name: str, value: float = 1.0) -> None:
+        """Increment counter ``name`` (created at 0 on first touch)."""
+        self.counters[name] = self.counters.get(name, 0.0) + value
+
+    def gauge_set(self, name: str, value: float) -> None:
+        self.gauges[name] = value
+
+    def observe(self, name: str, value: float) -> None:
+        """Record one histogram sample under ``name``."""
+        hist = self.histograms.get(name)
+        if hist is None:
+            hist = self.histograms[name] = Histogram()
+        hist.record(value)
+
+    # -- snapshot / merge (worker -> parent) ----------------------------
+
+    def snapshot(self) -> dict:
+        """Plain JSON-able dict of everything recorded so far."""
+        return {
+            "schema": METRICS_SCHEMA,
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+            "histograms": {name: h.to_json()
+                           for name, h in self.histograms.items()},
+        }
+
+    def merge(self, snap: dict) -> None:
+        """Fold a worker snapshot in: counters/histograms add, gauges max.
+
+        Snapshots are cumulative per process, so the caller must merge
+        each worker's *final* snapshot exactly once (the pool keys
+        pending snapshots by worker pid for exactly this reason).
+        """
+        if not snap or snap.get("schema") != METRICS_SCHEMA:
+            return
+        for name, value in (snap.get("counters") or {}).items():
+            self.add(name, value)
+        for name, value in (snap.get("gauges") or {}).items():
+            if value >= self.gauges.get(name, -math.inf):
+                self.gauges[name] = value
+        for name, data in (snap.get("histograms") or {}).items():
+            hist = self.histograms.get(name)
+            if hist is None:
+                hist = self.histograms[name] = Histogram()
+            hist.merge_json(data)
+
+    # -- dump formats ----------------------------------------------------
+
+    def to_json(self) -> dict:
+        return self.snapshot()
+
+    def to_prometheus(self, prefix: str = "repro") -> str:
+        """Prometheus textfile exposition of the registry.
+
+        Dotted metric names become underscore-separated (Prometheus
+        identifier rules); histograms expose cumulative ``_bucket``
+        series with ``le`` = the bucket's upper bound (``2**b``), plus
+        ``_sum`` and ``_count``.
+        """
+        def ident(name: str) -> str:
+            cleaned = "".join(c if c.isalnum() else "_" for c in name)
+            return f"{prefix}_{cleaned}"
+
+        lines: list[str] = []
+        for name in sorted(self.counters):
+            pname = ident(name)
+            lines.append(f"# TYPE {pname} counter")
+            lines.append(f"{pname} {self.counters[name]:g}")
+        for name in sorted(self.gauges):
+            pname = ident(name)
+            lines.append(f"# TYPE {pname} gauge")
+            lines.append(f"{pname} {self.gauges[name]:g}")
+        for name in sorted(self.histograms):
+            hist = self.histograms[name]
+            pname = ident(name)
+            lines.append(f"# TYPE {pname} histogram")
+            cumulative = 0
+            numeric = sorted(k for k in hist.buckets if k != "u")
+            cumulative += hist.buckets.get("u", 0)
+            if "u" in hist.buckets:
+                lines.append(f'{pname}_bucket{{le="0"}} {cumulative}')
+            for b in numeric:
+                cumulative += hist.buckets[b]
+                lines.append(
+                    f'{pname}_bucket{{le="{2.0 ** b:g}"}} {cumulative}')
+            lines.append(f'{pname}_bucket{{le="+Inf"}} {hist.count}')
+            lines.append(f"{pname}_sum {hist.total:g}")
+            lines.append(f"{pname}_count {hist.count}")
+        return "\n".join(lines) + ("\n" if lines else "")

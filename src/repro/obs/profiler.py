@@ -1,0 +1,119 @@
+"""Opt-in per-job profiling: ``cProfile`` call stats or ``tracemalloc``.
+
+Both stdlib profilers are far too heavy to leave on (cProfile slows the
+interpreter loop several-fold), so this is the third observability
+pillar's *opt-in* end: :func:`profile_job` consults
+:func:`repro.obs.profile_mode` and wraps the job body only when the run
+was configured with ``--obs-profile``.
+
+* ``cprofile`` mode dumps binary stats to
+  ``<obs_dir>/profiles/<job>-<pid>.pstats`` (load with
+  :mod:`pstats` or ``snakeviz``) and records the profiled wall time in
+  the ``profile.cprofile_seconds`` histogram;
+* ``tracemalloc`` mode records the job's peak traced heap into the
+  ``profile.peak_heap_bytes`` histogram and appends a JSONL record with
+  the top allocation sites to ``<obs_dir>/profiles/heap-<pid>.jsonl``.
+
+Either way the job's result is untouched — profiling only ever adds
+telemetry.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import os
+import re
+import time
+
+from repro import obs
+
+#: allocation sites kept per tracemalloc record
+_TOP_SITES = 10
+
+
+def _profiles_dir() -> str | None:
+    base = obs.obs_dir()
+    if base is None:
+        return None
+    path = os.path.join(base, "profiles")
+    os.makedirs(path, exist_ok=True)
+    return path
+
+
+def _safe_name(name: str) -> str:
+    return re.sub(r"[^A-Za-z0-9._-]+", "_", name) or "job"
+
+
+@contextlib.contextmanager
+def profile_job(name: str):
+    """Wrap one job body in the configured profiler (no-op by default).
+
+    ``name`` labels the output artifacts; it is sanitized to a safe
+    filename component.  Exceptions from the body propagate unchanged —
+    partial profiles are still written so a crashing job can be
+    profiled post-mortem.
+    """
+    mode = obs.profile_mode()
+    if mode == "cprofile":
+        with _cprofile(name):
+            yield
+    elif mode == "tracemalloc":
+        with _tracemalloc(name):
+            yield
+    else:
+        yield
+
+
+@contextlib.contextmanager
+def _cprofile(name: str):
+    import cProfile
+
+    prof = cProfile.Profile()
+    start = time.monotonic()
+    prof.enable()
+    try:
+        yield
+    finally:
+        prof.disable()
+        obs.observe("profile.cprofile_seconds", time.monotonic() - start)
+        out_dir = _profiles_dir()
+        if out_dir is not None:
+            path = os.path.join(
+                out_dir, f"{_safe_name(name)}-{os.getpid()}.pstats")
+            prof.dump_stats(path)
+            obs.add("profile.dumps_written")
+
+
+@contextlib.contextmanager
+def _tracemalloc(name: str):
+    import tracemalloc
+
+    # Nested/concurrent use in one process: only the outermost scope
+    # owns start/stop, inner scopes just read the peak.
+    owner = not tracemalloc.is_tracing()
+    if owner:
+        tracemalloc.start()
+    else:
+        tracemalloc.reset_peak()
+    try:
+        yield
+    finally:
+        _current, peak = tracemalloc.get_traced_memory()
+        snapshot = tracemalloc.take_snapshot()
+        if owner:
+            tracemalloc.stop()
+        obs.observe("profile.peak_heap_bytes", float(peak))
+        out_dir = _profiles_dir()
+        if out_dir is not None:
+            top = snapshot.statistics("lineno")[:_TOP_SITES]
+            rec = {
+                "job": name, "pid": os.getpid(), "peak_bytes": peak,
+                "top": [{"site": str(stat.traceback[0]),
+                         "bytes": stat.size, "blocks": stat.count}
+                        for stat in top],
+            }
+            path = os.path.join(out_dir, f"heap-{os.getpid()}.jsonl")
+            with open(path, "a", encoding="utf-8") as fh:
+                fh.write(json.dumps(rec, sort_keys=True) + "\n")
+            obs.add("profile.heap_records_written")

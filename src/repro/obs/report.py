@@ -1,0 +1,179 @@
+"""``repro-obs`` CLI: summarize a recorded observability directory.
+
+Subcommands:
+
+* ``report <dir>`` — per-phase and per-workload breakdown tables from
+  the span JSONL plus the counter/histogram highlights from
+  ``metrics.json``.  ``--markdown`` switches to GitHub-flavored pipe
+  tables (CI writes this into the job summary).
+* ``export <dir> [-o trace.json]`` — fold the span files into one
+  Chrome ``about:tracing`` / Perfetto-loadable JSON.
+
+Kept free of third-party imports (unlike :mod:`repro.harness.report`,
+which pulls numpy) so the obs package stays usable anywhere.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+
+from repro.obs.exporter import export_chrome_trace, load_spans
+
+
+def _table(headers: list[str], rows: list[list[str]],
+           markdown: bool = False) -> str:
+    if markdown:
+        out = ["| " + " | ".join(headers) + " |",
+               "|" + "|".join("---" for _ in headers) + "|"]
+        out += ["| " + " | ".join(row) + " |" for row in rows]
+        return "\n".join(out)
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    out = [" | ".join(h.ljust(w) for h, w in zip(headers, widths)), sep]
+    out += [" | ".join(c.ljust(w) for c, w in zip(row, widths))
+            for row in rows]
+    return "\n".join(out)
+
+
+def _fmt_seconds(us: float) -> str:
+    return f"{us / 1e6:.3f}"
+
+
+def span_breakdown(spans: list[dict]) -> list[dict]:
+    """Aggregate spans by name: count, total/mean/max duration (µs)."""
+    agg: dict[str, dict] = {}
+    for rec in spans:
+        row = agg.setdefault(rec["name"], {"name": rec["name"], "count": 0,
+                                           "total_us": 0, "max_us": 0})
+        row["count"] += 1
+        row["total_us"] += rec["dur_us"]
+        row["max_us"] = max(row["max_us"], rec["dur_us"])
+    rows = sorted(agg.values(), key=lambda r: -r["total_us"])
+    for row in rows:
+        row["mean_us"] = row["total_us"] / row["count"]
+    return rows
+
+
+def workload_breakdown(spans: list[dict]) -> list[dict]:
+    """Aggregate job spans by their ``workload`` attribute.
+
+    Only top-level ``pool.job`` spans are counted (when any exist), so
+    the job count matches the scheduler's and nested phase spans don't
+    double-count their parents' duration.
+    """
+    if any(rec["name"] == "pool.job" for rec in spans):
+        spans = [rec for rec in spans if rec["name"] == "pool.job"]
+    agg: dict[str, dict] = {}
+    for rec in spans:
+        workload = (rec.get("attrs") or {}).get("workload")
+        if workload is None:
+            continue
+        row = agg.setdefault(workload, {"workload": workload, "count": 0,
+                                        "total_us": 0, "pids": set()})
+        row["count"] += 1
+        row["total_us"] += rec["dur_us"]
+        row["pids"].add(rec["pid"])
+    rows = sorted(agg.values(), key=lambda r: -r["total_us"])
+    for row in rows:
+        row["workers"] = len(row.pop("pids"))
+    return rows
+
+
+def _metrics_highlights(obs_dir: Path) -> tuple[list[list[str]],
+                                                list[list[str]]]:
+    path = obs_dir / "metrics.json"
+    if not path.is_file():
+        return [], []
+    data = json.loads(path.read_text(encoding="utf-8"))
+    counter_rows = [[name, f"{value:g}"]
+                    for name, value in sorted(
+                        (data.get("counters") or {}).items())]
+    hist_rows = []
+    for name, hist in sorted((data.get("histograms") or {}).items()):
+        count = hist.get("count", 0)
+        total = hist.get("total", 0.0)
+        mean = total / count if count else 0.0
+        hist_rows.append([name, str(count), f"{mean:g}",
+                          f"{hist.get('max') or 0:g}"])
+    return counter_rows, hist_rows
+
+
+def render_report(obs_dir: str | Path, markdown: bool = False) -> str:
+    """The full ``repro-obs report`` text for one directory."""
+    obs_dir = Path(obs_dir)
+    spans = load_spans(obs_dir)
+    sections: list[str] = []
+
+    heading = "## " if markdown else "== "
+    sections.append(f"{heading}Observability report: {obs_dir}")
+    sections.append(f"{len(spans)} spans across "
+                    f"{len({s['pid'] for s in spans})} process(es)")
+
+    rows = span_breakdown(spans)
+    if rows:
+        sections.append(f"{heading}Per-phase breakdown")
+        sections.append(_table(
+            ["span", "count", "total_s", "mean_s", "max_s"],
+            [[r["name"], str(r["count"]), _fmt_seconds(r["total_us"]),
+              _fmt_seconds(r["mean_us"]), _fmt_seconds(r["max_us"])]
+             for r in rows], markdown))
+
+    wrows = workload_breakdown(spans)
+    if wrows:
+        sections.append(f"{heading}Per-workload breakdown")
+        sections.append(_table(
+            ["workload", "jobs", "total_s", "workers"],
+            [[r["workload"], str(r["count"]),
+              _fmt_seconds(r["total_us"]), str(r["workers"])]
+             for r in wrows], markdown))
+
+    counter_rows, hist_rows = _metrics_highlights(obs_dir)
+    if counter_rows:
+        sections.append(f"{heading}Counters")
+        sections.append(_table(["counter", "value"], counter_rows,
+                               markdown))
+    if hist_rows:
+        sections.append(f"{heading}Histograms")
+        sections.append(_table(["histogram", "count", "mean", "max"],
+                               hist_rows, markdown))
+    return "\n\n".join(sections) + "\n"
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point for ``repro-obs`` / ``python -m repro.obs``."""
+    parser = argparse.ArgumentParser(
+        prog="repro-obs",
+        description="Summarize or export a recorded observability dir.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    rep = sub.add_parser("report", help="per-phase/per-workload summary")
+    rep.add_argument("obs_dir", help="directory written by --obs-dir")
+    rep.add_argument("--markdown", action="store_true",
+                     help="emit GitHub-flavored markdown tables")
+
+    exp = sub.add_parser("export", help="write Perfetto-loadable JSON")
+    exp.add_argument("obs_dir", help="directory written by --obs-dir")
+    exp.add_argument("-o", "--out", default=None,
+                     help="output path (default <obs_dir>/trace.json)")
+
+    args = parser.parse_args(argv)
+    if not os.path.isdir(args.obs_dir):
+        parser.error(f"not a directory: {args.obs_dir}")
+    if args.command == "report":
+        sys.stdout.write(render_report(args.obs_dir, args.markdown))
+    else:
+        out = args.out or os.path.join(args.obs_dir, "trace.json")
+        count = export_chrome_trace(args.obs_dir, out)
+        print(f"wrote {count} span event(s) to {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

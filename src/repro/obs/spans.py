@@ -1,0 +1,182 @@
+"""Span tracing: nested timed regions emitted as append-only JSONL.
+
+A *span* is one timed region of the pipeline — a suite run, one job,
+one warmup consume — with a name, monotonic start/duration, arbitrary
+JSON-able attributes, and a parent link.  Nesting is tracked with a
+``contextvars`` stack, so ``with span("run.measure"):`` inside
+``with span("job"):`` parents automatically; across process boundaries
+the scheduler passes its :class:`SpanContext` into the worker, which
+adopts it as the parent of everything it records (see
+:mod:`repro.exec.pool`).
+
+Records land in ``<obs_dir>/spans-<pid>.jsonl`` — one file per process,
+so concurrent workers never interleave partial lines.  Writes are
+buffered and flushed whenever the span stack empties (end of a job in a
+worker, end of the batch in the parent), keeping the hot path free of
+syscalls.  Timestamps are ``time.monotonic_ns`` microseconds: on Linux
+``CLOCK_MONOTONIC`` is system-wide, so spans from parent and workers
+share one timeline.
+
+Span ids are ``"<pid>-<counter>"`` — unique without entropy, stable for
+tests, and meaningful in a post-mortem (which process emitted what).
+"""
+
+from __future__ import annotations
+
+import contextvars
+import json
+import os
+import time
+
+#: bump when the JSONL record shape changes (the exporter and the
+#: schema-stability fixture test both key on it)
+SPAN_SCHEMA = 1
+
+#: buffered records before an early flush (stack-empty flushes anyway)
+_FLUSH_EVERY = 256
+
+
+class SpanContext:
+    """Picklable (trace_id, span_id) pair linking spans across processes."""
+
+    __slots__ = ("trace_id", "span_id")
+
+    def __init__(self, trace_id: str, span_id: str):
+        self.trace_id = trace_id
+        self.span_id = span_id
+
+    def as_tuple(self) -> tuple[str, str]:
+        return (self.trace_id, self.span_id)
+
+    def __eq__(self, other) -> bool:
+        return (isinstance(other, SpanContext)
+                and self.as_tuple() == other.as_tuple())
+
+    def __repr__(self) -> str:
+        return f"SpanContext({self.trace_id!r}, {self.span_id!r})"
+
+
+#: the innermost live SpanContext of this task/thread (None at top level)
+_CURRENT: contextvars.ContextVar[SpanContext | None] = \
+    contextvars.ContextVar("repro_obs_span", default=None)
+
+
+class SpanRecorder:
+    """Buffers finished spans and appends them to the process's JSONL."""
+
+    def __init__(self, obs_dir: str, trace_id: str):
+        self.obs_dir = obs_dir
+        self.trace_id = trace_id
+        self.pid = os.getpid()
+        self._seq = 0
+        self._depth = 0
+        self._buffer: list[str] = []
+
+    @property
+    def path(self) -> str:
+        return os.path.join(self.obs_dir, f"spans-{self.pid}.jsonl")
+
+    def next_id(self) -> str:
+        self._seq += 1
+        return f"{self.pid}-{self._seq}"
+
+    def emit(self, name: str, start_us: int, dur_us: int, span_id: str,
+             parent_id: str | None, attrs: dict | None) -> None:
+        rec = {"schema": SPAN_SCHEMA, "trace_id": self.trace_id,
+               "span_id": span_id, "parent_id": parent_id, "name": name,
+               "pid": self.pid, "start_us": start_us, "dur_us": dur_us,
+               "attrs": attrs or {}}
+        self._buffer.append(json.dumps(rec, sort_keys=True))
+        if self._depth == 0 or len(self._buffer) >= _FLUSH_EVERY:
+            self.flush()
+
+    def flush(self) -> None:
+        if not self._buffer:
+            return
+        os.makedirs(self.obs_dir, exist_ok=True)
+        with open(self.path, "a", encoding="utf-8") as fh:
+            fh.write("\n".join(self._buffer) + "\n")
+        self._buffer.clear()
+
+
+class Span:
+    """Context manager for one timed region (used via :func:`obs.span`)."""
+
+    __slots__ = ("recorder", "name", "attrs", "context", "_parent_id",
+                 "_token", "_start_ns")
+
+    def __init__(self, recorder: SpanRecorder, name: str,
+                 parent: SpanContext | None, attrs: dict):
+        self.recorder = recorder
+        self.name = name
+        self.attrs = attrs
+        if parent is None:
+            parent = _CURRENT.get()
+        self._parent_id = parent.span_id if parent is not None else None
+        self.context = SpanContext(recorder.trace_id, recorder.next_id())
+        self._token = None
+        self._start_ns = 0
+
+    def __enter__(self) -> "Span":
+        self.recorder._depth += 1
+        self._token = _CURRENT.set(self.context)
+        self._start_ns = time.monotonic_ns()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        end_ns = time.monotonic_ns()
+        _CURRENT.reset(self._token)
+        self.recorder._depth -= 1
+        if exc_type is not None:
+            self.attrs = dict(self.attrs)
+            self.attrs["error"] = exc_type.__name__
+        self.recorder.emit(
+            self.name, self._start_ns // 1000,
+            max(0, (end_ns - self._start_ns) // 1000),
+            self.context.span_id, self._parent_id, self.attrs)
+        return False
+
+    def set_attr(self, key: str, value) -> None:
+        """Attach one JSON-able attribute to the span before it closes."""
+        self.attrs[key] = value
+
+
+class _NoopSpan:
+    """Shared do-nothing stand-in returned while obs is disabled.
+
+    Stateless, so one instance is safely reusable (and reentrant) as a
+    context manager — the disabled path allocates nothing.
+    """
+
+    __slots__ = ()
+    context = None
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def set_attr(self, key: str, value) -> None:
+        pass
+
+
+NOOP_SPAN = _NoopSpan()
+
+
+def current_context() -> SpanContext | None:
+    """The innermost live span's context (for cross-process handoff)."""
+    return _CURRENT.get()
+
+
+def adopt(parent: SpanContext | None):
+    """Set ``parent`` as the current context; returns the reset token.
+
+    Used by pool workers to parent their job spans under the
+    scheduler's span.  Pass the token to :func:`restore`.
+    """
+    return _CURRENT.set(parent)
+
+
+def restore(token) -> None:
+    _CURRENT.reset(token)

@@ -50,9 +50,12 @@ import os
 import pickle
 import struct
 import sys
+import time
 from pathlib import Path
 
 import numpy as np
+
+from repro import obs
 
 from repro.trace import (OP_BLOCK, OP_BRANCH, OP_EVENT, OP_LOAD, OP_STORE,
                          BLOCK_KERNEL_SHIFT, RUNTIME_EVENT_KINDS,
@@ -203,6 +206,7 @@ def _decode_chunks_v2(data, mm=None):
     pos = _HEADER.size
     dropped = 0                     # map offset below which pages are gone
     while pos < end:
+        _t0 = time.perf_counter() if obs.enabled() else None
         tag = view[pos]
         pos += 1
         if tag != _CHUNK_TAG:
@@ -232,7 +236,11 @@ def _decode_chunks_v2(data, mm=None):
             raise TraceFormatError(
                 f"corrupt event table: {exc}") from exc
         pos += ev_len
-        yield TraceBuffer.from_columns(kinds, *cols, events, n_instr).seal()
+        buf = TraceBuffer.from_columns(kinds, *cols, events, n_instr).seal()
+        if _t0 is not None:
+            obs.observe("sim.trace_decode_seconds",
+                        time.perf_counter() - _t0)
+        yield buf
         if mm is not None and _MADV_DONTNEED is not None:
             # The consumer resumed us, so the chunk we just yielded is
             # finished: release every whole page strictly before the

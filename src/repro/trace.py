@@ -49,7 +49,11 @@ uniqueness.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
+
+from repro import obs
 
 # --- operation opcodes -------------------------------------------------
 OP_BLOCK = 0
@@ -291,6 +295,7 @@ class TraceBuffer:
         """Pre-decode address columns; idempotent, returns ``self``."""
         if self.lines is not None:
             return self
+        _t0 = time.perf_counter() if obs.enabled() else None
         a0 = np.asarray(self.a0, dtype=np.int64)
         sizes = np.asarray(self.a2, dtype=np.int64) & BLOCK_NBYTES_MASK
         # 64 B cache lines, matching the hardcoded shifts of the
@@ -308,6 +313,8 @@ class TraceBuffer:
             # list-backed decode requires exact int types).
             self.lines = memoryview(np.ascontiguousarray(lines))
             self.line_ends = memoryview(np.ascontiguousarray(line_ends))
+        if _t0 is not None:
+            obs.observe("sim.seal_seconds", time.perf_counter() - _t0)
         return self
 
     @classmethod

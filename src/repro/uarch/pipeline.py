@@ -18,10 +18,12 @@ simulated instruction, which keeps pure-Python throughput high enough for
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.kernel.vm import VirtualMemory
 from repro.trace import (OP_BLOCK, OP_BRANCH, OP_EVENT, OP_LOAD, OP_STORE,
                          BLOCK_KERNEL_SHIFT, BLOCK_NBYTES_MASK,
@@ -518,8 +520,12 @@ class Core:
             buf = stream.buffer()
             if buf is None:
                 break
+            _t0 = time.perf_counter() if obs.enabled() else None
             next_pos, limit_hit = self.consume_buffer(buf, stream.pos,
                                                       limit)
+            if _t0 is not None:
+                obs.observe("sim.consume_buffer_seconds",
+                            time.perf_counter() - _t0)
             stream.pos = next_pos
             if limit_hit:
                 break

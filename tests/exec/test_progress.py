@@ -111,6 +111,60 @@ class TestWorkBasedEta:
         assert rep.eta_seconds == 0.0
 
 
+class TestEtaDegenerateEdges:
+    def test_zero_elapsed_completions_yield_none(self):
+        # Every job finished within one clock tick: completed > 0 but
+        # elapsed == 0, so no rate exists.  Historically this risked a
+        # ZeroDivisionError / inf; now it's an honest "unknown".
+        clock = FakeClock()
+        rep = ProgressReporter(4, clock=clock)
+        rep.start()
+        rep.job_done("a")                 # clock never advances
+        rep.job_done("b")
+        assert rep.throughput == 0.0
+        assert rep.eta_seconds is None
+
+    def test_status_line_renders_placeholder_for_unknown_eta(self):
+        clock = FakeClock()
+        rep = ProgressReporter(4, clock=clock)
+        rep.start()
+        rep.job_done("a")                 # 0s elapsed -> ETA unknowable
+        line = rep.status_line()
+        assert "ETA --:--" in line
+        assert "inf" not in line
+
+    def test_status_line_keeps_numeric_eta_when_known(self):
+        clock = FakeClock()
+        rep = ProgressReporter(4, clock=clock)
+        rep.start()
+        clock.now += 2.0
+        rep.job_done("a")
+        assert "ETA 6.0s" in rep.status_line()
+        assert "--:--" not in rep.status_line()
+
+    def test_overcounted_completions_clamp_to_zero_eta(self):
+        # Duplicate completion events (e.g. a retried job reported
+        # twice) can push completed past total; the ETA clamps at 0
+        # instead of going negative.
+        clock = FakeClock()
+        rep = ProgressReporter(2, clock=clock)
+        rep.start()
+        clock.now += 1.0
+        for name in ("a", "b", "b-again"):
+            rep.job_done(name)
+        assert rep.eta_seconds == 0.0
+
+    def test_zero_elapsed_work_rate_falls_through(self):
+        # Work credited but elapsed is still 0: the work path can't
+        # compute a rate, and the count path can't either -> None.
+        clock = FakeClock()
+        rep = ProgressReporter(3, clock=clock)
+        rep.start()
+        rep.add_work(2.0)
+        rep.job_done("a", work=2.0)
+        assert rep.eta_seconds is None
+
+
 class TestWorkerTelemetry:
     def test_busy_idle_tracking(self):
         clock = FakeClock()
@@ -151,3 +205,55 @@ class TestWorkerTelemetry:
         assert "longest straggler 2.5s" in line
         assert "w0:0*" in line            # busy marker, no completions
         assert "w1:1" in line and "w1:1*" not in line
+
+    def test_worker_death_drops_busy_marker_but_keeps_history(self):
+        # A crashed worker goes idle (the scheduler calls worker_idle
+        # when it reaps the corpse); its column must survive in the
+        # status line so the operator can see a worker died with zero
+        # (or few) completions, and the busy marker must clear so the
+        # dead worker isn't reported as running anything.
+        clock = FakeClock()
+        rep = ProgressReporter(4, clock=clock)
+        rep.start()
+        rep.worker_busy(0, "victim-job")
+        rep.worker_busy(1, "healthy-job")
+        clock.now += 1.0
+        rep.worker_idle(0)                # worker 0 dies mid-job
+        line = rep.status_line()
+        assert "w0:0" in line and "w0:0*" not in line
+        assert "w1:0*" in line
+        assert "busy 1" in line
+        assert "longest healthy-job" in line
+
+    def test_retry_on_replacement_worker_reassigns_busy_state(self):
+        # The job a dead worker held is requeued and picked up by a
+        # replacement with a new worker id: the old id shows idle, the
+        # new id shows busy on the same job, and the eventual completion
+        # is credited to the worker that actually finished it.
+        clock = FakeClock()
+        rep = ProgressReporter(2, clock=clock)
+        rep.start()
+        rep.worker_busy(0, "flaky")
+        clock.now += 1.0
+        rep.worker_idle(0)                # crash
+        rep.worker_busy(2, "flaky")       # respawned worker retries it
+        clock.now += 2.0
+        active = rep.active_jobs()
+        assert set(active) == {2}
+        assert active[2] == ("flaky", 2.0)
+        rep.job_done("flaky", worker_id=2)
+        rep.worker_idle(2)
+        line = rep.status_line()
+        assert "w0:0" in line             # the corpse stays visible
+        assert "w2:1" in line             # credit lands on the retrier
+        assert "busy" not in line
+        assert rep.worker_counts() == {2: 1}
+
+    def test_idle_for_unseen_worker_is_harmless(self):
+        # Reaping can race dispatch: an idle event for a worker that
+        # never reported busy must not raise and must still register
+        # the worker as seen.
+        rep = ProgressReporter(1, clock=FakeClock())
+        rep.worker_idle(7)
+        assert "w7:0" in rep.status_line()
+        assert rep.active_jobs() == {}

@@ -1,0 +1,95 @@
+"""Exporter round-trip + schema stability against the committed fixture.
+
+``tests/obs/data/`` is a frozen observability directory: span JSONL from
+three processes (scheduler + two workers, including a torn trailing line
+and a future-schema record), a merged ``metrics.json``, and the expected
+Chrome/Perfetto export ``trace.expected.json``.  These tests pin the
+on-disk schema: any change to the span record shape or the Chrome event
+mapping shows up as a fixture diff and forces a deliberate
+``SPAN_SCHEMA`` / fixture bump.
+"""
+
+import json
+from pathlib import Path
+
+from repro.obs.exporter import (chrome_to_spans, export_chrome_trace,
+                                load_spans, spans_to_chrome)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import SPAN_SCHEMA
+
+DATA = Path(__file__).parent / "data"
+
+
+class TestLoadSpans:
+    def test_loads_all_processes_in_start_order(self):
+        spans = load_spans(DATA)
+        assert [s["span_id"] for s in spans] \
+            == ["101-1", "101-2", "202-1", "203-1", "202-2"]
+        assert {s["pid"] for s in spans} == {101, 202, 203}
+
+    def test_torn_tail_and_foreign_schema_are_skipped(self):
+        spans = load_spans(DATA)
+        assert all(s["schema"] == SPAN_SCHEMA for s in spans)
+        assert "torn.tail" not in {s["name"] for s in spans}
+        assert "future.schema" not in {s["name"] for s in spans}
+
+    def test_cross_process_nesting_is_intact(self):
+        spans = load_spans(DATA)
+        by_id = {s["span_id"]: s for s in spans}
+        for s in spans:
+            parent_id = s["parent_id"]
+            if parent_id is None:
+                continue
+            parent = by_id[parent_id]          # every link resolves
+            assert parent["start_us"] <= s["start_us"]
+            assert (s["start_us"] + s["dur_us"]
+                    <= parent["start_us"] + parent["dur_us"])
+        # The worker job spans parent to the scheduler's dispatch span.
+        jobs = [s for s in spans if s["name"] == "pool.job"]
+        assert len(jobs) == 2
+        assert {s["parent_id"] for s in jobs} == {"101-2"}
+        assert {s["pid"] for s in jobs} != {101}
+
+
+class TestSchemaStability:
+    def test_export_matches_committed_fixture(self, tmp_path):
+        out = tmp_path / "trace.json"
+        n = export_chrome_trace(DATA, out)
+        assert n == 5
+        assert out.read_text() == (DATA / "trace.expected.json").read_text()
+
+    def test_expected_fixture_is_perfetto_shaped(self):
+        doc = json.loads((DATA / "trace.expected.json").read_text())
+        assert doc["displayTimeUnit"] == "ms"
+        events = doc["traceEvents"]
+        assert {e["ph"] for e in events} == {"M", "X"}
+        for ev in events:
+            if ev["ph"] != "X":
+                continue
+            assert ev["cat"] == "repro"
+            assert isinstance(ev["ts"], int)
+            assert isinstance(ev["dur"], int)
+            assert "span_id" in ev["args"]
+
+    def test_metrics_fixture_schema(self):
+        data = json.loads((DATA / "metrics.json").read_text())
+        assert set(data) == {"schema", "counters", "gauges", "histograms"}
+        reg = MetricsRegistry()
+        reg.merge(data)
+        assert reg.counters["pool.jobs_executed"] == 2.0
+        prom = reg.to_prometheus()
+        assert "# TYPE repro_pool_jobs_executed counter" in prom
+        assert 'repro_pool_job_seconds_bucket{le="8"} 2' in prom
+        assert "repro_pool_job_seconds_count 2" in prom
+
+
+class TestRoundTrip:
+    def test_chrome_to_spans_is_exact_inverse(self):
+        spans = load_spans(DATA)
+        assert chrome_to_spans(spans_to_chrome(spans)) == spans
+
+    def test_round_trip_survives_a_disk_cycle(self, tmp_path):
+        out = tmp_path / "trace.json"
+        export_chrome_trace(DATA, out)
+        back = chrome_to_spans(json.loads(out.read_text()))
+        assert back == load_spans(DATA)

@@ -1,0 +1,143 @@
+"""End-to-end observability: a real jobs=4 suite run, spans + metrics.
+
+The acceptance contract for the obs subsystem: with observability
+enabled, a parallel ``characterize_suite`` run must produce
+
+* span JSONL whose cross-process parent/child links are correct (every
+  worker ``pool.job`` span parents under the scheduler's
+  ``pool.run_jobs`` span, and the in-worker phase spans nest under
+  their job), exportable to a Perfetto-loadable Chrome trace, and
+* a merged metrics dump whose job counts and cache-hit totals agree
+  with the :class:`~repro.harness.suite.SuiteResult` the run returned.
+
+And with observability *disabled* (the default), results must be
+bit-identical to an enabled run — instrumentation observes, never
+perturbs.
+"""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.exec.store import ResultStore
+from repro.harness.runner import Fidelity
+from repro.harness.suite import characterize_suite
+from repro.obs.exporter import export_chrome_trace, load_spans
+from repro.obs.report import render_report
+from repro.uarch.machine import get_machine
+from repro.workloads.dotnet import dotnet_category_specs
+
+FID = Fidelity(warmup_instructions=6_000, measure_instructions=10_000)
+
+
+@pytest.fixture(autouse=True)
+def _obs_teardown():
+    """Never leak enabled obs state (or REPRO_OBS_* env) between tests."""
+    yield
+    obs.shutdown(dump=False)
+
+
+def _run_suite(n_specs: int = 4, jobs: int = 4, store=None):
+    specs = dotnet_category_specs()[:n_specs]
+    return characterize_suite(specs, get_machine("i9"), FID,
+                              jobs=jobs, store=store)
+
+
+class TestSpansEndToEnd:
+    def test_parallel_run_produces_nested_perfetto_spans(self, tmp_path):
+        obs_dir = tmp_path / "obs"
+        obs.configure(obs_dir)
+        suite = _run_suite(jobs=4)
+        obs.shutdown(dump=True)
+
+        spans = load_spans(obs_dir)
+        by_id = {s["span_id"]: s for s in spans}
+        assert len({s["trace_id"] for s in spans}) == 1
+
+        # Worker job spans parent under the scheduler's dispatch span —
+        # the span context crossed the process boundary.
+        run_jobs_spans = [s for s in spans if s["name"] == "pool.run_jobs"]
+        assert len(run_jobs_spans) == 1
+        sched_pid = run_jobs_spans[0]["pid"]
+        job_spans = [s for s in spans if s["name"] == "pool.job"]
+        assert len(job_spans) == len(suite.results) == 4
+        for s in job_spans:
+            assert s["parent_id"] == run_jobs_spans[0]["span_id"]
+            assert s["pid"] != sched_pid
+        assert {s["attrs"]["workload"] for s in job_spans} \
+            == set(suite.names)
+
+        # In-worker phase spans nest under their own process's job span.
+        measure_spans = [s for s in spans if s["name"] == "run.measure"]
+        assert len(measure_spans) == 4
+        for s in measure_spans:
+            parent = by_id[s["parent_id"]]
+            assert parent["pid"] == s["pid"]
+            # run.measure is nested under pool.job via run.* ancestors
+            while parent["name"] != "pool.job":
+                parent = by_id[parent["parent_id"]]
+            assert parent["pid"] == s["pid"]
+
+        # The folded export is Perfetto-shaped and complete.
+        out = tmp_path / "trace.json"
+        assert export_chrome_trace(obs_dir, out) == len(spans)
+        doc = json.loads(out.read_text())
+        assert len([e for e in doc["traceEvents"] if e["ph"] == "X"]) \
+            == len(spans)
+
+    def test_report_renders_the_recorded_run(self, tmp_path):
+        obs_dir = tmp_path / "obs"
+        obs.configure(obs_dir)
+        suite = _run_suite(n_specs=2, jobs=2)
+        obs.shutdown(dump=True)
+        text = render_report(obs_dir)
+        assert "Per-phase breakdown" in text
+        assert "pool.job" in text
+        for name in suite.names:
+            assert name in text
+
+
+class TestMetricsMatchSuiteResult:
+    def test_cold_run_job_totals(self, tmp_path):
+        obs_dir = tmp_path / "obs-cold"
+        obs.configure(obs_dir)
+        store = ResultStore(tmp_path / "store")
+        suite = _run_suite(jobs=4, store=store)
+        obs.shutdown(dump=True)
+
+        metrics = json.loads((obs_dir / "metrics.json").read_text())
+        counters = metrics["counters"]
+        n = len(suite.results)
+        assert counters["pool.jobs_executed"] == n
+        assert counters["store.put_count"] == n
+        assert counters.get("pool.store_hits", 0) == 0
+        hist = metrics["histograms"]["pool.job_seconds"]
+        assert hist["count"] == n
+        # The Prometheus dump carries the same totals.
+        prom = (obs_dir / "metrics.prom").read_text()
+        assert f"repro_pool_jobs_executed {n}" in prom
+
+    def test_warm_run_cache_hit_totals(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        cold = _run_suite(jobs=4, store=store)     # populate, no obs
+
+        obs_dir = tmp_path / "obs-warm"
+        obs.configure(obs_dir)
+        warm = _run_suite(jobs=4, store=store)
+        obs.shutdown(dump=True)
+
+        assert warm.times() == cold.times()
+        counters = json.loads(
+            (obs_dir / "metrics.json").read_text())["counters"]
+        assert counters["pool.store_hits"] == len(warm.results)
+        assert counters.get("pool.jobs_executed", 0) == 0
+
+    def test_disabled_default_is_bit_identical(self, tmp_path):
+        plain = _run_suite(n_specs=3, jobs=2)
+        obs.configure(tmp_path / "obs")
+        observed = _run_suite(n_specs=3, jobs=2)
+        obs.shutdown(dump=True)
+        assert [r.counters for r in observed.results] \
+            == [r.counters for r in plain.results]
+        assert observed.times() == plain.times()

@@ -10,7 +10,7 @@ import repro
 
 PACKAGES = ["repro", "repro.core", "repro.uarch", "repro.kernel",
             "repro.runtime", "repro.workloads", "repro.perf",
-            "repro.harness", "repro.exec"]
+            "repro.harness", "repro.exec", "repro.obs"]
 
 
 def all_modules():
