@@ -37,6 +37,8 @@ bit-identical to serial — ``characterize_suite(specs, m, jobs=8)``
 returns exactly the matrix of ``jobs=1``, only faster.
 """
 
+from repro.exec.backend import (LocalDirBackend, SharedDirBackend,
+                                StoreBackend, backend_for)
 from repro.exec.campaign import (CampaignInterrupted, CampaignManifest,
                                  WorkloadFailure, classify_error,
                                  graceful_shutdown)
@@ -56,4 +58,5 @@ __all__ = [
     "CostModel", "cost_key", "lpt_order",
     "WarmCache",
     "ResultStore", "StoreCorruption", "StoreStats",
+    "StoreBackend", "LocalDirBackend", "SharedDirBackend", "backend_for",
 ]

@@ -1,0 +1,175 @@
+"""Store backends: where content-addressed bytes physically live.
+
+:class:`~repro.exec.store.ResultStore` and
+:class:`~repro.exec.traces.TraceStore` own the *logical* store — keys,
+layout, CRC framing, quarantine.  This module owns the *physical*
+questions underneath: how bytes are published atomically, how
+cross-process locks behave, and what a reader may assume about
+visibility.  Factoring that out is what lets one fleet of worker hosts
+share a single store (:mod:`repro.fabric`): every host points its
+stores at the same backend and each result/trace is produced once
+fleet-wide.
+
+Two implementations cover the deployment shapes the fabric needs:
+
+* :class:`LocalDirBackend` — a directory on a local filesystem; exactly
+  the pre-backend semantics (atomic ``os.replace`` publication, fsync'd
+  data, ``flock`` advisory locks);
+* :class:`SharedDirBackend` — a directory on a *shared* filesystem
+  (NFS, CIFS, a bind-mounted volume).  Publication additionally fsyncs
+  the parent directory so the rename itself is durable and visible
+  under close-to-open consistency, and reads tolerate the transient
+  ``ESTALE``/``FileNotFoundError`` races a concurrent cross-host
+  rename can expose (one retry, then surfaced as a miss to the caller's
+  quarantine-or-recompute path).
+
+Both speak the same three-verb protocol (:class:`StoreBackend`):
+``read_bytes``, ``publish`` (tmp file -> final path, atomic), and
+``lock``.  The stores keep doing their own framing and layout on top,
+so integrity guarantees are backend-independent by construction.
+
+:func:`backend_for` parses the CLI/fabric spelling — a bare path is
+local, ``shared:<path>`` selects the shared-dir discipline.
+"""
+
+from __future__ import annotations
+
+import abc
+import contextlib
+import errno
+import os
+from pathlib import Path
+
+try:
+    import fcntl
+except ImportError:          # non-POSIX: locking degrades to a no-op
+    fcntl = None
+
+
+class StoreBackend(abc.ABC):
+    """Physical-storage personality under a content-addressed store.
+
+    A backend is rooted at a directory; stores derive their layout
+    paths with :meth:`path` and route every publication, raw read, and
+    cross-process lock through it.
+    """
+
+    #: spelling used by :func:`backend_for` / CLI flags
+    scheme = "local"
+
+    def __init__(self, root: str | os.PathLike):
+        self.root = Path(root)
+
+    def path(self, *rel: str) -> Path:
+        """A path under the backend root (no I/O)."""
+        return self.root.joinpath(*rel)
+
+    def read_bytes(self, path: str | os.PathLike) -> bytes:
+        """Raw bytes of ``path`` (raises ``OSError`` family on miss)."""
+        return Path(path).read_bytes()
+
+    @abc.abstractmethod
+    def publish(self, tmp: Path, dst: Path) -> None:
+        """Atomically move a fully-written temp file to its final path.
+
+        ``tmp`` must already be flushed/fsync'd by the caller; after
+        return, any reader of ``dst`` — including one on another host
+        for shared backends — sees either the old entry or the complete
+        new one, never a torn write.
+        """
+
+    @contextlib.contextmanager
+    def lock(self, name: str = ".lock", exclusive: bool = False):
+        """Cross-process advisory lock scoped to this backend root.
+
+        ``flock`` on a lock file under the root: shared for writers,
+        exclusive for sweeps — the discipline
+        :meth:`~repro.exec.store.ResultStore.gc` relies on.  On
+        filesystems without ``fcntl`` this degrades to a no-op (the
+        atomic-rename publication path stays safe; only sweep-vs-put
+        fencing is lost).
+        """
+        if fcntl is None:
+            yield
+            return
+        self.root.mkdir(parents=True, exist_ok=True)
+        with self.path(name).open("a+b") as fh:
+            fcntl.flock(fh, fcntl.LOCK_EX if exclusive else fcntl.LOCK_SH)
+            try:
+                yield
+            finally:
+                fcntl.flock(fh, fcntl.LOCK_UN)
+
+    def describe(self) -> str:
+        return f"{self.scheme}:{self.root}"
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({str(self.root)!r})"
+
+
+class LocalDirBackend(StoreBackend):
+    """A directory on a local filesystem — the historical semantics."""
+
+    scheme = "local"
+
+    def publish(self, tmp: Path, dst: Path) -> None:
+        os.replace(tmp, dst)
+
+
+def _fsync_dir(path: Path) -> None:
+    """Best-effort fsync of a directory (durability of the rename)."""
+    try:
+        fd = os.open(path, os.O_RDONLY | getattr(os, "O_DIRECTORY", 0))
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+class SharedDirBackend(StoreBackend):
+    """A directory on a shared filesystem mounted by several hosts.
+
+    Same atomic-rename publication as :class:`LocalDirBackend`, plus:
+
+    * the destination's parent directory is fsync'd after the rename,
+      so the publication is durable and — under NFS close-to-open
+      consistency — visible to the next opener on any host;
+    * :meth:`read_bytes` retries once on ``ESTALE`` (a concurrent
+      cross-host rename invalidated the file handle mid-read) before
+      letting the error surface as an ordinary miss.
+    """
+
+    scheme = "shared"
+
+    def publish(self, tmp: Path, dst: Path) -> None:
+        os.replace(tmp, dst)
+        _fsync_dir(dst.parent)
+
+    def read_bytes(self, path: str | os.PathLike) -> bytes:
+        try:
+            return Path(path).read_bytes()
+        except OSError as exc:
+            if exc.errno != getattr(errno, "ESTALE", None):
+                raise
+            return Path(path).read_bytes()
+
+
+def backend_for(spec: str | os.PathLike | StoreBackend) -> StoreBackend:
+    """Resolve a backend from its CLI spelling.
+
+    A prebuilt backend passes through; ``shared:<dir>`` selects
+    :class:`SharedDirBackend`; ``local:<dir>`` or a bare path selects
+    :class:`LocalDirBackend`.
+    """
+    if isinstance(spec, StoreBackend):
+        return spec
+    text = os.fspath(spec)
+    if text.startswith("shared:"):
+        return SharedDirBackend(os.path.expanduser(text[len("shared:"):]))
+    if text.startswith("local:"):
+        return LocalDirBackend(os.path.expanduser(text[len("local:"):]))
+    return LocalDirBackend(os.path.expanduser(text))

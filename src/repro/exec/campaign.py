@@ -48,6 +48,11 @@ import json
 import os
 import signal
 import threading
+
+try:
+    import fcntl
+except ImportError:          # non-POSIX: append locking degrades
+    fcntl = None
 import traceback as tb_mod
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -155,12 +160,23 @@ class CampaignManifest:
     ``skipped`` (a permanent failure carried over from a previous
     attempt).  Every append is flushed and fsync'd; loading tolerates a
     torn final line, so a SIGKILL mid-write costs exactly one record.
+
+    Appends take a short exclusive ``flock`` on the journal, so a
+    second appender — the fabric coordinator's lease reclaim racing a
+    slow worker's late completion — cannot interleave bytes inside one
+    record.  Outcome records may carry a fabric work-unit id
+    (``unit``); :meth:`record` refuses to journal the *same* unit twice
+    (the duplicate-completion guard, mirroring the pool's
+    ``index in done`` check), so a reclaimed-then-re-executed unit
+    settles exactly once no matter how late the original worker reports.
     """
 
     def __init__(self, path: str | Path):
         self.path = Path(path)
         self.header: dict | None = None
         self.records: list[dict] = []
+        #: fabric work-unit ids that already settled (dup-completion guard)
+        self._units_seen: set[str] = set()
         if self.path.exists():
             self._load()
 
@@ -177,13 +193,21 @@ class CampaignManifest:
                 self.header = rec
             else:
                 self.records.append(rec)
+                if rec.get("type") == "outcome" and rec.get("unit"):
+                    self._units_seen.add(rec["unit"])
 
     def _append(self, rec: dict) -> None:
         self.path.parent.mkdir(parents=True, exist_ok=True)
         with self.path.open("a", encoding="utf-8") as fh:
-            fh.write(json.dumps(rec, sort_keys=True) + "\n")
-            fh.flush()
-            os.fsync(fh.fileno())
+            if fcntl is not None:
+                fcntl.flock(fh, fcntl.LOCK_EX)
+            try:
+                fh.write(json.dumps(rec, sort_keys=True) + "\n")
+                fh.flush()
+                os.fsync(fh.fileno())
+            finally:
+                if fcntl is not None:
+                    fcntl.flock(fh, fcntl.LOCK_UN)
 
     def begin(self, fingerprint: str, total: int | None = None,
               meta: dict | None = None) -> None:
@@ -212,14 +236,30 @@ class CampaignManifest:
         self._append(self.header)
 
     def record(self, key: str | None, name: str, status: str,
-               failure: WorkloadFailure | None = None) -> None:
+               failure: WorkloadFailure | None = None,
+               unit: str | None = None) -> bool:
+        """Journal one settled outcome; returns whether it was appended.
+
+        ``unit`` is the fabric work-unit id when the outcome came
+        through the distributed path; a unit that already settled is
+        silently dropped (``False``) — the duplicate-completion guard
+        for a coordinator reclaim racing a slow worker.
+        """
+        if unit is not None:
+            if unit in self._units_seen:
+                obs.add("campaign.duplicate_completions")
+                return False
+            self._units_seen.add(unit)
         rec = {"type": "outcome", "key": key, "name": name,
                "status": status}
+        if unit is not None:
+            rec["unit"] = unit
         if failure is not None:
             rec["failure"] = failure.to_json()
         self.records.append(rec)
         self._append(rec)
         obs.add(f"campaign.outcomes_{status}")
+        return True
 
     def record_event(self, kind: str, **fields) -> None:
         self._append({"type": kind, **fields})

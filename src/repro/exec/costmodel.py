@@ -12,9 +12,15 @@ result-cache keys.
 
 The model lives in a small JSON sidecar next to the
 :class:`~repro.exec.store.ResultStore` (``<root>/costs.json``) and is
-written with the same atomic ``os.replace`` discipline.  Concurrent
-batches race benignly: last writer wins, and a lost update only costs
-estimate freshness, never correctness.
+written with the same atomic ``os.replace`` discipline, under the same
+cross-process ``flock`` discipline as the store itself: :meth:`save`
+takes an exclusive lock on ``costs.json.lock``, re-reads the sidecar,
+folds in only the keys *this* process actually observed, and publishes
+atomically.  Concurrent writers — several worker hosts sharing one
+store directory (:mod:`repro.fabric`) — therefore cannot interleave a
+torn write or clobber each other's observations: each save is a locked
+read-merge-write, and a key observed by two hosts resolves to the last
+merger's EWMA (estimate freshness, never correctness).
 
 :func:`lpt_order` is the scheduling policy: longest processing time
 first.  For ``m`` identical workers LPT's makespan is within 4/3 of
@@ -26,11 +32,17 @@ an unknown straggler cannot hide at the tail of the first campaign run.
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import json
 import os
 from pathlib import Path
 from typing import Sequence
+
+try:
+    import fcntl
+except ImportError:          # non-POSIX: locking degrades to a no-op
+    fcntl = None
 
 from repro import obs
 from repro.exec.jobs import JobSpec, canonical_encode
@@ -73,42 +85,89 @@ class CostModel:
         self.path = Path(path)
         self.alpha = alpha
         self._costs: dict[str, float] = {}
+        #: keys this process observed since the last save — the only
+        #: entries a locked read-merge-write may overwrite on disk
+        self._observed: set[str] = set()
         self._dirty = False
         self._load()
+
+    @contextlib.contextmanager
+    def _locked(self):
+        """Exclusive cross-process lock fencing read-merge-write saves.
+
+        Same flock discipline as the result store: multiple hosts
+        writing one shared sidecar serialize here, so no writer can
+        interleave with (and lose) another's just-merged observations.
+        """
+        if fcntl is None:
+            yield
+            return
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        lock_path = self.path.with_name(self.path.name + ".lock")
+        with lock_path.open("a+b") as fh:
+            fcntl.flock(fh, fcntl.LOCK_EX)
+            try:
+                yield
+            finally:
+                fcntl.flock(fh, fcntl.LOCK_UN)
 
     @classmethod
     def for_store(cls, store) -> "CostModel":
         """The sidecar model next to a :class:`ResultStore`."""
         return cls(Path(store.root) / COSTS_FILENAME)
 
-    def _load(self) -> None:
+    def _read_disk(self) -> dict[str, float]:
+        """The sidecar's current (valid) costs, or ``{}``."""
         try:
             raw = json.loads(self.path.read_text())
         except (OSError, ValueError):
-            return
+            return {}
         if not isinstance(raw, dict) or raw.get("schema") != _SCHEMA:
-            return
+            return {}
         costs = raw.get("costs")
-        if isinstance(costs, dict):
-            self._costs = {str(k): float(v) for k, v in costs.items()
-                           if isinstance(v, (int, float)) and v >= 0.0}
+        if not isinstance(costs, dict):
+            return {}
+        return {str(k): float(v) for k, v in costs.items()
+                if isinstance(v, (int, float)) and v >= 0.0}
+
+    def _load(self) -> None:
+        self._costs = self._read_disk()
 
     def save(self) -> None:
-        """Atomically persist the model (no-op when nothing changed)."""
+        """Persist the model: locked read-merge-write, atomic publish.
+
+        No-op when nothing changed.  Under the exclusive sidecar lock
+        the on-disk file is re-read and only the keys *this process*
+        observed overwrite it, so concurrent writers (other worker
+        hosts on a shared store dir) never lose each other's entries;
+        keys we did not touch are adopted back into the in-memory model
+        as the fresher estimates.
+        """
         if not self._dirty:
             return
-        payload = json.dumps({"schema": _SCHEMA, "alpha": self.alpha,
-                              "costs": self._costs}, sort_keys=True)
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = self.path.parent / f".{self.path.name}.{os.getpid()}.tmp"
         try:
-            tmp.write_text(payload)
-            os.replace(tmp, self.path)
+            with self._locked():
+                disk = self._read_disk()
+                merged = {**self._costs, **disk}
+                for key in self._observed:
+                    if key in self._costs:
+                        merged[key] = self._costs[key]
+                self._costs = merged
+                payload = json.dumps(
+                    {"schema": _SCHEMA, "alpha": self.alpha,
+                     "costs": merged}, sort_keys=True)
+                self.path.parent.mkdir(parents=True, exist_ok=True)
+                tmp = self.path.parent \
+                    / f".{self.path.name}.{os.getpid()}.tmp"
+                try:
+                    tmp.write_text(payload)
+                    os.replace(tmp, self.path)
+                finally:
+                    tmp.unlink(missing_ok=True)
         except OSError:
-            pass                      # telemetry only — never fail a run
-        finally:
-            tmp.unlink(missing_ok=True)
+            return                    # telemetry only — never fail a run
         self._dirty = False
+        self._observed.clear()
 
     # -- estimates -------------------------------------------------------
 
@@ -130,6 +189,7 @@ class CostModel:
         else:
             self._costs[key] = (self.alpha * seconds
                                 + (1.0 - self.alpha) * prev)
+        self._observed.add(key)
         self._dirty = True
         obs.add("costmodel.observations")
         obs.gauge_set("costmodel.size", float(len(self._costs)))

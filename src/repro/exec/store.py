@@ -29,7 +29,6 @@ are the maintenance surface.
 
 from __future__ import annotations
 
-import contextlib
 import os
 import pickle
 import struct
@@ -39,12 +38,8 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Iterator
 
-try:
-    import fcntl
-except ImportError:          # non-POSIX: locking degrades to a no-op
-    fcntl = None
-
 from repro import obs
+from repro.exec.backend import LocalDirBackend, StoreBackend, backend_for
 
 LAYOUT_VERSION = "v2"
 
@@ -71,10 +66,32 @@ class StoreStats:
 
 
 class ResultStore:
-    """Content-addressed pickle store with CRC framing and quarantine."""
+    """Content-addressed pickle store with CRC framing and quarantine.
 
-    def __init__(self, root: str | Path):
-        self.root = Path(root)
+    ``backend`` selects the physical-storage discipline
+    (:mod:`repro.exec.backend`): the default
+    :class:`~repro.exec.backend.LocalDirBackend` preserves the
+    historical local-directory semantics, while a
+    :class:`~repro.exec.backend.SharedDirBackend` lets a whole worker
+    fleet address one store on a shared mount.  Framing, quarantine and
+    layout are backend-independent — the backend only changes how bytes
+    are published, read, and locked.
+    """
+
+    def __init__(self, root: str | Path | None = None, *,
+                 backend: StoreBackend | str | None = None):
+        if backend is None:
+            if root is None:
+                raise TypeError("ResultStore needs a root or a backend")
+            backend = LocalDirBackend(root)
+        else:
+            backend = backend_for(backend)
+            if root is not None and Path(root) != backend.root:
+                raise ValueError(
+                    f"root {root!r} disagrees with backend "
+                    f"{backend.describe()!r}; pass one or the other")
+        self.backend = backend
+        self.root = backend.root
 
     @property
     def _base(self) -> Path:
@@ -92,20 +109,10 @@ class ResultStore:
 
     # -- locking --------------------------------------------------------
 
-    @contextlib.contextmanager
     def _lock(self, exclusive: bool):
         """Cross-process advisory lock: shared for writers, exclusive
         for ``gc()`` — a sweep cannot race a publication."""
-        if fcntl is None:
-            yield
-            return
-        self.root.mkdir(parents=True, exist_ok=True)
-        with (self.root / ".lock").open("a+b") as fh:
-            fcntl.flock(fh, fcntl.LOCK_EX if exclusive else fcntl.LOCK_SH)
-            try:
-                yield
-            finally:
-                fcntl.flock(fh, fcntl.LOCK_UN)
+        return self.backend.lock(exclusive=exclusive)
 
     # -- integrity ------------------------------------------------------
 
@@ -135,7 +142,7 @@ class ResultStore:
             n += 1
             dest = qdir / f"{path.name}.{n}"
         try:
-            os.replace(path, dest)
+            self.backend.publish(path, dest)
         except FileNotFoundError:
             return None
         return dest
@@ -151,7 +158,7 @@ class ResultStore:
         """
         path = self.path_for(key)
         try:
-            data = path.read_bytes()
+            data = self.backend.read_bytes(path)
         except FileNotFoundError:
             obs.add("store.get_misses")
             return default
@@ -182,7 +189,7 @@ class ResultStore:
                     fh.write(payload)
                     fh.flush()
                     os.fsync(fh.fileno())
-                os.replace(tmp, path)
+                self.backend.publish(tmp, path)
             finally:
                 tmp.unlink(missing_ok=True)
         obs.add("store.put_count")
@@ -242,7 +249,7 @@ class ResultStore:
         entries, _ = self._scan()
         for path, _size in entries:
             try:
-                self._check_frame(path.read_bytes())
+                self._check_frame(self.backend.read_bytes(path))
             except Exception:
                 self._quarantine(path)
                 bad.append(path.stem)
@@ -288,4 +295,6 @@ class ResultStore:
                           corrupt=corrupt)
 
     def __repr__(self) -> str:
-        return f"ResultStore({str(self.root)!r})"
+        if type(self.backend) is LocalDirBackend:
+            return f"ResultStore({str(self.root)!r})"
+        return f"ResultStore(backend={self.backend.describe()!r})"

@@ -93,10 +93,26 @@ def trace_fingerprint(root: str | Path | None = None, *,
 
 
 class TraceStore:
-    """Content-addressed store of recorded op-stream traces."""
+    """Content-addressed store of recorded op-stream traces.
 
-    def __init__(self, root: str | Path):
-        self.root = Path(root)
+    ``backend`` (:mod:`repro.exec.backend`) selects the physical
+    discipline exactly as for :class:`~repro.exec.store.ResultStore`:
+    local directory by default, shared-directory semantics (rename
+    durability, stale-handle-tolerant reads) when a fleet of hosts
+    shares one trace store.
+    """
+
+    def __init__(self, root: str | Path | None = None, *,
+                 backend=None):
+        from repro.exec.backend import LocalDirBackend, backend_for
+        if backend is None:
+            if root is None:
+                raise TypeError("TraceStore needs a root or a backend")
+            backend = LocalDirBackend(root)
+        else:
+            backend = backend_for(backend)
+        self.backend = backend
+        self.root = backend.root
 
     @property
     def _base(self) -> Path:
@@ -173,7 +189,7 @@ class TraceStore:
             while dest.exists():
                 n += 1
                 dest = qdir / f"{path.name}.{n}"
-            os.replace(path, dest)
+            self.backend.publish(path, dest)
 
     def lookup(self, key: str, required_instructions: int) -> dict | None:
         """Metadata if a long-enough *valid* trace exists, else ``None``.
@@ -241,7 +257,7 @@ class TraceStore:
                 while chunk := fh.read(1 << 20):
                     crc = zlib.crc32(chunk, crc)
                     size += len(chunk)
-            os.replace(tmp, path)
+            self.backend.publish(tmp, path)
         finally:
             tmp.unlink(missing_ok=True)
         meta = {
@@ -253,7 +269,7 @@ class TraceStore:
         mtmp = path.parent / f".{key}.{os.getpid()}.json.tmp"
         try:
             mtmp.write_text(json.dumps(meta))
-            os.replace(mtmp, self.meta_path(key))
+            self.backend.publish(mtmp, self.meta_path(key))
         finally:
             mtmp.unlink(missing_ok=True)
         return meta, True

@@ -1,0 +1,344 @@
+"""Campaign coordinator: decompose, dispatch, reclaim, settle.
+
+The coordinator is the fleet-side counterpart of the in-process pool.
+It turns a batch of :class:`~repro.exec.jobs.JobSpec`\\ s into leasable
+:class:`~repro.fabric.units.WorkUnit` envelopes (deduplicating against
+the shared :class:`~repro.exec.store.ResultStore` first — a key the
+fleet already computed is settled immediately, with no unit at all),
+publishes them in longest-processing-time-first rank order using the
+shared :class:`~repro.exec.costmodel.CostModel`, and then watches the
+lease ledger: completed units settle into the campaign manifest (the
+duplicate-completion guard is keyed by unit id), silent leases are
+reclaimed and — unless their result already landed in the store, the
+zombie-finished-anyway case — re-enqueued under a *fresh* unit id.
+
+The end state is the same :class:`~repro.harness.suite.SuiteResult`
+the serial path produces: results in spec order pulled from the
+content-addressed store, failures as structured
+:class:`~repro.exec.campaign.WorkloadFailure` records.  The simulator
+is seeded-deterministic and the store content-addressed, so a campaign
+that survived any number of worker-host deaths is bit-identical to a
+single-host serial run — the fabric chaos test asserts exactly that.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro import obs
+from repro.exec.backend import StoreBackend, backend_for
+from repro.exec.campaign import (TRANSIENT, CampaignInterrupted,
+                                 CampaignManifest, WorkloadFailure)
+from repro.exec.costmodel import CostModel, cost_key, lpt_order
+from repro.exec.jobs import JobSpec, code_fingerprint
+from repro.exec.store import ResultStore
+from repro.fabric.lease import LeaseLedger
+from repro.fabric.units import WorkUnit, make_unit_id
+
+#: fabric-root subdirectory holding the shared result store (+ costs.json)
+STORE_DIR = "store"
+#: fabric-root subdirectory holding the shared trace store
+TRACES_DIR = "traces"
+#: default campaign journal filename under the fabric root
+MANIFEST_NAME = "campaign.jsonl"
+
+#: default seconds of heartbeat silence before a lease is reclaimed
+DEFAULT_LEASE_TTL = 10.0
+#: default re-enqueue budget per key before the unit settles as failed
+DEFAULT_MAX_REQUEUES = 5
+
+
+class FabricTimeout(RuntimeError):
+    """A campaign deadline passed with units still unsettled."""
+
+    def __init__(self, pending: list[str]):
+        super().__init__(
+            f"fabric campaign timed out with {len(pending)} unsettled "
+            f"unit(s): {', '.join(sorted(pending)[:5])}"
+            + ("..." if len(pending) > 5 else ""))
+        self.pending = list(pending)
+
+
+def fabric_backend(root: str | Path | StoreBackend,
+                   *, shared: bool = False) -> StoreBackend:
+    """The backend for a fabric root (``shared`` = NFS-safe discipline)."""
+    if isinstance(root, StoreBackend):
+        return root
+    return backend_for(f"{'shared' if shared else 'local'}:{root}")
+
+
+@dataclass
+class _Pending:
+    """Coordinator-side state of one not-yet-settled unit."""
+
+    index: int
+    unit: WorkUnit
+    requeues: int = 0
+
+
+@dataclass
+class Submission:
+    """One batch of jobs handed to the fleet.
+
+    ``outcomes[i]`` settles to a ``("done", key)`` /
+    ``("failed", WorkloadFailure)`` pair as units complete; indices
+    settled straight from the store never had a unit.
+    """
+
+    jobs: list[JobSpec]
+    keys: list[str]
+    #: unit id -> pending state for every in-flight unit
+    pending: dict[str, _Pending] = field(default_factory=dict)
+    outcomes: dict[int, tuple[str, object]] = field(default_factory=dict)
+
+    @property
+    def done(self) -> bool:
+        return len(self.outcomes) == len(self.jobs)
+
+    @property
+    def dedup_hits(self) -> int:
+        """Jobs settled from the store without ever becoming units."""
+        return len(self.jobs) - self._unit_count
+
+    _unit_count: int = 0
+
+
+class Coordinator:
+    """Fleet-side scheduler over a shared fabric directory."""
+
+    def __init__(self, root: str | Path | StoreBackend, *,
+                 shared: bool = False,
+                 lease_ttl: float = DEFAULT_LEASE_TTL,
+                 poll_interval: float = 0.05,
+                 max_requeues: int = DEFAULT_MAX_REQUEUES):
+        backend = fabric_backend(root, shared=shared)
+        self.backend = backend
+        self.root = backend.root
+        self.ledger = LeaseLedger(backend)
+        self.ledger.ensure_layout()
+        store_backend = fabric_backend(self.root / STORE_DIR,
+                                       shared=shared)
+        self.store = ResultStore(backend=store_backend)
+        self.costs = CostModel.for_store(self.store)
+        self.lease_ttl = lease_ttl
+        self.poll_interval = poll_interval
+        self.max_requeues = max_requeues
+        self._seq = 0
+
+    # -- submission ------------------------------------------------------
+
+    def _next_unit(self, job: JobSpec, key: str, rank: int,
+                   estimate: float | None) -> WorkUnit:
+        self._seq += 1
+        return WorkUnit(
+            unit_id=make_unit_id(self._seq, key),
+            name=job.name, key=key, cost_key=cost_key(job), rank=rank,
+            job=job, span=obs.current_ids(), estimate=estimate)
+
+    def submit(self, jobs: list[JobSpec],
+               fingerprint: str | None = None) -> Submission:
+        """Plan and enqueue a batch; store hits settle immediately.
+
+        Units are ranked longest-first from the shared cost model
+        (reloaded here, so observations reported by earlier fleet work
+        reorder later batches) and their queue filenames embed the
+        rank, making every worker's lexical directory scan the LPT
+        dispatch order.
+        """
+        if fingerprint is None:
+            fingerprint = code_fingerprint()
+        keys = [job.cache_key(fingerprint) for job in jobs]
+        sub = Submission(jobs=list(jobs), keys=keys)
+
+        self.costs._load()      # adopt the fleet's latest observations
+        misses: list[int] = []
+        for i, (job, key) in enumerate(zip(jobs, keys)):
+            if self.store.get(key) is not None:
+                sub.outcomes[i] = ("done", key)
+                obs.add("fabric.store_dedup_hits")
+            else:
+                misses.append(i)
+
+        estimates = [self.costs.estimate(jobs[i]) for i in misses]
+        for rank, i in enumerate(lpt_order(misses, estimates)):
+            unit = self._next_unit(jobs[i], keys[i], rank,
+                                   self.costs.estimate(jobs[i]))
+            self.ledger.enqueue(unit)
+            sub.pending[unit.unit_id] = _Pending(index=i, unit=unit)
+        sub._unit_count = len(sub.pending)
+        return sub
+
+    # -- settlement ------------------------------------------------------
+
+    def _settle(self, sub: Submission, unit_id: str, status: str,
+                payload, manifest: CampaignManifest | None) -> None:
+        pend = sub.pending.pop(unit_id)
+        self.ledger.remove_queued(unit_id)
+        sub.outcomes[pend.index] = (status, payload)
+        if manifest is not None:
+            failure = payload if status == "failed" else None
+            manifest.record(sub.keys[pend.index], pend.unit.name,
+                            status, failure=failure, unit=unit_id)
+
+    def _requeue(self, sub: Submission, unit_id: str,
+                 manifest: CampaignManifest | None) -> None:
+        """Re-enqueue a reclaimed unit under a fresh unit id."""
+        pend = sub.pending.pop(unit_id)
+        job, key = sub.jobs[pend.index], sub.keys[pend.index]
+        if pend.requeues + 1 > self.max_requeues:
+            failure = WorkloadFailure(
+                name=job.name, error_type="LeaseExpired",
+                message=(f"lease expired {self.max_requeues + 1} times "
+                         f"without a completion"),
+                classification=TRANSIENT, attempts=pend.requeues + 1,
+                key=key)
+            sub.outcomes[pend.index] = ("failed", failure)
+            if manifest is not None:
+                manifest.record(key, job.name, "failed",
+                                failure=failure, unit=unit_id)
+            return
+        unit = self._next_unit(job, key, pend.unit.rank,
+                               pend.unit.estimate)
+        self.ledger.enqueue(unit)
+        sub.pending[unit.unit_id] = _Pending(
+            index=pend.index, unit=unit, requeues=pend.requeues + 1)
+        if manifest is not None:
+            manifest.record_event("reclaimed", unit=unit_id,
+                                  reissued_as=unit.unit_id, key=key)
+
+    def _publish_fleet_gauges(self) -> None:
+        leases = self.ledger.active_leases()
+        workers = self.ledger.workers()
+        obs.gauge_set("fabric.queue_depth",
+                      float(len(self.ledger.queue_entries())))
+        obs.gauge_set("fabric.leases_active", float(len(leases)))
+        alive = {w: rec for w, rec in workers.items()
+                 if rec["age_s"] <= self.lease_ttl}
+        obs.gauge_set("fabric.workers_alive", float(len(alive)))
+        per_worker: dict[str, int] = {w: 0 for w in workers}
+        for rec in leases.values():
+            per_worker[rec.get("worker", "?")] = \
+                per_worker.get(rec.get("worker", "?"), 0) + 1
+        for worker, rec in workers.items():
+            obs.gauge_set(f"fabric.worker.{worker}.leases",
+                          float(per_worker.get(worker, 0)))
+            obs.gauge_set(f"fabric.worker.{worker}.heartbeat_age_s",
+                          float(rec["age_s"]))
+
+    def poll(self, sub: Submission,
+             manifest: CampaignManifest | None = None) -> int:
+        """One coordination step; returns how many units settled.
+
+        Order matters: completions are read *before* reclaim, so a
+        worker that finished and exited cleanly (its lease released,
+        its heartbeat gone) is never mistaken for a death.  A reclaimed
+        unit whose result already landed in the store — the worker
+        published the result but died before (or just after) its done
+        record — settles as done instead of re-running.
+        """
+        settled_before = len(sub.outcomes)
+        done = self.ledger.done_records()
+        for unit_id in list(sub.pending):
+            rec = done.get(unit_id)
+            if rec is None:
+                continue
+            if rec.get("status") == "done":
+                self._settle(sub, unit_id, "done", rec.get("key"),
+                             manifest)
+            else:
+                failure = WorkloadFailure.from_json(rec["failure"])
+                self._settle(sub, unit_id, "failed", failure, manifest)
+
+        for unit_id in self.ledger.reclaim_expired(self.lease_ttl):
+            if unit_id not in sub.pending:
+                continue
+            pend = sub.pending[unit_id]
+            if self.store.get(sub.keys[pend.index]) is not None:
+                # The zombie got the result out before dying: keep it.
+                self._settle(sub, unit_id, "done",
+                             sub.keys[pend.index], manifest)
+                obs.add("fabric.reclaims_settled_from_store")
+            else:
+                self.ledger.remove_queued(unit_id)
+                self._requeue(sub, unit_id, manifest)
+
+        self._publish_fleet_gauges()
+        return len(sub.outcomes) - settled_before
+
+    def wait(self, sub: Submission,
+             manifest: CampaignManifest | None = None,
+             timeout: float | None = None,
+             should_stop=None) -> Submission:
+        """Poll until every job settles (or timeout / stop request)."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while not sub.done:
+            if should_stop is not None and should_stop():
+                self.ledger.request_stop()
+                raise CampaignInterrupted(
+                    manifest.path if manifest is not None else None,
+                    completed=sum(1 for s, _ in sub.outcomes.values()
+                                  if s == "done"),
+                    failed=sum(1 for s, _ in sub.outcomes.values()
+                               if s == "failed"),
+                    remaining=len(sub.pending))
+            if self.poll(sub, manifest) == 0:
+                if deadline is not None and time.monotonic() > deadline:
+                    raise FabricTimeout(list(sub.pending))
+                time.sleep(self.poll_interval)
+        return sub
+
+    # -- the campaign entry point ---------------------------------------
+
+    def run_campaign(self, specs, machine, fidelity=None, seed: int = 0,
+                     manifest: CampaignManifest | str | Path | None = None,
+                     timeout: float | None = None, should_stop=None,
+                     **run_kwargs):
+        """Characterize ``specs`` on ``machine`` across the fleet.
+
+        Returns the same :class:`~repro.harness.suite.SuiteResult` a
+        serial ``characterize_suite`` call produces — results in spec
+        order out of the shared store, failures as structured records —
+        regardless of how many workers served it or died serving it.
+        """
+        from repro.harness.runner import Fidelity
+        from repro.harness.suite import SuiteResult
+
+        fidelity = fidelity or Fidelity.default()
+        jobs = [JobSpec(spec=spec, machine=machine, fidelity=fidelity,
+                        seed=seed, run_kwargs=run_kwargs)
+                for spec in specs]
+        if manifest is None:
+            manifest = CampaignManifest(self.root / MANIFEST_NAME)
+        elif not isinstance(manifest, CampaignManifest):
+            manifest = CampaignManifest(manifest)
+        fingerprint = code_fingerprint()
+        manifest.begin(fingerprint, total=len(jobs))
+
+        with obs.span("fabric.campaign", machine=machine.name,
+                      workloads=len(jobs)):
+            sub = self.submit(jobs, fingerprint)
+            for i, (status, payload) in sub.outcomes.items():
+                # store-dedup hits settle before any unit exists
+                if manifest is not None and status == "done":
+                    manifest.record(sub.keys[i], jobs[i].name, "done")
+            self.wait(sub, manifest, timeout=timeout,
+                      should_stop=should_stop)
+
+        out = SuiteResult(machine=machine)
+        for i, (job, key) in enumerate(zip(jobs, sub.keys)):
+            status, payload = sub.outcomes[i]
+            if status == "failed":
+                out.failures.append(payload)
+                continue
+            result = self.store.get(key)
+            if result is None:
+                raise RuntimeError(
+                    f"unit for {job.name} reported done but key "
+                    f"{key[:12]} is missing from the store")
+            out.results.append(result)
+        return out
+
+    def __repr__(self) -> str:
+        return f"Coordinator({self.backend.describe()!r})"

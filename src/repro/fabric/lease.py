@@ -1,0 +1,353 @@
+"""Filesystem lease protocol: claim, heartbeat, complete, reclaim.
+
+The fabric's coordination substrate is the shared directory itself —
+the same place the stores already live — so a fleet needs nothing but
+a common mount (or one local disk, for single-host multi-process use).
+Four subdirectories under the fabric root carry the whole protocol:
+
+``queue/``
+    Pending :class:`~repro.fabric.units.WorkUnit` envelopes, published
+    atomically, named ``<rank:05d>-<unit>.json`` so a sorted directory
+    listing is the LPT dispatch order.
+``leases/``
+    ``<unit>.lease`` — ownership claims, created with ``O_EXCL`` so
+    exactly one worker wins a unit; the owner re-publishes the file
+    (atomic replace, monotonically increasing ``seq``) as its
+    heartbeat.
+``done/``
+    ``<unit>.json`` — outcome records, hard-linked into place so the
+    *first* completion wins atomically; a late duplicate (a reclaimed
+    worker that finished anyway) is detected and dropped.
+``workers/``
+    ``<worker>.json`` — per-agent heartbeats (pid, host, in-flight
+    units) feeding the fleet-health gauges.
+
+**Expiry is skew-immune.**  Lease and worker files carry wall-clock
+timestamps for humans, but reclaim never compares cross-host clocks:
+the coordinator fingerprints each heartbeat file's content and ages it
+on its *own* monotonic clock — a lease expires when its content has
+not changed for ``ttl`` seconds *as observed by the coordinator*.  A
+worker host that dies (the chaos scenario) stops re-publishing, its
+leases age out, and the units return to the claimable pool.
+
+**Duplicate execution is benign by construction.**  A reclaimed worker
+that is merely slow (not dead) may still finish its unit; the result
+store is content-addressed and the simulator deterministic, so the
+zombie and the re-execution publish identical bytes under the same
+key, and the first ``done/`` record wins.  Correctness never depends
+on the lease protocol being race-free — the leases only prevent
+*wasted* work, which is exactly the guarantee a distributed lock on a
+shared filesystem can honestly provide.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import time
+from pathlib import Path
+
+from repro import obs
+from repro.exec.backend import LocalDirBackend, StoreBackend, backend_for
+from repro.fabric.units import WorkUnit
+
+#: subdirectory names under the fabric root
+QUEUE_DIR = "queue"
+LEASES_DIR = "leases"
+DONE_DIR = "done"
+WORKERS_DIR = "workers"
+
+#: stop-marker filename (coordinator -> fleet shutdown request)
+STOP_MARKER = "fabric.stop"
+
+
+class _ChangeTracker:
+    """Ages file contents on the local monotonic clock.
+
+    ``observe(name, fingerprint)`` returns the seconds since the
+    fingerprint last *changed*, as measured here — never by comparing
+    a remote host's timestamp against ours.
+    """
+
+    def __init__(self) -> None:
+        self._seen: dict[str, tuple[object, float]] = {}
+
+    def observe(self, name: str, fingerprint: object,
+                now: float | None = None) -> float:
+        now = time.monotonic() if now is None else now
+        prev = self._seen.get(name)
+        if prev is None or prev[0] != fingerprint:
+            self._seen[name] = (fingerprint, now)
+            return 0.0
+        return now - prev[1]
+
+    def forget(self, name: str) -> None:
+        self._seen.pop(name, None)
+
+
+def _read_json(path: Path) -> dict | None:
+    """Parse ``path`` as JSON; ``None`` on miss or torn write."""
+    try:
+        return json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return None
+
+
+class LeaseLedger:
+    """The shared-directory lease protocol (both sides speak it)."""
+
+    def __init__(self, root: str | os.PathLike | StoreBackend, *,
+                 backend: StoreBackend | None = None):
+        if isinstance(root, StoreBackend):
+            backend = root
+        elif backend is None:
+            backend = LocalDirBackend(root)
+        else:
+            backend = backend_for(backend)
+        self.backend = backend
+        self.root = backend.root
+        self._lease_tracker = _ChangeTracker()
+        self._worker_tracker = _ChangeTracker()
+
+    # -- paths ----------------------------------------------------------
+
+    def queue_dir(self) -> Path:
+        return self.root / QUEUE_DIR
+
+    def lease_path(self, unit_id: str) -> Path:
+        return self.root / LEASES_DIR / f"{unit_id}.lease"
+
+    def done_path(self, unit_id: str) -> Path:
+        return self.root / DONE_DIR / f"{unit_id}.json"
+
+    def worker_path(self, worker: str) -> Path:
+        return self.root / WORKERS_DIR / f"{worker}.json"
+
+    def ensure_layout(self) -> None:
+        for sub in (QUEUE_DIR, LEASES_DIR, DONE_DIR, WORKERS_DIR):
+            (self.root / sub).mkdir(parents=True, exist_ok=True)
+
+    def _publish_json(self, payload: dict, dst: Path) -> None:
+        dst.parent.mkdir(parents=True, exist_ok=True)
+        tmp = dst.parent / f".{dst.name}.{os.getpid()}.tmp"
+        try:
+            tmp.write_text(json.dumps(payload, sort_keys=True),
+                           encoding="utf-8")
+            self.backend.publish(tmp, dst)
+        finally:
+            tmp.unlink(missing_ok=True)
+
+    # -- queue ----------------------------------------------------------
+
+    def enqueue(self, unit: WorkUnit) -> Path:
+        """Publish a work unit into the claimable queue."""
+        dst = self.queue_dir() / unit.filename
+        self._publish_json(unit.to_json(), dst)
+        obs.add("fabric.units_enqueued")
+        return dst
+
+    def queue_entries(self) -> list[tuple[str, Path]]:
+        """``(unit_id, path)`` of every queued unit, in dispatch order."""
+        try:
+            names = sorted(os.listdir(self.queue_dir()))
+        except FileNotFoundError:
+            return []
+        out = []
+        for name in names:
+            if not name.endswith(".json") or name.startswith("."):
+                continue
+            unit_id = name[:-len(".json")].split("-", 1)[-1]
+            out.append((unit_id, self.queue_dir() / name))
+        return out
+
+    def remove_queued(self, unit_id: str) -> None:
+        for uid, path in self.queue_entries():
+            if uid == unit_id:
+                path.unlink(missing_ok=True)
+
+    # -- leases (worker side) -------------------------------------------
+
+    def claim(self, unit_id: str, worker: str) -> bool:
+        """Try to take ownership of ``unit_id`` (``O_EXCL`` create)."""
+        path = self.lease_path(unit_id)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = json.dumps({"unit": unit_id, "worker": worker,
+                              "seq": 0, "ts": time.time()},
+                             sort_keys=True)
+        try:
+            fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            return False
+        try:
+            os.write(fd, payload.encode())
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+        return True
+
+    def heartbeat(self, unit_id: str, worker: str) -> bool:
+        """Renew a lease; ``False`` means it was lost (reclaimed).
+
+        The owner check is read-then-replace, not atomic — see the
+        module docstring for why the residual race is benign.
+        """
+        path = self.lease_path(unit_id)
+        current = _read_json(path)
+        if current is None or current.get("worker") != worker:
+            return False
+        current["seq"] = int(current.get("seq", 0)) + 1
+        current["ts"] = time.time()
+        self._publish_json(current, path)
+        return True
+
+    def release(self, unit_id: str, worker: str) -> None:
+        """Drop a lease we own (completion or graceful shutdown)."""
+        current = _read_json(self.lease_path(unit_id))
+        if current is not None and current.get("worker") == worker:
+            self.lease_path(unit_id).unlink(missing_ok=True)
+
+    def complete(self, unit_id: str, record: dict) -> bool:
+        """Publish the outcome record; first completion wins.
+
+        The record is written to a temp file and hard-linked into
+        place — link fails atomically if a record already exists, which
+        is the duplicate-completion detection for a zombie worker
+        finishing after its lease was reclaimed and re-executed.
+        """
+        dst = self.done_path(unit_id)
+        dst.parent.mkdir(parents=True, exist_ok=True)
+        tmp = dst.parent / f".{dst.name}.{os.getpid()}.tmp"
+        try:
+            tmp.write_text(json.dumps(record, sort_keys=True),
+                           encoding="utf-8")
+            try:
+                os.link(tmp, dst)
+            except FileExistsError:
+                obs.add("fabric.duplicate_completions")
+                return False
+            except OSError:
+                # Filesystem without hard links: degrade to the atomic
+                # publish (last writer wins; records are equal anyway).
+                if dst.exists():
+                    obs.add("fabric.duplicate_completions")
+                    return False
+                self.backend.publish(tmp, dst)
+        finally:
+            tmp.unlink(missing_ok=True)
+        obs.add("fabric.units_completed")
+        return True
+
+    # -- coordination (reader side) -------------------------------------
+
+    def active_leases(self) -> dict[str, dict]:
+        """Unit id -> lease record for every live lease file."""
+        out: dict[str, dict] = {}
+        try:
+            names = os.listdir(self.root / LEASES_DIR)
+        except FileNotFoundError:
+            return out
+        for name in names:
+            if not name.endswith(".lease") or name.startswith("."):
+                continue
+            unit_id = name[:-len(".lease")]
+            rec = _read_json(self.lease_path(unit_id))
+            if rec is not None:
+                out[unit_id] = rec
+        return out
+
+    def done_records(self) -> dict[str, dict]:
+        """Unit id -> outcome record for every completed unit."""
+        out: dict[str, dict] = {}
+        try:
+            names = os.listdir(self.root / DONE_DIR)
+        except FileNotFoundError:
+            return out
+        for name in names:
+            if not name.endswith(".json") or name.startswith("."):
+                continue
+            unit_id = name[:-len(".json")]
+            rec = _read_json(self.done_path(unit_id))
+            if rec is not None:
+                out[unit_id] = rec
+        return out
+
+    def reclaim_expired(self, ttl: float,
+                        now: float | None = None) -> list[str]:
+        """Expire leases whose heartbeat went silent; return unit ids.
+
+        A lease's age is the time since its *content* last changed, on
+        this process's monotonic clock — no cross-host clock
+        comparison.  Expired lease files are removed, which returns
+        the unit to the claimable pool (its queue entry still exists).
+        """
+        reclaimed: list[str] = []
+        leases = self.active_leases()
+        for unit_id, rec in leases.items():
+            fingerprint = (rec.get("worker"), rec.get("seq"))
+            age = self._lease_tracker.observe(unit_id, fingerprint, now)
+            if age > ttl:
+                self.lease_path(unit_id).unlink(missing_ok=True)
+                self._lease_tracker.forget(unit_id)
+                reclaimed.append(unit_id)
+                obs.add("fabric.units_reclaimed")
+        for unit_id in set(self._lease_tracker._seen) - set(leases):
+            self._lease_tracker.forget(unit_id)
+        return reclaimed
+
+    # -- worker heartbeats ----------------------------------------------
+
+    def write_worker_heartbeat(self, worker: str,
+                               inflight: list[str],
+                               seq: int) -> None:
+        self._publish_json(
+            {"worker": worker, "pid": os.getpid(),
+             "host": socket.gethostname(), "seq": seq,
+             "ts": time.time(), "inflight": sorted(inflight)},
+            self.worker_path(worker))
+
+    def remove_worker(self, worker: str) -> None:
+        self.worker_path(worker).unlink(missing_ok=True)
+
+    def workers(self, ttl: float | None = None,
+                now: float | None = None) -> dict[str, dict]:
+        """Worker id -> heartbeat record (+ ``age_s`` as observed here).
+
+        With ``ttl``, only workers whose heartbeat content changed
+        within the last ``ttl`` seconds are returned (the fleet-health
+        "alive" definition).
+        """
+        out: dict[str, dict] = {}
+        try:
+            names = os.listdir(self.root / WORKERS_DIR)
+        except FileNotFoundError:
+            return out
+        for name in names:
+            if not name.endswith(".json") or name.startswith("."):
+                continue
+            worker = name[:-len(".json")]
+            rec = _read_json(self.worker_path(worker))
+            if rec is None:
+                continue
+            age = self._worker_tracker.observe(worker, rec.get("seq"),
+                                               now)
+            if ttl is not None and age > ttl:
+                continue
+            rec["age_s"] = age
+            out[worker] = rec
+        return out
+
+    # -- fleet stop flag -------------------------------------------------
+
+    def request_stop(self) -> None:
+        """Ask every agent polling this fabric dir to wind down."""
+        self._publish_json({"ts": time.time()}, self.root / STOP_MARKER)
+
+    def stop_requested(self) -> bool:
+        return (self.root / STOP_MARKER).exists()
+
+    def clear_stop(self) -> None:
+        (self.root / STOP_MARKER).unlink(missing_ok=True)
+
+    def __repr__(self) -> str:
+        return f"LeaseLedger({self.backend.describe()!r})"

@@ -1,0 +1,226 @@
+"""Worker agent: pull leases, run jobs, report outcomes.
+
+One agent process serves one host.  Its loop is deliberately dumb —
+all cleverness lives in layers that already exist:
+
+1. scan the queue in filename order (which *is* the coordinator's LPT
+   order), skip units that are leased or done, and try to claim the
+   first claimable one (``O_EXCL`` — losing the race costs a directory
+   scan, nothing more);
+2. run the claimed unit through :func:`repro.exec.pool.run_jobs` —
+   the same path a local campaign takes, so the shared result store,
+   trace store, warm caches, retry/backoff and cost-model observation
+   all apply unchanged (and the cost model's locked read-merge-write
+   ``save`` is how this worker reports its runtime observations back
+   for the coordinator's next LPT ordering);
+3. publish a ``done/`` record (first writer wins) and release the
+   lease.
+
+A background thread renews the unit lease and the agent's own
+heartbeat file while a job runs, so a long simulation is never
+mistaken for a dead host.  If a renewal discovers the lease was
+reclaimed (the agent was presumed dead), the run still completes —
+execution is deterministic and the store content-addressed, so the
+late completion either wins the ``done/`` race or is dropped by it,
+and the campaign manifest's unit-keyed guard settles the unit exactly
+once either way.
+
+Worker spans parent under the coordinator's submitting span via the
+``span`` tuple carried in the unit envelope, so one cross-host trace
+shows request → campaign → unit → pool job.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import threading
+import time
+from pathlib import Path
+
+from repro import obs
+from repro.exec.backend import StoreBackend
+from repro.exec.campaign import WorkloadFailure
+from repro.exec.costmodel import CostModel
+from repro.exec.pool import JobFailure, run_jobs
+from repro.exec.store import ResultStore
+from repro.fabric.coordinator import STORE_DIR, fabric_backend
+from repro.fabric.lease import LeaseLedger
+from repro.fabric.units import WorkUnit
+from repro.obs.spans import SpanContext
+
+#: default seconds between lease/worker heartbeat renewals
+DEFAULT_HEARTBEAT = 1.0
+
+
+def default_worker_id() -> str:
+    return f"{socket.gethostname()}-{os.getpid()}"
+
+
+class _Heartbeater(threading.Thread):
+    """Renews the unit lease + agent heartbeat while a job runs."""
+
+    def __init__(self, ledger: LeaseLedger, worker: str, unit_id: str,
+                 interval: float, seq_start: int):
+        super().__init__(daemon=True)
+        self.ledger = ledger
+        self.worker = worker
+        self.unit_id = unit_id
+        self.interval = interval
+        self.seq = seq_start
+        self.lost = threading.Event()
+        # NB: not ``_stop`` — that would shadow threading.Thread._stop
+        self._halt = threading.Event()
+
+    def run(self) -> None:
+        while not self._halt.wait(self.interval):
+            self.seq += 1
+            self.ledger.write_worker_heartbeat(
+                self.worker, [self.unit_id], self.seq)
+            if not self.ledger.heartbeat(self.unit_id, self.worker):
+                self.lost.set()     # reclaimed under us; finish anyway
+
+    def stop(self) -> int:
+        self._halt.set()
+        self.join(timeout=self.interval * 4 + 1.0)
+        return self.seq
+
+
+class WorkerAgent:
+    """One fabric worker process (one per host, typically)."""
+
+    def __init__(self, root: str | Path | StoreBackend, *,
+                 worker_id: str | None = None, shared: bool = False,
+                 heartbeat_interval: float = DEFAULT_HEARTBEAT,
+                 poll_interval: float = 0.05,
+                 max_retries: int = 3, retry_backoff: float = 0.1,
+                 job_timeout: float | None = None):
+        backend = fabric_backend(root, shared=shared)
+        self.backend = backend
+        self.root = backend.root
+        self.worker_id = worker_id or default_worker_id()
+        self.ledger = LeaseLedger(backend)
+        self.ledger.ensure_layout()
+        self.store = ResultStore(
+            backend=fabric_backend(self.root / STORE_DIR, shared=shared))
+        self.costs = CostModel.for_store(self.store)
+        self.heartbeat_interval = heartbeat_interval
+        self.poll_interval = poll_interval
+        self.max_retries = max_retries
+        self.retry_backoff = retry_backoff
+        self.job_timeout = job_timeout
+        self._seq = 0
+        self.units_run = 0
+
+    # -- claiming --------------------------------------------------------
+
+    def claim_next(self) -> WorkUnit | None:
+        """Claim the first claimable queued unit, in dispatch order."""
+        done = self.ledger.done_records()
+        leases = self.ledger.active_leases()
+        for unit_id, path in self.ledger.queue_entries():
+            if unit_id in done:
+                # settled long ago; opportunistically tidy the queue
+                path.unlink(missing_ok=True)
+                continue
+            if unit_id in leases:
+                continue
+            if not self.ledger.claim(unit_id, self.worker_id):
+                continue            # lost the race to another worker
+            try:
+                return WorkUnit.load(path)
+            except (OSError, ValueError):
+                # torn/vanished envelope: drop the claim, move on
+                self.ledger.release(unit_id, self.worker_id)
+                continue
+        return None
+
+    # -- execution -------------------------------------------------------
+
+    def run_unit(self, unit: WorkUnit) -> dict:
+        """Execute one claimed unit; returns the outcome record."""
+        parent = SpanContext(*unit.span) if unit.span else None
+        beat = _Heartbeater(self.ledger, self.worker_id, unit.unit_id,
+                            self.heartbeat_interval, self._seq)
+        beat.start()
+        started = time.monotonic()
+        try:
+            with obs.span("fabric.unit", parent=parent,
+                          unit=unit.unit_id, workload=unit.name,
+                          worker=self.worker_id):
+                cached = self.store.get(unit.key) is not None
+                outcome = run_jobs(
+                    [unit.job], n_jobs=1, store=self.store,
+                    catch=(Exception,), timeout=self.job_timeout,
+                    max_retries=self.max_retries,
+                    retry_backoff=self.retry_backoff,
+                    cost_model=self.costs)[0]
+        finally:
+            self._seq = beat.stop()
+        seconds = time.monotonic() - started
+        record = {"unit": unit.unit_id, "name": unit.name,
+                  "key": unit.key, "worker": self.worker_id,
+                  "seconds": seconds, "cached": cached}
+        if isinstance(outcome, JobFailure):
+            failure = WorkloadFailure.from_job_failure(outcome,
+                                                       key=unit.key)
+            record["status"] = "failed"
+            record["failure"] = failure.to_json()
+        else:
+            record["status"] = "done"
+        if beat.lost.is_set():
+            record["lease_lost"] = True
+            obs.add("fabric.late_completions")
+        return record
+
+    def serve_one(self) -> bool:
+        """Claim + run + report one unit; ``False`` if none claimable."""
+        unit = self.claim_next()
+        if unit is None:
+            return False
+        record = self.run_unit(unit)
+        self.ledger.complete(unit.unit_id, record)
+        self.ledger.release(unit.unit_id, self.worker_id)
+        self.ledger.remove_queued(unit.unit_id)
+        self.units_run += 1
+        obs.add("fabric.worker_units_run")
+        return True
+
+    def run(self, *, max_units: int | None = None,
+            idle_exit: float | None = None, should_stop=None) -> int:
+        """Serve until stopped; returns how many units this agent ran.
+
+        ``idle_exit`` bounds how long the agent waits with an empty
+        queue before exiting (None = forever); the fabric-wide stop
+        marker and ``should_stop`` both wind it down after the current
+        unit — a graceful shutdown never abandons a claimed lease.
+        """
+        served = 0
+        idle_since = time.monotonic()
+        try:
+            while True:
+                if should_stop is not None and should_stop():
+                    break
+                if self.ledger.stop_requested():
+                    break
+                if max_units is not None and served >= max_units:
+                    break
+                self._seq += 1
+                self.ledger.write_worker_heartbeat(self.worker_id, [],
+                                                   self._seq)
+                if self.serve_one():
+                    served += 1
+                    idle_since = time.monotonic()
+                    continue
+                if idle_exit is not None \
+                        and time.monotonic() - idle_since > idle_exit:
+                    break
+                time.sleep(self.poll_interval)
+        finally:
+            self.ledger.remove_worker(self.worker_id)
+            self.costs.save()
+        return served
+
+    def __repr__(self) -> str:
+        return (f"WorkerAgent({self.worker_id!r}, "
+                f"{self.backend.describe()!r})")

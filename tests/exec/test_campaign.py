@@ -306,3 +306,50 @@ class TestKeysMatchPool:
                             fidelity=FID).cache_key(fp) for s in specs}
         assert manifest.done_keys() == expected
         assert all(k in store for k in expected)
+
+
+class TestDuplicateCompletionGuard:
+    """A second appender (coordinator reclaim racing a slow worker)
+    must not journal the same work unit twice."""
+
+    def test_same_unit_recorded_once(self, tmp_path):
+        m = CampaignManifest(tmp_path / "c.jsonl")
+        m.begin("fp0")
+        assert m.record("k1", "A", "done", unit="u1") is True
+        assert m.record("k1", "A", "done", unit="u1") is False
+        outcomes = [r for r in m.records if r.get("type") == "outcome"]
+        assert len(outcomes) == 1
+
+    def test_guard_survives_reload(self, tmp_path):
+        path = tmp_path / "c.jsonl"
+        m = CampaignManifest(path)
+        m.begin("fp0")
+        m.record("k1", "A", "done", unit="u1")
+        # The racing appender is a *different* process with its own
+        # manifest object over the same journal.
+        other = CampaignManifest(path)
+        assert other.record("k1", "A", "done", unit="u1") is False
+        reloaded = CampaignManifest(path)
+        outcomes = [r for r in reloaded.records
+                    if r.get("type") == "outcome"]
+        assert len(outcomes) == 1
+        assert outcomes[0]["unit"] == "u1"
+
+    def test_distinct_units_same_key_both_journal(self, tmp_path):
+        # Two campaigns can legitimately settle the same cache key
+        # under different work units (e.g. a reclaim re-enqueue).
+        m = CampaignManifest(tmp_path / "c.jsonl")
+        m.begin("fp0")
+        assert m.record("k1", "A", "failed", unit="u1",
+                        failure=WorkloadFailure(
+                            name="A", error_type="WorkerCrash",
+                            message="host died",
+                            classification=TRANSIENT, key="k1"))
+        assert m.record("k1", "A", "done", unit="u2")
+        assert m.done_keys() == {"k1"}
+
+    def test_unitless_records_unaffected(self, tmp_path):
+        m = CampaignManifest(tmp_path / "c.jsonl")
+        m.begin("fp0")
+        assert m.record("k1", "A", "done") is True
+        assert m.record("k1", "A", "done") is True   # legacy path

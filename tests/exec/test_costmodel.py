@@ -195,3 +195,61 @@ class TestLptOrder:
                 lower = max(sum(costs) / workers, max(costs))
                 assert lpt_span <= (4 / 3) * lower + 1e-9
         assert lpt_total < fifo_total
+
+
+def _contended_writer(path, proc, rounds):
+    """Child body: observe distinct keys and save after each one."""
+    model = CostModel(path)
+    for i in range(rounds):
+        model.observe(make_job(run_kwargs={"tag": f"p{proc}-{i}"}), 1.0)
+        model.save()
+
+
+class TestContendedWriters:
+    """Multiple hosts on a shared store dir write one costs.json; the
+    flock'd read-merge-write must lose no observations and never leave
+    a torn file."""
+
+    def test_save_merges_instead_of_clobbering(self, tmp_path):
+        path = tmp_path / COSTS_FILENAME
+        a, b = CostModel(path), CostModel(path)
+        a.observe(make_job(run_kwargs={"tag": "a"}), 1.0)
+        b.observe(make_job(run_kwargs={"tag": "b"}), 2.0)
+        a.save()
+        b.save()                    # must keep a's entry, not last-write-win
+        merged = CostModel(path)
+        assert len(merged) == 2
+        # b adopted a's on-disk entry into its in-memory model too
+        assert b.estimate(make_job(run_kwargs={"tag": "a"})) == 1.0
+
+    def test_unobserved_keys_adopt_fresher_disk_values(self, tmp_path):
+        path = tmp_path / COSTS_FILENAME
+        a, b = CostModel(path), CostModel(path)
+        job = make_job()
+        a.observe(job, 5.0)
+        a.save()
+        b.observe(make_job(1), 1.0)
+        b.save()
+        assert b.estimate(job) == 5.0
+
+    def test_concurrent_writers_lose_nothing(self, tmp_path):
+        import multiprocessing
+
+        if "fork" not in multiprocessing.get_all_start_methods():
+            pytest.skip("fork start method unavailable")
+        ctx = multiprocessing.get_context("fork")
+        path = tmp_path / COSTS_FILENAME
+        n_procs, rounds = 4, 12
+        procs = [ctx.Process(target=_contended_writer,
+                             args=(path, p, rounds))
+                 for p in range(n_procs)]
+        for proc in procs:
+            proc.start()
+        for proc in procs:
+            proc.join(60)
+            assert proc.exitcode == 0
+        raw = json.loads(path.read_text())   # valid JSON: no torn write
+        costs = raw["costs"]
+        expected = {cost_key(make_job(run_kwargs={"tag": f"p{p}-{i}"}))
+                    for p in range(n_procs) for i in range(rounds)}
+        assert expected <= set(costs)

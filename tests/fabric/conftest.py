@@ -1,0 +1,35 @@
+"""Shared fixtures for the fabric test suite."""
+
+import pytest
+
+from repro import obs
+from repro.harness.runner import Fidelity
+from repro.uarch.machine import get_machine
+from repro.workloads.dotnet import dotnet_category_specs
+
+FID = Fidelity(warmup_instructions=5_000, measure_instructions=10_000)
+
+
+@pytest.fixture
+def machine():
+    return get_machine("i9")
+
+
+@pytest.fixture
+def specs():
+    return dotnet_category_specs()[:3]
+
+
+@pytest.fixture
+def metrics():
+    """In-memory-only observability for counter/gauge assertions."""
+    obs.configure(None, export_env=False)
+    yield
+    obs.shutdown(dump=False)
+
+
+def make_jobs(specs, machine, **overrides):
+    from repro.exec.jobs import JobSpec
+    fields = dict(machine=machine, fidelity=FID, seed=0)
+    fields.update(overrides)
+    return [JobSpec(spec=s, **fields) for s in specs]

@@ -1,0 +1,119 @@
+"""StoreBackend: publish/read/lock contracts, fleet-shared stores."""
+
+import numpy as np
+import pytest
+
+from repro.exec.backend import (LocalDirBackend, SharedDirBackend,
+                                backend_for)
+from repro.exec.store import ResultStore
+from repro.exec.traces import TraceStore
+from repro.harness.suite import characterize_suite
+from tests.fabric.conftest import FID, make_jobs
+
+
+class TestBackendFor:
+    def test_bare_path_is_local(self, tmp_path):
+        backend = backend_for(tmp_path / "s")
+        assert isinstance(backend, LocalDirBackend)
+        assert backend.root == tmp_path / "s"
+
+    def test_prefixed_specs(self, tmp_path):
+        assert isinstance(backend_for(f"local:{tmp_path}"),
+                          LocalDirBackend)
+        shared = backend_for(f"shared:{tmp_path}")
+        assert isinstance(shared, SharedDirBackend)
+        assert shared.root == tmp_path
+
+    def test_prebuilt_backend_passes_through(self, tmp_path):
+        backend = SharedDirBackend(tmp_path)
+        assert backend_for(backend) is backend
+
+    def test_describe_names_the_flavor(self, tmp_path):
+        assert backend_for(f"shared:{tmp_path}").describe() \
+            .startswith("shared:")
+        assert backend_for(tmp_path).describe().startswith("local:")
+
+
+@pytest.mark.parametrize("flavor", [LocalDirBackend, SharedDirBackend])
+class TestPublishRead:
+    def test_publish_is_atomic_rename(self, tmp_path, flavor):
+        backend = flavor(tmp_path)
+        tmp = tmp_path / ".x.tmp"
+        tmp.write_bytes(b"payload")
+        dst = backend.path("sub", "x.bin")
+        dst.parent.mkdir(parents=True)
+        backend.publish(tmp, dst)
+        assert not tmp.exists()
+        assert backend.read_bytes(dst) == b"payload"
+
+    def test_publish_replaces_existing(self, tmp_path, flavor):
+        backend = flavor(tmp_path)
+        dst = tmp_path / "x.bin"
+        for payload in (b"one", b"two"):
+            tmp = tmp_path / ".x.tmp"
+            tmp.write_bytes(payload)
+            backend.publish(tmp, dst)
+        assert backend.read_bytes(dst) == b"two"
+
+    def test_lock_roundtrip(self, tmp_path, flavor):
+        backend = flavor(tmp_path)
+        with backend.lock(exclusive=True):
+            pass
+        with backend.lock():
+            pass
+
+
+class TestSharedStores:
+    """ResultStore/TraceStore run unchanged over the shared backend."""
+
+    def test_result_store_over_shared_backend(self, tmp_path, specs,
+                                              machine):
+        store = ResultStore(backend=f"shared:{tmp_path / 'store'}")
+        suite = characterize_suite(specs, machine, FID, store=store)
+        again = ResultStore(backend=f"shared:{tmp_path / 'store'}")
+        cached = characterize_suite(specs, machine, FID, store=again)
+        assert np.array_equal(suite.metric_matrix().values,
+                              cached.metric_matrix().values)
+
+    def test_two_store_objects_share_entries(self, tmp_path, specs,
+                                             machine):
+        writer = ResultStore(backend=f"shared:{tmp_path / 'store'}")
+        reader = ResultStore(backend=f"shared:{tmp_path / 'store'}")
+        job = make_jobs(specs[:1], machine)[0]
+        key = job.cache_key()
+        from repro.exec.jobs import execute_job
+        writer.put(key, execute_job(job))
+        assert reader.get(key) is not None
+
+    def test_trace_store_over_shared_backend(self, tmp_path, specs):
+        from repro.runtime.gc import GcConfig
+        from repro.runtime.heap import HeapConfig
+        from repro.workloads.program import build_program
+
+        gc = GcConfig()
+        heap = HeapConfig(max_heap_bytes=gc.max_heap_bytes,
+                          gen0_budget_bytes=gc.gen0_budget())
+        spec = specs[0]
+        root = tmp_path / "traces"
+        writer = TraceStore(backend=f"shared:{root}")
+        key = writer.key_for(spec, seed=0, code_bloat=1.0,
+                             gc_config=gc, heap_config=heap,
+                             fingerprint="fp0")
+        meta, generated = writer.ensure(
+            key, 4_000, lambda: build_program(spec, seed=0))
+        assert generated and meta["crc32"] is not None
+
+        reader = TraceStore(backend=f"shared:{root}")
+        again, regenerated = reader.ensure(
+            key, 4_000, lambda: build_program(spec, seed=0))
+        assert not regenerated
+        assert again["crc32"] == meta["crc32"]
+
+    def test_root_backend_mismatch_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            ResultStore(tmp_path / "a",
+                        backend=LocalDirBackend(tmp_path / "b"))
+
+    def test_store_requires_root_or_backend(self):
+        with pytest.raises(TypeError):
+            ResultStore()

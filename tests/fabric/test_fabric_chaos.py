@@ -1,0 +1,106 @@
+"""Acceptance: kill a worker *host* mid-campaign, results unchanged.
+
+PR-3's chaos harness killed worker *processes* under one pool; the
+fabric extends the failure domain to whole hosts.  Here two worker
+agents run as real subprocesses (``python -m repro.fabric worker``)
+against one fabric directory, one is SIGKILLed while it holds a
+lease, and the campaign must still deliver a SuiteResult bit-identical
+to a plain in-process serial run.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.harness.runner import Fidelity
+from repro.harness.suite import characterize_suite
+from repro.fabric.coordinator import Coordinator
+
+# Heavy enough that units take visible wall-clock time, so the victim
+# is reliably mid-unit when the kill lands.
+CHAOS_FID = Fidelity(warmup_instructions=20_000,
+                     measure_instructions=150_000)
+
+REPO = Path(__file__).resolve().parents[2]
+
+
+def _spawn_worker(root, worker_id, log):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro.fabric", "worker", str(root),
+         "--worker-id", worker_id, "--heartbeat", "0.2",
+         "--idle-exit", "20"],
+        cwd=REPO, env=env, stdout=log, stderr=subprocess.STDOUT)
+
+
+@pytest.mark.slow
+def test_worker_host_killed_mid_campaign_is_bit_identical(
+        tmp_path, specs, machine):
+    root = tmp_path / "fab"
+    coord = Coordinator(root, lease_ttl=1.0, poll_interval=0.02)
+
+    done = {}
+
+    def campaign():
+        done["suite"] = coord.run_campaign(specs, machine, CHAOS_FID,
+                                           timeout=600.0)
+
+    runner = threading.Thread(target=campaign, daemon=True)
+    runner.start()
+
+    # wait for the queue to fill before the fleet arrives
+    deadline = time.monotonic() + 30.0
+    while time.monotonic() < deadline \
+            and not coord.ledger.queue_entries():
+        time.sleep(0.01)
+    assert coord.ledger.queue_entries(), "campaign never enqueued"
+
+    victim_id, survivor_id = "wVictim", "wSurvivor"
+    with open(tmp_path / "workers.log", "wb") as log:
+        victim = _spawn_worker(root, victim_id, log)
+        survivor = _spawn_worker(root, survivor_id, log)
+        try:
+            # SIGKILL the victim the moment it holds a lease
+            deadline = time.monotonic() + 60.0
+            held = None
+            while time.monotonic() < deadline and held is None:
+                for unit_id, lease in coord.ledger \
+                        .active_leases().items():
+                    if lease["worker"] == victim_id:
+                        held = unit_id
+                        break
+                if victim.poll() is not None:
+                    break
+                time.sleep(0.005)
+            assert held is not None, "victim never claimed a lease"
+            victim.send_signal(signal.SIGKILL)
+            victim.wait(timeout=30.0)
+
+            runner.join(timeout=600.0)
+            assert not runner.is_alive(), "campaign did not finish"
+        finally:
+            for proc in (victim, survivor):
+                if proc.poll() is None:
+                    proc.terminate()
+            survivor.wait(timeout=60.0)
+
+    suite = done["suite"]
+    ref = characterize_suite(specs, machine, CHAOS_FID)
+    assert suite.names == ref.names
+    assert suite.failures == []
+    assert np.array_equal(suite.metric_matrix().values,
+                          ref.metric_matrix().values)
+
+    # the survivor really did carry the fleet after the kill
+    records = coord.ledger.done_records()
+    assert records, "no done records journalled"
+    workers = {rec["worker"] for rec in records.values()}
+    assert survivor_id in workers

@@ -1,0 +1,186 @@
+"""Lease protocol: claims, heartbeats, expiry, completion races.
+
+The three lifecycle edge cases the fabric must survive:
+
+* a lease whose worker stops heartbeating because it is *gracefully*
+  shutting down (release beats reclaim — no double execution);
+* reclaim of a unit whose result already landed in the store (the
+  worker died between publishing the result and its done record);
+* heartbeat loss followed by a late completion (the zombie finishes
+  after reclaim — first done record wins, the manifest settles once).
+"""
+
+import json
+
+from repro import obs
+from repro.exec.campaign import CampaignManifest
+from repro.exec.jobs import execute_job
+from repro.fabric.coordinator import Coordinator
+from repro.fabric.lease import LeaseLedger, _ChangeTracker
+from tests.fabric.conftest import make_jobs
+
+
+def _ledger(tmp_path):
+    ledger = LeaseLedger(tmp_path / "fab")
+    ledger.ensure_layout()
+    return ledger
+
+
+class TestChangeTracker:
+    def test_unchanged_content_ages(self):
+        tracker = _ChangeTracker()
+        assert tracker.observe("a", ("w", 0), now=100.0) == 0.0
+        assert tracker.observe("a", ("w", 0), now=103.5) == 3.5
+
+    def test_changed_content_resets_age(self):
+        tracker = _ChangeTracker()
+        tracker.observe("a", ("w", 0), now=100.0)
+        assert tracker.observe("a", ("w", 1), now=109.0) == 0.0
+        assert tracker.observe("a", ("w", 1), now=110.0) == 1.0
+
+
+class TestClaims:
+    def test_claim_is_exclusive(self, tmp_path):
+        ledger = _ledger(tmp_path)
+        assert ledger.claim("u1", "wA")
+        assert not ledger.claim("u1", "wB")
+        assert ledger.active_leases()["u1"]["worker"] == "wA"
+
+    def test_heartbeat_bumps_seq(self, tmp_path):
+        ledger = _ledger(tmp_path)
+        ledger.claim("u1", "wA")
+        assert ledger.heartbeat("u1", "wA")
+        assert ledger.heartbeat("u1", "wA")
+        assert ledger.active_leases()["u1"]["seq"] == 2
+
+    def test_heartbeat_of_foreign_lease_fails(self, tmp_path):
+        ledger = _ledger(tmp_path)
+        ledger.claim("u1", "wA")
+        assert not ledger.heartbeat("u1", "wB")
+
+    def test_release_only_by_owner(self, tmp_path):
+        ledger = _ledger(tmp_path)
+        ledger.claim("u1", "wA")
+        ledger.release("u1", "wB")
+        assert "u1" in ledger.active_leases()
+        ledger.release("u1", "wA")
+        assert ledger.active_leases() == {}
+
+
+class TestExpiry:
+    def test_heartbeating_lease_never_expires(self, tmp_path):
+        ledger = _ledger(tmp_path)
+        ledger.claim("u1", "wA")
+        assert ledger.reclaim_expired(5.0, now=100.0) == []
+        ledger.heartbeat("u1", "wA")
+        assert ledger.reclaim_expired(5.0, now=109.0) == []
+        ledger.heartbeat("u1", "wA")
+        assert ledger.reclaim_expired(5.0, now=113.0) == []
+
+    def test_silent_lease_expires_on_observer_clock(self, tmp_path):
+        # Expiry depends only on the coordinator's own monotonic clock
+        # observing unchanged content — wall timestamps in the lease
+        # (possibly from a skewed remote host) are irrelevant.
+        ledger = _ledger(tmp_path)
+        ledger.claim("u1", "wA")
+        lease = ledger.lease_path("u1")
+        rec = json.loads(lease.read_text())
+        rec["ts"] = rec["ts"] + 10_000      # wildly skewed remote clock
+        lease.write_text(json.dumps(rec))
+        assert ledger.reclaim_expired(5.0, now=100.0) == []
+        assert ledger.reclaim_expired(5.0, now=106.0) == ["u1"]
+        assert ledger.active_leases() == {}
+
+    def test_reclaimed_unit_is_reclaimable_again(self, tmp_path):
+        ledger = _ledger(tmp_path)
+        ledger.claim("u1", "wA")
+        ledger.reclaim_expired(5.0, now=0.0)
+        ledger.reclaim_expired(5.0, now=6.0)
+        assert ledger.claim("u1", "wB")
+
+    def test_graceful_shutdown_release_beats_reclaim(self, tmp_path):
+        # Worker stops heartbeating while winding down but releases the
+        # lease before the TTL passes: reclaim must find nothing.
+        ledger = _ledger(tmp_path)
+        ledger.claim("u1", "wA")
+        ledger.reclaim_expired(5.0, now=0.0)
+        ledger.release("u1", "wA")          # graceful exit, inside TTL
+        assert ledger.reclaim_expired(5.0, now=6.0) == []
+
+
+class TestCompletion:
+    def test_first_done_record_wins(self, tmp_path):
+        ledger = _ledger(tmp_path)
+        assert ledger.complete("u1", {"unit": "u1", "worker": "wA",
+                                      "status": "done"})
+        assert not ledger.complete("u1", {"unit": "u1", "worker": "wB",
+                                          "status": "done"})
+        assert ledger.done_records()["u1"]["worker"] == "wA"
+
+    def test_late_completion_after_reclaim(self, tmp_path):
+        # Zombie worker: lease reclaimed, heartbeat reports the loss,
+        # but the completion still lands (and wins, being first).
+        ledger = _ledger(tmp_path)
+        ledger.claim("u1", "wA")
+        ledger.reclaim_expired(5.0, now=0.0)
+        assert ledger.reclaim_expired(5.0, now=6.0) == ["u1"]
+        assert not ledger.heartbeat("u1", "wA")      # loss is visible
+        assert ledger.complete("u1", {"unit": "u1", "worker": "wA",
+                                      "status": "done"})
+        # the re-execution's completion is dropped
+        assert not ledger.complete("u1", {"unit": "u1", "worker": "wB",
+                                          "status": "done"})
+
+
+class TestWorkerHeartbeats:
+    def test_workers_view_with_ttl(self, tmp_path):
+        ledger = _ledger(tmp_path)
+        ledger.write_worker_heartbeat("wA", ["u1"], seq=1)
+        ledger.write_worker_heartbeat("wB", [], seq=1)
+        assert set(ledger.workers(now=100.0)) == {"wA", "wB"}
+        # wA keeps beating, wB goes silent
+        ledger.write_worker_heartbeat("wA", [], seq=2)
+        assert set(ledger.workers(ttl=5.0, now=106.0)) == {"wA"}
+
+    def test_remove_worker(self, tmp_path):
+        ledger = _ledger(tmp_path)
+        ledger.write_worker_heartbeat("wA", [], seq=1)
+        ledger.remove_worker("wA")
+        assert ledger.workers() == {}
+
+
+class TestStopFlag:
+    def test_stop_roundtrip(self, tmp_path):
+        ledger = _ledger(tmp_path)
+        assert not ledger.stop_requested()
+        ledger.request_stop()
+        assert ledger.stop_requested()
+        ledger.clear_stop()
+        assert not ledger.stop_requested()
+
+
+class TestReclaimWithStoreResult:
+    def test_reclaim_settles_from_store_without_requeue(
+            self, tmp_path, specs, machine, metrics):
+        # The worker published the result, then died before its done
+        # record: reclaim must keep the work, not redo it.
+        coord = Coordinator(tmp_path / "fab", lease_ttl=0.05)
+        job = make_jobs(specs[:1], machine)[0]
+        sub = coord.submit([job])
+        (unit_id,) = sub.pending
+        assert coord.ledger.claim(unit_id, "wDead")
+        coord.store.put(sub.keys[0], execute_job(job))
+
+        manifest = CampaignManifest(tmp_path / "fab" / "m.jsonl")
+        manifest.begin("fp", total=1)
+        import time
+        deadline = time.monotonic() + 5.0
+        while not sub.done and time.monotonic() < deadline:
+            coord.poll(sub, manifest)
+            time.sleep(0.02)
+        assert sub.done
+        assert sub.outcomes[0][0] == "done"
+        assert coord.ledger.queue_entries() == []     # never re-enqueued
+        snap = obs.metrics_snapshot()
+        assert snap["counters"]["fabric.reclaims_settled_from_store"] == 1
+        assert "fabric.units_reclaimed" in snap["counters"]

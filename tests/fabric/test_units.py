@@ -1,0 +1,74 @@
+"""Work-unit envelope: roundtrip, dispatch-order filenames, ids."""
+
+import json
+
+import pytest
+
+from repro.fabric.units import (UNIT_SCHEMA, WorkUnit, make_unit_id,
+                                unit_id_of)
+from tests.fabric.conftest import make_jobs
+
+
+def _unit(specs, machine, rank=0, seq=1, **kw):
+    job = make_jobs(specs[:1], machine)[0]
+    key = "k" * 64
+    fields = dict(unit_id=make_unit_id(seq, key), name=job.name,
+                  key=key, cost_key="ck", rank=rank, job=job,
+                  span=("trace", "span"), estimate=1.5)
+    fields.update(kw)
+    return WorkUnit(**fields)
+
+
+class TestEnvelope:
+    def test_json_roundtrip(self, specs, machine, tmp_path):
+        unit = _unit(specs, machine)
+        path = tmp_path / unit.filename
+        path.write_text(json.dumps(unit.to_json()))
+        back = WorkUnit.load(path)
+        assert back == unit
+        assert back.job.spec == unit.job.spec
+        assert back.job.machine == unit.job.machine
+        assert back.job.fidelity == unit.job.fidelity
+        assert back.span == ("trace", "span")
+        assert back.estimate == 1.5
+
+    def test_unknown_schema_rejected(self, specs, machine):
+        data = _unit(specs, machine).to_json()
+        data["schema"] = UNIT_SCHEMA + 1
+        with pytest.raises(ValueError, match="schema"):
+            WorkUnit.from_json(data)
+
+    def test_optional_fields_roundtrip_none(self, specs, machine):
+        unit = _unit(specs, machine, span=None, estimate=None)
+        back = WorkUnit.from_json(unit.to_json())
+        assert back.span is None and back.estimate is None
+
+
+class TestDispatchOrder:
+    def test_filenames_sort_in_rank_order(self, specs, machine):
+        # A lexical directory scan must equal the coordinator's LPT
+        # ranking — that is the whole point of the rank prefix.
+        units = [_unit(specs, machine, rank=r, seq=r + 1)
+                 for r in (12, 0, 3, 101)]
+        by_name = sorted(u.filename for u in units)
+        ranks = [int(name.split("-", 1)[0]) for name in by_name]
+        assert ranks == sorted(u.rank for u in units)
+
+
+class TestIds:
+    def test_make_unit_id_embeds_key_prefix(self):
+        uid = make_unit_id(7, "abcdef0123456789" * 4)
+        assert uid == "u00007-abcdef012345"
+
+    def test_unit_id_of_queue_filename(self, specs, machine):
+        unit = _unit(specs, machine, rank=42, seq=9)
+        assert unit_id_of(unit.filename) == unit.unit_id
+
+    def test_unit_id_of_lease_and_done_names(self):
+        uid = make_unit_id(3, "f" * 64)
+        assert unit_id_of(f"{uid}.lease") == uid
+        assert unit_id_of(f"{uid}.json") == uid
+
+    def test_distinct_submissions_of_same_key_distinct_ids(self):
+        key = "a" * 64
+        assert make_unit_id(1, key) != make_unit_id(2, key)

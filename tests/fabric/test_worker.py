@@ -1,0 +1,129 @@
+"""Worker agent: claiming discipline, outcome records, lifecycle."""
+
+import threading
+import time
+
+from repro.exec.costmodel import CostModel
+from repro.fabric.coordinator import Coordinator
+from repro.fabric.worker import WorkerAgent, default_worker_id
+from tests.fabric.conftest import make_jobs
+
+
+def _pair(tmp_path, **worker_kw):
+    coord = Coordinator(tmp_path / "fab", lease_ttl=5.0,
+                        poll_interval=0.01)
+    worker_kw.setdefault("worker_id", "wT")
+    worker_kw.setdefault("heartbeat_interval", 0.1)
+    worker_kw.setdefault("poll_interval", 0.01)
+    agent = WorkerAgent(tmp_path / "fab", **worker_kw)
+    return coord, agent
+
+
+class TestClaiming:
+    def test_claims_in_dispatch_order(self, tmp_path, specs, machine):
+        coord, agent = _pair(tmp_path)
+        sub = coord.submit(make_jobs(specs, machine))
+        rank0 = min(sub.pending.values(), key=lambda p: p.unit.rank)
+        unit = agent.claim_next()
+        assert unit.unit_id == rank0.unit.unit_id
+
+    def test_skips_leased_units(self, tmp_path, specs, machine):
+        coord, agent = _pair(tmp_path)
+        sub = coord.submit(make_jobs(specs[:2], machine))
+        by_rank = sorted(sub.pending.values(), key=lambda p: p.unit.rank)
+        coord.ledger.claim(by_rank[0].unit.unit_id, "wOther")
+        unit = agent.claim_next()
+        assert unit.unit_id == by_rank[1].unit.unit_id
+
+    def test_skips_and_tidies_done_units(self, tmp_path, specs, machine):
+        coord, agent = _pair(tmp_path)
+        sub = coord.submit(make_jobs(specs[:1], machine))
+        (unit_id,) = sub.pending
+        coord.ledger.complete(unit_id, {"unit": unit_id,
+                                        "status": "done"})
+        assert agent.claim_next() is None
+        assert coord.ledger.queue_entries() == []   # tidied on scan
+
+    def test_empty_queue_returns_none(self, tmp_path):
+        _, agent = _pair(tmp_path)
+        assert agent.claim_next() is None
+
+
+class TestServeOne:
+    def test_outcome_record_and_cleanup(self, tmp_path, specs, machine):
+        coord, agent = _pair(tmp_path)
+        sub = coord.submit(make_jobs(specs[:1], machine))
+        (unit_id,) = sub.pending
+        assert agent.serve_one()
+        record = coord.ledger.done_records()[unit_id]
+        assert record["status"] == "done"
+        assert record["worker"] == "wT"
+        assert record["key"] == sub.keys[0]
+        assert record["seconds"] > 0.0
+        assert not record["cached"]
+        assert coord.ledger.active_leases() == {}
+        assert coord.ledger.queue_entries() == []
+        assert coord.store.get(sub.keys[0]) is not None
+
+    def test_cached_flag_on_warm_store(self, tmp_path, specs, machine):
+        from repro.exec.jobs import execute_job
+        coord, agent = _pair(tmp_path)
+        job = make_jobs(specs[:1], machine)[0]
+        coord.store.put(job.cache_key(), execute_job(job))
+        # force a unit despite the warm store (submit would dedup it)
+        unit = coord._next_unit(job, job.cache_key(), 0, None)
+        coord.ledger.enqueue(unit)
+        assert agent.serve_one()
+        assert coord.ledger.done_records()[unit.unit_id]["cached"]
+
+    def test_heartbeats_flow_during_run(self, tmp_path, specs, machine):
+        coord, agent = _pair(tmp_path, heartbeat_interval=0.02)
+        coord.submit(make_jobs(specs[:1], machine))
+        seen = []
+
+        def watch():
+            deadline = time.monotonic() + 10.0
+            while time.monotonic() < deadline:
+                leases = coord.ledger.active_leases()
+                if leases:
+                    seen.append(next(iter(leases.values()))["seq"])
+                if coord.ledger.done_records():
+                    return
+                time.sleep(0.01)
+
+        watcher = threading.Thread(target=watch)
+        watcher.start()
+        agent.serve_one()
+        watcher.join()
+        assert seen and max(seen) >= 1   # lease was renewed mid-run
+
+    def test_cost_observation_reported_back(self, tmp_path, specs,
+                                            machine):
+        coord, agent = _pair(tmp_path)
+        coord.submit(make_jobs(specs[:1], machine))
+        agent.serve_one()
+        agent.costs.save()
+        fresh = CostModel.for_store(coord.store)
+        assert len(fresh) == 1
+
+
+class TestRunLoop:
+    def test_stop_marker_halts_loop(self, tmp_path):
+        coord, agent = _pair(tmp_path)
+        coord.ledger.request_stop()
+        assert agent.run() == 0
+
+    def test_idle_exit_and_worker_cleanup(self, tmp_path):
+        _, agent = _pair(tmp_path)
+        served = agent.run(idle_exit=0.1)
+        assert served == 0
+        assert agent.ledger.workers() == {}   # heartbeat removed
+
+    def test_max_units(self, tmp_path, specs, machine):
+        coord, agent = _pair(tmp_path)
+        coord.submit(make_jobs(specs, machine))
+        assert agent.run(max_units=1) == 1
+        assert len(coord.ledger.done_records()) == 1
+
+    def test_default_worker_id_shape(self):
+        assert "-" in default_worker_id()

@@ -10,7 +10,8 @@ import repro
 
 PACKAGES = ["repro", "repro.core", "repro.uarch", "repro.kernel",
             "repro.runtime", "repro.workloads", "repro.perf",
-            "repro.harness", "repro.exec", "repro.obs"]
+            "repro.harness", "repro.exec", "repro.obs",
+            "repro.fabric"]
 
 
 def all_modules():
