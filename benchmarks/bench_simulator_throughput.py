@@ -11,10 +11,13 @@ workload per suite on both deployed consume paths:
   stream is decoded from the recorded SoA chunks and run through
   ``Core.consume_stream``; the workload program is never built.  This
   is what a second machine config of a multi-machine suite pays.
+* ``vector`` — the same warm-replay path through the native columnar
+  kernel (``repro.uarch.native``), the engine behind
+  ``consume_stream(engine="vector")``.
 
-Both paths produce bit-identical results (asserted here per workload,
+All paths produce bit-identical results (asserted here per workload,
 and exhaustively by tests/integration/test_batched_equivalence.py), so
-the ratio is pure engine speed.  Timings use best-of-``_ROUNDS`` to
+the ratios are pure engine speed.  Timings use best-of-``_ROUNDS`` to
 shave scheduler noise.
 
 Results land in ``benchmarks/results/simulator_throughput.txt`` and —
@@ -69,22 +72,29 @@ def _best_of(fn, rounds: int = _ROUNDS) -> tuple[float, object]:
 
 
 #: top-level keys of BENCH_throughput.json, one per bench function
-_SECTIONS = ("engine", "suite_wall_clock", "data_plane", "observability")
+#: (``micro`` is shared by the two bench_micro_structures functions)
+_SECTIONS = ("engine", "micro", "suite_wall_clock", "data_plane",
+             "observability")
 
 
-def _merge_json(section: str, data) -> dict:
+def _merge_json(section: str, data, merge_section: bool = False) -> dict:
     """Update one section of ``BENCH_throughput.json`` in place.
 
     The bench is several pytest functions writing one artifact; each
     owns a top-level key so partial runs never clobber the others.
     Keys outside ``_SECTIONS`` (pre-section layouts) are dropped.
+    ``merge_section`` updates the section's existing dict instead of
+    replacing it — for sections owned by more than one bench function.
     """
     try:
         payload = json.loads(JSON_PATH.read_text())
     except (OSError, ValueError):
         payload = {}
     payload = {k: v for k, v in payload.items() if k in _SECTIONS}
-    payload[section] = data
+    if merge_section and isinstance(payload.get(section), dict):
+        payload[section].update(data)
+    else:
+        payload[section] = data
     JSON_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True)
                          + "\n")
     return payload
@@ -102,15 +112,16 @@ def test_simulator_throughput(fidelity, machine_i9, emit, tmp_path):
         "rounds": _ROUNDS,
         "workloads": {},
     }
+    from repro.uarch import native
     for suite, specs_fn, name in _REPRESENTATIVES:
         spec = next(s for s in specs_fn() if s.name == name)
         # Warm the trace store once (records the stream), so the timed
-        # batched runs below measure the replay path.
+        # batched/vector runs below measure the replay path.
         warm = run_workload(spec, machine_i9, fidelity, trace_store=store)
         # Interleave the engines round by round so slow system phases
-        # penalize both paths alike.
-        t_leg = t_bat = float("inf")
-        legacy = batched = None
+        # penalize all paths alike.
+        t_leg = t_bat = t_vec = float("inf")
+        legacy = batched = vector = None
         for _ in range(_ROUNDS):
             dt, res = _best_of(
                 lambda: run_workload(spec, machine_i9, fidelity,
@@ -122,35 +133,50 @@ def test_simulator_throughput(fidelity, machine_i9, emit, tmp_path):
                                      trace_store=store), rounds=1)
             if dt < t_bat:
                 t_bat, batched = dt, res
-        # The two engines must agree exactly before their speeds are
+            dt, res = _best_of(
+                lambda: run_workload(spec, machine_i9, fidelity,
+                                     trace_store=store, engine="vector"),
+                rounds=1)
+            if dt < t_vec:
+                t_vec, vector = dt, res
+        # The engines must agree exactly before their speeds are
         # comparable at all.
         assert batched.counters == legacy.counters == warm.counters
-        assert batched.topdown == legacy.topdown
+        assert vector.counters == legacy.counters
+        assert batched.topdown == legacy.topdown == vector.topdown
         instr = batched.counters.instructions
         ips_leg = instr / t_leg
         ips_bat = instr / t_bat
+        ips_vec = instr / t_vec
         ratio = ips_bat / ips_leg
+        vec_ratio = ips_vec / ips_leg
         rows.append([suite, name, f"{ips_leg:,.0f}", f"{ips_bat:,.0f}",
-                     f"{ratio:.2f}x"])
+                     f"{ips_vec:,.0f}", f"{ratio:.2f}x",
+                     f"{vec_ratio:.2f}x"])
         payload["workloads"][name] = {
             "suite": suite,
             "instructions": instr,
             "legacy_instr_per_s": round(ips_leg),
             "batched_instr_per_s": round(ips_bat),
+            "vector_instr_per_s": round(ips_vec),
             "speedup": round(ratio, 3),
+            "vector_speedup": round(vec_ratio, 3),
         }
     ratios = [w["speedup"] for w in payload["workloads"].values()]
     payload["min_speedup"] = min(ratios)
+    vec_ratios = [w["vector_speedup"] for w in payload["workloads"].values()]
+    payload["min_vector_speedup"] = min(vec_ratios)
+    payload["native_kernel"] = native.available()
     _merge_json("engine", payload)
 
     text = ("Simulator throughput (measured instructions / CPU "
             f"second, best of {_ROUNDS}):\n"
             + format_table(
                 ["suite", "workload", "legacy instr/s", "batched instr/s",
-                 "speedup"], rows))
-    text += ("\n\nlegacy = build + generate + consume per run; batched = "
-             "warm-trace-store replay\n(the second machine config of a "
-             "multi-machine suite never regenerates).\n"
+                 "vector instr/s", "batched", "vector"], rows))
+    text += ("\n\nlegacy = build + generate + consume per run; batched/"
+             "vector = warm-trace-store replay\n(the second machine "
+             "config of a multi-machine suite never regenerates).\n"
              f"JSON written to {JSON_PATH.name}")
     emit("simulator_throughput", text)
 
@@ -161,6 +187,15 @@ def test_simulator_throughput(fidelity, machine_i9, emit, tmp_path):
     # baseline itself ~1.6x over the PR-1 interpreter) because CI boxes
     # are noisy; the JSON artifact carries the exact numbers.
     assert payload["min_speedup"] > 1.05
+    if native.available():
+        # The native columnar kernel targets >=10x over legacy at
+        # default fidelity (the committed JSON carries the measured
+        # numbers, and the compare job gates the ratios PR over PR).
+        # This inline gate is much looser: quick fidelity amortizes
+        # the per-run export/writeback cost over ~4x fewer
+        # instructions (mcf barely clears 4x there) and CI runners
+        # are noisy.
+        assert payload["min_vector_speedup"] > 3.0
 
 
 def test_suite_wall_clock(fidelity, machine_i9, emit, tmp_path,
@@ -223,14 +258,34 @@ def test_observability_overhead(fidelity, machine_i9, emit, tmp_path):
     The obs layer's contract is "observe, never perturb": the disabled
     guard is one module-global ``is`` check, and even fully enabled
     (span JSONL + phase-timer histograms on every decode/consume/seal)
-    the same workload must stay bit-identical and within 2% of the
-    disabled run's throughput.  Rounds are interleaved so slow system
-    phases penalize both configurations alike, and this test uses more
-    rounds than the others: it compares two nearly identical times, so
-    the best-of floor must actually be reached on both sides — with too
-    few rounds, scheduler noise (easily 5-15% on shared CI boxes) would
-    dominate the sub-1% quantity under test.
+    the same workload must stay bit-identical and cost < 2% of the
+    disabled run's throughput.
+
+    Methodology: call census x per-primitive cost.  Two earlier
+    revisions tried to read the overhead off end-to-end A/B timings —
+    first adaptive best-of (compares two *minima*, whose gap is itself
+    noise-distributed; the committed artifact once showed -3.09%
+    "overhead"), then an interleaved median-of-16 with paired rounds.
+    An A/A control (both arms disabled, same schedule) still showed a
+    ±5% phantom: run-to-run CPU-time variance of the full workload is
+    ~25%, so no arrangement of ~0.6s runs resolves a quantity that a
+    call census puts near 0.01%.  Instead this bench measures the two
+    ingredients separately, each where it is actually measurable:
+
+    * the **census** — spans emitted, histogram samples, counter
+      increments in one enabled run — is deterministic (same trace,
+      same chunking, every time);
+    * the **per-call primitive cost** comes from a tight loop over the
+      real span/observe paths (JSONL emission included), stable to a
+      few percent because each sample is microseconds, not seconds.
+
+    ``overhead = census x cost / median run time`` then has noise only
+    in the denominator, where ±5% on a ~0.01% quantity is irrelevant.
+    A gross regression (say a per-op span — 300k extra calls) shows up
+    in the census itself, not in timing luck.
     """
+    import statistics
+
     from repro import obs
 
     spec = next(s for s in dotnet_category_specs()
@@ -239,67 +294,87 @@ def test_observability_overhead(fidelity, machine_i9, emit, tmp_path):
     warm = run_workload(spec, machine_i9, fidelity, trace_store=store)
     run_workload(spec, machine_i9, fidelity, trace_store=store)
 
+    # Denominator: median CPU time of the disabled (default) config.
+    rounds = 5
+    samples = []
+    for _ in range(rounds):
+        t0 = time.process_time()
+        off = run_workload(spec, machine_i9, fidelity, trace_store=store)
+        samples.append(time.process_time() - t0)
+    t_run = statistics.median(samples)
+
+    # Census run: everything the instrumentation records for one
+    # workload, plus the bit-identity proof.
     obs_dir = tmp_path / "obs"
-    t_off = t_on = float("inf")
-    off = on = None
-    rounds = 0
+    obs.configure(obs_dir)
     try:
-        # Adaptive floor-seeking: at least 12 interleaved rounds, then
-        # keep going (up to 30) while the measured gap is still above
-        # 1% — a transient CPU spike on one side is out-raced by more
-        # samples, while a *real* >2% overhead survives every round.
-        # The within-round order alternates so slow monotonic drift
-        # (allocator growth, thermal throttling) cannot systematically
-        # tax whichever configuration runs second.
-        while True:
-            rounds += 1
-            for enable in ((False, True) if rounds % 2 else (True, False)):
-                if enable:
-                    obs.configure(obs_dir)
-                else:
-                    obs.shutdown(dump=False)
-                dt, res = _best_of(
-                    lambda: run_workload(spec, machine_i9, fidelity,
-                                         trace_store=store), rounds=1)
-                if enable:
-                    snap = obs.metrics_snapshot()
-                    if dt < t_on:
-                        t_on, on = dt, res
-                elif dt < t_off:
-                    t_off, off = dt, res
-            if rounds >= 12 and (t_on <= t_off * 1.01 or rounds >= 30):
-                break
+        on = run_workload(spec, machine_i9, fidelity, trace_store=store)
+        snap = obs.metrics_snapshot()
+        obs.flush()
+        span_calls = sum(len(p.read_text().splitlines())
+                         for p in obs_dir.glob("spans-*.jsonl"))
+        hist_samples = sum(h["count"]
+                           for h in snap["histograms"].values())
+        # runner counters are all unit increments, so the summed value
+        # is the call count.
+        counter_adds = round(sum(snap["counters"].values()))
+
+        # Per-call primitive costs over the live paths (span cost
+        # includes serialization + buffered JSONL emission; the timer
+        # pattern around observe matches the phase-timer call sites).
+        n = 20_000
+        t0 = time.process_time()
+        for _ in range(n):
+            with obs.span("bench.overhead_probe"):
+                pass
+        span_s = (time.process_time() - t0) / n
+        t0 = time.process_time()
+        for _ in range(n):
+            t = time.perf_counter()
+            obs.observe("bench.overhead_probe_seconds",
+                        time.perf_counter() - t)
+        observe_s = (time.process_time() - t0) / n
     finally:
         obs.shutdown(dump=False)
 
     # Observation must not perturb: identical counters either way.
     assert off.counters == on.counters == warm.counters
     assert off.topdown == on.topdown
-    # The enabled runs really did record: spans on disk, phase samples
+    # The census run really did record: spans on disk, phase samples
     # in the registry.
-    assert list(obs_dir.glob("spans-*.jsonl"))
+    assert span_calls > 0
     assert snap["histograms"]["sim.consume_buffer_seconds"]["count"] > 0
 
     instr = off.counters.instructions
-    overhead_pct = (t_on - t_off) / t_off * 100.0
+    # add() is a dict upsert like observe() minus the two clock reads;
+    # observe_s upper-bounds it.
+    overhead_s = (span_calls * span_s
+                  + (hist_samples + counter_adds) * observe_s)
+    overhead_pct = overhead_s / t_run * 100.0
     _merge_json("observability", {
         "workload": spec.name,
         "instructions": instr,
         "rounds": rounds,
-        "disabled_instr_per_s": round(instr / t_off),
-        "enabled_instr_per_s": round(instr / t_on),
-        "overhead_pct": round(overhead_pct, 2),
+        "disabled_instr_per_s": round(instr / t_run),
+        "span_calls": span_calls,
+        "histogram_samples": hist_samples,
+        "counter_adds": counter_adds,
+        "span_us": round(span_s * 1e6, 2),
+        "observe_us": round(observe_s * 1e6, 3),
+        "overhead_pct": round(overhead_pct, 4),
     })
     emit("observability_overhead",
-         f"Observability overhead ({spec.name}, best of "
-         f"{rounds}, interleaved):\n"
-         f"  disabled  {instr / t_off:12,.0f} instr/s\n"
-         f"  enabled   {instr / t_on:12,.0f} instr/s   "
-         f"({overhead_pct:+.2f}%)\n"
+         f"Observability overhead ({spec.name}, census x primitive "
+         f"cost over median-of-{rounds} run time):\n"
+         f"  disabled  {instr / t_run:12,.0f} instr/s\n"
+         f"  census    {span_calls} spans x {span_s * 1e6:.1f}us + "
+         f"{hist_samples + counter_adds} metric calls x "
+         f"{observe_s * 1e6:.2f}us\n"
+         f"  overhead  {overhead_pct:.4f}% of run time\n"
          f"JSON written to {JSON_PATH.name}")
-    # The acceptance bar: enabled observability costs < 2%.  Best-of
-    # interleaved rounds keeps scheduler noise out of the comparison;
-    # negative overhead just means the noise floor, not a real speedup.
+    # The acceptance bar: enabled observability costs < 2% of run
+    # time.  The measured figure is ~0.01-0.05%; the headroom is for
+    # slower span sinks, not for new per-op call sites.
     assert overhead_pct < 2.0
 
 

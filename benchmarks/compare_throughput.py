@@ -9,11 +9,19 @@ bench's own assertions already guard the invariants that matter
 ``--fail-on-regression PCT``: any metric that regressed by more than
 PCT percent (in its improvement direction) makes the run exit 1.
 
+Gate scoping: raw throughput numbers move with the CI box, but same-run
+*ratios* (``speedup`` metrics — both sides measured in one process) are
+stable, so the CI gate narrows with ``--sections engine,micro`` (only
+those top-level sections participate) and ``--gate-suffix speedup``
+(only metrics with that suffix can fail the gate; everything else stays
+report-only).
+
 Usage::
 
     python benchmarks/compare_throughput.py BASELINE.json CURRENT.json
     python benchmarks/compare_throughput.py BASELINE.json CURRENT.json \
-        --fail-on-regression 10
+        --sections engine,micro --gate-suffix speedup \
+        --fail-on-regression 25
 """
 
 from __future__ import annotations
@@ -39,12 +47,15 @@ def _flatten(node, prefix: str = "") -> dict[str, float]:
     return out
 
 
-def _load(path: Path) -> dict[str, float]:
+def _load(path: Path, sections: list[str] | None = None) -> dict[str, float]:
     try:
-        return _flatten(json.loads(path.read_text()))
+        payload = json.loads(path.read_text())
     except (OSError, ValueError) as exc:
         print(f"<!-- {path}: {exc} -->")
         return {}
+    if sections is not None and isinstance(payload, dict):
+        payload = {k: v for k, v in payload.items() if k in sections}
+    return _flatten(payload)
 
 
 def _improvement_pct(metric: str, prev: float, cur: float) -> float:
@@ -64,15 +75,20 @@ def _direction(metric: str, delta_pct: float) -> str:
 
 
 def regressions(baseline: dict[str, float], current: dict[str, float],
-                threshold_pct: float) -> list[tuple[str, float]]:
+                threshold_pct: float,
+                gate_suffix: str | None = None) -> list[tuple[str, float]]:
     """Metrics that got worse by more than ``threshold_pct`` percent.
 
     Only metrics present on both sides participate; new/removed
-    metrics can't regress.  Returns ``(metric, regression_pct)`` pairs
+    metrics can't regress.  ``gate_suffix`` restricts the gate to
+    metrics whose name ends with it (same-run ratios; raw throughput
+    stays report-only).  Returns ``(metric, regression_pct)`` pairs
     with the regression expressed as a positive percentage.
     """
     out: list[tuple[str, float]] = []
     for metric in sorted(set(baseline) & set(current)):
+        if gate_suffix is not None and not metric.endswith(gate_suffix):
+            continue
         prev, cur = baseline[metric], current[metric]
         if prev == 0:
             continue
@@ -82,9 +98,10 @@ def regressions(baseline: dict[str, float], current: dict[str, float],
     return out
 
 
-def compare(baseline_path: Path, current_path: Path) -> str:
-    baseline = _load(baseline_path)
-    current = _load(current_path)
+def compare(baseline_path: Path, current_path: Path,
+            sections: list[str] | None = None) -> str:
+    baseline = _load(baseline_path, sections)
+    current = _load(current_path, sections)
     if not current:
         return "No current throughput numbers to compare."
     lines = ["| metric | previous | current | Δ |",
@@ -115,14 +132,24 @@ def main(argv: list[str] | None = None) -> int:
                         default=None,
                         help="exit 1 if any shared metric got worse by "
                              "more than PCT%% (default: report only)")
+    parser.add_argument("--sections", metavar="A,B", default=None,
+                        help="comma-separated top-level JSON sections to "
+                             "compare (default: all)")
+    parser.add_argument("--gate-suffix", metavar="SUFFIX", default=None,
+                        help="only metrics ending with SUFFIX can fail "
+                             "the --fail-on-regression gate (the table "
+                             "still shows everything in --sections)")
     args = parser.parse_args(argv)
+    sections = (args.sections.split(",") if args.sections else None)
 
     print("### Throughput bench: previous vs current\n")
-    print(compare(args.baseline, args.current))
+    print(compare(args.baseline, args.current, sections))
 
     if args.fail_on_regression is not None:
-        worse = regressions(_load(args.baseline), _load(args.current),
-                            args.fail_on_regression)
+        worse = regressions(_load(args.baseline, sections),
+                            _load(args.current, sections),
+                            args.fail_on_regression,
+                            gate_suffix=args.gate_suffix)
         if worse:
             print(f"\n{len(worse)} metric(s) regressed more than "
                   f"{args.fail_on_regression:g}%:")

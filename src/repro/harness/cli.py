@@ -84,6 +84,13 @@ def main(argv: list[str] | None = None) -> int:
                         help="characterize every benchmark of one suite")
     parser.add_argument("--machine", default="i9",
                         choices=["xeon", "i9", "arm"])
+    parser.add_argument("--engine",
+                        choices=["legacy", "batched", "vector"],
+                        default=os.environ.get("REPRO_ENGINE") or None,
+                        help="consume engine: tuple-at-a-time (legacy), "
+                             "SoA chunks (batched, default), or the "
+                             "native columnar kernel (vector); all are "
+                             "bit-identical (default: $REPRO_ENGINE)")
     parser.add_argument("--instructions", type=int, default=150_000,
                         help="measured instruction budget")
     parser.add_argument("--warmup", type=int, default=60_000)
@@ -178,6 +185,10 @@ def main(argv: list[str] | None = None) -> int:
         # execute_job picks the store up from the environment, which also
         # covers --jobs worker processes.
         os.environ["REPRO_TRACE_DIR"] = os.path.expanduser(args.trace_dir)
+    if args.engine:
+        # Same pattern: run_workload resolves REPRO_ENGINE, so the choice
+        # propagates through execute_job and --jobs worker processes.
+        os.environ["REPRO_ENGINE"] = args.engine
 
     obs_on = bool(args.obs_dir or args.metrics_out or args.obs_profile)
     if obs_on:

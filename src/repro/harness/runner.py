@@ -36,19 +36,30 @@ from repro.workloads.program import build_program
 from repro.workloads.spec import SuiteName, WorkloadSpec
 
 
-def _use_legacy_consume(engine: str | None) -> bool:
-    """Resolve the consume-engine choice.
+ENGINES = ("legacy", "batched", "vector")
 
-    ``engine`` overrides explicitly (``"legacy"``/``"batched"``);
-    otherwise ``REPRO_LEGACY_CONSUME=1`` selects the tuple-at-a-time
-    path.  The batched engine is the default — the two are bit-identical
-    (enforced by tests/integration/test_batched_equivalence.py).
+
+def resolve_engine(engine: str | None) -> str:
+    """Resolve the consume-engine choice to one of :data:`ENGINES`.
+
+    Priority: explicit ``engine`` argument > ``REPRO_ENGINE`` env var >
+    ``REPRO_LEGACY_CONSUME=1`` (the historical toggle) > ``"batched"``.
+    ``"vector"`` selects the native columnar kernel
+    (:mod:`repro.uarch.native`); it transparently falls back to the
+    batched path when the kernel is unavailable or the core uses a
+    configuration the kernel does not model, so resolution never fails
+    at this layer.  All engines are bit-identical (enforced by
+    tests/integration/test_batched_equivalence.py).
     """
-    if engine is not None:
-        if engine not in ("legacy", "batched"):
-            raise ValueError(f"unknown engine {engine!r}")
-        return engine == "legacy"
-    return os.environ.get("REPRO_LEGACY_CONSUME", "0") not in ("", "0")
+    if engine is None:
+        engine = os.environ.get("REPRO_ENGINE") or None
+    if engine is None and os.environ.get("REPRO_LEGACY_CONSUME",
+                                         "0") not in ("", "0"):
+        engine = "legacy"
+    engine = engine or "batched"
+    if engine not in ENGINES:
+        raise ValueError(f"unknown engine {engine!r}")
+    return engine
 
 
 @dataclass(frozen=True)
@@ -129,7 +140,8 @@ def run_workload(spec: WorkloadSpec, machine: MachineConfig,
     store's checksum — e.g. a legacy entry without one) is quarantined
     and the run falls back to regenerating the trace instead of
     propagating the decode error.  ``engine`` selects the consume path
-    (default: batched, or legacy when ``REPRO_LEGACY_CONSUME=1``).
+    (see :func:`resolve_engine`; default batched, ``"vector"`` for the
+    native columnar kernel, legacy when ``REPRO_LEGACY_CONSUME=1``).
     """
     fidelity = fidelity or Fidelity.default()
     heap_config, gc_config = _heap_and_gc(spec, heap_config, gc_config)
@@ -146,7 +158,8 @@ def run_workload(spec: WorkloadSpec, machine: MachineConfig,
             reuse_code_pages=reuse_code_pages,
             compaction_enabled=compaction_enabled)
 
-    legacy = _use_legacy_consume(engine)
+    engine = resolve_engine(engine)
+    legacy = engine == "legacy"
     trace_key = None
     if trace_store is not None and not legacy:
         trace_key = trace_store.key_for(
@@ -183,7 +196,9 @@ def run_workload(spec: WorkloadSpec, machine: MachineConfig,
             source = program.ops()
             consume = core.consume
         else:
-            consume = core.consume_stream
+            def consume(source, max_instructions=None, _core=core):
+                return _core.consume_stream(source, max_instructions,
+                                            engine=engine)
             if trace_key is not None:
                 with obs.span("run.trace_ensure", workload=spec.name):
                     meta, _ = trace_store.ensure(
@@ -304,12 +319,14 @@ def run_multicore(spec: WorkloadSpec, machine: MachineConfig,
 
     On the batched engine, per-core address coloring is one vectorized
     mask per chunk (:meth:`repro.trace.TraceBuffer.color_private`)
-    instead of one tuple rebuild per memory op.
+    instead of one tuple rebuild per memory op.  ``engine="vector"`` is
+    accepted and behaves as batched: multicore cores share an LLC, which
+    the native kernel does not model, so its dispatch delegates.
     """
     fidelity = fidelity or Fidelity.default()
     heap_config, gc_config = _heap_and_gc(spec, None, None)
     programs = {}
-    legacy = _use_legacy_consume(engine)
+    legacy = resolve_engine(engine) == "legacy"
 
     def factory(core_id: int):
         program = build_program(

@@ -57,6 +57,7 @@ class VirtualMemory:
         self.major_fault_fraction = major_fault_fraction
         self.stats = VmStats()
         self._fault_seq = 0
+        self._map_epoch = 0          # bumped on page removal (see below)
 
     def touch(self, addr: int) -> int:
         """Record an access to ``addr``.
@@ -102,6 +103,11 @@ class VirtualMemory:
         before = len(mapped)
         mapped.difference_update(range(first, last + 1))
         self.stats.unmapped_pages += before - len(mapped)
+        # Removals are the one mutation a (len, epoch) cache key cannot
+        # see through set length alone (remove+add keeps len constant),
+        # so they bump the epoch.  repro.uarch.native keys its exported
+        # page-table hash on it to skip rebuilds across consume calls.
+        self._map_epoch += 1
 
     @property
     def resident_bytes(self) -> int:

@@ -139,7 +139,7 @@ class TraceBuffer:
     """
 
     __slots__ = ("kinds", "a0", "a1", "a2", "events", "n_instructions",
-                 "lines", "line_ends")
+                 "lines", "line_ends", "_vcols")
 
     def __init__(self) -> None:
         self.kinds: list[int] = []
@@ -150,6 +150,10 @@ class TraceBuffer:
         self.n_instructions = 0
         self.lines: list[int] | None = None
         self.line_ends: list[int] | None = None
+        # Per-buffer cache of the vector engine's derived columns
+        # (numpy views, prev-occurrence indexes, per-window segments);
+        # owned by repro.uarch.vector, invalidated with the columns.
+        self._vcols = None
 
     def __len__(self) -> int:
         return len(self.kinds)
@@ -290,6 +294,7 @@ class TraceBuffer:
             self.a0 = a0.tolist()
             self.lines = None
             self.line_ends = None
+            self._vcols = None
 
     def seal(self) -> "TraceBuffer":
         """Pre-decode address columns; idempotent, returns ``self``."""
@@ -336,6 +341,7 @@ class TraceBuffer:
         buf.n_instructions = n_instructions
         buf.lines = None
         buf.line_ends = None
+        buf._vcols = None
         return buf
 
 

@@ -501,8 +501,8 @@ class Core:
         return counts.instructions - start
 
     # ------------------------------------------------------------------
-    def consume_stream(self, stream, max_instructions: int | None = None
-                       ) -> int:
+    def consume_stream(self, stream, max_instructions: int | None = None,
+                       *, engine: str = "batched") -> int:
         """Batched counterpart of :meth:`consume`.
 
         Drives the core from a :class:`~repro.trace.TraceBufferStream`
@@ -511,7 +511,19 @@ class Core:
         previous one stopped — the same contract an op generator gives
         the legacy path.  Produces bit-identical counters, stalls and
         events to ``consume`` over the same op sequence.
+
+        ``engine="vector"`` routes consumption through the native C
+        kernel (:mod:`repro.uarch.native`) when it is available and this
+        core's configuration is one the kernel models exactly; any other
+        case silently falls back to the batched loop below, which
+        handles the full model.  Both engines are bit-identical to the
+        legacy path, so the choice is purely a throughput knob.
         """
+        if engine == "vector":
+            from repro.uarch import native
+            if native.available() and native.nativizable(self):
+                return native.consume_stream_native(self, stream,
+                                                    max_instructions)
         counts = self.counts
         start = counts.instructions
         limit = (start + max_instructions

@@ -111,10 +111,11 @@ CASES = [
 ]
 
 
+@pytest.mark.parametrize("engine", ["batched", "vector"])
 @pytest.mark.parametrize("name,kw", CASES,
                          ids=[c[0] + ("+" + next(iter(c[1]), "") if c[1]
                                       else "") for c in CASES])
-def test_core_state_identical(name, kw):
+def test_core_state_identical(name, kw, engine):
     """Warm + measure through both engines; diff the entire core."""
     machine = get_machine("i9")
     spec = _spec_of(name)
@@ -128,10 +129,11 @@ def test_core_state_identical(name, kw):
 
     core_b, prog_b, ev_b = _build(spec, machine, **kw)
     stream = TraceBufferStream(ops=prog_b.ops(), chunk_instructions=4096)
-    core_b.consume_stream(stream, max_instructions=WARMUP)
+    core_b.consume_stream(stream, max_instructions=WARMUP, engine=engine)
     core_b.reset_stats()
     ev_b.clear()
-    nb = core_b.consume_stream(stream, max_instructions=MEASURE)
+    nb = core_b.consume_stream(stream, max_instructions=MEASURE,
+                               engine=engine)
 
     assert na == nb
     sa, sb = _state(core_a), _state(core_b)
@@ -140,7 +142,8 @@ def test_core_state_identical(name, kw):
     assert ev_a == ev_b
 
 
-def test_run_workload_engines_agree():
+@pytest.mark.parametrize("engine", ["batched", "vector"])
+def test_run_workload_engines_agree(engine):
     """run_workload(engine=...) parity including the sampler hook path."""
     from repro.harness.runner import Fidelity, run_workload
     machine = get_machine("i9")
@@ -149,7 +152,7 @@ def test_run_workload_engines_agree():
         spec = _spec_of(name)
         a = run_workload(spec, machine, fid, engine="legacy",
                          sampling=True, sample_interval=2e-4)
-        b = run_workload(spec, machine, fid, engine="batched",
+        b = run_workload(spec, machine, fid, engine=engine,
                          sampling=True, sample_interval=2e-4)
         assert a.counters == b.counters
         assert a.topdown == b.topdown
@@ -169,6 +172,26 @@ def test_env_toggle_selects_legacy(monkeypatch):
     assert default.topdown == legacy.topdown
 
 
+def test_env_toggle_selects_vector(monkeypatch):
+    """REPRO_ENGINE=vector routes the default path through the native
+    kernel (or its fallback) and stays bit-identical; an explicit
+    ``engine=`` argument still wins over the environment."""
+    from repro.harness.runner import Fidelity, resolve_engine, run_workload
+    machine = get_machine("i9")
+    fid = Fidelity.test()
+    spec = _spec_of("Json")
+    default = run_workload(spec, machine, fid)
+    monkeypatch.setenv("REPRO_ENGINE", "vector")
+    assert resolve_engine(None) == "vector"
+    assert resolve_engine("legacy") == "legacy"
+    vector = run_workload(spec, machine, fid)
+    assert default.counters == vector.counters
+    assert default.topdown == vector.topdown
+    monkeypatch.setenv("REPRO_ENGINE", "warp")
+    with pytest.raises(ValueError, match="unknown engine"):
+        run_workload(spec, machine, fid)
+
+
 def test_trace_store_replay_identical(tmp_path):
     """Cold record, warm replay, and legacy all agree; replay skips
     generation on the second run."""
@@ -184,6 +207,10 @@ def test_trace_store_replay_identical(tmp_path):
     warm = run_workload(spec, machine, fid, trace_store=store)
     assert cold.counters == legacy.counters == warm.counters
     assert cold.topdown == legacy.topdown == warm.topdown
+    vec = run_workload(spec, machine, fid, trace_store=store,
+                       engine="vector")
+    assert vec.counters == legacy.counters
+    assert vec.topdown == legacy.topdown
 
 
 @pytest.mark.parametrize("name,kw", CASES,
@@ -275,8 +302,13 @@ def test_warm_model_reuse_identical(tmp_path, monkeypatch):
     assert cold.topdown == first.topdown == second.topdown
 
 
-def test_multicore_engines_agree():
-    """Vectorized buffer-level coloring == per-tuple _color_ops."""
+@pytest.mark.parametrize("engine", ["batched", "vector"])
+def test_multicore_engines_agree(engine):
+    """Vectorized buffer-level coloring == per-tuple _color_ops.
+
+    ``vector`` is accepted here too: shared-LLC cores make the native
+    kernel's dispatch delegate to batched, so the run must still agree.
+    """
     from repro.harness.runner import Fidelity, run_multicore
     machine = get_machine("i9")
     fid = Fidelity(warmup_instructions=8_000, measure_instructions=15_000)
@@ -284,7 +316,7 @@ def test_multicore_engines_agree():
     res_a, td_a, cnt_a = run_multicore(spec, machine, 2, fid,
                                        engine="legacy")
     res_b, td_b, cnt_b = run_multicore(spec, machine, 2, fid,
-                                       engine="batched")
+                                       engine=engine)
     assert cnt_a == cnt_b
     assert td_a == td_b
     assert res_a.total_instructions == res_b.total_instructions

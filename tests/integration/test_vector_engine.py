@@ -1,0 +1,227 @@
+"""Vector-engine edge cases: chunking, limits, fallbacks, growth.
+
+tests/integration/test_batched_equivalence.py proves the vector engine
+bit-identical to legacy on real workload streams; this file attacks the
+seams that real streams rarely stress deterministically:
+
+* ops split across chunk boundaries at every offset (chunk size 1),
+* an instruction limit landing inside a vectorized span, then resuming,
+* chunks whose first/last op is the interesting one, empty buffers,
+* the ``REPRO_NATIVE=0`` kill switch and the delegation guard
+  (:func:`repro.uarch.native.nativizable`),
+* virtual-memory hash growth mid-run (first-touch floods),
+* non-default replacement policies (FIFO, RANDOM's deterministic LCG).
+
+Every test drives the same op list through the legacy interpreter and
+``consume_stream(engine="vector")`` and diffs the complete core state
+via the equivalence harness's ``_state``.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from test_batched_equivalence import _state
+
+from repro.kernel.vm import VirtualMemory
+from repro.trace import (OP_BLOCK, OP_BRANCH, OP_EVENT, OP_LOAD, OP_STORE,
+                         TraceBuffer, TraceBufferStream)
+from repro.uarch import native
+from repro.uarch.cache import ReplacementPolicy
+from repro.uarch.machine import get_machine
+from repro.uarch.pipeline import Core
+
+
+def _ops(n: int = 3000, seed: int = 1, data_span: int = 1 << 22):
+    """A deterministic synthetic stream mixing every op kind.
+
+    Includes kernel-mode blocks, backward branches (loop-predictor
+    allocations), not-taken and taken branches, loads/stores over
+    ``data_span`` bytes, and events with tuple payloads.
+    """
+    rng = random.Random(seed)
+    code = 0x0010_0000
+    data = 0x2000_0000
+    pc = code
+    out = []
+    for i in range(n):
+        r = rng.random()
+        if r < 0.35:
+            pc = code + rng.randrange(4096) * 64
+            out.append((OP_BLOCK, pc, rng.randrange(1, 12),
+                        rng.randrange(4, 120), rng.random() < 0.05))
+        elif r < 0.55:
+            out.append((OP_LOAD, data + rng.randrange(data_span)))
+        elif r < 0.70:
+            out.append((OP_STORE, data + rng.randrange(data_span)))
+        elif r < 0.95:
+            target = code + rng.randrange(4096) * 64
+            out.append((OP_BRANCH, pc + rng.randrange(64), target,
+                        rng.random() < 0.6))
+        else:
+            out.append((OP_EVENT, "gc_gen0", ("payload", i)))
+    return out
+
+
+def _run_pair(ops, *, chunk: int = 4096, limits=(None,), mutate=None,
+              stream_factory=None):
+    """Drive ``ops`` through legacy and vector; assert identical state.
+
+    ``limits`` is a sequence of absolute instruction limits applied as
+    successive ``consume`` calls (``None`` = run to exhaustion), which
+    exercises pausing and resuming mid-stream on both engines.
+    """
+    machine = get_machine("i9")
+    results = []
+    for engine in ("legacy", "vector"):
+        core = Core(machine, VirtualMemory())
+        events = []
+        core.event_hook = lambda k, p, c, _e=events: _e.append((k, p, c))
+        if mutate is not None:
+            mutate(core)
+        consumed = []
+        if engine == "legacy":
+            it = iter(ops)
+            for lim in limits:
+                consumed.append(core.consume(it, max_instructions=lim))
+        else:
+            if stream_factory is not None:
+                stream = stream_factory()
+            else:
+                stream = TraceBufferStream(ops=iter(ops),
+                                           chunk_instructions=chunk)
+            for lim in limits:
+                consumed.append(core.consume_stream(
+                    stream, max_instructions=lim, engine="vector"))
+        results.append((consumed, _state(core), events))
+    (ca, sa, ea), (cb, sb, eb) = results
+    assert ca == cb
+    diffs = {k: (sa[k], sb[k]) for k in sa if sa[k] != sb[k]}
+    assert not diffs, f"state diverged: {dict(list(diffs.items())[:4])}"
+    assert ea == eb
+    return sa
+
+
+needs_native = pytest.mark.skipif(not native.available(),
+                                  reason="native kernel unavailable")
+
+
+@needs_native
+@pytest.mark.parametrize("chunk", [1, 3, 4096])
+def test_chunk_boundaries_are_semantics_free(chunk):
+    """Every op boundary is a potential chunk split (chunk=1: all of
+    them), including chunks whose only op is a block/branch/event."""
+    _run_pair(_ops(800), chunk=chunk)
+
+
+@needs_native
+def test_limit_hits_inside_vectorized_span():
+    """Limits land mid-chunk; consumption resumes exactly there.
+
+    Block ops make limits fall *inside* an op's instruction count: the
+    engines must stop after the same op and resume on the next call.
+    """
+    ops = _ops(2000, seed=7)
+    _run_pair(ops, limits=(1, 17, 1000, 1001, None))
+
+
+@needs_native
+def test_empty_and_single_op_buffers():
+    """Replay streams with empty chunks interleaved; first/last ops of
+    each chunk carry the state transitions."""
+    ops = _ops(300, seed=3)
+
+    def factory():
+        bufs = [TraceBuffer()]                 # leading empty chunk
+        for op in ops:                         # one op per buffer
+            b = TraceBuffer()
+            b.extend([op])
+            bufs.append(b)
+            bufs.append(TraceBuffer())         # empty chunk after each
+        return TraceBufferStream(buffers=iter(bufs))
+
+    _run_pair(ops, stream_factory=factory)
+
+
+@needs_native
+def test_all_miss_stream():
+    """Monotone never-reused addresses: every access misses every level
+    and the vm sees a new page each load (growth + fault path)."""
+    ops = []
+    for i in range(4000):
+        ops.append((OP_LOAD, 0x5000_0000 + i * 4096))
+        if i % 7 == 0:
+            ops.append((OP_BLOCK, 0x0010_0000 + i * 64, 3, 48, False))
+    state = _run_pair(ops, chunk=512)
+    assert state["l1d.misses"] == 4000
+
+
+@needs_native
+def test_vm_hash_growth_mid_run():
+    """First-touch flood: the native vm hash must grow (several times)
+    mid-buffer and stay identical to the Python dict model."""
+    core = Core(get_machine("i9"), VirtualMemory())
+    img = native.CoreImage(core)
+    start_cap = len(img.vm_hash)
+    ops = [(OP_LOAD, 0x6000_0000 + i * 4096) for i in range(5000)]
+    state = _run_pair(ops, chunk=8192)
+    # 5000 distinct pages cannot fit a half-full table of the fresh
+    # core's initial capacity — growth must have happened.
+    assert start_cap < 2 * 5000
+    assert state["counts.loads"] == 5000
+
+
+@needs_native
+@pytest.mark.parametrize("policy", [ReplacementPolicy.FIFO,
+                                    ReplacementPolicy.RANDOM])
+def test_replacement_policies(policy):
+    """FIFO keeps insertion order without MRU moves; RANDOM picks
+    victims with the deterministic LCG — both must match the kernel."""
+    def mutate(core):
+        for cache in (core.l1d, core.l2):
+            cache.policy = policy
+            cache._lru = policy == ReplacementPolicy.LRU
+            cache._evict_head = policy != ReplacementPolicy.RANDOM
+    _run_pair(_ops(2500, seed=11, data_span=1 << 24), mutate=mutate)
+
+
+def test_native_disabled_falls_back(monkeypatch):
+    """REPRO_NATIVE=0 disables the kernel; engine="vector" silently
+    takes the batched path and stays bit-identical."""
+    monkeypatch.setenv("REPRO_NATIVE", "0")
+    saved = native._lib, native._lib_resolved
+    native._lib, native._lib_resolved = None, False
+    try:
+        assert not native.available()
+        _run_pair(_ops(500, seed=5))
+    finally:
+        native._lib, native._lib_resolved = saved
+
+
+def test_nativizable_guards():
+    """Configurations outside the kernel's model must be rejected (and
+    therefore delegate to the batched engine)."""
+    machine = get_machine("i9")
+    core = Core(machine, VirtualMemory())
+    assert native.nativizable(core)
+
+    hooked = Core(machine, VirtualMemory())
+    hooked._next_hook_cycles = 1000.0          # sampler active
+    assert not native.nativizable(hooked)
+
+    shared = Core(machine, VirtualMemory())
+    shared.shared_llc = object()               # multicore LLC
+    assert not native.nativizable(shared)
+
+    custom = Core(machine, VirtualMemory())
+    custom.l1d_prefetcher.fetch = lambda addr: None   # rebound callback
+    assert not native.nativizable(custom)
+
+    subclassed = Core(machine, VirtualMemory())
+
+    class WeirdVm(VirtualMemory):
+        pass
+    subclassed.vm = WeirdVm()
+    assert not native.nativizable(subclassed)
