@@ -18,18 +18,28 @@ Two implementations cover the deployment shapes the fabric needs:
 * :class:`SharedDirBackend` — a directory on a *shared* filesystem
   (NFS, CIFS, a bind-mounted volume).  Publication additionally fsyncs
   the parent directory so the rename itself is durable and visible
-  under close-to-open consistency, and reads tolerate the transient
-  ``ESTALE``/``FileNotFoundError`` races a concurrent cross-host
-  rename can expose (one retry, then surfaced as a miss to the caller's
-  quarantine-or-recompute path).
+  under close-to-open consistency, and reads ride out the transient
+  ``ESTALE`` races a concurrent cross-host rename can expose with a
+  *bounded* exponential-backoff retry loop: when the staleness
+  persists past a hard deadline the read surfaces as a typed
+  :class:`~repro.exec.resilience.BackendUnavailable` instead of
+  spinning, and the caller's quarantine-or-recompute path takes over.
 
-Both speak the same three-verb protocol (:class:`StoreBackend`):
-``read_bytes``, ``publish`` (tmp file -> final path, atomic), and
-``lock``.  The stores keep doing their own framing and layout on top,
-so integrity guarantees are backend-independent by construction.
+Both speak the same four-verb protocol (:class:`StoreBackend`):
+``read_bytes``, ``publish`` (tmp file -> final path, atomic), ``link``
+(hardlink, first-writer-wins), and ``lock``.  The stores keep doing
+their own framing and layout on top, so integrity guarantees are
+backend-independent by construction — and because *every* fleet I/O
+crosses this seam, a single fault-injecting proxy
+(:class:`~repro.exec.chaos.ChaosBackend`) can model a failing disk or
+a flaky NFS mount for the whole system at once.
 
 :func:`backend_for` parses the CLI/fabric spelling — a bare path is
-local, ``shared:<path>`` selects the shared-dir discipline.
+local, ``shared:<path>`` selects the shared-dir discipline.  Setting
+``REPRO_CHAOS_BACKEND`` (e.g. ``"seed=7,eio=0.05,stale=0.05"``) wraps
+every backend this factory builds in a :class:`ChaosBackend`, which is
+how the chaos acceptance tests subject real worker subprocesses to a
+deterministic fault storm without touching their code.
 """
 
 from __future__ import annotations
@@ -38,7 +48,10 @@ import abc
 import contextlib
 import errno
 import os
+import time
 from pathlib import Path
+
+from repro.exec.resilience import BackendUnavailable
 
 try:
     import fcntl
@@ -77,6 +90,16 @@ class StoreBackend(abc.ABC):
         for shared backends — sees either the old entry or the complete
         new one, never a torn write.
         """
+
+    def link(self, src: Path, dst: Path) -> None:
+        """Hardlink ``src`` to ``dst`` — atomic first-writer-wins.
+
+        Raises ``FileExistsError`` when ``dst`` already exists, which
+        is the lease ledger's duplicate-completion detection.  Routed
+        through the backend so fault injection covers the completion
+        record path too.
+        """
+        os.link(src, dst)
 
     @contextlib.contextmanager
     def lock(self, name: str = ".lock", exclusive: bool = False):
@@ -135,41 +158,85 @@ class SharedDirBackend(StoreBackend):
 
     Same atomic-rename publication as :class:`LocalDirBackend`, plus:
 
-    * the destination's parent directory is fsync'd after the rename,
-      so the publication is durable and — under NFS close-to-open
-      consistency — visible to the next opener on any host;
-    * :meth:`read_bytes` retries once on ``ESTALE`` (a concurrent
-      cross-host rename invalidated the file handle mid-read) before
-      letting the error surface as an ordinary miss.
+    * the destination's parent directory is fsync'd after the rename
+      (and after a hardlink), so the publication is durable and —
+      under NFS close-to-open consistency — visible to the next opener
+      on any host;
+    * :meth:`read_bytes` retries ``ESTALE`` (a concurrent cross-host
+      rename invalidated the file handle mid-read) with exponential
+      backoff, bounded by both a retry budget and a hard wall-clock
+      deadline; staleness that persists past the deadline raises
+      :class:`~repro.exec.resilience.BackendUnavailable` — still an
+      ``OSError``, so store reads degrade to misses, but typed so a
+      worker's circuit breaker can tell an unreachable mount from one
+      missing file.
     """
 
     scheme = "shared"
+
+    def __init__(self, root: str | os.PathLike, *,
+                 stale_retries: int = 5,
+                 stale_backoff: float = 0.02,
+                 stale_deadline: float = 2.0):
+        super().__init__(root)
+        self.stale_retries = stale_retries
+        self.stale_backoff = stale_backoff
+        self.stale_deadline = stale_deadline
 
     def publish(self, tmp: Path, dst: Path) -> None:
         os.replace(tmp, dst)
         _fsync_dir(dst.parent)
 
+    def link(self, src: Path, dst: Path) -> None:
+        super().link(src, dst)
+        _fsync_dir(dst.parent)
+
     def read_bytes(self, path: str | os.PathLike) -> bytes:
-        try:
-            return Path(path).read_bytes()
-        except OSError as exc:
-            if exc.errno != getattr(errno, "ESTALE", None):
-                raise
-            return Path(path).read_bytes()
+        estale = getattr(errno, "ESTALE", None)
+        deadline = time.monotonic() + self.stale_deadline
+        delay = self.stale_backoff
+        attempt = 0
+        while True:
+            try:
+                return Path(path).read_bytes()
+            except OSError as exc:
+                if exc.errno != estale:
+                    raise
+                attempt += 1
+                if attempt > self.stale_retries \
+                        or time.monotonic() + delay > deadline:
+                    raise BackendUnavailable(
+                        f"stale read of {path} persisted through "
+                        f"{attempt} attempt(s)") from exc
+                time.sleep(delay)
+                delay = min(delay * 2.0, 0.5)
 
 
 def backend_for(spec: str | os.PathLike | StoreBackend) -> StoreBackend:
     """Resolve a backend from its CLI spelling.
 
-    A prebuilt backend passes through; ``shared:<dir>`` selects
-    :class:`SharedDirBackend`; ``local:<dir>`` or a bare path selects
-    :class:`LocalDirBackend`.
+    A prebuilt backend passes through untouched; ``shared:<dir>``
+    selects :class:`SharedDirBackend`; ``local:<dir>`` or a bare path
+    selects :class:`LocalDirBackend`.  With ``REPRO_CHAOS_BACKEND``
+    set, the freshly built backend is wrapped in a fault-injecting
+    :class:`~repro.exec.chaos.ChaosBackend` — the hook the chaos
+    harness uses to storm whole worker subprocesses.
     """
     if isinstance(spec, StoreBackend):
         return spec
     text = os.fspath(spec)
     if text.startswith("shared:"):
-        return SharedDirBackend(os.path.expanduser(text[len("shared:"):]))
-    if text.startswith("local:"):
-        return LocalDirBackend(os.path.expanduser(text[len("local:"):]))
-    return LocalDirBackend(os.path.expanduser(text))
+        backend = SharedDirBackend(
+            os.path.expanduser(text[len("shared:"):]))
+    elif text.startswith("local:"):
+        backend = LocalDirBackend(os.path.expanduser(text[len("local:"):]))
+    else:
+        backend = LocalDirBackend(os.path.expanduser(text))
+    chaos_spec = os.environ.get("REPRO_CHAOS_BACKEND")
+    if chaos_spec:
+        # Imported lazily: chaos depends on the store, which depends
+        # on this module.
+        from repro.exec.chaos import BackendChaosConfig, ChaosBackend
+        backend = ChaosBackend(backend,
+                               BackendChaosConfig.parse(chaos_spec))
+    return backend

@@ -20,17 +20,32 @@ test control, with two properties the chaos tests depend on:
 sabotages a deterministic fraction of result-store writes with bit
 flips or partial writes — exactly the damage a killed writer or bad
 disk inflicts — which the store's CRC framing must then catch.
+
+:class:`ChaosBackend` extends the same discipline to the
+:class:`~repro.exec.backend.StoreBackend` seam the whole fleet now
+rides: every read, publish, and hardlink can be made to fail with
+``EIO``, ``ENOSPC``, a latency spike, a torn (truncated) write that
+*reports success*, or a stale NFS read — deterministically per
+``(seed, kind, target, attempt)``, so a retry rolls a fresh decision
+and transient weather is distinguishable from a dead mount.  Activate
+it in subprocesses via the ``REPRO_CHAOS_BACKEND`` environment
+variable (see :func:`repro.exec.backend.backend_for`).
 """
 
 from __future__ import annotations
 
+import errno
 import hashlib
 import os
+import threading
 import time
+from collections import Counter
 from dataclasses import dataclass
 from pathlib import Path
 
 import repro.exec.pool as pool_mod
+from repro import obs
+from repro.exec.backend import StoreBackend, backend_for
 from repro.exec.jobs import execute_job
 from repro.exec.store import ResultStore
 
@@ -185,3 +200,141 @@ class ChaosStore(ResultStore):
             data = path.read_bytes()
             path.write_bytes(data[:max(1, int(len(data) * 0.6))])
         return path
+
+
+# ---------------------------------------------------------------------------
+# I/O-seam fault injection (the StoreBackend proxy)
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class BackendChaosConfig:
+    """Fault rates in [0, 1] for the :class:`ChaosBackend` proxy.
+
+    Decisions are deterministic per ``(seed, kind, target, attempt)``:
+    a retried operation rolls fresh, so with a rate < 1 a bounded
+    retry loop always converges — which is exactly the contract the
+    degraded-mode machinery is supposed to honour.
+    """
+
+    seed: int = 0
+    #: reads and publishes/links raise ``OSError(EIO)`` (bad disk)
+    eio_rate: float = 0.0
+    #: publishes/links raise ``OSError(ENOSPC)`` (full disk)
+    enospc_rate: float = 0.0
+    #: reads raise ``OSError(ESTALE)`` (stale NFS file handle)
+    stale_rate: float = 0.0
+    #: publishes/links land *truncated* bytes but report success — the
+    #: damage only CRC framing (or a torn-tolerant JSON reader) catches
+    torn_rate: float = 0.0
+    #: any operation first sleeps ``latency_seconds`` (slow mount)
+    latency_rate: float = 0.0
+    latency_seconds: float = 0.02
+
+    @classmethod
+    def parse(cls, spec: str) -> "BackendChaosConfig":
+        """Parse the env spelling: ``"seed=7,eio=0.05,stale=0.1"``.
+
+        Keys: ``seed``, ``eio``, ``enospc``, ``stale``, ``torn``,
+        ``latency``, ``latency_seconds``.
+        """
+        fields = {"eio": "eio_rate", "enospc": "enospc_rate",
+                  "stale": "stale_rate", "torn": "torn_rate",
+                  "latency": "latency_rate",
+                  "latency_seconds": "latency_seconds"}
+        kwargs: dict[str, float | int] = {}
+        for part in spec.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            name, _, value = part.partition("=")
+            name = name.strip()
+            if name == "seed":
+                kwargs["seed"] = int(value)
+            elif name in fields:
+                kwargs[fields[name]] = float(value)
+            else:
+                raise ValueError(
+                    f"unknown REPRO_CHAOS_BACKEND key {name!r}")
+        return cls(**kwargs)
+
+
+class ChaosBackend(StoreBackend):
+    """Fault-injecting proxy over any :class:`StoreBackend`.
+
+    Every verb of the physical-storage protocol can fail the way a
+    real deployment fails: ``EIO`` from a dying disk, ``ENOSPC`` from
+    a full one, latency spikes from a congested mount, *torn writes*
+    that report success and leave truncated bytes, and stale NFS
+    reads.  Fault decisions are pure functions of
+    ``(seed, kind, file name, attempt number)`` — reproducible run to
+    run, fresh per retry — and the per-process attempt counters mean a
+    fixed rate behaves like independent weather, not a cursed file.
+    """
+
+    def __init__(self, inner: StoreBackend | str | os.PathLike,
+                 config: BackendChaosConfig):
+        self.inner = backend_for(inner)
+        super().__init__(self.inner.root)
+        self.scheme = f"chaos+{self.inner.scheme}"
+        self.config = config
+        self._attempts: Counter = Counter()
+        self._mutex = threading.Lock()
+
+    def _fires(self, kind: str, rate: float, name: str) -> bool:
+        if rate <= 0.0:
+            return False
+        with self._mutex:
+            n = self._attempts[(kind, name)]
+            self._attempts[(kind, name)] += 1
+        if roll(self.config.seed, kind, f"{name}#{n}") < rate:
+            obs.add("chaos.backend_faults")
+            obs.add(f"chaos.backend_{kind}")
+            return True
+        return False
+
+    def _maybe_latency(self, name: str) -> None:
+        if self._fires("latency", self.config.latency_rate, name):
+            time.sleep(self.config.latency_seconds)
+
+    def read_bytes(self, path: str | os.PathLike) -> bytes:
+        name = Path(path).name
+        self._maybe_latency(name)
+        if self._fires("stale", self.config.stale_rate, name):
+            raise OSError(errno.ESTALE,
+                          f"chaos: stale NFS read of {name}")
+        if self._fires("eio-read", self.config.eio_rate, name):
+            raise OSError(errno.EIO, f"chaos: read error on {name}")
+        return self.inner.read_bytes(path)
+
+    def _tear(self, src: Path) -> None:
+        data = src.read_bytes()
+        src.write_bytes(data[:max(1, int(len(data) * 0.6))])
+
+    def _write_faults(self, name: str) -> None:
+        self._maybe_latency(name)
+        if self._fires("enospc", self.config.enospc_rate, name):
+            raise OSError(errno.ENOSPC,
+                          f"chaos: no space publishing {name}")
+        if self._fires("eio-write", self.config.eio_rate, name):
+            raise OSError(errno.EIO, f"chaos: write error on {name}")
+
+    def publish(self, tmp: Path, dst: Path) -> None:
+        self._write_faults(dst.name)
+        if self._fires("torn", self.config.torn_rate, dst.name):
+            self._tear(tmp)
+        self.inner.publish(tmp, dst)
+
+    def link(self, src: Path, dst: Path) -> None:
+        self._write_faults(dst.name)
+        if self._fires("torn", self.config.torn_rate, dst.name):
+            self._tear(src)
+        self.inner.link(src, dst)
+
+    def lock(self, name: str = ".lock", exclusive: bool = False):
+        return self.inner.lock(name, exclusive=exclusive)
+
+    def describe(self) -> str:
+        return f"chaos+{self.inner.describe()}"
+
+    def __repr__(self) -> str:
+        return f"ChaosBackend({self.inner!r}, {self.config!r})"

@@ -29,22 +29,34 @@ small protocol on top:
   against the store (hit → immediate, miss → enqueue), progress
   streams as NDJSON, ``/metrics`` exposes the fleet-health gauges in
   Prometheus text format, and span context crosses the HTTP boundary
-  via ``X-Repro-Span``.
+  via ``X-Repro-Span``;
+* :mod:`repro.fabric.ha` — :class:`HACoordinator`
+  (``repro-fabric standby``): epoch-numbered leader election over the
+  same directory, fenced ledger writes that reject a zombie
+  ex-leader, and submission adoption so a standby finishes whatever
+  campaign the dead leader left open.
 """
 
 from repro.fabric.coordinator import (Coordinator, FabricTimeout,
-                                      Submission, fabric_backend)
-from repro.fabric.lease import LeaseLedger
+                                      Submission, fabric_backend,
+                                      submission_id)
+from repro.fabric.ha import HACoordinator, observe_outcomes
+from repro.fabric.lease import (Election, LeadershipLost, LeaseLedger,
+                                default_coordinator_id)
 from repro.fabric.service import (CharacterizationService, FabricServer,
                                   ServerThread, parse_request)
 from repro.fabric.units import WorkUnit, make_unit_id, unit_id_of
-from repro.fabric.worker import WorkerAgent, default_worker_id
+from repro.fabric.worker import (ResultSpool, WorkerAgent,
+                                 default_worker_id)
 
 __all__ = [
     "WorkUnit", "make_unit_id", "unit_id_of",
-    "LeaseLedger",
+    "LeaseLedger", "Election", "LeadershipLost",
+    "default_coordinator_id",
     "Coordinator", "FabricTimeout", "Submission", "fabric_backend",
-    "WorkerAgent", "default_worker_id",
+    "submission_id",
+    "HACoordinator", "observe_outcomes",
+    "WorkerAgent", "ResultSpool", "default_worker_id",
     "CharacterizationService", "FabricServer", "ServerThread",
     "parse_request",
 ]

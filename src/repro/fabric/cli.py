@@ -1,10 +1,11 @@
 """``repro-fabric`` — the fabric's operational entry points.
 
-One binary, four subcommands, mirroring the roles in a deployment::
+One binary, five subcommands, mirroring the roles in a deployment::
 
     repro-fabric worker DIR     # one per host: pull leases, run jobs
     repro-fabric serve DIR      # the HTTP front door (one instance)
     repro-fabric run DIR ...    # a one-shot campaign as coordinator
+    repro-fabric standby DIR    # hot-standby coordinator (HA failover)
     repro-fabric status DIR     # fleet view of a fabric directory
 
 ``DIR`` is the fabric directory every role shares — a local path for
@@ -83,6 +84,7 @@ def _cmd_serve(args) -> int:
 def _cmd_run(args) -> int:
     from repro.exec.campaign import CampaignInterrupted, graceful_shutdown
     from repro.fabric.coordinator import Coordinator
+    from repro.fabric.ha import HACoordinator
     from repro.fabric.service import parse_request
 
     body = {"machine": args.machine, "seed": args.seed,
@@ -92,8 +94,14 @@ def _cmd_run(args) -> int:
     else:
         body["benchmarks"] = args.benchmark
     specs, machine, fidelity, seed = parse_request(body)
-    coordinator = Coordinator(args.root, shared=args.shared,
-                              lease_ttl=args.lease_ttl)
+    if args.ha:
+        coordinator = HACoordinator(
+            args.root, shared=args.shared, lease_ttl=args.lease_ttl,
+            coordinator_id=args.coordinator_id,
+            coordinator_ttl=args.coordinator_ttl)
+    else:
+        coordinator = Coordinator(args.root, shared=args.shared,
+                                  lease_ttl=args.lease_ttl)
     try:
         with graceful_shutdown() as stop:
             suite = coordinator.run_campaign(
@@ -102,8 +110,9 @@ def _cmd_run(args) -> int:
     except CampaignInterrupted as err:
         print(f"# {err}", file=sys.stderr)
         return 130
+    root = coordinator.coord.root if args.ha else coordinator.root
     print(f"# {len(suite.results)} benchmarks on {machine.name} "
-          f"via {coordinator.root}")
+          f"via {root}")
     for result in suite.results:
         print(f"{result.spec.name}\t{result.seconds:.6f}\t"
               f"{result.ipc:.3f}")
@@ -117,13 +126,41 @@ def _cmd_run(args) -> int:
     return 0
 
 
+def _cmd_standby(args) -> int:
+    from repro.exec.campaign import graceful_shutdown
+    from repro.fabric.ha import HACoordinator
+
+    ha = HACoordinator(args.root, shared=args.shared,
+                       lease_ttl=args.lease_ttl,
+                       coordinator_id=args.coordinator_id,
+                       coordinator_ttl=args.coordinator_ttl)
+    print(f"# standby coordinator {ha.coordinator_id} watching "
+          f"{ha.coord.root}", file=sys.stderr)
+    with graceful_shutdown() as stop:
+        ha.run(should_stop=stop.is_set, idle_exit=args.idle_exit)
+    role = f"leader@{ha.coord.epoch}" if ha.is_leader else "standby"
+    print(f"# coordinator {ha.coordinator_id} exit ({role})",
+          file=sys.stderr)
+    return 0
+
+
 def _cmd_status(args) -> int:
     from repro.fabric.coordinator import Coordinator
     from repro.fabric.service import CharacterizationService
 
     coordinator = Coordinator(args.root, shared=args.shared)
     service = CharacterizationService(coordinator)
-    print(json.dumps(service.health_json(), indent=2, sort_keys=True))
+    health = service.health_json()
+    leader = health.get("leader")
+    if leader is not None:
+        print(f"# leader: {leader['coordinator']} "
+              f"(epoch {leader['epoch']})", file=sys.stderr)
+    for cid, rec in sorted(health.get("coordinators", {}).items()):
+        print(f"#   coordinator {cid}: epoch={rec.get('epoch')} "
+              f"heartbeat_age={rec['age_s']:.1f}s"
+              + (" [resigned]" if rec.get("resigned") else ""),
+              file=sys.stderr)
+    print(json.dumps(health, indent=2, sort_keys=True))
     return 0
 
 
@@ -169,7 +206,29 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--timeout", type=float, default=None,
                    help="overall campaign deadline in seconds")
     p.add_argument("--lease-ttl", type=float, default=10.0)
+    p.add_argument("--ha", action="store_true",
+                   help="coordinate under leader election so a "
+                        "standby can take over if this process dies")
+    p.add_argument("--coordinator-id", default=None,
+                   help="stable coordinator id (default: c-<host>-<pid>)")
+    p.add_argument("--coordinator-ttl", type=float, default=5.0,
+                   help="leader heartbeat silence before takeover")
     p.set_defaults(func=_cmd_run)
+
+    p = sub.add_parser("standby",
+                       help="run a hot-standby coordinator that takes "
+                            "over open campaigns if the leader dies")
+    _add_common(p)
+    p.add_argument("--coordinator-id", default=None,
+                   help="stable coordinator id (default: c-<host>-<pid>)")
+    p.add_argument("--coordinator-ttl", type=float, default=5.0,
+                   help="leader heartbeat silence before takeover")
+    p.add_argument("--lease-ttl", type=float, default=10.0,
+                   help="seconds of heartbeat silence before reclaim")
+    p.add_argument("--idle-exit", type=float, default=None,
+                   help="exit after this many seconds with no open "
+                        "submissions (default: stand by forever)")
+    p.set_defaults(func=_cmd_standby)
 
     p = sub.add_parser("status", help="print the fleet view as JSON")
     _add_common(p)

@@ -23,6 +23,10 @@ single-host serial run — the fabric chaos test asserts exactly that.
 
 from __future__ import annotations
 
+import base64
+import hashlib
+import pickle
+import re
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -33,14 +37,18 @@ from repro.exec.campaign import (TRANSIENT, CampaignInterrupted,
                                  CampaignManifest, WorkloadFailure)
 from repro.exec.costmodel import CostModel, cost_key, lpt_order
 from repro.exec.jobs import JobSpec, code_fingerprint
+from repro.exec.resilience import RetryPolicy, retry_call
 from repro.exec.store import ResultStore
-from repro.fabric.lease import LeaseLedger
+from repro.fabric.lease import (Election, LeaseLedger, _ChangeTracker,
+                                _read_json, default_coordinator_id)
 from repro.fabric.units import WorkUnit, make_unit_id
 
 #: fabric-root subdirectory holding the shared result store (+ costs.json)
 STORE_DIR = "store"
 #: fabric-root subdirectory holding the shared trace store
 TRACES_DIR = "traces"
+#: fabric-root subdirectory persisting submissions (for HA adoption)
+SUBMISSIONS_DIR = "submissions"
 #: default campaign journal filename under the fabric root
 MANIFEST_NAME = "campaign.jsonl"
 
@@ -48,6 +56,19 @@ MANIFEST_NAME = "campaign.jsonl"
 DEFAULT_LEASE_TTL = 10.0
 #: default re-enqueue budget per key before the unit settles as failed
 DEFAULT_MAX_REQUEUES = 5
+
+#: on-disk submission record schema
+SUBMISSION_SCHEMA = 1
+
+#: unit ids look like ``u00042-<key12>`` — the seq recovers from here
+_UNIT_SEQ_RE = re.compile(r"^u(\d+)-")
+
+
+def submission_id(keys: list[str]) -> str:
+    """Content-derived submission id (same batch -> same id)."""
+    digest = hashlib.sha256(
+        "\n".join(sorted(keys)).encode()).hexdigest()
+    return f"s{digest[:16]}"
 
 
 class FabricTimeout(RuntimeError):
@@ -92,6 +113,8 @@ class Submission:
     #: unit id -> pending state for every in-flight unit
     pending: dict[str, _Pending] = field(default_factory=dict)
     outcomes: dict[int, tuple[str, object]] = field(default_factory=dict)
+    #: persisted-submission id (None = never persisted, pre-HA batches)
+    sid: str | None = None
 
     @property
     def done(self) -> bool:
@@ -112,7 +135,8 @@ class Coordinator:
                  shared: bool = False,
                  lease_ttl: float = DEFAULT_LEASE_TTL,
                  poll_interval: float = 0.05,
-                 max_requeues: int = DEFAULT_MAX_REQUEUES):
+                 max_requeues: int = DEFAULT_MAX_REQUEUES,
+                 coordinator_id: str | None = None):
         backend = fabric_backend(root, shared=shared)
         self.backend = backend
         self.root = backend.root
@@ -125,7 +149,18 @@ class Coordinator:
         self.lease_ttl = lease_ttl
         self.poll_interval = poll_interval
         self.max_requeues = max_requeues
+        self.coordinator_id = coordinator_id or default_coordinator_id()
+        self.election = Election(self.ledger)
+        #: the epoch we coordinate under; ``None`` disables fencing
+        #: (single-coordinator mode — the pre-HA behaviour)
+        self.epoch: int | None = None
+        self._orphan_tracker = _ChangeTracker()
         self._seq = 0
+
+    def _check_fence(self) -> None:
+        """Refuse to mutate the ledger if we have been deposed."""
+        if self.epoch is not None:
+            self.election.check(self.epoch)
 
     # -- submission ------------------------------------------------------
 
@@ -135,7 +170,59 @@ class Coordinator:
         return WorkUnit(
             unit_id=make_unit_id(self._seq, key),
             name=job.name, key=key, cost_key=cost_key(job), rank=rank,
-            job=job, span=obs.current_ids(), estimate=estimate)
+            job=job, span=obs.current_ids(), estimate=estimate,
+            epoch=self.epoch)
+
+    # -- submission persistence (what a standby adopts) -----------------
+
+    def submission_path(self, sid: str) -> Path:
+        return self.root / SUBMISSIONS_DIR / f"{sid}.json"
+
+    def _persist_submission(self, sub: Submission,
+                            fingerprint: str) -> None:
+        """Durably record the batch so a standby can adopt it.
+
+        Written *before* any unit is enqueued: a coordinator that dies
+        mid-submit leaves either no record (nothing to adopt) or a
+        record plus a prefix of its units — and adoption re-enqueues
+        whatever is missing.  Content-derived ids make the write
+        idempotent across leaders.
+        """
+        dst = self.submission_path(sub.sid)
+        if dst.exists():
+            return
+        payload = {
+            "schema": SUBMISSION_SCHEMA, "sid": sub.sid,
+            "fingerprint": fingerprint, "total": len(sub.jobs),
+            "names": [job.name for job in sub.jobs],
+            "keys": list(sub.keys),
+            "jobs_pkl": base64.b64encode(
+                pickle.dumps(sub.jobs,
+                             protocol=pickle.HIGHEST_PROTOCOL)).decode(),
+            "epoch": self.epoch, "ts": time.time(),
+        }
+        self.ledger._publish_json(payload, dst)
+
+    def open_submissions(self) -> list[str]:
+        """Persisted submissions not yet marked settled."""
+        try:
+            names = sorted(
+                p.name for p in (self.root / SUBMISSIONS_DIR).iterdir())
+        except FileNotFoundError:
+            return []
+        done = {n[:-len(".done")] for n in names if n.endswith(".done")}
+        return [n[:-len(".json")] for n in names
+                if n.endswith(".json") and not n.startswith(".")
+                and n[:-len(".json")] not in done]
+
+    def mark_settled(self, sid: str) -> None:
+        """Record that every job of ``sid`` has a terminal outcome."""
+        self.ledger._publish_json(
+            {"sid": sid, "ts": time.time()},
+            self.root / SUBMISSIONS_DIR / f"{sid}.done")
+
+    def is_settled(self, sid: str) -> bool:
+        return (self.root / SUBMISSIONS_DIR / f"{sid}.done").exists()
 
     def submit(self, jobs: list[JobSpec],
                fingerprint: str | None = None) -> Submission:
@@ -150,7 +237,9 @@ class Coordinator:
         if fingerprint is None:
             fingerprint = code_fingerprint()
         keys = [job.cache_key(fingerprint) for job in jobs]
-        sub = Submission(jobs=list(jobs), keys=keys)
+        sub = Submission(jobs=list(jobs), keys=keys,
+                         sid=submission_id(keys))
+        self._persist_submission(sub, fingerprint)
 
         self.costs._load()      # adopt the fleet's latest observations
         misses: list[int] = []
@@ -165,10 +254,104 @@ class Coordinator:
         for rank, i in enumerate(lpt_order(misses, estimates)):
             unit = self._next_unit(jobs[i], keys[i], rank,
                                    self.costs.estimate(jobs[i]))
-            self.ledger.enqueue(unit)
+            retry_call(
+                lambda u=unit: self.ledger.enqueue(
+                    u, fence=self._check_fence),
+                policy=RetryPolicy(retries=2, backoff=0.05,
+                                   deadline=2.0))
             sub.pending[unit.unit_id] = _Pending(index=i, unit=unit)
         sub._unit_count = len(sub.pending)
         return sub
+
+    def adopt(self, sid: str) -> Submission:
+        """Reconstruct a predecessor's submission from the ledger.
+
+        The freshly-elected leader's half of failover: the persisted
+        record gives back the jobs/keys; store hits and done records
+        settle what already finished; surviving queue entries and
+        leases are matched back to their indices; anything left — a
+        unit the dead leader never enqueued, or one lost to a torn
+        write — is re-enqueued fresh.  Requeue budgets restart at zero
+        (the ledger does not journal them; a failover granting a few
+        extra retries is the safe direction).
+        """
+        rec = _read_json(self.submission_path(sid))
+        if rec is None or rec.get("schema") != SUBMISSION_SCHEMA:
+            raise FileNotFoundError(
+                f"no adoptable submission record for {sid!r}")
+        jobs = pickle.loads(base64.b64decode(rec["jobs_pkl"]))
+        keys = list(rec["keys"])
+        sub = Submission(jobs=jobs, keys=keys, sid=sid)
+
+        done = self.ledger.done_records()
+        self._recover_seq(done)
+        failed_by_key: dict[str, dict] = {}
+        for unit_id, drec in done.items():
+            if drec.get("status") == "done":
+                # verify before trusting: a torn result write can
+                # leave a done record with no store entry behind
+                key = drec.get("key")
+                if key and self.store.get(key) is None:
+                    self.ledger.done_path(unit_id).unlink(
+                        missing_ok=True)
+                    obs.add("fabric.done_without_result")
+            elif drec.get("key"):
+                failed_by_key[drec["key"]] = drec
+
+        unsettled: dict[str, int] = {}      # key -> index
+        for i, key in enumerate(keys):
+            if self.store.get(key) is not None:
+                sub.outcomes[i] = ("done", key)
+            elif key in failed_by_key:
+                failure = WorkloadFailure.from_json(
+                    failed_by_key[key]["failure"])
+                sub.outcomes[i] = ("failed", failure)
+            else:
+                unsettled[key] = i
+
+        # match surviving units (queued and/or leased) to their indices
+        for unit_id, path in self.ledger.queue_entries():
+            try:
+                unit = WorkUnit.load(path)
+            except Exception:
+                continue            # torn envelope: orphan path requeues
+            if unit.key in unsettled:
+                sub.pending[unit.unit_id] = _Pending(
+                    index=unsettled.pop(unit.key), unit=unit)
+        for unit_id in self.ledger.active_leases():
+            if unit_id in sub.pending or unit_id in done:
+                continue
+            for key, i in list(unsettled.items()):
+                if unit_id.endswith(key[:12]):
+                    unsettled.pop(key)
+                    sub.pending[unit_id] = _Pending(
+                        index=i, unit=WorkUnit(
+                            unit_id=unit_id, name=jobs[i].name, key=key,
+                            cost_key=cost_key(jobs[i]), rank=i,
+                            job=jobs[i], epoch=self.epoch))
+                    break
+
+        # whatever is left never made it into (or fell out of) the
+        # queue — enqueue it fresh under our epoch
+        for key, i in sorted(unsettled.items(), key=lambda kv: kv[1]):
+            unit = self._next_unit(jobs[i], key, rank=i,
+                                   estimate=self.costs.estimate(jobs[i]))
+            self.ledger.enqueue(unit, fence=self._check_fence)
+            sub.pending[unit.unit_id] = _Pending(index=i, unit=unit)
+        sub._unit_count = len(jobs) - sum(
+            1 for s, _ in sub.outcomes.values() if s == "done")
+        obs.add("fabric.submissions_adopted")
+        return sub
+
+    def _recover_seq(self, done: dict[str, dict]) -> None:
+        """Continue the unit-id sequence past every id already on disk."""
+        seen = list(done)
+        seen += [uid for uid, _ in self.ledger.queue_entries()]
+        seen += list(self.ledger.active_leases())
+        for uid in seen:
+            m = _UNIT_SEQ_RE.match(uid)
+            if m:
+                self._seq = max(self._seq, int(m.group(1)))
 
     # -- settlement ------------------------------------------------------
 
@@ -176,6 +359,7 @@ class Coordinator:
                 payload, manifest: CampaignManifest | None) -> None:
         pend = sub.pending.pop(unit_id)
         self.ledger.remove_queued(unit_id)
+        self._orphan_tracker.forget(unit_id)
         sub.outcomes[pend.index] = (status, payload)
         if manifest is not None:
             failure = payload if status == "failed" else None
@@ -186,6 +370,7 @@ class Coordinator:
                  manifest: CampaignManifest | None) -> None:
         """Re-enqueue a reclaimed unit under a fresh unit id."""
         pend = sub.pending.pop(unit_id)
+        self._orphan_tracker.forget(unit_id)
         job, key = sub.jobs[pend.index], sub.keys[pend.index]
         if pend.requeues + 1 > self.max_requeues:
             failure = WorkloadFailure(
@@ -198,10 +383,23 @@ class Coordinator:
             if manifest is not None:
                 manifest.record(key, job.name, "failed",
                                 failure=failure, unit=unit_id)
+            # a done record makes the terminal failure visible to
+            # standby coordinators (first writer wins; best effort —
+            # the outcome above is already authoritative here)
+            try:
+                self.ledger.complete(unit_id, {
+                    "unit": unit_id, "status": "failed", "key": key,
+                    "name": job.name, "failure": failure.to_json(),
+                    "coordinator": self.coordinator_id,
+                    "epoch": self.epoch})
+            except OSError:
+                obs.add("fabric.coordinator_io_errors")
             return
         unit = self._next_unit(job, key, pend.unit.rank,
                                pend.unit.estimate)
-        self.ledger.enqueue(unit)
+        retry_call(
+            lambda: self.ledger.enqueue(unit, fence=self._check_fence),
+            policy=RetryPolicy(retries=2, backoff=0.05, deadline=2.0))
         sub.pending[unit.unit_id] = _Pending(
             index=pend.index, unit=unit, requeues=pend.requeues + 1)
         if manifest is not None:
@@ -237,7 +435,11 @@ class Coordinator:
         unit whose result already landed in the store — the worker
         published the result but died before (or just after) its done
         record — settles as done instead of re-running.
+
+        Fenced: raises :class:`~repro.fabric.lease.LeadershipLost`
+        when a higher-epoch coordinator exists (zombie ex-leader).
         """
+        self._check_fence()
         settled_before = len(sub.outcomes)
         done = self.ledger.done_records()
         for unit_id in list(sub.pending):
@@ -245,6 +447,17 @@ class Coordinator:
             if rec is None:
                 continue
             if rec.get("status") == "done":
+                key = sub.keys[sub.pending[unit_id].index]
+                if self.store.get(key) is None:
+                    # "done" with no result behind it: a torn write
+                    # that reported success.  Drop the lying record
+                    # and re-run the unit.
+                    self.ledger.done_path(unit_id).unlink(
+                        missing_ok=True)
+                    obs.add("fabric.done_without_result")
+                    self.ledger.remove_queued(unit_id)
+                    self._requeue(sub, unit_id, manifest)
+                    continue
                 self._settle(sub, unit_id, "done", rec.get("key"),
                              manifest)
             else:
@@ -264,8 +477,55 @@ class Coordinator:
                 self.ledger.remove_queued(unit_id)
                 self._requeue(sub, unit_id, manifest)
 
+        self._requeue_orphans(sub, manifest)
         self._publish_fleet_gauges()
         return len(sub.outcomes) - settled_before
+
+    def _requeue_orphans(self, sub: Submission,
+                         manifest: CampaignManifest | None) -> None:
+        """Recover units that are neither queued, leased, nor done.
+
+        A unit can fall out of every ledger set without a trace: its
+        queue envelope was torn by an injected write fault (workers
+        skip it forever), or a dying leader removed the entry without
+        re-publishing.  Such orphans are aged on our monotonic clock —
+        transient unreadability under fault injection heals itself —
+        and re-enqueued once they stay unaccountable past the lease
+        ttl.
+        """
+        leases = self.ledger.active_leases()
+        queued = dict(self.ledger.queue_entries())
+        for unit_id in list(sub.pending):
+            if unit_id in leases:
+                self._orphan_tracker.forget(unit_id)
+                continue
+            path = queued.get(unit_id)
+            if path is not None:
+                try:
+                    WorkUnit.load(path)
+                except Exception:
+                    pass            # torn envelope: still an orphan
+                else:
+                    self._orphan_tracker.forget(unit_id)
+                    continue
+            done_path = self.ledger.done_path(unit_id)
+            if done_path.exists() \
+                    and _read_json(done_path) is not None:
+                continue            # settles on the next poll
+            if self._orphan_tracker.observe(unit_id, "orphan") \
+                    > self.lease_ttl:
+                pend = sub.pending[unit_id]
+                # a torn done record blocks any fresh completion
+                # (first-writer-wins) — drop it before deciding
+                done_path.unlink(missing_ok=True)
+                if self.store.get(sub.keys[pend.index]) is not None:
+                    self._settle(sub, unit_id, "done",
+                                 sub.keys[pend.index], manifest)
+                    obs.add("fabric.reclaims_settled_from_store")
+                else:
+                    self.ledger.remove_queued(unit_id)
+                    self._requeue(sub, unit_id, manifest)
+                    obs.add("fabric.orphans_requeued")
 
     def wait(self, sub: Submission,
              manifest: CampaignManifest | None = None,
@@ -326,19 +586,54 @@ class Coordinator:
             self.wait(sub, manifest, timeout=timeout,
                       should_stop=should_stop)
 
+        if sub.sid is not None:
+            self.mark_settled(sub.sid)
+        return self.collect(jobs, sub.keys, sub.outcomes, machine)
+
+    def collect(self, jobs, keys, outcomes, machine):
+        """Assemble the final SuiteResult from settled outcomes.
+
+        Store reads ride out transient faults with a short bounded
+        retry — a campaign that survived a fault storm should not die
+        assembling its answer to one last injected EIO.
+        """
+        from repro.harness.suite import SuiteResult
+
         out = SuiteResult(machine=machine)
-        for i, (job, key) in enumerate(zip(jobs, sub.keys)):
-            status, payload = sub.outcomes[i]
+        for i, (job, key) in enumerate(zip(jobs, keys)):
+            status, payload = outcomes[i]
             if status == "failed":
                 out.failures.append(payload)
                 continue
-            result = self.store.get(key)
+            result = None
+            for delay in (0.0, 0.1, 0.5, 1.0):
+                if delay:
+                    time.sleep(delay)
+                result = self.store.get(key)
+                if result is not None:
+                    break
             if result is None:
                 raise RuntimeError(
                     f"unit for {job.name} reported done but key "
                     f"{key[:12]} is missing from the store")
             out.results.append(result)
         return out
+
+    def store_reachable(self) -> bool:
+        """Can the shared store serve a read right now?
+
+        Probes a key that cannot exist: a clean miss means the mount
+        answers; any other ``OSError`` means it does not.  Feeds
+        ``/healthz``.
+        """
+        probe = self.store.path_for("0" * 64)
+        try:
+            self.store.backend.read_bytes(probe)
+        except FileNotFoundError:
+            return True
+        except OSError:
+            return False
+        return True
 
     def __repr__(self) -> str:
         return f"Coordinator({self.backend.describe()!r})"

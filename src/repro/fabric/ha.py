@@ -1,0 +1,251 @@
+"""Highly-available coordination: election loop, adoption, failover.
+
+:class:`~repro.fabric.coordinator.Coordinator` knows how to *do* the
+coordinating — decompose, dispatch, reclaim, settle — but a single
+process owning that role is the fabric's last single point of failure:
+SIGKILL it and every in-flight campaign stalls with workers idling
+behind a queue nobody requeues.  This module removes that by making
+the role itself leased:
+
+* any number of :class:`HACoordinator` processes watch the same fabric
+  directory; at most one — the holder of the highest epoch in
+  ``election/`` (see :class:`~repro.fabric.lease.Election`) — actively
+  coordinates, while the rest stand by aging its heartbeat;
+* the leader's campaign state is *reconstructible*: submissions are
+  persisted under ``submissions/`` before their units are enqueued, so
+  a freshly-elected standby rebuilds every open campaign from the
+  ledger + store (:meth:`Coordinator.adopt`) and carries on requeueing
+  and settling where the corpse left off;
+* every ledger mutation the leader makes is **fenced** by its epoch —
+  a deposed leader that wakes up later gets
+  :class:`~repro.fabric.lease.LeadershipLost` instead of corrupting a
+  successor's ledger.
+
+Failover cost is bounded and small: the takeover ttl to *notice*, plus
+one adoption scan to rebuild state.  No work is lost — results are in
+the content-addressed store, done records survive, and requeue budgets
+merely reset (the generous direction).
+
+:meth:`HACoordinator.run_campaign` is failover-transparent from the
+submitter's side too: it waits on the submission's *settled marker*
+rather than on its own leadership, so the answer assembles correctly
+even if a different process finished the coordination.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+
+from repro import obs
+from repro.exec.campaign import (CampaignInterrupted, CampaignManifest,
+                                 WorkloadFailure)
+from repro.exec.jobs import JobSpec, code_fingerprint
+from repro.fabric.coordinator import (DEFAULT_LEASE_TTL,
+                                      DEFAULT_MAX_REQUEUES, FabricTimeout,
+                                      MANIFEST_NAME, Coordinator,
+                                      Submission)
+from repro.fabric.lease import LeadershipLost
+
+#: seconds of leader-heartbeat silence before a standby takes over
+DEFAULT_COORDINATOR_TTL = 5.0
+
+
+def observe_outcomes(coord: Coordinator,
+                     keys: list[str]) -> dict[int, tuple[str, object]]:
+    """Read-only settlement view: outcomes derivable from disk alone.
+
+    Built from the store (done) and failed done-records (failed) — no
+    leadership required.  Complete exactly when every index appears,
+    which is what the settled marker promises.
+    """
+    done = coord.ledger.done_records()
+    failed_by_key = {
+        rec["key"]: rec for rec in done.values()
+        if rec.get("status") != "done" and rec.get("key")}
+    outcomes: dict[int, tuple[str, object]] = {}
+    for i, key in enumerate(keys):
+        if coord.store.get(key) is not None:
+            outcomes[i] = ("done", key)
+        elif key in failed_by_key:
+            outcomes[i] = ("failed", WorkloadFailure.from_json(
+                failed_by_key[key]["failure"]))
+    return outcomes
+
+
+class HACoordinator:
+    """A coordinator that participates in leader election.
+
+    Construct one per would-be coordinator process and drive it with
+    :meth:`step` (one election-plus-coordination tick), :meth:`run`
+    (the standby service loop), or :meth:`run_campaign` (submit a
+    batch and see it through, surviving our own deposition).
+    """
+
+    def __init__(self, root: str | Path, *, shared: bool = False,
+                 coordinator_id: str | None = None,
+                 coordinator_ttl: float = DEFAULT_COORDINATOR_TTL,
+                 lease_ttl: float = DEFAULT_LEASE_TTL,
+                 poll_interval: float = 0.05,
+                 max_requeues: int = DEFAULT_MAX_REQUEUES):
+        self.coord = Coordinator(
+            root, shared=shared, lease_ttl=lease_ttl,
+            poll_interval=poll_interval, max_requeues=max_requeues,
+            coordinator_id=coordinator_id)
+        self.election = self.coord.election
+        self.coordinator_id = self.coord.coordinator_id
+        self.coordinator_ttl = coordinator_ttl
+        self.manifest = CampaignManifest(self.coord.root / MANIFEST_NAME)
+        self._subs: dict[str, Submission] = {}
+        self._hb_seq = 0
+        self._hb_last = 0.0
+
+    @property
+    def is_leader(self) -> bool:
+        return self.coord.epoch is not None
+
+    def _heartbeat(self) -> None:
+        """Publish our coordinator liveness (throttled, best-effort)."""
+        now = time.monotonic()
+        if now - self._hb_last < self.coordinator_ttl / 3.0:
+            return
+        self._hb_last = now
+        self._hb_seq += 1
+        try:
+            self.election.heartbeat(
+                self.coordinator_id, self.coord.epoch or 0, self._hb_seq)
+        except OSError:
+            obs.add("fabric.coordinator_io_errors")
+
+    def step(self) -> bool:
+        """One tick; returns True when we hold leadership after it.
+
+        Standby: age the leader, take over when it expires.  Leader:
+        heartbeat, adopt any open submission we are not yet tracking,
+        poll them all, settle the finished ones.  ``LeadershipLost``
+        demotes us back to standby; plain I/O errors are weather —
+        counted and retried next tick.
+        """
+        if not self.is_leader:
+            self._heartbeat()
+            epoch = self.election.try_takeover(
+                self.coordinator_id, self.coordinator_ttl)
+            if epoch is None:
+                return False
+            self.coord.epoch = epoch
+            self._subs = {}
+            self._hb_last = 0.0
+            obs.gauge_set("fabric.leader_epoch", float(epoch))
+        try:
+            self._heartbeat()
+            for sid in self.coord.open_submissions():
+                if sid not in self._subs:
+                    self._subs[sid] = self.coord.adopt(sid)
+            for sid, sub in list(self._subs.items()):
+                self.coord.poll(sub, self.manifest)
+                if sub.done:
+                    self.coord.mark_settled(sid)
+                    del self._subs[sid]
+        except LeadershipLost:
+            self.coord.epoch = None
+            self._subs = {}
+            obs.add("fabric.leadership_lost")
+            return False
+        except OSError:
+            obs.add("fabric.coordinator_io_errors")
+        return True
+
+    def run(self, should_stop=None, idle_exit: float | None = None,
+            poll_interval: float | None = None) -> None:
+        """The standby/leader service loop (``repro-fabric standby``).
+
+        Ticks until the fleet stop marker appears, ``should_stop``
+        fires, or — with ``idle_exit`` — no submission has been open
+        for that many seconds.  A standby waiting behind a live leader
+        is *not* idle while open submissions exist.
+        """
+        interval = poll_interval if poll_interval is not None \
+            else self.coord.poll_interval
+        idle_since = time.monotonic()
+        try:
+            while True:
+                if self.coord.ledger.stop_requested():
+                    break
+                if should_stop is not None and should_stop():
+                    break
+                self.step()
+                if self._subs or self.coord.open_submissions():
+                    idle_since = time.monotonic()
+                elif idle_exit is not None \
+                        and time.monotonic() - idle_since > idle_exit:
+                    break
+                time.sleep(interval)
+        finally:
+            if self.is_leader:
+                try:
+                    self.election.resign(self.coordinator_id)
+                except OSError:
+                    pass
+
+    def run_campaign(self, specs, machine, fidelity=None, seed: int = 0,
+                     timeout: float | None = None, should_stop=None,
+                     **run_kwargs):
+        """Submit a batch and drive it to a settled SuiteResult.
+
+        Unlike :meth:`Coordinator.run_campaign`, completion is defined
+        by the submission's *settled marker*, not by this process's
+        own bookkeeping — if we are deposed (or never elected), some
+        other coordinator finishes the campaign and we still assemble
+        the identical answer from the store.
+        """
+        from repro.harness.runner import Fidelity
+
+        fidelity = fidelity or Fidelity.default()
+        jobs = [JobSpec(spec=spec, machine=machine, fidelity=fidelity,
+                        seed=seed, run_kwargs=run_kwargs)
+                for spec in specs]
+        fingerprint = code_fingerprint()
+        self.manifest.begin(fingerprint, total=len(jobs))
+
+        # become leader if the seat is free so our own ticks can
+        # coordinate; submission itself is leadership-independent
+        self.step()
+        with obs.span("fabric.campaign", machine=machine.name,
+                      workloads=len(jobs)):
+            sub = self.coord.submit(jobs, fingerprint)
+            for i, (status, _) in sub.outcomes.items():
+                if status == "done":
+                    self.manifest.record(sub.keys[i], jobs[i].name,
+                                         "done")
+            if self.is_leader:
+                self._subs[sub.sid] = sub
+
+            deadline = None if timeout is None \
+                else time.monotonic() + timeout
+            while not self.coord.is_settled(sub.sid):
+                if should_stop is not None and should_stop():
+                    self.coord.ledger.request_stop()
+                    settled = observe_outcomes(self.coord, sub.keys)
+                    raise CampaignInterrupted(
+                        self.manifest.path,
+                        completed=sum(1 for s, _ in settled.values()
+                                      if s == "done"),
+                        failed=sum(1 for s, _ in settled.values()
+                                   if s == "failed"),
+                        remaining=len(jobs) - len(settled))
+                if deadline is not None \
+                        and time.monotonic() > deadline:
+                    settled = observe_outcomes(self.coord, sub.keys)
+                    raise FabricTimeout(
+                        [sub.keys[i][:12] for i in range(len(jobs))
+                         if i not in settled])
+                self.step()
+                time.sleep(self.coord.poll_interval)
+
+        outcomes = observe_outcomes(self.coord, sub.keys)
+        return self.coord.collect(jobs, sub.keys, outcomes, machine)
+
+    def __repr__(self) -> str:
+        role = f"leader@{self.coord.epoch}" if self.is_leader \
+            else "standby"
+        return f"HACoordinator({self.coordinator_id!r}, {role})"

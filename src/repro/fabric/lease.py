@@ -57,9 +57,23 @@ QUEUE_DIR = "queue"
 LEASES_DIR = "leases"
 DONE_DIR = "done"
 WORKERS_DIR = "workers"
+#: coordinator HA: epoch claim files + coordinator heartbeats
+ELECTION_DIR = "election"
+COORDINATORS_DIR = "coordinators"
 
 #: stop-marker filename (coordinator -> fleet shutdown request)
 STOP_MARKER = "fabric.stop"
+
+
+class LeadershipLost(RuntimeError):
+    """A fenced coordinator write was refused: a higher epoch exists.
+
+    The raiser is a *zombie ex-leader* — a coordinator that was
+    presumed dead (GC pause, network partition, SIGSTOP) and replaced,
+    now waking up and trying to mutate the ledger.  Its caller must
+    stop coordinating immediately; the write that triggered this never
+    happened.
+    """
 
 
 class _ChangeTracker:
@@ -140,9 +154,17 @@ class LeaseLedger:
 
     # -- queue ----------------------------------------------------------
 
-    def enqueue(self, unit: WorkUnit) -> Path:
-        """Publish a work unit into the claimable queue."""
+    def enqueue(self, unit: WorkUnit, fence=None) -> Path:
+        """Publish a work unit into the claimable queue.
+
+        ``fence`` is an optional callable invoked immediately before
+        the publish; a fenced coordinator passes its epoch check here
+        so a zombie ex-leader's late requeue raises
+        :class:`LeadershipLost` instead of polluting the queue.
+        """
         dst = self.queue_dir() / unit.filename
+        if fence is not None:
+            fence()
         self._publish_json(unit.to_json(), dst)
         obs.add("fabric.units_enqueued")
         return dst
@@ -222,13 +244,15 @@ class LeaseLedger:
             tmp.write_text(json.dumps(record, sort_keys=True),
                            encoding="utf-8")
             try:
-                os.link(tmp, dst)
+                self.backend.link(tmp, dst)
             except FileExistsError:
                 obs.add("fabric.duplicate_completions")
                 return False
             except OSError:
                 # Filesystem without hard links: degrade to the atomic
                 # publish (last writer wins; records are equal anyway).
+                # A persistent backend fault propagates from the
+                # publish to the caller's spool-and-retry path.
                 if dst.exists():
                     obs.add("fabric.duplicate_completions")
                     return False
@@ -351,3 +375,176 @@ class LeaseLedger:
 
     def __repr__(self) -> str:
         return f"LeaseLedger({self.backend.describe()!r})"
+
+
+def default_coordinator_id() -> str:
+    """A coordinator id unique per host+process."""
+    return f"c-{socket.gethostname()}-{os.getpid()}"
+
+
+class Election:
+    """Epoch-numbered coordinator leadership over the shared directory.
+
+    Same idiom as the unit leases, one level up: leadership of epoch
+    ``E`` is an ``O_EXCL`` claim on ``election/epoch-<E>.json`` — the
+    filesystem guarantees exactly one winner per epoch — and the
+    *current* leader is whoever owns the highest epoch.  The leader
+    re-publishes ``coordinators/<id>.json`` (atomic replace, monotonic
+    ``seq``) as its heartbeat; standbys age that heartbeat's content on
+    their own monotonic clock (skew-immune, like lease expiry) and
+    claim epoch ``E+1`` when it goes stale.
+
+    Epochs only grow, which is what makes **fencing** work: a zombie
+    ex-leader that wakes up after a takeover still holds epoch ``E``,
+    but :meth:`check` sees ``E+1`` on disk and raises
+    :class:`LeadershipLost` before the stale write lands.  Late writes
+    from a deposed coordinator are thereby rejected rather than
+    corrupting the ledger.
+    """
+
+    def __init__(self, ledger: LeaseLedger):
+        self.ledger = ledger
+        self.root = ledger.root
+        self._tracker = _ChangeTracker()
+
+    # -- paths ----------------------------------------------------------
+
+    def epoch_path(self, epoch: int) -> Path:
+        return self.root / ELECTION_DIR / f"epoch-{epoch:08d}.json"
+
+    def coordinator_path(self, coordinator: str) -> Path:
+        return self.root / COORDINATORS_DIR / f"{coordinator}.json"
+
+    # -- reading the board ----------------------------------------------
+
+    def current(self) -> tuple[str, int] | None:
+        """``(coordinator_id, epoch)`` of the highest claimed epoch.
+
+        Torn claim files (a claimer that died mid-write) are skipped;
+        leadership falls back to the highest *parseable* epoch.
+        """
+        try:
+            names = sorted(os.listdir(self.root / ELECTION_DIR),
+                           reverse=True)
+        except FileNotFoundError:
+            return None
+        for name in names:
+            if not name.startswith("epoch-") or not name.endswith(".json"):
+                continue
+            rec = _read_json(self.root / ELECTION_DIR / name)
+            if rec is not None and "coordinator" in rec:
+                return str(rec["coordinator"]), int(rec["epoch"])
+        return None
+
+    def leader_age(self, now: float | None = None) -> float | None:
+        """Seconds since the current leader's heartbeat last changed.
+
+        ``None`` when there is no leader at all.  A leader that never
+        wrote a heartbeat ages from the moment *we* first looked; a
+        ``resigned`` heartbeat reads as infinitely old so a graceful
+        handover does not wait out the ttl.
+        """
+        cur = self.current()
+        if cur is None:
+            return None
+        cid, epoch = cur
+        rec = _read_json(self.coordinator_path(cid)) or {}
+        if rec.get("resigned"):
+            return float("inf")
+        fingerprint = (cid, epoch, rec.get("seq"))
+        return self._tracker.observe(f"leader:{cid}", fingerprint, now)
+
+    def coordinators(self, now: float | None = None) -> dict[str, dict]:
+        """Coordinator id -> heartbeat record (+ ``age_s`` observed here)."""
+        out: dict[str, dict] = {}
+        try:
+            names = os.listdir(self.root / COORDINATORS_DIR)
+        except FileNotFoundError:
+            return out
+        for name in names:
+            if not name.endswith(".json") or name.startswith("."):
+                continue
+            cid = name[:-len(".json")]
+            rec = _read_json(self.coordinator_path(cid))
+            if rec is None:
+                continue
+            rec["age_s"] = self._tracker.observe(
+                f"hb:{cid}", (rec.get("epoch"), rec.get("seq")), now)
+            out[cid] = rec
+        return out
+
+    # -- claiming and holding leadership --------------------------------
+
+    def _claim(self, coordinator: str, epoch: int) -> bool:
+        """Try to win ``epoch`` (``O_EXCL``; exactly one winner)."""
+        path = self.epoch_path(epoch)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = json.dumps(
+            {"coordinator": coordinator, "epoch": epoch,
+             "ts": time.time()}, sort_keys=True)
+        try:
+            fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            return False
+        try:
+            os.write(fd, payload.encode())
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+        return True
+
+    def try_takeover(self, coordinator: str, ttl: float,
+                     now: float | None = None) -> int | None:
+        """Become leader if the seat is empty, ours, or expired.
+
+        Returns the epoch we now lead, or ``None`` while a live leader
+        holds it.  Losing the ``O_EXCL`` race to another standby is a
+        clean ``None`` too — the winner's heartbeat resets our aging.
+        """
+        cur = self.current()
+        if cur is None:
+            if self._claim(coordinator, 1):
+                obs.add("fabric.leadership_acquired")
+                return 1
+            return None
+        cid, epoch = cur
+        if cid == coordinator:
+            return epoch
+        age = self.leader_age(now)
+        if age is not None and age > ttl:
+            if self._claim(coordinator, epoch + 1):
+                obs.add("fabric.leadership_acquired")
+                return epoch + 1
+        return None
+
+    def heartbeat(self, coordinator: str, epoch: int, seq: int) -> None:
+        """Publish/refresh this coordinator's liveness record."""
+        self.ledger._publish_json(
+            {"coordinator": coordinator, "epoch": epoch, "seq": seq,
+             "ts": time.time(), "pid": os.getpid(),
+             "host": socket.gethostname()},
+            self.coordinator_path(coordinator))
+
+    def resign(self, coordinator: str) -> None:
+        """Graceful handover: mark our heartbeat as resigned."""
+        rec = _read_json(self.coordinator_path(coordinator)) or {
+            "coordinator": coordinator}
+        rec["resigned"] = True
+        rec["ts"] = time.time()
+        self.ledger._publish_json(rec, self.coordinator_path(coordinator))
+
+    # -- fencing ---------------------------------------------------------
+
+    def check(self, epoch: int) -> None:
+        """Raise :class:`LeadershipLost` if a higher epoch exists.
+
+        Called by a fenced coordinator immediately before every ledger
+        mutation; this is what turns a zombie ex-leader's late write
+        into a rejected no-op.
+        """
+        cur = self.current()
+        if cur is not None and cur[1] > epoch:
+            obs.add("fabric.fenced_writes_rejected")
+            raise LeadershipLost(
+                f"epoch {epoch} fenced out by epoch {cur[1]} "
+                f"({cur[0]})")

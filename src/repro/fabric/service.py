@@ -25,7 +25,9 @@ framework.  Endpoints:
     NDJSON progress events (one line per settled workload, then a
     terminal ``request-done`` line) — connection close delimits.
 ``GET /healthz``
-    Liveness plus the fleet view (workers, queue depth, leases).
+    Liveness plus the fleet view: workers, queue depth, leases, the
+    current coordinator leader (id + epoch), per-coordinator
+    heartbeat ages, and whether the shared store answers reads.
 ``GET /metrics``
     Prometheus text format: the process's ``repro.obs`` registry,
     which includes the per-worker fleet-health gauges the coordinator
@@ -262,10 +264,21 @@ class CharacterizationService:
     def health_json(self) -> dict:
         ledger = self.coordinator.ledger
         workers = ledger.workers()
+        election = self.coordinator.election
+        leader = election.current()
         return {"ok": True,
                 "requests": len(self._requests),
                 "queue_depth": len(ledger.queue_entries()),
                 "leases": len(ledger.active_leases()),
+                "leader": ({"coordinator": leader[0],
+                            "epoch": leader[1]}
+                           if leader is not None else None),
+                "coordinators": {
+                    cid: {"age_s": rec["age_s"],
+                          "epoch": rec.get("epoch"),
+                          "resigned": bool(rec.get("resigned"))}
+                    for cid, rec in election.coordinators().items()},
+                "store_reachable": self.coordinator.store_reachable(),
                 "workers": {w: {"age_s": rec["age_s"],
                                 "inflight": rec.get("inflight", [])}
                             for w, rec in workers.items()}}
@@ -313,7 +326,8 @@ class CharacterizationService:
 
 _REASONS = {200: "OK", 202: "Accepted", 400: "Bad Request",
             404: "Not Found", 405: "Method Not Allowed",
-            500: "Internal Server Error"}
+            408: "Request Timeout", 500: "Internal Server Error",
+            503: "Service Unavailable"}
 
 
 def _response(status: int, body: bytes, content_type: str,
@@ -338,10 +352,20 @@ class FabricServer:
     """Asyncio HTTP server wrapping a :class:`CharacterizationService`."""
 
     def __init__(self, service: CharacterizationService,
-                 host: str = "127.0.0.1", port: int = 0):
+                 host: str = "127.0.0.1", port: int = 0, *,
+                 read_timeout: float = 10.0,
+                 write_timeout: float = 10.0,
+                 max_inflight: int = 64):
         self.service = service
         self.host = host
         self.port = port
+        #: seconds a client gets to deliver its full request
+        self.read_timeout = read_timeout
+        #: seconds a client gets to drain each response write
+        self.write_timeout = write_timeout
+        #: concurrent /characterize submissions before 503 backpressure
+        self.max_inflight = max_inflight
+        self._inflight = 0
         self._server: asyncio.AbstractServer | None = None
 
     async def start(self) -> None:
@@ -369,7 +393,10 @@ class FabricServer:
             raw = await self._respond(reader, writer)
             if raw is not None:
                 writer.write(raw)
-                await writer.drain()
+                await asyncio.wait_for(writer.drain(),
+                                       self.write_timeout)
+        except asyncio.TimeoutError:
+            pass    # slow client: drop the connection, free the slot
         except (ConnectionError, asyncio.IncompleteReadError):
             pass
         except Exception as err:      # never kill the accept loop
@@ -419,7 +446,14 @@ class FabricServer:
 
     async def _respond(self, reader, writer) -> bytes | None:
         try:
-            method, path, headers, body = await self._read_request(reader)
+            method, path, headers, body = await asyncio.wait_for(
+                self._read_request(reader), self.read_timeout)
+        except asyncio.TimeoutError:
+            # slow-client guard: a dribbling request must not pin a
+            # connection (and its buffers) open indefinitely
+            obs.add("fabric.service_read_timeouts")
+            return _json_response(408,
+                                  {"error": "request read timed out"})
         except BadRequest as err:
             return _json_response(400, {"error": str(err)})
         span_echo = {}
@@ -439,13 +473,23 @@ class FabricServer:
                 payload = json.loads(body.decode() or "{}")
             except ValueError:
                 return _json_response(400, {"error": "invalid JSON body"})
+            if self._inflight >= self.max_inflight:
+                # bounded request queue: shed load with an honest 503
+                # instead of queueing unboundedly behind the executor
+                obs.add("fabric.service_rejected")
+                return _json_response(
+                    503, {"error": "submission queue full"},
+                    {"Retry-After": "1"})
             parent = self._span_parent(headers)
             loop = asyncio.get_running_loop()
+            self._inflight += 1
             try:
                 reply, status = await loop.run_in_executor(
                     None, self.service.submit, payload, parent)
             except BadRequest as err:
                 return _json_response(400, {"error": str(err)})
+            finally:
+                self._inflight -= 1
             return _json_response(status, reply, span_echo)
         if path.startswith("/requests/"):
             if method != "GET":
@@ -480,7 +524,7 @@ class FabricServer:
             for event in events[sent:]:
                 writer.write((json.dumps(event) + "\n").encode())
             sent = len(events)
-            await writer.drain()
+            await asyncio.wait_for(writer.drain(), self.write_timeout)
             if req.finished.is_set() and sent == len(req.events):
                 return
             await asyncio.sleep(0.05)
@@ -509,8 +553,9 @@ class ServerThread:
     """A running server on a background event loop (tests, embedding)."""
 
     def __init__(self, service: CharacterizationService,
-                 host: str = "127.0.0.1", port: int = 0):
-        self.server = FabricServer(service, host, port)
+                 host: str = "127.0.0.1", port: int = 0,
+                 **server_kwargs):
+        self.server = FabricServer(service, host, port, **server_kwargs)
         self._loop = asyncio.new_event_loop()
         self._thread = threading.Thread(target=self._run, daemon=True)
         self._started = threading.Event()

@@ -49,6 +49,8 @@ class WorkUnit:
     span: tuple[str, str] | None = None
     #: expected seconds at submission (telemetry; None = never observed)
     estimate: float | None = None
+    #: leader epoch that (re)enqueued this unit (None = unfenced)
+    epoch: int | None = None
 
     @property
     def filename(self) -> str:
@@ -64,6 +66,7 @@ class WorkUnit:
             "rank": self.rank,
             "span": list(self.span) if self.span else None,
             "estimate": self.estimate,
+            "epoch": self.epoch,
             "job_pkl": base64.b64encode(
                 pickle.dumps(self.job,
                              protocol=pickle.HIGHEST_PROTOCOL)).decode(),
@@ -84,6 +87,7 @@ class WorkUnit:
             job=pickle.loads(base64.b64decode(data["job_pkl"])),
             span=(span[0], span[1]) if span else None,
             estimate=data.get("estimate"),
+            epoch=data.get("epoch"),
         )
 
     @classmethod

@@ -32,8 +32,11 @@ shows request → campaign → unit → pool job.
 
 from __future__ import annotations
 
+import json
 import os
+import pickle
 import socket
+import tempfile
 import threading
 import time
 from pathlib import Path
@@ -43,6 +46,8 @@ from repro.exec.backend import StoreBackend
 from repro.exec.campaign import WorkloadFailure
 from repro.exec.costmodel import CostModel
 from repro.exec.pool import JobFailure, run_jobs
+from repro.exec.resilience import (CircuitBreaker, RetryPolicy,
+                                   retry_call)
 from repro.exec.store import ResultStore
 from repro.fabric.coordinator import STORE_DIR, fabric_backend
 from repro.fabric.lease import LeaseLedger
@@ -51,6 +56,9 @@ from repro.obs.spans import SpanContext
 
 #: default seconds between lease/worker heartbeat renewals
 DEFAULT_HEARTBEAT = 1.0
+
+#: retry discipline for ledger/store writes before degrading
+_WRITE_POLICY = RetryPolicy(retries=2, backoff=0.05, deadline=2.0)
 
 
 def default_worker_id() -> str:
@@ -75,15 +83,134 @@ class _Heartbeater(threading.Thread):
     def run(self) -> None:
         while not self._halt.wait(self.interval):
             self.seq += 1
-            self.ledger.write_worker_heartbeat(
-                self.worker, [self.unit_id], self.seq)
-            if not self.ledger.heartbeat(self.unit_id, self.worker):
-                self.lost.set()     # reclaimed under us; finish anyway
+            try:
+                self.ledger.write_worker_heartbeat(
+                    self.worker, [self.unit_id], self.seq)
+                if not self.ledger.heartbeat(self.unit_id, self.worker):
+                    self.lost.set()     # reclaimed; finish anyway
+            except OSError:
+                # A transient write fault must not kill this thread —
+                # a dead heartbeater looks exactly like a dead host
+                # and gets a healthy worker's lease reclaimed.  Count
+                # it and try again next tick.
+                obs.add("fabric.heartbeat_errors")
 
     def stop(self) -> int:
         self._halt.set()
         self.join(timeout=self.interval * 4 + 1.0)
         return self.seq
+
+
+class ResultSpool:
+    """Local holding area for work the shared store refused to take.
+
+    A worker that finishes a unit during a store outage has the result
+    in memory and nowhere durable to put it.  Losing it (and re-running
+    a multi-minute simulation) is the failure mode this prevents: the
+    result pickles to local disk, the matching done record queues
+    beside it, and :meth:`flush` replays both — results strictly
+    before records, so a done record never points at a store miss —
+    once the backend answers again.  Everything here is idempotent:
+    the store is content-addressed and done records first-writer-wins,
+    so replaying a spool twice is harmless.
+    """
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+
+    def _results_dir(self) -> Path:
+        return self.root / "results"
+
+    def _records_dir(self) -> Path:
+        return self.root / "records"
+
+    def put_result(self, key: str, value) -> None:
+        d = self._results_dir()
+        d.mkdir(parents=True, exist_ok=True)
+        tmp = d / f".{key}.tmp"
+        tmp.write_bytes(
+            pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL))
+        os.replace(tmp, d / f"{key}.pkl")
+
+    def put_record(self, unit_id: str, record: dict) -> None:
+        d = self._records_dir()
+        d.mkdir(parents=True, exist_ok=True)
+        tmp = d / f".{unit_id}.tmp"
+        tmp.write_text(json.dumps(record, sort_keys=True),
+                       encoding="utf-8")
+        os.replace(tmp, d / f"{unit_id}.json")
+
+    def pending(self) -> int:
+        n = 0
+        for d in (self._results_dir(), self._records_dir()):
+            try:
+                n += sum(1 for p in d.iterdir()
+                         if not p.name.startswith("."))
+            except FileNotFoundError:
+                pass
+        return n
+
+    def flush(self, store: ResultStore, ledger: LeaseLedger) -> int:
+        """Replay the spool into the shared store/ledger.
+
+        Raises ``OSError`` if the backend is still down (whatever was
+        replayed so far stays replayed — per-file deletion keeps the
+        spool consistent under partial failure).
+        """
+        flushed = 0
+        for path in sorted(self._results_dir().glob("*.pkl")):
+            store.put(path.stem, pickle.loads(path.read_bytes()))
+            path.unlink(missing_ok=True)
+            flushed += 1
+        for path in sorted(self._records_dir().glob("*.json")):
+            record = json.loads(path.read_text(encoding="utf-8"))
+            unit_id = record["unit"]
+            ledger.complete(unit_id, record)    # dup -> False, benign
+            ledger.remove_queued(unit_id)
+            path.unlink(missing_ok=True)
+            flushed += 1
+        if flushed:
+            obs.add("fabric.spool_reconciled", float(flushed))
+        return flushed
+
+
+class _DegradedStore:
+    """Store proxy a worker runs jobs against: puts degrade, never die.
+
+    ``put`` rides transient faults with bounded retries under a
+    circuit breaker; when the store is genuinely down (retries
+    exhausted or breaker open) the result lands in the local spool and
+    the put *succeeds* from the job runner's point of view — degraded
+    mode means the work is kept, not that the worker stalls in
+    kernel-side NFS timeouts.  Reads pass straight through (the store
+    already degrades reads to cache misses).
+    """
+
+    def __init__(self, store: ResultStore, breaker: CircuitBreaker,
+                 spool: ResultSpool):
+        self._store = store
+        self._breaker = breaker
+        self._spool = spool
+        #: keys whose results only exist in the local spool so far
+        self.spooled_keys: set[str] = set()
+
+    def get(self, key: str, default=None):
+        return self._store.get(key, default)
+
+    def put(self, key: str, value):
+        try:
+            return retry_call(
+                lambda: self._breaker.call(
+                    lambda: self._store.put(key, value)),
+                policy=_WRITE_POLICY)
+        except OSError:
+            self._spool.put_result(key, value)
+            self.spooled_keys.add(key)
+            obs.add("fabric.spooled_results")
+            return None
+
+    def __getattr__(self, name):
+        return getattr(self._store, name)
 
 
 class WorkerAgent:
@@ -94,7 +221,8 @@ class WorkerAgent:
                  heartbeat_interval: float = DEFAULT_HEARTBEAT,
                  poll_interval: float = 0.05,
                  max_retries: int = 3, retry_backoff: float = 0.1,
-                 job_timeout: float | None = None):
+                 job_timeout: float | None = None,
+                 spool_dir: str | Path | None = None):
         backend = fabric_backend(root, shared=shared)
         self.backend = backend
         self.root = backend.root
@@ -109,6 +237,13 @@ class WorkerAgent:
         self.max_retries = max_retries
         self.retry_backoff = retry_backoff
         self.job_timeout = job_timeout
+        self.breaker = CircuitBreaker(threshold=5, cooldown=2.0)
+        if spool_dir is None:
+            spool_dir = (Path(tempfile.gettempdir())
+                         / f"repro-spool-{self.worker_id}")
+        self.spool = ResultSpool(spool_dir)
+        self._degraded = _DegradedStore(self.store, self.breaker,
+                                        self.spool)
         self._seq = 0
         self.units_run = 0
 
@@ -148,9 +283,9 @@ class WorkerAgent:
             with obs.span("fabric.unit", parent=parent,
                           unit=unit.unit_id, workload=unit.name,
                           worker=self.worker_id):
-                cached = self.store.get(unit.key) is not None
+                cached = self._degraded.get(unit.key) is not None
                 outcome = run_jobs(
-                    [unit.job], n_jobs=1, store=self.store,
+                    [unit.job], n_jobs=1, store=self._degraded,
                     catch=(Exception,), timeout=self.job_timeout,
                     max_retries=self.max_retries,
                     retry_backoff=self.retry_backoff,
@@ -179,12 +314,50 @@ class WorkerAgent:
         if unit is None:
             return False
         record = self.run_unit(unit)
-        self.ledger.complete(unit.unit_id, record)
-        self.ledger.release(unit.unit_id, self.worker_id)
-        self.ledger.remove_queued(unit.unit_id)
+        if unit.key in self._degraded.spooled_keys \
+                and record.get("status") == "done":
+            # The result only exists in the local spool: publishing
+            # the done record now would be a lie the coordinator
+            # requeues (done-without-result).  Spool the record beside
+            # it; reconcile replays result-then-record on recovery.
+            record["spooled"] = True
+            self.spool.put_record(unit.unit_id, record)
+            self.ledger.release(unit.unit_id, self.worker_id)
+        else:
+            try:
+                retry_call(
+                    lambda: self.ledger.complete(unit.unit_id, record),
+                    policy=_WRITE_POLICY)
+            except OSError:
+                # store is fine but the ledger write is not — keep the
+                # record locally and replay it later
+                self.spool.put_record(unit.unit_id, record)
+                obs.add("fabric.spooled_records")
+                self.ledger.release(unit.unit_id, self.worker_id)
+            else:
+                self.ledger.release(unit.unit_id, self.worker_id)
+                self.ledger.remove_queued(unit.unit_id)
         self.units_run += 1
         obs.add("fabric.worker_units_run")
         return True
+
+    def _reconcile_spool(self) -> int:
+        """Replay spooled results/records once the backend answers.
+
+        The flush attempt doubles as the circuit breaker's half-open
+        probe: success closes the circuit, failure re-opens it and we
+        try again next loop.
+        """
+        if not self.spool.pending():
+            return 0
+        try:
+            flushed = self.breaker.call(
+                lambda: self.spool.flush(self.store, self.ledger))
+        except OSError:
+            return 0
+        if self.spool.pending() == 0:
+            self._degraded.spooled_keys.clear()
+        return flushed
 
     def run(self, *, max_units: int | None = None,
             idle_exit: float | None = None, should_stop=None) -> int:
@@ -206,8 +379,12 @@ class WorkerAgent:
                 if max_units is not None and served >= max_units:
                     break
                 self._seq += 1
-                self.ledger.write_worker_heartbeat(self.worker_id, [],
-                                                   self._seq)
+                try:
+                    self.ledger.write_worker_heartbeat(
+                        self.worker_id, [], self._seq)
+                except OSError:
+                    obs.add("fabric.heartbeat_errors")
+                self._reconcile_spool()
                 if self.serve_one():
                     served += 1
                     idle_since = time.monotonic()
@@ -217,8 +394,14 @@ class WorkerAgent:
                     break
                 time.sleep(self.poll_interval)
         finally:
-            self.ledger.remove_worker(self.worker_id)
-            self.costs.save()
+            for cleanup in (self._reconcile_spool,
+                            lambda: self.ledger.remove_worker(
+                                self.worker_id),
+                            self.costs.save):
+                try:
+                    cleanup()
+                except OSError:
+                    pass
         return served
 
     def __repr__(self) -> str:

@@ -1,0 +1,316 @@
+"""Coordinator HA: election, epoch fencing, adoption, failover."""
+
+import json
+import time
+
+import pytest
+
+from repro import obs
+from repro.fabric.coordinator import Coordinator
+from repro.fabric.ha import HACoordinator, observe_outcomes
+from repro.fabric.lease import (Election, LeadershipLost, LeaseLedger,
+                                default_coordinator_id)
+from repro.fabric.worker import WorkerAgent
+from tests.fabric.conftest import make_jobs
+
+
+def _election(tmp_path):
+    """A fresh Election with its own tracker (one per 'process')."""
+    ledger = LeaseLedger(tmp_path / "fab")
+    ledger.ensure_layout()
+    return Election(ledger)
+
+
+class TestElection:
+    def test_empty_seat_claims_epoch_one(self, tmp_path, metrics):
+        e = _election(tmp_path)
+        assert e.try_takeover("c1", ttl=5.0) == 1
+        assert e.current() == ("c1", 1)
+        counters = obs.metrics_snapshot()["counters"]
+        assert counters["fabric.leadership_acquired"] == 1
+
+    def test_epoch_claim_has_exactly_one_winner(self, tmp_path):
+        e = _election(tmp_path)
+        assert e._claim("c1", 1)
+        assert not e._claim("c2", 1)
+        assert e.current() == ("c1", 1)
+
+    def test_standby_waits_out_a_live_leader(self, tmp_path):
+        e1, e2 = _election(tmp_path), _election(tmp_path)
+        assert e1.try_takeover("c1", ttl=5.0) == 1
+        assert e2.try_takeover("c2", ttl=5.0, now=100.0) is None
+        # heartbeats keep resetting the standby's aging
+        e1.heartbeat("c1", 1, seq=1)
+        assert e2.try_takeover("c2", ttl=5.0, now=110.0) is None
+        e1.heartbeat("c1", 1, seq=2)
+        assert e2.try_takeover("c2", ttl=5.0, now=120.0) is None
+        # silence past the ttl: takeover at the next epoch
+        assert e2.try_takeover("c2", ttl=5.0, now=126.0) == 2
+        assert e2.current() == ("c2", 2)
+
+    def test_current_leader_reaffirms_its_own_epoch(self, tmp_path):
+        e = _election(tmp_path)
+        assert e.try_takeover("c1", ttl=5.0) == 1
+        assert e.try_takeover("c1", ttl=5.0) == 1
+
+    def test_resigned_leader_is_immediately_stale(self, tmp_path):
+        e1, e2 = _election(tmp_path), _election(tmp_path)
+        assert e1.try_takeover("c1", ttl=5.0) == 1
+        e1.heartbeat("c1", 1, seq=1)
+        e1.resign("c1")
+        assert e2.leader_age(now=0.0) == float("inf")
+        assert e2.try_takeover("c2", ttl=999.0) == 2
+
+    def test_torn_claim_file_is_skipped(self, tmp_path):
+        e = _election(tmp_path)
+        assert e._claim("c1", 2)
+        torn = e.epoch_path(3)
+        torn.parent.mkdir(parents=True, exist_ok=True)
+        torn.write_text("{", encoding="utf-8")    # died mid-write
+        assert e.current() == ("c1", 2)
+
+    def test_check_fences_a_deposed_epoch(self, tmp_path, metrics):
+        e = _election(tmp_path)
+        assert e._claim("c1", 1)
+        e.check(1)                          # still the leader: fine
+        assert e._claim("c2", 2)
+        with pytest.raises(LeadershipLost):
+            e.check(1)
+        e.check(2)
+        counters = obs.metrics_snapshot()["counters"]
+        assert counters["fabric.fenced_writes_rejected"] == 1
+
+    def test_coordinators_listing_carries_age_and_epoch(self, tmp_path):
+        e1, e2 = _election(tmp_path), _election(tmp_path)
+        e1.heartbeat("cA", 1, seq=1)
+        e1.heartbeat("cB", 0, seq=4)
+        board = e2.coordinators(now=50.0)
+        assert set(board) == {"cA", "cB"}
+        assert board["cA"]["epoch"] == 1
+        assert board["cA"]["age_s"] == 0.0
+        assert e2.coordinators(now=62.5)["cB"]["age_s"] == 12.5
+
+    def test_default_coordinator_id_is_host_and_pid_scoped(self):
+        assert default_coordinator_id().startswith("c-")
+
+
+class TestFencing:
+    def _leader(self, tmp_path, cid="cA"):
+        coord = Coordinator(tmp_path / "fab", coordinator_id=cid,
+                            lease_ttl=5.0, poll_interval=0.01)
+        assert coord.election.try_takeover(cid, ttl=5.0) == 1
+        coord.epoch = 1
+        return coord
+
+    def test_zombie_poll_is_rejected(self, tmp_path, specs, machine):
+        coord = self._leader(tmp_path)
+        sub = coord.submit(make_jobs(specs[:2], machine))
+        assert coord.election._claim("cB", 2)   # successor appears
+        with pytest.raises(LeadershipLost):
+            coord.poll(sub)
+
+    def test_zombie_enqueue_leaves_the_queue_unchanged(
+            self, tmp_path, specs, machine):
+        coord = self._leader(tmp_path)
+        coord.submit(make_jobs(specs[:1], machine))
+        before = [p.name for _, p in coord.ledger.queue_entries()]
+        assert coord.election._claim("cB", 2)
+        with pytest.raises(LeadershipLost):
+            coord.submit(make_jobs(specs[1:2], machine))
+        after = [p.name for _, p in coord.ledger.queue_entries()]
+        assert after == before
+
+    def test_unfenced_coordinator_ignores_the_election(
+            self, tmp_path, specs, machine):
+        # pre-HA single-coordinator mode: epoch None disables fencing
+        coord = Coordinator(tmp_path / "fab", lease_ttl=5.0,
+                            poll_interval=0.01)
+        sub = coord.submit(make_jobs(specs[:1], machine))
+        assert coord.election._claim("cX", 5)
+        coord.poll(sub)                     # does not raise
+
+
+class TestAdoption:
+    def test_settled_marker_closes_a_submission(self, tmp_path, specs,
+                                                machine):
+        coord = Coordinator(tmp_path / "fab", poll_interval=0.01)
+        sub = coord.submit(make_jobs(specs[:2], machine))
+        assert sub.sid in coord.open_submissions()
+        assert not coord.is_settled(sub.sid)
+        coord.mark_settled(sub.sid)
+        assert coord.is_settled(sub.sid)
+        assert sub.sid not in coord.open_submissions()
+
+    def test_adopt_reconstructs_and_finishes_a_campaign(
+            self, tmp_path, specs, machine):
+        coordA = Coordinator(tmp_path / "fab", coordinator_id="cA",
+                             lease_ttl=5.0, poll_interval=0.01)
+        jobs = make_jobs(specs, machine)
+        sub = coordA.submit(jobs)
+        agent = WorkerAgent(tmp_path / "fab", worker_id="wT",
+                            heartbeat_interval=0.1, poll_interval=0.01)
+        assert agent.serve_one()            # one unit finishes
+        # coordA dies here; a standby reconstructs from disk alone
+        coordB = Coordinator(tmp_path / "fab", coordinator_id="cB",
+                             lease_ttl=5.0, poll_interval=0.01)
+        adopted = coordB.adopt(sub.sid)
+        assert adopted.keys == sub.keys
+        done = [i for i, (s, _) in adopted.outcomes.items()
+                if s == "done"]
+        assert len(done) == 1
+        pending_idx = {p.index for p in adopted.pending.values()}
+        assert pending_idx == set(range(len(jobs))) - set(done)
+        deadline = time.monotonic() + 60.0
+        while not adopted.done:
+            assert time.monotonic() < deadline
+            agent.serve_one()
+            coordB.poll(adopted)
+        suite = coordB.collect(jobs, adopted.keys, adopted.outcomes,
+                               machine)
+        assert [r.spec.name for r in suite.results] \
+            == [s.name for s in specs]
+
+    def test_adopt_drops_a_done_record_with_no_result(
+            self, tmp_path, specs, machine, metrics):
+        coordA = Coordinator(tmp_path / "fab", coordinator_id="cA",
+                             poll_interval=0.01)
+        jobs = make_jobs(specs[:1], machine)
+        sub = coordA.submit(jobs)
+        (unit_id,) = sub.pending
+        # a torn result write that still got its done record out
+        coordA.ledger.complete(unit_id, {
+            "unit": unit_id, "status": "done", "key": sub.keys[0],
+            "name": jobs[0].name})
+        coordB = Coordinator(tmp_path / "fab", coordinator_id="cB",
+                             poll_interval=0.01)
+        adopted = coordB.adopt(sub.sid)
+        assert not coordB.ledger.done_path(unit_id).exists()
+        assert adopted.outcomes == {}
+        assert len(adopted.pending) == 1    # re-runs instead of lying
+        counters = obs.metrics_snapshot()["counters"]
+        assert counters["fabric.done_without_result"] >= 1
+
+    def test_adopt_reenqueues_units_lost_to_a_dying_leader(
+            self, tmp_path, specs, machine):
+        coordA = Coordinator(tmp_path / "fab", coordinator_id="cA",
+                             poll_interval=0.01)
+        jobs = make_jobs(specs, machine)
+        sub = coordA.submit(jobs)
+        for _, path in coordA.ledger.queue_entries():
+            path.unlink()                   # the torn-submit aftermath
+        coordB = Coordinator(tmp_path / "fab", coordinator_id="cB",
+                             poll_interval=0.01)
+        adopted = coordB.adopt(sub.sid)
+        assert len(adopted.pending) == len(jobs)
+        assert len(coordB.ledger.queue_entries()) == len(jobs)
+
+    def test_adopt_matches_a_leased_unit_without_a_queue_entry(
+            self, tmp_path, specs, machine):
+        coordA = Coordinator(tmp_path / "fab", coordinator_id="cA",
+                             poll_interval=0.01)
+        sub = coordA.submit(make_jobs(specs[:1], machine))
+        (unit_id,) = sub.pending
+        assert coordA.ledger.claim(unit_id, "wBusy")
+        coordA.ledger.remove_queued(unit_id)
+        coordB = Coordinator(tmp_path / "fab", coordinator_id="cB",
+                             poll_interval=0.01)
+        adopted = coordB.adopt(sub.sid)
+        assert list(adopted.pending) == [unit_id]
+        assert adopted.pending[unit_id].index == 0
+
+    def test_adopt_continues_the_unit_id_sequence(self, tmp_path, specs,
+                                                  machine):
+        coordA = Coordinator(tmp_path / "fab", coordinator_id="cA",
+                             poll_interval=0.01)
+        sub = coordA.submit(make_jobs(specs, machine))
+        coordB = Coordinator(tmp_path / "fab", coordinator_id="cB",
+                             poll_interval=0.01)
+        coordB.adopt(sub.sid)
+        assert coordB._seq >= coordA._seq
+
+
+class TestHAFailover:
+    def test_standby_takes_over_and_finishes(self, tmp_path, specs,
+                                             machine, metrics):
+        root = tmp_path / "fab"
+        leader = HACoordinator(root, coordinator_id="cL",
+                               coordinator_ttl=0.4, lease_ttl=2.0,
+                               poll_interval=0.01)
+        assert leader.step()
+        assert leader.is_leader and leader.coord.epoch == 1
+        jobs = make_jobs(specs, machine)
+        sub = leader.coord.submit(jobs)
+        assert leader.step()        # adopts its own open submission
+        # the leader "dies" (never steps again); a standby watches
+        standby = HACoordinator(root, coordinator_id="cS",
+                                coordinator_ttl=0.4, lease_ttl=2.0,
+                                poll_interval=0.01)
+        agent = WorkerAgent(root, worker_id="wT",
+                            heartbeat_interval=0.1, poll_interval=0.01)
+        deadline = time.monotonic() + 120.0
+        while not standby.coord.is_settled(sub.sid):
+            assert time.monotonic() < deadline
+            agent.serve_one()
+            standby.step()
+            time.sleep(0.02)
+        assert standby.is_leader and standby.coord.epoch == 2
+        # the zombie's next tick demotes it instead of corrupting
+        assert leader.step() is False
+        assert not leader.is_leader
+        counters = obs.metrics_snapshot()["counters"]
+        assert counters["fabric.leadership_lost"] >= 1
+        outcomes = observe_outcomes(standby.coord, sub.keys)
+        suite = standby.coord.collect(jobs, sub.keys, outcomes, machine)
+        assert [r.spec.name for r in suite.results] \
+            == [s.name for s in specs]
+        assert suite.failures == []
+
+    def test_run_campaign_as_the_only_coordinator(self, tmp_path, specs,
+                                                  machine):
+        import threading
+
+        from tests.fabric.conftest import FID
+
+        root = tmp_path / "fab"
+        ha = HACoordinator(root, coordinator_id="cSolo",
+                           coordinator_ttl=0.5, lease_ttl=2.0,
+                           poll_interval=0.01)
+        agent = WorkerAgent(root, worker_id="wT",
+                            heartbeat_interval=0.1, poll_interval=0.01)
+        worker = threading.Thread(
+            target=lambda: agent.run(max_units=len(specs),
+                                     idle_exit=30.0),
+            daemon=True)
+        worker.start()
+        suite = ha.run_campaign(specs, machine, FID, timeout=120.0)
+        worker.join(timeout=30.0)
+        assert ha.is_leader
+        assert [r.spec.name for r in suite.results] \
+            == [s.name for s in specs]
+
+    def test_idle_run_loop_resigns_on_exit(self, tmp_path):
+        root = tmp_path / "fab"
+        ha = HACoordinator(root, coordinator_id="cR",
+                           coordinator_ttl=0.2, poll_interval=0.01)
+        ha.run(idle_exit=0.1)
+        assert ha.is_leader             # won the empty seat while up
+        # resignation makes the next takeover immediate, no ttl wait
+        successor = Election(LeaseLedger(root))
+        assert successor.try_takeover("cQ", ttl=999.0) == 2
+
+    def test_healthz_surfaces_leader_and_coordinators(self, tmp_path,
+                                                      specs, machine):
+        from repro.fabric.service import CharacterizationService
+
+        root = tmp_path / "fab"
+        ha = HACoordinator(root, coordinator_id="cH",
+                           coordinator_ttl=0.4, poll_interval=0.01)
+        assert ha.step()
+        service = CharacterizationService(
+            Coordinator(root, poll_interval=0.01))
+        health = service.health_json()
+        assert health["leader"] == {"coordinator": "cH", "epoch": 1}
+        assert "cH" in health["coordinators"]
+        assert health["coordinators"]["cH"]["epoch"] == 1
+        assert health["store_reachable"] is True
+        assert json.dumps(health)       # JSON-serializable end to end

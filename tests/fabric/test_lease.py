@@ -184,3 +184,109 @@ class TestReclaimWithStoreResult:
         snap = obs.metrics_snapshot()
         assert snap["counters"]["fabric.reclaims_settled_from_store"] == 1
         assert "fabric.units_reclaimed" in snap["counters"]
+
+
+class TestLeaseUnderBackendFaults:
+    """Satellite: the lease lifecycle with faults at the I/O seam."""
+
+    def _chaos_ledger(self, tmp_path, **rates):
+        from repro.exec.backend import LocalDirBackend
+        from repro.exec.chaos import BackendChaosConfig, ChaosBackend
+        backend = ChaosBackend(LocalDirBackend(tmp_path / "fab"),
+                               BackendChaosConfig(**rates))
+        ledger = LeaseLedger(backend)
+        ledger.ensure_layout()
+        return ledger
+
+    def test_reclaim_after_done_record_write_gets_eio(self, tmp_path):
+        import pytest
+
+        ledger = self._chaos_ledger(tmp_path, eio_rate=1.0)
+        assert ledger.claim("u1", "wA")
+        with pytest.raises(OSError):
+            ledger.complete("u1", {"unit": "u1", "status": "done"})
+        assert ledger.done_records() == {}    # nothing half-published
+        # the now-silent lease ages out and the unit re-runs
+        assert ledger.reclaim_expired(ttl=0.5, now=0.0) == []
+        assert ledger.reclaim_expired(ttl=0.5, now=1.0) == ["u1"]
+        # once the weather clears, the retried completion lands
+        healthy = _ledger(tmp_path)
+        assert healthy.claim("u1", "wA")
+        assert healthy.complete("u1", {"unit": "u1", "status": "done"})
+        assert "u1" in healthy.done_records()
+
+    def test_first_writer_wins_even_when_the_write_tears(
+            self, tmp_path, metrics):
+        ledger = self._chaos_ledger(tmp_path, torn_rate=1.0)
+        assert ledger.complete(
+            "u1", {"unit": "u1", "status": "done", "key": "k" * 64})
+        # the record is on disk but truncated: readers skip it...
+        assert ledger.done_path("u1").exists()
+        assert ledger.done_records() == {}
+        # ...and it still holds the first-writer-wins slot
+        healthy = _ledger(tmp_path)
+        assert healthy.complete("u1", {"unit": "u1",
+                                       "status": "done"}) is False
+        counters = obs.metrics_snapshot()["counters"]
+        assert counters["chaos.backend_torn"] >= 1
+        assert counters["fabric.duplicate_completions"] >= 1
+
+    def test_heartbeat_rides_out_injected_write_faults(self, tmp_path):
+        # rate 0.5 rolls fresh per attempt: some renewals fail, but a
+        # later tick always gets through and the lease stays owned
+        ledger = self._chaos_ledger(tmp_path, seed=5, eio_rate=0.5)
+        assert ledger.claim("u1", "wA")
+        renewed = 0
+        for _ in range(16):
+            try:
+                if ledger.heartbeat("u1", "wA"):
+                    renewed += 1
+            except OSError:
+                pass
+        assert renewed > 0
+        healthy = _ledger(tmp_path)
+        assert healthy.active_leases()["u1"]["worker"] == "wA"
+
+
+class TestDoneRecordPathologies:
+    """Coordinator recovery from lying or torn done records."""
+
+    def test_done_record_without_result_requeues(self, tmp_path, specs,
+                                                 machine, metrics):
+        coord = Coordinator(tmp_path / "fab", lease_ttl=5.0,
+                            poll_interval=0.01)
+        sub = coord.submit(make_jobs(specs[:1], machine))
+        (unit_id,) = sub.pending
+        # a done record whose result write tore: the store has nothing
+        coord.ledger.complete(unit_id, {
+            "unit": unit_id, "status": "done", "key": sub.keys[0],
+            "name": "x"})
+        coord.poll(sub)
+        assert sub.outcomes == {}               # did not settle a lie
+        assert not coord.ledger.done_path(unit_id).exists()
+        assert unit_id not in sub.pending       # reissued fresh
+        assert len(sub.pending) == 1
+        counters = obs.metrics_snapshot()["counters"]
+        assert counters["fabric.done_without_result"] == 1
+
+    def test_torn_done_record_orphan_is_dropped_and_requeued(
+            self, tmp_path, specs, machine, metrics):
+        import time
+
+        coord = Coordinator(tmp_path / "fab", lease_ttl=0.1,
+                            poll_interval=0.01)
+        sub = coord.submit(make_jobs(specs[:1], machine))
+        (unit_id,) = sub.pending
+        # the worker consumed the queue entry, tore its done record,
+        # and died holding nothing: not queued, not leased, not done
+        coord.ledger.remove_queued(unit_id)
+        done_path = coord.ledger.done_path(unit_id)
+        done_path.write_text('{"unit": ', encoding="utf-8")
+        coord.poll(sub)                         # starts the orphan age
+        time.sleep(0.15)
+        coord.poll(sub)
+        assert not done_path.exists()           # unblocked the slot
+        assert len(coord.ledger.queue_entries()) == 1
+        assert len(sub.pending) == 1
+        counters = obs.metrics_snapshot()["counters"]
+        assert counters["fabric.orphans_requeued"] == 1

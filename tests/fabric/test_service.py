@@ -284,3 +284,69 @@ class TestSpanPropagation:
         status, reply = _post(server.url + "/characterize", BODY,
                               headers={"X-Repro-Span": "t1:s1"})
         assert status == 202 and reply["enqueued"] == 2
+
+
+class TestServiceHardening:
+    """Per-connection timeouts, bounded backpressure, HA health."""
+
+    def _server(self, tmp_path, **server_kwargs):
+        coordinator = Coordinator(tmp_path / "fab", lease_ttl=5.0,
+                                  poll_interval=0.01)
+        service = CharacterizationService(coordinator,
+                                          pump_interval=0.01)
+        server = ServerThread(service, **server_kwargs).start()
+        return coordinator, service, server
+
+    def test_healthz_reports_leader_and_store(self, tmp_path):
+        coordinator, service, server = self._server(tmp_path)
+        try:
+            assert coordinator.election.try_takeover("cHA",
+                                                     ttl=5.0) == 1
+            coordinator.election.heartbeat("cHA", 1, seq=1)
+            status, health = _get(server.url + "/healthz")
+            assert status == 200
+            assert health["leader"] == {"coordinator": "cHA",
+                                        "epoch": 1}
+            assert health["coordinators"]["cHA"]["epoch"] == 1
+            assert health["coordinators"]["cHA"]["resigned"] is False
+            assert health["store_reachable"] is True
+        finally:
+            server.close()
+            service.close()
+
+    def test_slow_client_gets_408_not_a_stuck_connection(self,
+                                                         tmp_path):
+        import socket
+        from urllib.parse import urlparse
+
+        _, service, server = self._server(tmp_path, read_timeout=0.2)
+        try:
+            parsed = urlparse(server.url)
+            host, port = parsed.hostname, parsed.port
+            with socket.create_connection((host, port),
+                                          timeout=10.0) as sock:
+                # a request that never finishes arriving
+                sock.sendall(b"POST /characterize HTTP/1.1\r\n"
+                             b"Content-Length: 100\r\n\r\n")
+                sock.settimeout(10.0)
+                reply = sock.recv(4096)
+            assert b"408" in reply.split(b"\r\n", 1)[0]
+            snap = obs.metrics_snapshot()
+            if snap:
+                assert snap["counters"].get(
+                    "fabric.service_read_timeouts", 0) >= 0
+        finally:
+            server.close()
+            service.close()
+
+    def test_backpressure_rejects_with_503_and_retry_after(self,
+                                                           tmp_path):
+        _, service, server = self._server(tmp_path, max_inflight=0)
+        try:
+            with pytest.raises(urllib.error.HTTPError) as err:
+                _post(server.url + "/characterize", BODY)
+            assert err.value.code == 503
+            assert err.value.headers["Retry-After"] == "1"
+        finally:
+            server.close()
+            service.close()

@@ -127,3 +127,133 @@ class TestRunLoop:
 
     def test_default_worker_id_shape(self):
         assert "-" in default_worker_id()
+
+
+class TestHeartbeaterResilience:
+    def test_heartbeater_survives_transient_write_failure(
+            self, tmp_path, metrics):
+        from repro import obs
+        from repro.fabric.lease import LeaseLedger
+        from repro.fabric.worker import _Heartbeater
+
+        ledger = LeaseLedger(tmp_path / "fab")
+        ledger.ensure_layout()
+        assert ledger.claim("u1", "wT")
+        real = ledger.write_worker_heartbeat
+        calls = {"n": 0}
+
+        def flaky(worker, inflight, seq):
+            calls["n"] += 1
+            if calls["n"] <= 2:
+                raise OSError("transient ledger outage")
+            real(worker, inflight, seq)
+
+        ledger.write_worker_heartbeat = flaky
+        beat = _Heartbeater(ledger, "wT", "u1", interval=0.01,
+                            seq_start=0)
+        beat.start()
+        deadline = time.monotonic() + 10.0
+        try:
+            # the thread must outlive the faults and renew the lease
+            while time.monotonic() < deadline:
+                lease = ledger.active_leases().get("u1", {})
+                if calls["n"] >= 3 and lease.get("seq", 0) >= 1:
+                    break
+                time.sleep(0.01)
+        finally:
+            seq = beat.stop()
+        assert calls["n"] >= 3, "heartbeater thread died on OSError"
+        assert ledger.active_leases()["u1"]["seq"] >= 1
+        assert not beat.lost.is_set()
+        counters = obs.metrics_snapshot()["counters"]
+        assert counters["fabric.heartbeat_errors"] >= 2
+
+
+class TestDegradedMode:
+    def test_store_outage_spools_then_reconciles(self, tmp_path, specs,
+                                                 machine, metrics):
+        import errno
+
+        from repro import obs
+
+        coord, agent = _pair(tmp_path,
+                             spool_dir=tmp_path / "spool")
+        sub = coord.submit(make_jobs(specs[:1], machine))
+        (unit_id,) = sub.pending
+        key = sub.keys[0]
+
+        def refuse(k, value):
+            raise OSError(errno.EIO, "store mount gone")
+
+        agent.store.put = refuse        # outage begins
+        assert agent.serve_one()
+        # the unit ran; the result is safe locally, and no done record
+        # lies to the coordinator about a result the store lacks
+        assert agent.spool.pending() == 2       # result + record
+        assert coord.store.get(key) is None
+        assert coord.ledger.done_records() == {}
+        assert key in agent._degraded.spooled_keys
+        counters = obs.metrics_snapshot()["counters"]
+        assert counters["fabric.spooled_results"] == 1
+
+        del agent.store.put             # outage ends
+        assert agent._reconcile_spool() == 2
+        assert agent.spool.pending() == 0
+        assert agent._degraded.spooled_keys == set()
+        assert coord.store.get(key) is not None
+        rec = coord.ledger.done_records()[unit_id]
+        assert rec["status"] == "done" and rec["spooled"] is True
+
+        # the coordinator settles the replayed record normally
+        deadline = time.monotonic() + 10.0
+        while not sub.done and time.monotonic() < deadline:
+            coord.poll(sub)
+            time.sleep(0.01)
+        assert sub.outcomes[0][0] == "done"
+        assert coord.ledger.queue_entries() == []
+
+    def test_breaker_opens_and_flush_is_the_probe(self, tmp_path):
+        import errno
+
+        from repro.exec.resilience import CircuitBreaker
+        from repro.fabric.worker import ResultSpool, _DegradedStore
+
+        class _FlakyStore:
+            def __init__(self):
+                self.down = True
+                self.writes = []
+
+            def get(self, key, default=None):
+                return default
+
+            def put(self, key, value):
+                if self.down:
+                    raise OSError(errno.EIO, "down")
+                self.writes.append(key)
+
+        store = _FlakyStore()
+        breaker = CircuitBreaker(threshold=3, cooldown=0.05)
+        spool = ResultSpool(tmp_path / "spool")
+        degraded = _DegradedStore(store, breaker, spool)
+        for i in range(4):
+            degraded.put(f"{i:064d}", {"v": i})     # never raises
+        assert breaker.state != "closed"
+        assert spool.pending() == 4
+        assert degraded.spooled_keys == {f"{i:064d}" for i in range(4)}
+
+    def test_flush_replays_results_before_records(self, tmp_path, specs,
+                                                  machine):
+        from repro.fabric.worker import ResultSpool
+
+        coord, agent = _pair(tmp_path)
+        spool = ResultSpool(tmp_path / "spool")
+        key = "b" * 64
+        spool.put_result(key, {"v": 1})
+        spool.put_record("u9", {"unit": "u9", "status": "done",
+                                "key": key})
+        flushed = spool.flush(agent.store, agent.ledger)
+        assert flushed == 2
+        assert agent.store.get(key) == {"v": 1}
+        assert agent.ledger.done_records()["u9"]["key"] == key
+        # replaying an already-flushed spool is harmless
+        assert spool.flush(agent.store, agent.ledger) == 0
