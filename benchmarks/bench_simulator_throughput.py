@@ -72,9 +72,10 @@ def _best_of(fn, rounds: int = _ROUNDS) -> tuple[float, object]:
 
 
 #: top-level keys of BENCH_throughput.json, one per bench function
-#: (``micro`` is shared by the two bench_micro_structures functions)
-_SECTIONS = ("engine", "micro", "suite_wall_clock", "data_plane",
-             "observability")
+#: (``micro`` is shared by the two bench_micro_structures functions;
+#: ``multicore`` is written by bench_fig11_fig12_core_scaling)
+_SECTIONS = ("engine", "micro", "multicore", "suite_wall_clock",
+             "data_plane", "observability")
 
 
 def _merge_json(section: str, data, merge_section: bool = False) -> dict:

@@ -306,7 +306,9 @@ def _color_ops(ops, core_id: int):
 
 def run_multicore(spec: WorkloadSpec, machine: MachineConfig,
                   n_cores: int, fidelity: Fidelity | None = None,
-                  seed: int = 0, engine: str | None = None
+                  seed: int = 0, engine: str | None = None,
+                  trace_store=None, sampling: bool = False,
+                  sample_interval: float = 1e-3
                   ) -> tuple[MulticoreResult, TopDownProfile,
                              CounterSnapshot]:
     """Run one ASP.NET-style workload replicated across ``n_cores``.
@@ -319,44 +321,90 @@ def run_multicore(spec: WorkloadSpec, machine: MachineConfig,
 
     On the batched engine, per-core address coloring is one vectorized
     mask per chunk (:meth:`repro.trace.TraceBuffer.color_private`)
-    instead of one tuple rebuild per memory op.  ``engine="vector"`` is
-    accepted and behaves as batched: multicore cores share an LLC, which
-    the native kernel does not model, so its dispatch delegates.
+    instead of one tuple rebuild per memory op.  ``engine="vector"``
+    runs the whole interleaved round loop on the native kernel: per-core
+    images stay resident across quanta, the shared LLC (slice-hashed
+    epoch counters, contention-folded latency) is modeled in C, and
+    Python's M/M/1 ``update_contention`` runs unchanged at every epoch
+    boundary — bit-identical to batched at any core count.
+
+    ``trace_store`` makes the per-core op streams record-once/
+    replay-many (keys are suffixed per core, since each core's program
+    diverges by RNG jump); ``sampling`` attaches a
+    :class:`~repro.perf.sampler.CounterSampler` to core 0 for the
+    measure phase — on the vector engine its cycle hook runs through
+    the kernel's trampoline.
     """
     fidelity = fidelity or Fidelity.default()
     heap_config, gc_config = _heap_and_gc(spec, None, None)
     programs = {}
-    legacy = resolve_engine(engine) == "legacy"
+    engine = resolve_engine(engine)
+    legacy = engine == "legacy"
+    warmup = int(fidelity.warmup_instructions
+                 * fidelity.aspnet_warmup_factor)
+    measure = fidelity.measure_instructions
 
-    def factory(core_id: int):
+    def make_program(core_id: int):
         program = build_program(
             spec, seed=seed, heap_config=heap_config,
             gc_config=gc_config, code_bloat=machine.code_bloat)
         # Per-core divergence of the *pattern* without changing the code
         # layout: jump the program's RNG ahead by a core-specific amount.
         program.rng.seed((seed << 8) ^ core_id)
-        programs[core_id] = program
-        if legacy:
-            return _color_ops(program.ops(), core_id), spec.hints()
-        transform = None
-        if core_id:
-            color = core_id << 40
-            transform = (lambda buf, _c=color:
-                         buf.color_private(_PRIVATE_SPANS, _c))
-        return (TraceBufferStream(filler=program.fill_buffer,
-                                  transform=transform), spec.hints())
+        return program
 
-    runner = MulticoreRunner(machine, n_cores, factory)
+    def color_transform(core_id: int):
+        if not core_id:
+            return None
+        color = core_id << 40
+        return (lambda buf, _c=color:
+                buf.color_private(_PRIVATE_SPANS, _c))
+
+    premap_ranges = {}
+
+    def factory(core_id: int):
+        if legacy:
+            program = make_program(core_id)
+            programs[core_id] = program
+            return _color_ops(program.ops(), core_id), spec.hints()
+        if trace_store is not None:
+            from repro.exec.traces import trace_fingerprint
+            key = trace_store.key_for(
+                spec, seed=seed, code_bloat=machine.code_bloat,
+                gc_config=gc_config, heap_config=heap_config,
+                fingerprint=trace_fingerprint() + f"/mc{core_id}")
+            meta, _ = trace_store.ensure(
+                key, warmup + measure, lambda: make_program(core_id))
+            premap_ranges[core_id] = meta["premap_ranges"]
+            return (TraceBufferStream(
+                buffers=trace_store.replay(key),
+                transform=color_transform(core_id)), spec.hints())
+        program = make_program(core_id)
+        programs[core_id] = program
+        return (TraceBufferStream(filler=program.fill_buffer,
+                                  transform=color_transform(core_id)),
+                spec.hints())
+
+    runner = MulticoreRunner(machine, n_cores, factory, engine=engine)
     for core_id, core in enumerate(runner.cores):
-        programs[core_id].premap(core.vm)
-    runner.run(int(fidelity.warmup_instructions
-                   * fidelity.aspnet_warmup_factor))
+        if core_id in programs:
+            programs[core_id].premap(core.vm)
+        else:
+            for start, length in premap_ranges[core_id]:
+                core.vm.premap_range(start, length)
+    runner.run(warmup)
     for core in runner.cores:
         core.reset_stats()
     runner.llc.cache.reset_stats()
-    result = runner.run(fidelity.measure_instructions)
     core0 = runner.cores[0]
+    sampler = None
+    if sampling:
+        sampler = CounterSampler(core0, None,
+                                 interval_seconds=sample_interval)
+    result = runner.run(measure)
+    samples = sampler.finish() if sampler is not None else None
     counters = collect_counters(core0, None,
                                 cpu_utilization=min(
                                     1.0, n_cores / machine.logical_cores))
+    result.samples = samples
     return result, profile_core(core0), counters

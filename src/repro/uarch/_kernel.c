@@ -42,6 +42,7 @@ enum {
     P_SPF_PAGE, P_SPF_LINE,
     P_DRAM_ROWS, P_DRAM_ST,
     P_VM_HASH, P_VM_LOG,
+    P_LLC_EPOCH,                    /* [epoch_total, slice_0..slice_{n-1}] */
     P_N
 };
 
@@ -63,7 +64,9 @@ enum {
 };
 
 /* ---- scalar double slots ---- */
-enum { SD_IDEAL, SD_UOPS, SD_ST0, SD_N = SD_ST0 + 17 };
+enum { SD_IDEAL, SD_UOPS, SD_ST0,
+       SD_NEXT_HOOK = SD_ST0 + 17,  /* +inf when no cycle hook armed */
+       SD_N };
 
 /* ---- stall bucket order (pipeline.ALL_BUCKETS) ---- */
 enum {
@@ -83,6 +86,7 @@ enum {
     PD_STORE_PEN, PD_MIS_PEN, PD_RESTEER_PEN, PD_TAKEN_BUBBLE,
     PD_PF_DRAM, PD_MINOR_FAULT, PD_MAJOR_FAULT, PD_PORTS_ON,
     PD_WIDTH,                       /* uops / width is a true division */
+    PD_HOOK_INTERVAL,
     PD_N
 };
 
@@ -92,6 +96,7 @@ enum {
     PI_BTB_MASK, PI_BTB_WAYS,
     PI_LP_MAX, PI_LP_HMASK, PI_VM_HMASK, PI_MAJOR_PERIOD,
     PI_DRAM_BANKS, PI_DRAM_ROWSZ, PI_SPF_MAX, PI_SPF_DEG,
+    PI_LLC_SLICES,                  /* 0 = private LLC (no counting) */
     PI_CACHE0,                      /* 5 x (mask, ways, lru, evict_head) */
     PI_TLB0 = PI_CACHE0 + 20,      /* 3 x (mask, ways) */
     PI_N = PI_TLB0 + 6
@@ -133,6 +138,8 @@ typedef struct {
     i64 *spf_page, *spf_line;
     i64 *dram_rows, *dram_st;
     i64 *vm_hash, *vm_log;
+    i64 *llc_epoch;                 /* shared-LLC epoch + slice counters */
+    i64 llc_slices;                 /* 0 disables counting */
     f64 *stalls;                    /* &sd[SD_ST0] */
 } Sim;
 
@@ -398,6 +405,14 @@ static void nlp_observe(Sim *s, i64 addr, int which) {
 static int fill_from_l2(Sim *s, i64 addr, int is_code, int w) {
     if (cache_access(&s->c[C_L2], addr, w)) return 2;
     if (!is_code) spf_observe(s, addr);
+    if (s->llc_slices) {
+        /* SharedLlc.access: count the epoch total and the slice-hashed
+         * bucket before the underlying cache lookup.  Demand only —
+         * prefetch_backing bypasses this, exactly like the Python model
+         * (prefetches use llc.contains/fill directly). */
+        s->llc_epoch[0]++;
+        s->llc_epoch[1 + (i64)((u64)(addr >> 6) % (u64)s->llc_slices)]++;
+    }
     if (cache_access(&s->c[C_LLC], addr, w)) {
         cache_fill(&s->c[C_L2], addr, 0, 0);
         return 3;
@@ -638,7 +653,8 @@ static void op_mem(Sim *s, i64 addr, int w) {
 }
 
 /* ================= main loop ================= */
-/* returns: 0 chunk done, 1 limit hit, 2 vm hash near-full (paused), -1 bad */
+/* returns: 0 chunk done, 1 limit hit, 2 vm hash near-full (paused),
+ *          3 cycle-hook due (trampoline to Python), -1 bad */
 
 i64 repro_sim_run(void **p, i64 start, i64 n_ops, i64 limit) {
     Sim sim, *s = &sim;
@@ -687,8 +703,11 @@ i64 repro_sim_run(void **p, i64 start, i64 n_ops, i64 limit) {
     s->dram_st = (i64 *)p[P_DRAM_ST];
     s->vm_hash = (i64 *)p[P_VM_HASH];
     s->vm_log = (i64 *)p[P_VM_LOG];
+    s->llc_epoch = (i64 *)p[P_LLC_EPOCH];
+    s->llc_slices = s->pi[PI_LLC_SLICES];
     s->stalls = &s->sd[SD_ST0];
     s->si[SI_EV_N] = 0;
+    int hook_on = s->sd[SD_NEXT_HOOK] < __builtin_inf();
 
     i64 vm_cap = s->pi[PI_VM_HMASK] + 1;
     for (i64 i = start; i < n_ops; i++) {
@@ -725,6 +744,21 @@ i64 repro_sim_run(void **p, i64 start, i64 n_ops, i64 limit) {
             if (s->pd[PD_MICRO_FRAC] != 0.0)
                 s->stalls[ST_FE_MS] +=
                     ((f64)n_instr * s->pd[PD_MICRO_FRAC]) * s->pd[PD_MS_PEN];
+            if (hook_on) {
+                /* _op_block's hook threshold: ideal + the ordered sum
+                 * of all 17 stall buckets (dict order), checked after
+                 * the block's stall accounting and BEFORE the limit —
+                 * a single `if`, exactly like the legacy path.  The
+                 * Python trampoline writes state back, runs the hook,
+                 * then re-enters from NEXT_POS. */
+                f64 acc = 0.0;
+                for (int k = 0; k < 17; k++) acc += s->stalls[k];
+                if (s->sd[SD_IDEAL] + acc >= s->sd[SD_NEXT_HOOK]) {
+                    s->sd[SD_NEXT_HOOK] += s->pd[PD_HOOK_INTERVAL];
+                    s->si[SI_NEXT_POS] = i + 1;
+                    return 3;
+                }
+            }
             if (limit >= 0 && s->si[SI_INSTR] >= limit) {
                 s->si[SI_NEXT_POS] = i + 1;
                 return 1;
@@ -763,4 +797,4 @@ i64 repro_sim_run(void **p, i64 start, i64 n_ops, i64 limit) {
 }
 
 /* expression parity helper: 1.0 - hit/total as Python evaluates it */
-f64 repro_abi_version(void) { return 7.0; }
+f64 repro_abi_version(void) { return 8.0; }

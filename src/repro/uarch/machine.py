@@ -81,7 +81,13 @@ class MachineConfig:
     dram_row_miss_extra: int = 90
     dram_banks: int = 16
 
-    # LLC slicing / interconnect (used by the multicore model).
+    # LLC slicing / interconnect (used by the multicore model).  The
+    # vector engine mirrors the slice hash ((addr >> 6) % llc_slices)
+    # and per-slice epoch counters in its C kernel, so these fields are
+    # part of the native ABI contract: the kernel reads llc_slices
+    # directly, while the latency-side knobs (noc_hop_latency, service
+    # rate, placement) stay in Python's per-epoch M/M/1 model and reach
+    # the kernel only as the folded extra_latency constant.
     llc_slices: int = 8
     noc_hop_latency: int = 2
     llc_port_service_rate: float = 1.0  # requests per slice per cycle

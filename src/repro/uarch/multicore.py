@@ -108,6 +108,8 @@ class MulticoreResult:
     cores: list[Core]
     llc: SharedLlc
     epochs: int
+    #: filled by run_multicore(sampling=True): core 0's sampled timeline
+    samples: object | None = None
 
     @property
     def total_instructions(self) -> int:
@@ -137,11 +139,13 @@ class MulticoreRunner:
     """
 
     def __init__(self, machine: MachineConfig, n_cores: int,
-                 stream_factory, epoch_instructions: int = 4000) -> None:
+                 stream_factory, epoch_instructions: int = 4000,
+                 engine: str = "batched") -> None:
         self.machine = machine
         self.n_cores = n_cores
         self.llc = SharedLlc(machine)
         self.epoch_instructions = epoch_instructions
+        self.engine = engine
         self.cores: list[Core] = []
         self._streams = []
         for core_id in range(n_cores):
@@ -155,31 +159,58 @@ class MulticoreRunner:
             else:
                 self._streams.append(iter(source))
 
+    def _open_session(self):
+        """A native multicore session for ``engine="vector"``, or None.
+
+        The session (see :class:`repro.uarch.native.NativeMulticoreSession`)
+        keeps per-core kernel images alive across quanta — the shared LLC
+        is aliased into every image and the Python contention model runs
+        unchanged at epoch boundaries.  Any disqualifying configuration
+        (kernel unavailable, legacy streams, non-nativizable core) falls
+        back to the batched per-quantum path.
+        """
+        if self.engine != "vector":
+            return None
+        from repro.uarch import native
+        return native.multicore_session(self.cores, self._streams)
+
     def run(self, instructions_per_core: int) -> MulticoreResult:
         """Run all cores to ``instructions_per_core``, interleaved."""
         remaining = [instructions_per_core] * self.n_cores
         epochs = 0
-        while any(r > 0 for r in remaining):
-            cycles_before = [c.cycles for c in self.cores]
-            progressed = False
-            for i, core in enumerate(self.cores):
-                if remaining[i] <= 0:
-                    continue
-                quantum = min(self.epoch_instructions, remaining[i])
-                stream = self._streams[i]
-                if isinstance(stream, TraceBufferStream):
-                    done = core.consume_stream(stream,
-                                               max_instructions=quantum)
-                else:
-                    done = core.consume(stream, max_instructions=quantum)
-                remaining[i] -= done if done else remaining[i]
-                if done:
-                    progressed = True
-            epoch_cycles = sum(c.cycles - b for c, b in
-                               zip(self.cores, cycles_before)) \
-                / self.n_cores
-            self.llc.update_contention(epoch_cycles, self.n_cores)
-            epochs += 1
-            if not progressed:      # all streams exhausted early
-                break
+        session = self._open_session()
+        try:
+            while any(r > 0 for r in remaining):
+                cycles_before = [c.cycles for c in self.cores]
+                progressed = False
+                for i, core in enumerate(self.cores):
+                    if remaining[i] <= 0:
+                        continue
+                    quantum = min(self.epoch_instructions, remaining[i])
+                    stream = self._streams[i]
+                    if session is not None:
+                        done = session.consume(i, stream, quantum)
+                    elif isinstance(stream, TraceBufferStream):
+                        done = core.consume_stream(stream,
+                                                   max_instructions=quantum,
+                                                   engine=self.engine)
+                    else:
+                        done = core.consume(stream, max_instructions=quantum)
+                    remaining[i] -= done if done else remaining[i]
+                    if done:
+                        progressed = True
+                epoch_cycles = sum(c.cycles - b for c, b in
+                                   zip(self.cores, cycles_before)) \
+                    / self.n_cores
+                if session is not None:
+                    session.sync_epoch()
+                self.llc.update_contention(epoch_cycles, self.n_cores)
+                if session is not None:
+                    session.refresh_contention()
+                epochs += 1
+                if not progressed:      # all streams exhausted early
+                    break
+        finally:
+            if session is not None:
+                session.close()
         return MulticoreResult(self.cores, self.llc, epochs)

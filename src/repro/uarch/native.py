@@ -9,9 +9,22 @@ the exact Python object state (including dict insertion order where it is
 semantically observable) so results are bit-identical to the legacy
 engine.
 
+Two stateful-callback cases run natively via resume protocols rather
+than falling back:
+
+* **Cycle hooks** (the sampler) use a trampoline: the kernel tracks
+  ``next_hook_cycles`` and exits with a ``HOOK`` status at the block op
+  that crossed the threshold; the driver writes state back, runs the
+  Python hook against the live ``Core``, and re-enters the kernel.
+* **The shared LLC** (multicore) is one set of arrays aliased into
+  every core's image (:class:`NativeMulticoreSession`): slice-hashed
+  epoch counters and the contention-folded L3 latency live in C, while
+  Python's M/M/1 ``update_contention`` runs unchanged between epoch
+  quanta.
+
 When the kernel is unavailable (no compiler, ``REPRO_NATIVE=0``) or the
-core uses a configuration the kernel does not model (shared LLC, cycle
-hooks, JIT metadata reactions, non-stock geometry), callers fall back to
+core uses a configuration the kernel does not model (subclassed shared
+LLC, JIT metadata reactions, non-stock geometry), callers fall back to
 the batched engine, which is itself bit-identical to legacy.
 """
 
@@ -55,7 +68,8 @@ P_BTB_KEY, P_BTB_TGT, P_BTB_CNT = P_LP_HVAL + 1, P_LP_HVAL + 2, P_LP_HVAL + 3
 P_SPF_PAGE, P_SPF_LINE = P_BTB_CNT + 1, P_BTB_CNT + 2
 P_DRAM_ROWS, P_DRAM_ST = P_SPF_LINE + 1, P_SPF_LINE + 2
 P_VM_HASH, P_VM_LOG = P_DRAM_ST + 1, P_DRAM_ST + 2
-P_N = P_VM_LOG + 1
+P_LLC_EPOCH = P_VM_LOG + 1         # [epoch_total, slice_0..slice_{n-1}]
+P_N = P_LLC_EPOCH + 1
 
 (SI_INSTR, SI_KINSTR, SI_BRANCHES, SI_LOADS, SI_STORES,
  SI_DTLB_LWALK, SI_DTLB_SWALK, SI_ITLB_WALK,
@@ -73,7 +87,8 @@ SI_NEXT_POS = SI_EV_N + 1
 SI_N = SI_NEXT_POS + 1
 
 SD_IDEAL, SD_UOPS, SD_ST0 = 0, 1, 2
-SD_N = SD_ST0 + 17
+SD_NEXT_HOOK = SD_ST0 + 17         # +inf when no cycle hook is armed
+SD_N = SD_NEXT_HOOK + 1
 
 (PD_UOP_FACTOR, PD_INV_WIDTH, PD_PORTS_COEFF, PD_DIV_FRAC, PD_DIV_PEN,
  PD_MICRO_FRAC, PD_MS_PEN, PD_MITE_COEFF,
@@ -82,18 +97,28 @@ SD_N = SD_ST0 + 17
  PD_L1_HIT, PD_BE_L2, PD_BE_L3, PD_BE_DRAM,
  PD_STORE_PEN, PD_MIS_PEN, PD_RESTEER_PEN, PD_TAKEN_BUBBLE,
  PD_PF_DRAM, PD_MINOR_FAULT, PD_MAJOR_FAULT, PD_PORTS_ON,
- PD_WIDTH) = range(26)
-PD_N = 26
+ PD_WIDTH, PD_HOOK_INTERVAL) = range(27)
+PD_N = 27
 
 (PI_HIST_BITS, PI_HIST_MASK, PI_GS_MASK,
  PI_BTB_MASK, PI_BTB_WAYS,
  PI_LP_MAX, PI_LP_HMASK, PI_VM_HMASK, PI_MAJOR_PERIOD,
- PI_DRAM_BANKS, PI_DRAM_ROWSZ, PI_SPF_MAX, PI_SPF_DEG) = range(13)
-PI_CACHE0 = 13                     # 5 x (mask, ways, lru, evict_head)
+ PI_DRAM_BANKS, PI_DRAM_ROWSZ, PI_SPF_MAX, PI_SPF_DEG,
+ PI_LLC_SLICES) = range(14)
+PI_CACHE0 = 14                     # 5 x (mask, ways, lru, evict_head)
 PI_TLB0 = PI_CACHE0 + 4 * _NCACHE  # 3 x (mask, ways)
 PI_N = PI_TLB0 + 2 * _NTLB
 
-_STATUS_DONE, _STATUS_LIMIT, _STATUS_VM_FULL, _STATUS_BAD = 0, 1, 2, -1
+_C_LLC = 3                         # LLC's index in the caches tuple
+
+(_STATUS_DONE, _STATUS_LIMIT, _STATUS_VM_FULL,
+ _STATUS_HOOK, _STATUS_BAD) = 0, 1, 2, 3, -1
+
+#: Kernel-entry telemetry for the fallback/guard tests: proves a config
+#: really took the native path (and how) without instrumenting the hot
+#: loop.  Monotonic per process; tests diff around a call.
+stats = {"consume_calls": 0, "kernel_calls": 0, "hook_exits": 0,
+         "sessions": 0}
 
 # ---------------------------------------------------------------------------
 # Kernel build & load.
@@ -107,35 +132,61 @@ _lib_resolved = False
 _lib_lock = threading.Lock()
 
 
+def _compiler_identity(cc: str) -> bytes | None:
+    """First line of ``cc --version``, or ``None`` if ``cc`` can't run.
+
+    Cache-key ingredient: a toolchain upgrade (same source, same flags,
+    new compiler) must recompile the kernel instead of loading the
+    previous compiler's ``.so``.
+    """
+    try:
+        res = subprocess.run([cc, "--version"], capture_output=True,
+                             timeout=30)
+    except (OSError, subprocess.SubprocessError):
+        return None
+    first = res.stdout.splitlines()[0] if res.stdout else b"unknown"
+    return cc.encode(errors="replace") + b"\0" + first
+
+
 def _compile_lib():
     with open(_SRC_PATH, "rb") as f:
         src = f.read()
-    tag = hashlib.sha256(src).hexdigest()[:16]
     try:
         uid = os.getuid()
     except AttributeError:  # pragma: no cover - non-posix
         uid = 0
     cache_dir = os.path.join(tempfile.gettempdir(), f"repro-native-{uid}")
     os.makedirs(cache_dir, mode=0o700, exist_ok=True)
-    so_path = os.path.join(cache_dir, f"kernel-{tag}.so")
-    if not os.path.exists(so_path):
-        compilers = [os.environ.get("CC"), "cc", "gcc", "clang"]
-        tmp = f"{so_path}.tmp.{os.getpid()}"
-        for cc in compilers:
-            if not cc:
-                continue
-            try:
-                res = subprocess.run([cc, *_CFLAGS, "-o", tmp, _SRC_PATH],
-                                     capture_output=True, timeout=120)
-            except (OSError, subprocess.SubprocessError):
-                continue
-            if res.returncode == 0 and os.path.exists(tmp):
-                os.replace(tmp, so_path)   # atomic: racing builds converge
-                break
-            if os.path.exists(tmp):
-                os.unlink(tmp)
-        else:
-            return None
+    flags = " ".join(_CFLAGS).encode()
+    so_path = None
+    for cc in [os.environ.get("CC"), "cc", "gcc", "clang"]:
+        if not cc:
+            continue
+        ident = _compiler_identity(cc)
+        if ident is None:
+            continue
+        # Content-addressed by everything that shapes the binary:
+        # source, CFLAGS, and the compiler's identity.
+        tag = hashlib.sha256(b"\0".join((src, flags, ident))) \
+            .hexdigest()[:16]
+        candidate = os.path.join(cache_dir, f"kernel-{tag}.so")
+        if os.path.exists(candidate):
+            so_path = candidate
+            break
+        tmp = f"{candidate}.tmp.{os.getpid()}"
+        try:
+            res = subprocess.run([cc, *_CFLAGS, "-o", tmp, _SRC_PATH],
+                                 capture_output=True, timeout=120)
+        except (OSError, subprocess.SubprocessError):
+            continue
+        if res.returncode == 0 and os.path.exists(tmp):
+            os.replace(tmp, candidate)   # atomic: racing builds converge
+            so_path = candidate
+            break
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+    if so_path is None:
+        return None
     lib = ctypes.CDLL(so_path)
     ll = ctypes.c_longlong
     lib.repro_sim_run.restype = ll
@@ -177,18 +228,22 @@ def available() -> bool:
 def nativizable(core) -> bool:
     """True when ``core``'s configuration is exactly what the kernel models.
 
-    Anything else (shared LLC, active cycle hook, JIT-metadata reactions,
-    non-4K pages, non-64B lines, subclassed/custom structures or fetch
-    callbacks) must take the batched engine, which handles the full model.
+    The kernel covers stock single-core configs plus the stock
+    :class:`~repro.uarch.multicore.SharedLlc` (slice counting in C,
+    contention math in Python between epoch quanta) and armed cycle
+    hooks (via the HOOK trampoline).  Anything else (subclassed shared
+    LLC, JIT-metadata reactions, non-4K pages, non-64B lines,
+    subclassed/custom structures or fetch callbacks) must take the
+    batched engine, which handles the full model.
     """
     from repro.uarch.pipeline import Core
     if type(core) is not Core:
         return False
     m = core.machine
     if core.shared_llc is not None:
-        return False
-    if core._next_hook_cycles != float("inf"):
-        return False
+        from repro.uarch.multicore import SharedLlc
+        if type(core.shared_llc) is not SharedLlc:
+            return False
     if m.jit_code_prefetch or m.jit_state_transform:
         return False
     for c in (core.l1i, core.l1d, core.l2, core.llc, core.dsb):
@@ -340,9 +395,15 @@ class CoreImage:
     Derived stall constants are evaluated here with the *same expression
     shapes* the legacy per-op code uses, so the doubles the kernel
     accumulates are bit-identical.
+
+    ``shared_llc_image``: when several cores share one
+    :class:`~repro.uarch.multicore.SharedLlc`, the first core's image
+    owns the LLC arrays (tags/flags/cnt/stats + epoch counters) and
+    every later image aliases them, so the kernels see one coherent
+    LLC no matter which core runs.  Only the owner writes the LLC back.
     """
 
-    def __init__(self, core) -> None:
+    def __init__(self, core, shared_llc_image=None) -> None:
         from repro.uarch.pipeline import ALL_BUCKETS
         self.core = core
         self.buckets = ALL_BUCKETS
@@ -394,14 +455,23 @@ class CoreImage:
         pd[PD_ITLB_WALK] = m.page_walk_latency * (1 - core.ITLB_OVERLAP)
         pd[PD_DTLB_WALK] = m.page_walk_latency / h.mlp
         icache_vis = 1 - core.ICACHE_OVERLAP
+        hidden = (1 - core.DATA_OVERLAP) / h.mlp
+        self._icache_vis = icache_vis
+        self._hidden = hidden
         pd[PD_ICACHE_L2] = m.l2.latency * icache_vis
-        pd[PD_ICACHE_L3] = (m.llc.latency + 0.0) * icache_vis
         pd[PD_ICACHE_DRAM] = m.dram_latency * icache_vis
         pd[PD_L1_HIT] = m.l1d.latency * core.L1_VISIBLE
-        hidden = (1 - core.DATA_OVERLAP) / h.mlp
         pd[PD_BE_L2] = (m.l2.latency - m.l1d.latency) * hidden
-        pd[PD_BE_L3] = (m.llc.latency + 0.0 - m.l2.latency) * hidden
         pd[PD_BE_DRAM] = (m.dram_latency - m.llc.latency) * hidden
+        # L3 latencies fold in the shared LLC's current contention term
+        # (0.0 for a private LLC) with the exact legacy expression
+        # shapes; refresh_contention() recomputes them after each
+        # update_contention epoch.
+        self.refresh_contention()
+        # Cycle-hook trampoline state: the kernel checks the threshold
+        # (a single `if`, like _op_block) and exits with _STATUS_HOOK.
+        sd[SD_NEXT_HOOK] = core._next_hook_cycles
+        pd[PD_HOOK_INTERVAL] = core.cycle_hook_interval
         pd[PD_STORE_PEN] = core.STORE_MISS_PENALTY
         pd[PD_MIS_PEN] = float(m.mispredict_penalty)
         pd[PD_RESTEER_PEN] = float(m.btb_resteer_penalty)
@@ -413,9 +483,13 @@ class CoreImage:
 
         # -- caches -------------------------------------------------------
         self.caches = (core.l1i, core.l1d, core.l2, core.llc, core.dsb)
+        self._llc_owner = shared_llc_image is None
         self.cache_arrays = []
         for k, cache in enumerate(self.caches):
-            tags, flags, cnt, stats = _export_cache(cache)
+            if k == _C_LLC and shared_llc_image is not None:
+                tags, flags, cnt, stats = shared_llc_image.cache_arrays[k]
+            else:
+                tags, flags, cnt, stats = _export_cache(cache)
             self.cache_arrays.append((tags, flags, cnt, stats))
             self._set_ptr(P_CACHE0 + 4 * k, tags)
             self._set_ptr(P_CACHE0 + 4 * k + 1, flags)
@@ -545,6 +619,26 @@ class CoreImage:
         self._set_ptr(P_DRAM_ROWS, self.dram_rows)
         self._set_ptr(P_DRAM_ST, self.dram_st)
 
+        # -- shared-LLC epoch counters ------------------------------------
+        # The kernel mirrors SharedLlc.access: bump the epoch total and
+        # the slice-hashed bucket on every demand LLC lookup.  The array
+        # is the live store while an image exists; writeback copies it
+        # into the Python fields (overwrite semantics, so repeated
+        # drains are idempotent).  Private LLC: a dummy slot with
+        # PI_LLC_SLICES = 0 disables counting in C.
+        sll = core.shared_llc
+        if sll is None:
+            self.llc_epoch = np.zeros(1, dtype=np.int64)
+        elif shared_llc_image is not None:
+            self.llc_epoch = shared_llc_image.llc_epoch
+            pi[PI_LLC_SLICES] = sll.n_slices
+        else:
+            self.llc_epoch = np.zeros(1 + sll.n_slices, dtype=np.int64)
+            self.llc_epoch[0] = sll._accesses_this_epoch
+            self.llc_epoch[1:] = sll.slice_accesses
+            pi[PI_LLC_SLICES] = sll.n_slices
+        self._set_ptr(P_LLC_EPOCH, self.llc_epoch)
+
         # -- virtual memory ------------------------------------------------
         vst = vm.stats
         si[SI_VM_MIN] = vst.minor_faults
@@ -612,6 +706,46 @@ class CoreImage:
             self.core.vm._mapped.update(self.vm_log[:n].tolist())
             self.si[SI_VM_LOGN] = 0
 
+    def refresh_contention(self) -> None:
+        """Re-derive the L3 stall constants from the live contention term.
+
+        ``SharedLlc.update_contention`` runs in Python between epoch
+        quanta; the kernel reads ``extra_latency`` only through these
+        two doubles, so refreshing them at the epoch boundary gives
+        every access in the next quantum the new latency — exactly when
+        the legacy per-op ``_llc_extra()`` read would change value.
+        The expression shapes match ``_fetch`` and ``_op_mem``.
+        """
+        core, m = self.core, self.core.machine
+        extra = core._llc_extra()
+        self.pd[PD_ICACHE_L3] = (m.llc.latency + extra) * self._icache_vis
+        self.pd[PD_BE_L3] = (m.llc.latency + extra - m.l2.latency) \
+            * self._hidden
+
+    def _drain_llc_epoch(self) -> None:
+        """Copy the kernel's epoch counters into the SharedLlc fields."""
+        sll = self.core.shared_llc
+        if sll is not None:
+            ep = self.llc_epoch
+            sll._accesses_this_epoch = int(ep[0])
+            sll.slice_accesses = ep[1:].tolist()
+
+    def sync_scalars(self) -> None:
+        """Publish the cycle-forming scalars without a full writeback.
+
+        Enough for ``core.cycles`` / ``core.counts`` reads between
+        multicore quanta (the round loop's epoch arithmetic); caches,
+        predictors and VM stay in the arrays until the session closes.
+        """
+        core = self.core
+        sd, si = self.sd, self.si
+        core._ideal_cycles = float(sd[SD_IDEAL])
+        for k, b in enumerate(self.buckets):
+            core.stalls[b] = float(sd[SD_ST0 + k])
+        c = core.counts
+        c.instructions = int(si[SI_INSTR])
+        c.kernel_instructions = int(si[SI_KINSTR])
+
     # ------------------------------------------------------------------
     def writeback(self) -> None:
         """Reconstruct the Python Core state from the mutated arrays."""
@@ -635,10 +769,15 @@ class CoreImage:
         core._last_code_page = sil[SI_LAST_CODE_PAGE]
         core._last_data_vpn = sil[SI_LAST_DATA_VPN]
         core._kernel_mode = bool(sil[SI_KMODE])
+        core._next_hook_cycles = float(sd[SD_NEXT_HOOK])
 
         for k, cache in enumerate(self.caches):
+            if k == _C_LLC and not self._llc_owner:
+                continue        # the owning image writes the shared LLC
             _import_cache(cache, *self.cache_arrays[k])
             cache._rand_state = sil[SI_RAND0 + k]
+        if self._llc_owner:
+            self._drain_llc_epoch()
         for k, tlb in enumerate(self.tlbs):
             _import_tlb(tlb, *self.tlb_arrays[k])
 
@@ -696,13 +835,16 @@ class CoreImage:
         vm._fault_seq = sil[SI_VM_SEQ]
 
     # ------------------------------------------------------------------
-    def run_buffer(self, buf, start: int, limit) -> tuple[int, bool]:
+    def run_buffer(self, buf, start: int, limit) -> tuple[int, int]:
         """Run the kernel over one sealed trace buffer from ``start``.
 
-        Returns ``(next_pos, limit_hit)`` with the same contract as
-        ``Core.consume_buffer``.  Event-hook callbacks are replayed from
-        the kernel's event log with the exact cycle stamps the legacy
-        engine would have produced.
+        Returns ``(next_pos, status)`` where status is ``_STATUS_DONE``
+        (chunk exhausted), ``_STATUS_LIMIT`` (instruction limit reached)
+        or ``_STATUS_HOOK`` (the cycle-hook threshold fired: the caller
+        must write state back, run the Python hook against the live
+        core, and re-enter from ``next_pos``).  Event-hook callbacks are
+        replayed from the kernel's event log with the exact cycle stamps
+        the legacy engine would have produced.
         """
         lib = get_lib()
         kinds, a0, a1, a2, n_ev = _columns(buf)
@@ -721,6 +863,7 @@ class CoreImage:
         limit_c = -1 if limit is None else limit
         pos = start
         while True:
+            stats["kernel_calls"] += 1
             status = int(lib.repro_sim_run(ptab, pos, n_ops, limit_c))
             next_pos = int(self.si[SI_NEXT_POS])
             self._drain_vm_log()
@@ -737,7 +880,7 @@ class CoreImage:
                 self.writeback()
                 raise ValueError(
                     f"unknown op kind {int(kinds[next_pos])!r}")
-            return next_pos, status == _STATUS_LIMIT
+            return next_pos, status
 
 
 # ---------------------------------------------------------------------------
@@ -766,6 +909,20 @@ def _columns(buf):
 # ---------------------------------------------------------------------------
 # Driver.
 
+def _finish_image(img) -> None:
+    """Write an image back and refresh the VM page-hash reuse key.
+
+    After writeback the hash holds exactly ``vm._mapped`` (kernel
+    inserts were drained), so the next export reuses the arrays — which
+    is what keeps hook-trampoline rebuilds cheap on page-heavy
+    workloads.  See CoreImage's vm export.
+    """
+    img.writeback()
+    vm = img.core.vm
+    vm._native_page_hash = ((len(vm._mapped), vm._map_epoch),
+                            img.vm_hash, img.vm_log)
+
+
 def consume_stream_native(core, stream, max_instructions=None) -> int:
     """Vector-engine counterpart of ``Core.consume_stream``.
 
@@ -773,11 +930,18 @@ def consume_stream_native(core, stream, max_instructions=None) -> int:
     Returns the number of instructions executed, with all core state
     (counters, stalls, caches, predictors, VM) bit-identical to what the
     legacy engine would have produced over the same ops.
+
+    Armed cycle hooks run through the trampoline: the kernel exits with
+    ``_STATUS_HOOK`` at the block op that crossed the threshold, state
+    is written back, the Python hook runs against the live ``Core``
+    (it may read or mutate anything), and the kernel re-enters with a
+    fresh image — preserving the legacy hook-before-limit ordering.
     """
     counts = core.counts
     start_instr = counts.instructions
     limit = (start_instr + max_instructions
              if max_instructions is not None else None)
+    stats["consume_calls"] += 1
     img = CoreImage(core)
     try:
         while True:
@@ -785,19 +949,141 @@ def consume_stream_native(core, stream, max_instructions=None) -> int:
             if buf is None:
                 break
             _t0 = time.perf_counter() if obs.enabled() else None
-            next_pos, limit_hit = img.run_buffer(buf, stream.pos, limit)
+            next_pos, status = img.run_buffer(buf, stream.pos, limit)
             if _t0 is not None:
                 obs.observe("sim.consume_buffer_seconds",
                             time.perf_counter() - _t0)
             stream.pos = next_pos
-            if limit_hit:
+            if status == _STATUS_HOOK:
+                stats["hook_exits"] += 1
+                _finish_image(img)
+                img = None
+                core.cycle_hook(core)
+                if limit is not None and counts.instructions >= limit:
+                    break
+                img = CoreImage(core)
+                continue
+            if status == _STATUS_LIMIT:
                 break
     finally:
-        img.writeback()
-        # The hash now holds exactly vm._mapped (kernel inserts were
-        # drained by writeback): refresh the reuse key so the next
-        # export skips the rebuild.  See CoreImage's vm export.
-        vm = core.vm
-        vm._native_page_hash = ((len(vm._mapped), vm._map_epoch),
-                                img.vm_hash, img.vm_log)
+        if img is not None:
+            _finish_image(img)
     return counts.instructions - start_instr
+
+
+# ---------------------------------------------------------------------------
+# Multicore session: persistent images across interleaved quanta.
+
+class NativeMulticoreSession:
+    """Per-core images kept alive across the multicore round loop.
+
+    A fresh export + writeback per 4k-instruction quantum would dominate
+    the run (that cost is amortized over ~50x more instructions on the
+    single-core path).  The session exports each core once per
+    ``MulticoreRunner.run`` call, aliases the shared LLC's arrays (tags,
+    flags, counts, stats, epoch counters) into every image so the
+    kernels see one coherent LLC, and at quantum boundaries syncs only
+    the cycle-forming scalars the round loop reads.  The LLC's eviction
+    RNG state lives in per-image scalar slots, so it is carried from the
+    core that last ran to the next one.
+
+    ``SharedLlc.update_contention`` stays in Python, unchanged: call
+    :meth:`sync_epoch` just before it (publishes + zeroes the epoch
+    counters) and :meth:`refresh_contention` right after (re-derives the
+    L3 stall constants in every image).
+
+    A cycle hook mid-quantum tears the whole session down (full
+    writeback of every core), runs the hook against the live cores, and
+    rebuilds — hooks fire every few million cycles, so the rebuild cost
+    is noise while correctness is unconditional.
+    """
+
+    def __init__(self, cores) -> None:
+        self.cores = list(cores)
+        self.llc = self.cores[0].shared_llc
+        self.images = None
+        stats["sessions"] += 1
+        self._build()
+
+    def _build(self) -> None:
+        primary = CoreImage(self.cores[0])
+        self.images = [primary]
+        for core in self.cores[1:]:
+            self.images.append(CoreImage(core, shared_llc_image=primary))
+        self._llc_rand = self.llc.cache._rand_state
+
+    def _teardown(self) -> None:
+        owner = self.images[0]
+        owner.si[SI_RAND0 + _C_LLC] = self._llc_rand
+        for img in self.images:
+            _finish_image(img)
+        self.images = None
+
+    def close(self) -> None:
+        if self.images is not None:
+            self._teardown()
+
+    def sync_epoch(self) -> None:
+        """Publish epoch counters to the SharedLlc and restart the epoch.
+
+        Call immediately before ``SharedLlc.update_contention`` — which
+        consumes and zeroes the Python fields, while the array restarts
+        from zero for the next epoch's kernel increments.
+        """
+        owner = self.images[0]
+        owner._drain_llc_epoch()
+        owner.llc_epoch[:] = 0
+
+    def refresh_contention(self) -> None:
+        """Re-derive every image's L3 constants after update_contention."""
+        for img in self.images:
+            img.refresh_contention()
+
+    def consume(self, core_index: int, stream, max_instructions: int) -> int:
+        """Quantum-interleaved counterpart of ``consume_stream_native``."""
+        core = self.cores[core_index]
+        img = self.images[core_index]
+        start_instr = int(img.si[SI_INSTR])
+        limit = start_instr + max_instructions
+        img.si[SI_RAND0 + _C_LLC] = self._llc_rand
+        stats["consume_calls"] += 1
+        while True:
+            buf = stream.buffer()
+            if buf is None:
+                break
+            next_pos, status = img.run_buffer(buf, stream.pos, limit)
+            stream.pos = next_pos
+            if status == _STATUS_HOOK:
+                stats["hook_exits"] += 1
+                self._llc_rand = int(img.si[SI_RAND0 + _C_LLC])
+                self._teardown()
+                core.cycle_hook(core)
+                self._build()
+                img = self.images[core_index]
+                img.si[SI_RAND0 + _C_LLC] = self._llc_rand
+                if core.counts.instructions >= limit:
+                    break
+                continue
+            if status == _STATUS_LIMIT:
+                break
+        self._llc_rand = int(img.si[SI_RAND0 + _C_LLC])
+        img.sync_scalars()
+        return int(img.si[SI_INSTR]) - start_instr
+
+
+def multicore_session(cores, streams):
+    """A :class:`NativeMulticoreSession` when every core and stream
+    qualifies for it, else ``None`` (callers fall back per quantum)."""
+    from repro.trace import TraceBufferStream
+    if not available() or not cores:
+        return None
+    llc = cores[0].shared_llc
+    if llc is None:
+        return None
+    if not all(c.shared_llc is llc for c in cores):
+        return None
+    if not all(isinstance(s, TraceBufferStream) for s in streams):
+        return None
+    if not all(nativizable(c) for c in cores):
+        return None
+    return NativeMulticoreSession(cores)

@@ -514,10 +514,14 @@ class Core:
 
         ``engine="vector"`` routes consumption through the native C
         kernel (:mod:`repro.uarch.native`) when it is available and this
-        core's configuration is one the kernel models exactly; any other
-        case silently falls back to the batched loop below, which
-        handles the full model.  Both engines are bit-identical to the
-        legacy path, so the choice is purely a throughput knob.
+        core's configuration is one the kernel models exactly — which
+        includes armed cycle hooks (the kernel exits with a ``HOOK``
+        resume code, the hook runs in Python against written-back state,
+        and the kernel re-enters) and the stock shared LLC (slice
+        counting in C, contention math in Python).  Any other case
+        silently falls back to the batched loop below, which handles the
+        full model.  Both engines are bit-identical to the legacy path,
+        so the choice is purely a throughput knob.
         """
         if engine == "vector":
             from repro.uarch import native

@@ -201,23 +201,37 @@ def test_native_disabled_falls_back(monkeypatch):
 
 
 def test_nativizable_guards():
-    """Configurations outside the kernel's model must be rejected (and
-    therefore delegate to the batched engine)."""
+    """Stock shared-LLC and sampler configs are native now; anything
+    outside the kernel's model still delegates to the batched engine."""
+    from repro.uarch.multicore import SharedLlc
+
     machine = get_machine("i9")
     core = Core(machine, VirtualMemory())
     assert native.nativizable(core)
 
+    # Armed cycle hooks run through the HOOK trampoline.
     hooked = Core(machine, VirtualMemory())
-    hooked._next_hook_cycles = 1000.0          # sampler active
-    assert not native.nativizable(hooked)
+    hooked.set_cycle_hook(lambda c: None, 1000.0)
+    assert native.nativizable(hooked)
 
-    shared = Core(machine, VirtualMemory())
-    shared.shared_llc = object()               # multicore LLC
-    assert not native.nativizable(shared)
+    # The stock shared LLC is modeled in C (slice counting + folded
+    # contention latency); the M/M/1 math stays in Python.
+    shared = Core(machine, VirtualMemory(),
+                  shared_llc=SharedLlc(machine), core_id=0)
+    assert native.nativizable(shared)
+
+    # A subclassed/unknown shared LLC still delegates silently.
+    weird = Core(machine, VirtualMemory())
+    weird.shared_llc = object()
+    assert not native.nativizable(weird)
 
     custom = Core(machine, VirtualMemory())
     custom.l1d_prefetcher.fetch = lambda addr: None   # rebound callback
     assert not native.nativizable(custom)
+
+    paged = Core(machine, VirtualMemory())
+    paged.dtlb.l1.page_shift = 13              # non-4K pages
+    assert not native.nativizable(paged)
 
     subclassed = Core(machine, VirtualMemory())
 
@@ -225,3 +239,136 @@ def test_nativizable_guards():
         pass
     subclassed.vm = WeirdVm()
     assert not native.nativizable(subclassed)
+
+
+@needs_native
+def test_shared_llc_and_sampler_take_native_path():
+    """Stock multicore + sampler configs must execute in the kernel —
+    no silent batched delegation (asserted via the entry counters)."""
+    from repro.harness.runner import Fidelity, run_multicore
+    from test_batched_equivalence import _spec_of
+
+    fid = Fidelity(warmup_instructions=4_000, measure_instructions=8_000)
+    before = dict(native.stats)
+    run_multicore(_spec_of("Plaintext"), get_machine("i9"), 2, fid,
+                  engine="vector", sampling=True, sample_interval=1e-6)
+    delta = {k: native.stats[k] - before[k] for k in before}
+    assert delta["sessions"] == 2        # warmup + measure round loops
+    assert delta["kernel_calls"] > 0
+    assert delta["hook_exits"] > 0       # sampler ran via the trampoline
+
+
+# ---------------------------------------------------------------------------
+# Cycle-hook trampoline edge cases.
+
+def _run_hooked(ops, engine, interval, make_hook, chunk=4096,
+                limits=(None,)):
+    """Drive ``ops`` with an armed cycle hook; return everything
+    observable: per-call consumption, full core state, and the hook's
+    own log (what it saw when it fired)."""
+    core = Core(get_machine("i9"), VirtualMemory())
+    log = []
+    core.set_cycle_hook(make_hook(log), interval)
+    consumed = []
+    if engine == "legacy":
+        it = iter(ops)
+        for lim in limits:
+            consumed.append(core.consume(it, max_instructions=lim))
+    else:
+        stream = TraceBufferStream(ops=iter(ops), chunk_instructions=chunk)
+        for lim in limits:
+            consumed.append(core.consume_stream(stream,
+                                                max_instructions=lim,
+                                                engine=engine))
+    return consumed, _state(core), log
+
+
+def _observing_hook(log):
+    def hook(core):
+        log.append((core.cycles, core.counts.instructions,
+                    core._next_hook_cycles))
+    return hook
+
+
+def _mutating_hook(log):
+    """A hook that perturbs live core state: the trampoline must write
+    native state back before it runs and re-export after."""
+    def hook(core):
+        log.append((core.cycles, core.counts.instructions))
+        core._ideal_cycles += 3.0            # shifts later hook timing
+        core.counts.uops += 2.0
+    return hook
+
+
+def _hook_case(ops, interval, make_hook, chunk=4096, limits=(None,)):
+    """Legacy vs vector with a hook armed: consumption counts, final
+    state, and the hook's observations must all be identical."""
+    a = _run_hooked(ops, "legacy", interval, make_hook, chunk, limits)
+    before = dict(native.stats)
+    b = _run_hooked(ops, "vector", interval, make_hook, chunk, limits)
+    assert a[0] == b[0]
+    diffs = {k: (a[1][k], b[1][k]) for k in a[1] if a[1][k] != b[1][k]}
+    assert not diffs, f"state diverged: {dict(list(diffs.items())[:4])}"
+    assert a[2] == b[2]
+    return len(a[2]), native.stats["hook_exits"] - before["hook_exits"]
+
+
+@needs_native
+def test_hook_interval_smaller_than_chunk():
+    """Interval of ~tens of cycles inside 4096-instruction chunks: the
+    kernel must bounce through the trampoline many times per chunk."""
+    fired, exits = _hook_case(_ops(1500, seed=21), 64.0, _observing_hook)
+    assert fired > 20
+    assert exits == fired
+
+
+@needs_native
+def test_hook_mutates_core_state_mid_run():
+    """A hook that mutates cycles and counters mid-run: mutations must
+    land in native state on re-entry (and shift later hook firings)."""
+    fired, exits = _hook_case(_ops(1500, seed=22), 600.0, _mutating_hook)
+    assert fired > 3
+    assert exits == fired
+
+
+@needs_native
+def test_hook_fires_exactly_on_chunk_boundary():
+    """Single-op chunks make every hook land on a chunk boundary; the
+    kernel re-enters at pos == n_ops and must cleanly advance."""
+    fired, exits = _hook_case(_ops(600, seed=23), 200.0, _observing_hook,
+                              chunk=1)
+    assert fired > 5
+    assert exits == fired
+
+
+@needs_native
+def test_hook_with_limits_resumes_exactly():
+    """Limits interleave with hook firings across consume calls; the
+    legacy hook-before-limit ordering must be preserved."""
+    _hook_case(_ops(1500, seed=24), 150.0, _observing_hook,
+               limits=(1, 17, 900, 901, None))
+
+
+@pytest.mark.parametrize("case", ["small-interval", "mutating",
+                                  "chunk-boundary"])
+def test_hook_parity_with_native_disabled(monkeypatch, case):
+    """REPRO_NATIVE=0: the same hooked runs silently take the batched
+    path and stay bit-identical to legacy."""
+    monkeypatch.setenv("REPRO_NATIVE", "0")
+    saved = native._lib, native._lib_resolved
+    native._lib, native._lib_resolved = None, False
+    try:
+        assert not native.available()
+        if case == "small-interval":
+            fired, exits = _hook_case(_ops(800, seed=21), 64.0,
+                                      _observing_hook)
+        elif case == "mutating":
+            fired, exits = _hook_case(_ops(800, seed=22), 600.0,
+                                      _mutating_hook)
+        else:
+            fired, exits = _hook_case(_ops(400, seed=23), 200.0,
+                                      _observing_hook, chunk=1)
+        assert fired > 0
+        assert exits == 0                  # kernel never entered
+    finally:
+        native._lib, native._lib_resolved = saved
