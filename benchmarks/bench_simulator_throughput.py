@@ -304,21 +304,39 @@ def test_observability_overhead(fidelity, machine_i9, emit, tmp_path):
         samples.append(time.process_time() - t0)
     t_run = statistics.median(samples)
 
-    # Census run: everything the instrumentation records for one
-    # workload, plus the bit-identity proof.
+    # Census run with the FULL observatory: spans + metrics + the
+    # time-series sampler, plus (when the native kernel is present)
+    # the vector engine's per-op-kind retirement telemetry — every
+    # collector this repo has, all at once, and still bit-identical.
+    from repro.obs import timeseries
+    from repro.uarch import native as native_mod
+
     obs_dir = tmp_path / "obs"
-    obs.configure(obs_dir)
+    obs.configure(obs_dir, series=True)
     try:
         on = run_workload(spec, machine_i9, fidelity, trace_store=store)
+        on_vec = None
+        if native_mod.available():
+            on_vec = run_workload(spec, machine_i9, fidelity,
+                                  trace_store=store, engine="vector")
         snap = obs.metrics_snapshot()
         obs.flush()
         span_calls = sum(len(p.read_text().splitlines())
                          for p in obs_dir.glob("spans-*.jsonl"))
         hist_samples = sum(h["count"]
                            for h in snap["histograms"].values())
-        # runner counters are all unit increments, so the summed value
-        # is the call count.
-        counter_adds = round(sum(snap["counters"].values()))
+        # Runner counters are unit increments, so the summed value is
+        # the call count — except the native retirement counters,
+        # which bulk-add thousands of ops in one call per writeback
+        # drain (that batching is exactly why per-op telemetry is
+        # affordable).  Census those by call count: one drain per
+        # writeback, <= 6 adds each.
+        counter_adds = round(sum(
+            v for k, v in snap["counters"].items()
+            if not k.startswith("native.ops_retired")))
+        drains = snap["histograms"].get(
+            "native.writeback_seconds", {}).get("count", 0)
+        counter_adds += 6 * drains
 
         # Per-call primitive costs over the live paths (span cost
         # includes serialization + buffered JSONL emission; the timer
@@ -338,19 +356,34 @@ def test_observability_overhead(fidelity, machine_i9, emit, tmp_path):
     finally:
         obs.shutdown(dump=False)
 
-    # Observation must not perturb: identical counters either way.
+    # Observation must not perturb: identical counters either way —
+    # including the native vector engine with retirement telemetry on.
     assert off.counters == on.counters == warm.counters
     assert off.topdown == on.topdown
+    if on_vec is not None:
+        assert on_vec.counters == off.counters
+        assert on_vec.topdown == off.topdown
+        # the kernel's per-kind retirement census landed in the registry
+        # and tallies exactly the instruction count it simulated
+        assert snap["counters"]["native.ops_retired"] > 0
     # The census run really did record: spans on disk, phase samples
-    # in the registry.
+    # in the registry, and the sampler's final flush in the ring.
     assert span_calls > 0
     assert snap["histograms"]["sim.consume_buffer_seconds"]["count"] > 0
+    series_samples = sum(
+        len(timeseries.load_series(p))
+        for p in timeseries.series_files(obs_dir))
+    assert series_samples > 0
 
     instr = off.counters.instructions
     # add() is a dict upsert like observe() minus the two clock reads;
     # observe_s upper-bounds it.
+    # A ring sample is one registry snapshot JSON-serialized and
+    # appended — the same order of work as a span emission, and there
+    # is roughly one per second of run regardless of workload size.
     overhead_s = (span_calls * span_s
-                  + (hist_samples + counter_adds) * observe_s)
+                  + (hist_samples + counter_adds) * observe_s
+                  + series_samples * span_s)
     overhead_pct = overhead_s / t_run * 100.0
     _merge_json("observability", {
         "workload": spec.name,
@@ -360,6 +393,8 @@ def test_observability_overhead(fidelity, machine_i9, emit, tmp_path):
         "span_calls": span_calls,
         "histogram_samples": hist_samples,
         "counter_adds": counter_adds,
+        "series_samples": series_samples,
+        "native_telemetry": on_vec is not None,
         "span_us": round(span_s * 1e6, 2),
         "observe_us": round(observe_s * 1e6, 3),
         "overhead_pct": round(overhead_pct, 4),

@@ -48,6 +48,7 @@ import abc
 import contextlib
 import errno
 import os
+import tempfile
 import time
 from pathlib import Path
 
@@ -90,6 +91,27 @@ class StoreBackend(abc.ABC):
         for shared backends — sees either the old entry or the complete
         new one, never a torn write.
         """
+
+    def publish_bytes(self, data: bytes, dst: Path) -> None:
+        """Write ``data`` to a sibling temp file and :meth:`publish` it.
+
+        The small-payload convenience (telemetry rings, status
+        documents): same atomicity/durability/chaos discipline as any
+        store publication, without the caller managing temp files.
+        """
+        dst = Path(dst)
+        dst.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=dst.parent, prefix=".pub-")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                fh.write(data)
+                fh.flush()
+                os.fsync(fh.fileno())
+            self.publish(Path(tmp), dst)
+        except BaseException:
+            with contextlib.suppress(OSError):
+                os.unlink(tmp)
+            raise
 
     def link(self, src: Path, dst: Path) -> None:
         """Hardlink ``src`` to ``dst`` — atomic first-writer-wins.

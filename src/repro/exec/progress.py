@@ -41,10 +41,23 @@ class ProgressReporter:
 
     def __init__(self, total: int,
                  callback: Callable[[int, int, str], None] | None = None,
-                 clock: Callable[[], float] = time.monotonic):
+                 clock: Callable[[], float] = time.monotonic,
+                 ops_retired: Callable[[], int] | None = None):
         self.total = total
         self.callback = callback
         self._clock = clock
+        if ops_retired is None:
+            # Default to the native kernel's live progress counter: the
+            # sum of retired ops across drained stats and *in-flight*
+            # images, readable mid-run because the kernel updates its
+            # scalar slots with the GIL released.  Pluggable for tests
+            # and for pools whose workers run in other processes.
+            try:
+                from repro.uarch import native
+                ops_retired = native.ops_retired
+            except Exception:           # pragma: no cover - import guard
+                ops_retired = None
+        self._ops_retired = ops_retired
         self._started_at: float | None = None
         self.completed = 0
         self.cache_hits = 0
@@ -181,4 +194,17 @@ class ProgressReporter:
         if longest is not None:
             name, secs = longest
             parts.append(f"longest {name} {secs:.1f}s")
+        ops = self.sim_ops_retired()
+        if ops:
+            parts.append(f"{ops / 1e6:.1f}M sim-ops")
         return " | ".join(parts)
+
+    def sim_ops_retired(self) -> int:
+        """Simulated ops retired by the native kernel so far (0 when
+        the kernel is absent or nothing ran on it)."""
+        if self._ops_retired is None:
+            return 0
+        try:
+            return int(self._ops_retired())
+        except Exception:
+            return 0

@@ -54,6 +54,8 @@ from repro.exec.campaign import CampaignManifest
 from repro.exec.jobs import JobSpec, code_fingerprint
 from repro.fabric.coordinator import MANIFEST_NAME, Coordinator
 from repro.harness.runner import Fidelity
+from repro.obs import timeseries
+from repro.obs.metrics import labeled
 from repro.obs.spans import SpanContext
 from repro.uarch.machine import get_machine
 
@@ -289,6 +291,12 @@ class CharacterizationService:
         The fleet-health gauges are computed here from the ledger
         directly (not just copied from ``repro.obs``), so the scrape
         is meaningful even when observability is globally disabled.
+        Per-worker series are proper labeled families
+        (``...{worker="w1"}``) so a scraper can aggregate across the
+        fleet, and each worker's latest published time-series sample
+        (:mod:`repro.obs.timeseries` rings under ``<root>/obs``) is
+        folded in as ``fabric.worker.*`` gauges — the same numbers
+        ``repro-obs top`` renders.
         """
         registry = obs.MetricsRegistry()
         snap = obs.metrics_snapshot()
@@ -309,11 +317,27 @@ class CharacterizationService:
             owner = rec.get("worker", "?")
             per_worker[owner] = per_worker.get(owner, 0) + 1
         for worker, rec in workers.items():
-            registry.gauge_set(f"fabric.worker.{worker}.leases",
-                               float(per_worker.get(worker, 0)))
             registry.gauge_set(
-                f"fabric.worker.{worker}.heartbeat_age_s",
+                labeled("fabric.worker.leases", worker=worker),
+                float(per_worker.get(worker, 0)))
+            registry.gauge_set(
+                labeled("fabric.worker.heartbeat_age_s", worker=worker),
                 float(rec["age_s"]))
+        for source, sample in timeseries.latest_by_source(
+                self.coordinator.root / "obs").items():
+            registry.gauge_set(
+                labeled("fabric.worker.units_run", worker=source),
+                float(sample.get("units_run", 0)))
+            registry.gauge_set(
+                labeled("fabric.worker.spool_pending", worker=source),
+                float(sample.get("spool_pending", 0)))
+            registry.gauge_set(
+                labeled("fabric.worker.sample_age_s", worker=source),
+                max(0.0, time.time() - sample.get("t_wall", 0.0)))
+            if "ops_retired" in sample:
+                registry.gauge_set(
+                    labeled("fabric.worker.ops_retired", worker=source),
+                    float(sample["ops_retired"]))
         with self._lock:
             registry.gauge_set("fabric.service_requests_open",
                                float(len(self._requests)))

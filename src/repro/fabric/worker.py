@@ -39,9 +39,11 @@ import socket
 import tempfile
 import threading
 import time
+from collections import deque
 from pathlib import Path
 
 from repro import obs
+from repro.obs import timeseries
 from repro.exec.backend import StoreBackend
 from repro.exec.campaign import WorkloadFailure
 from repro.exec.costmodel import CostModel
@@ -246,6 +248,14 @@ class WorkerAgent:
                                         self.spool)
         self._seq = 0
         self.units_run = 0
+        # Fleet time-series: a local ring of samples republished whole
+        # (capped, so the publication payload is bounded) through the
+        # backend seam — works with or without obs enabled, and a
+        # store outage only costs samples, never the worker.
+        self._series = deque(maxlen=300)
+        self._series_seq = 0
+        self._series_last = 0.0
+        self.series_interval = timeseries.series_interval()
 
     # -- claiming --------------------------------------------------------
 
@@ -359,6 +369,40 @@ class WorkerAgent:
             self._degraded.spooled_keys.clear()
         return flushed
 
+    def _publish_series(self, force: bool = False) -> bool:
+        """Append one fleet sample and republish this worker's ring.
+
+        Throttled to ``series_interval``; the ring is written whole
+        (it is capped, so the payload is bounded) and published
+        atomically, so readers on any host see a complete JSONL file.
+        Publication failures are counted, never raised — telemetry
+        must not take a worker down with the store.
+        """
+        now = time.time()
+        if not force and now - self._series_last < self.series_interval:
+            return False
+        self._series_last = now
+        self._series_seq += 1
+        extra = {"units_run": self.units_run,
+                 "spool_pending": self.spool.pending()}
+        try:
+            from repro.uarch import native
+            extra["ops_retired"] = native.ops_retired()
+        except Exception:
+            pass
+        self._series.append(timeseries.compact_sample(
+            obs.metrics_snapshot(), source=self.worker_id,
+            seq=self._series_seq, extra=extra))
+        payload = "".join(json.dumps(rec, sort_keys=True) + "\n"
+                          for rec in self._series).encode("utf-8")
+        dst = self.root / "obs" / f"series-{self.worker_id}.jsonl"
+        try:
+            self.backend.publish_bytes(payload, dst)
+        except OSError:
+            obs.add("fabric.series_publish_errors")
+            return False
+        return True
+
     def run(self, *, max_units: int | None = None,
             idle_exit: float | None = None, should_stop=None) -> int:
         """Serve until stopped; returns how many units this agent ran.
@@ -385,6 +429,7 @@ class WorkerAgent:
                 except OSError:
                     obs.add("fabric.heartbeat_errors")
                 self._reconcile_spool()
+                self._publish_series()
                 if self.serve_one():
                     served += 1
                     idle_since = time.monotonic()
@@ -395,6 +440,7 @@ class WorkerAgent:
                 time.sleep(self.poll_interval)
         finally:
             for cleanup in (self._reconcile_spool,
+                            lambda: self._publish_series(force=True),
                             lambda: self.ledger.remove_worker(
                                 self.worker_id),
                             self.costs.save):

@@ -144,6 +144,11 @@ def main(argv: list[str] | None = None) -> int:
                              "dumps and profiles land here (summarize "
                              "with 'repro-obs report DIR'; default: "
                              "$REPRO_OBS_DIR)")
+    parser.add_argument("--bench-history", metavar="PATH",
+                        help="append per-workload baseline records "
+                             "(simulated seconds, CPI) to a JSONL "
+                             "history; check it with 'repro-obs "
+                             "regress PATH'")
     parser.add_argument("--metrics-out", metavar="PATH",
                         help="also dump merged metrics to PATH "
                              "(.prom = Prometheus textfile, else JSON); "
@@ -272,6 +277,18 @@ def main(argv: list[str] | None = None) -> int:
             stats = store.stats()
             print(f"[store: {stats.entries} entries, "
                   f"{stats.total_bytes / 1e6:.1f} MB at {stats.root}]")
+
+        if args.bench_history and suite.results:
+            from repro.harness.runner import resolve_engine
+            from repro.obs.baseline import BaselineStore, records_for_suite
+            engine = resolve_engine(args.engine)
+            records = records_for_suite(
+                suite.results, machine=machine, fidelity=fidelity,
+                engine=engine, seed=args.seed)
+            BaselineStore(
+                os.path.expanduser(args.bench_history)).append(records)
+            print(f"[bench-history: {len(records)} record(s) appended to "
+                  f"{args.bench_history}]", file=sys.stderr)
 
         if args.trace_out:
             from repro.perf.trace_io import record

@@ -53,6 +53,7 @@ ENV_DIR = "REPRO_OBS_DIR"
 ENV_SPANS = "REPRO_OBS_SPANS"
 ENV_PROFILE = "REPRO_OBS_PROFILE"
 ENV_TRACE_ID = "REPRO_OBS_TRACE_ID"
+ENV_SERIES = "REPRO_OBS_SERIES"
 
 _PROFILE_MODES = ("cprofile", "tracemalloc")
 
@@ -61,10 +62,11 @@ class _ObsState:
     """Everything one enabled process holds (one per pid)."""
 
     __slots__ = ("dir", "recorder", "registry", "profile", "trace_id",
-                 "pid")
+                 "pid", "sampler")
 
     def __init__(self, obs_dir: str | None, spans_on: bool,
-                 profile: str | None, trace_id: str):
+                 profile: str | None, trace_id: str,
+                 series_on: bool = False):
         self.dir = obs_dir
         self.trace_id = trace_id
         self.profile = profile
@@ -72,6 +74,10 @@ class _ObsState:
         self.recorder = (SpanRecorder(obs_dir, trace_id)
                          if obs_dir and spans_on else None)
         self.registry = MetricsRegistry()
+        self.sampler = None
+        if obs_dir and series_on:
+            from repro.obs.timeseries import Sampler
+            self.sampler = Sampler(obs_dir)
 
 
 _STATE: _ObsState | None = None
@@ -90,30 +96,47 @@ def _fresh_trace_id() -> str:
 
 def configure(obs_dir: str | os.PathLike | None = None, *,
               spans: bool = True, profile: str | None = None,
-              trace_id: str | None = None, export_env: bool = True) -> None:
+              trace_id: str | None = None, export_env: bool = True,
+              series: bool | None = None) -> None:
     """Enable observability in this process (idempotent reconfigure).
 
     ``obs_dir`` is where span JSONL files, metric dumps, and profiles
     land; with ``obs_dir=None`` only in-memory metrics are collected
     (no span emission).  ``profile`` opts every job into ``"cprofile"``
-    or ``"tracemalloc"``.  With ``export_env`` (default) the
+    or ``"tracemalloc"``.  ``series`` starts the background
+    :class:`~repro.obs.timeseries.Sampler`, flushing registry
+    snapshots to a size-capped per-pid JSONL ring (interval via
+    ``REPRO_OBS_SERIES_INTERVAL``); left unspecified, it follows
+    ``REPRO_OBS_SERIES=1`` so the sampler can be switched on from the
+    environment without the caller knowing about it (the CLIs pass no
+    ``series`` argument).  With ``export_env`` (default) the
     configuration is mirrored into ``REPRO_OBS_*`` environment
     variables so worker processes inherit it.
     """
     global _STATE
+    if series is None:
+        series = os.environ.get(ENV_SERIES, "") == "1"
     if profile is not None and profile not in _PROFILE_MODES:
         raise ValueError(f"unknown profile mode {profile!r} "
                          f"(use one of {_PROFILE_MODES})")
     obs_dir = os.fspath(obs_dir) if obs_dir is not None else None
     if obs_dir:
         os.makedirs(obs_dir, exist_ok=True)
+    _stop_sampler()
     _STATE = _ObsState(obs_dir, spans, profile,
-                       trace_id or _fresh_trace_id())
+                       trace_id or _fresh_trace_id(), series)
     if export_env:
         _set_env(ENV_DIR, obs_dir or "")
         _set_env(ENV_SPANS, "1" if (spans and obs_dir) else "0")
         _set_env(ENV_PROFILE, profile or "")
         _set_env(ENV_TRACE_ID, _STATE.trace_id)
+        _set_env(ENV_SERIES, "1" if (series and obs_dir) else "")
+
+
+def _stop_sampler() -> None:
+    if _STATE is not None and _STATE.sampler is not None \
+            and _STATE.pid == os.getpid():
+        _STATE.sampler.stop(final_sample=False)
 
 
 def _set_env(key: str, value: str) -> None:
@@ -145,12 +168,14 @@ def configure_from_env() -> bool:
         # inherit its config, but with a fresh registry and span file.
         stale = _STATE
         _STATE = _ObsState(stale.dir, stale.recorder is not None,
-                           stale.profile, stale.trace_id)
+                           stale.profile, stale.trace_id,
+                           stale.sampler is not None)
         return True
     _STATE = _ObsState(obs_dir,
                        os.environ.get(ENV_SPANS, "0") == "1",
                        os.environ.get(ENV_PROFILE) or None,
-                       trace_id or _fresh_trace_id())
+                       trace_id or _fresh_trace_id(),
+                       os.environ.get(ENV_SERIES, "") == "1")
     return True
 
 
@@ -166,11 +191,14 @@ def shutdown(dump: bool = True) -> None:
         return
     if state.recorder is not None:
         state.recorder.flush()
+    if state.sampler is not None and state.pid == os.getpid():
+        state.sampler.stop(final_sample=True)
     if dump and state.dir:
         write_metrics(os.path.join(state.dir, "metrics.json"))
         write_metrics(os.path.join(state.dir, "metrics.prom"))
     _STATE = None
-    for key in (ENV_DIR, ENV_SPANS, ENV_PROFILE, ENV_TRACE_ID):
+    for key in (ENV_DIR, ENV_SPANS, ENV_PROFILE, ENV_TRACE_ID,
+                ENV_SERIES):
         os.environ.pop(key, None)
 
 

@@ -30,8 +30,15 @@ def load_spans(obs_dir: str | Path) -> list[dict]:
     from a different schema version are skipped.
     """
     spans: list[dict] = []
-    for path in sorted(Path(obs_dir).glob("spans-*.jsonl")):
-        for line in path.read_text(encoding="utf-8").splitlines():
+    paths = sorted(Path(obs_dir).glob("spans-*.jsonl")) + \
+        sorted(Path(obs_dir).glob("spans-*.jsonl.1"))   # rotated gens
+    required = ("span_id", "name", "pid", "start_us", "dur_us")
+    for path in paths:
+        try:
+            text = path.read_text(encoding="utf-8")
+        except OSError:
+            continue             # unreadable/vanished file: skip, don't die
+        for line in text.splitlines():
             line = line.strip()
             if not line:
                 continue
@@ -39,7 +46,9 @@ def load_spans(obs_dir: str | Path) -> list[dict]:
                 rec = json.loads(line)
             except ValueError:
                 continue
-            if rec.get("schema") == SPAN_SCHEMA and "span_id" in rec:
+            if (isinstance(rec, dict)
+                    and rec.get("schema") == SPAN_SCHEMA
+                    and all(k in rec for k in required)):
                 spans.append(rec)
     spans.sort(key=lambda r: (r.get("start_us", 0), r.get("span_id", "")))
     return spans

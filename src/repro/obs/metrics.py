@@ -90,6 +90,41 @@ class Histogram:
             self.buckets[key] = self.buckets.get(key, 0) + int(n)
 
 
+def escape_label_value(value) -> str:
+    """Escape a Prometheus label value per the text-format spec."""
+    return (str(value).replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
+def escape_help(text: str) -> str:
+    """Escape a ``# HELP`` line per the text-format spec."""
+    return str(text).replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def labeled(name: str, **labels) -> str:
+    """Instrument name carrying Prometheus labels, values escaped.
+
+    The registry stays a flat name -> instrument map; labels are
+    encoded into the name (``fabric.worker.leases{worker="w1"}``) at
+    write time and split back out by :meth:`MetricsRegistry.
+    to_prometheus`, which emits one ``# HELP``/``# TYPE`` family header
+    shared by all label variants.  Values are escaped here, once, so
+    arbitrary worker ids (quotes, backslashes, newlines) can't corrupt
+    the exposition.
+    """
+    if not labels:
+        return name
+    inner = ",".join(f'{k}="{escape_label_value(v)}"'
+                     for k, v in sorted(labels.items()))
+    return f"{name}{{{inner}}}"
+
+
+def _split_labels(name: str) -> tuple[str, str]:
+    """``base{k="v"}`` -> (``base``, ``k="v"``); plain names -> ("")."""
+    base, brace, rest = name.partition("{")
+    return base, rest[:-1] if brace and rest.endswith("}") else ""
+
+
 class MetricsRegistry:
     """Flat name -> instrument registry with snapshot/merge."""
 
@@ -155,37 +190,65 @@ class MetricsRegistry:
         """Prometheus textfile exposition of the registry.
 
         Dotted metric names become underscore-separated (Prometheus
-        identifier rules); histograms expose cumulative ``_bucket``
+        identifier rules); label-carrying names built with
+        :func:`labeled` are split back into a shared family, so every
+        family gets exactly one ``# HELP``/``# TYPE`` header ahead of
+        its first series.  Histograms expose cumulative ``_bucket``
         series with ``le`` = the bucket's upper bound (``2**b``), plus
         ``_sum`` and ``_count``.
         """
-        def ident(name: str) -> str:
-            cleaned = "".join(c if c.isalnum() else "_" for c in name)
+        def ident(base: str) -> str:
+            cleaned = "".join(c if c.isalnum() else "_" for c in base)
             return f"{prefix}_{cleaned}"
 
         lines: list[str] = []
-        for name in sorted(self.counters):
-            pname = ident(name)
-            lines.append(f"# TYPE {pname} counter")
-            lines.append(f"{pname} {self.counters[name]:g}")
-        for name in sorted(self.gauges):
-            pname = ident(name)
-            lines.append(f"# TYPE {pname} gauge")
-            lines.append(f"{pname} {self.gauges[name]:g}")
-        for name in sorted(self.histograms):
+        seen_meta: set[str] = set()
+
+        def meta(pname: str, base: str, kind: str) -> None:
+            if pname not in seen_meta:
+                seen_meta.add(pname)
+                lines.append(f"# HELP {pname} "
+                             f"{escape_help(base)} ({kind})")
+                lines.append(f"# TYPE {pname} {kind}")
+
+        def series(pname: str, label_body: str, extra: str = "") -> str:
+            body = ",".join(p for p in (label_body, extra) if p)
+            return f"{pname}{{{body}}}" if body else pname
+
+        def by_family(names):
+            return sorted(names, key=_split_labels)
+
+        for name in by_family(self.counters):
+            base, label_body = _split_labels(name)
+            pname = ident(base)
+            meta(pname, base, "counter")
+            lines.append(f"{series(pname, label_body)} "
+                         f"{self.counters[name]:g}")
+        for name in by_family(self.gauges):
+            base, label_body = _split_labels(name)
+            pname = ident(base)
+            meta(pname, base, "gauge")
+            lines.append(f"{series(pname, label_body)} "
+                         f"{self.gauges[name]:g}")
+        for name in by_family(self.histograms):
             hist = self.histograms[name]
-            pname = ident(name)
-            lines.append(f"# TYPE {pname} histogram")
-            cumulative = 0
-            numeric = sorted(k for k in hist.buckets if k != "u")
-            cumulative += hist.buckets.get("u", 0)
+            base, label_body = _split_labels(name)
+            pname = ident(base)
+            meta(pname, base, "histogram")
+            def bucket(le: str, count: int) -> str:
+                name_ = series(pname + "_bucket", label_body,
+                               'le="%s"' % le)
+                return f"{name_} {count}"
+
+            cumulative = hist.buckets.get("u", 0)
             if "u" in hist.buckets:
-                lines.append(f'{pname}_bucket{{le="0"}} {cumulative}')
-            for b in numeric:
+                lines.append(bucket("0", cumulative))
+            for b in sorted(k for k in hist.buckets if k != "u"):
                 cumulative += hist.buckets[b]
-                lines.append(
-                    f'{pname}_bucket{{le="{2.0 ** b:g}"}} {cumulative}')
-            lines.append(f'{pname}_bucket{{le="+Inf"}} {hist.count}')
-            lines.append(f"{pname}_sum {hist.total:g}")
-            lines.append(f"{pname}_count {hist.count}")
+                lines.append(bucket(f"{2.0 ** b:g}", cumulative))
+            lines.append(bucket("+Inf", hist.count))
+            lines.append(f"{series(pname + '_sum', label_body)} "
+                         f"{hist.total:g}")
+            lines.append(f"{series(pname + '_count', label_body)} "
+                         f"{hist.count}")
         return "\n".join(lines) + ("\n" if lines else "")

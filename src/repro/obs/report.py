@@ -8,6 +8,21 @@ Subcommands:
   tables (CI writes this into the job summary).
 * ``export <dir> [-o trace.json]`` — fold the span files into one
   Chrome ``about:tracing`` / Perfetto-loadable JSON.
+* ``top <dir>`` — fleet-merged live view of the ``series-*.jsonl``
+  time-series rings: one row per source with sample age, throughput
+  rates and native sim-op progress.
+* ``tail <dir> [-n N]`` — the last N ring samples across all sources,
+  merged by wall-clock time, one JSON line each.
+* ``regress <history.jsonl>`` — judge the newest sample of every
+  benchmark series in a baseline history
+  (:mod:`repro.obs.baseline`); exits 1 on a confirmed regression
+  unless ``--report-only``.
+
+Every subcommand must hold up on degenerate input — an empty or
+missing directory, zero-span files, foreign-schema lines, a corrupt
+``metrics.json`` — with a clean message and exit code, never a
+traceback: CI calls these on directories whose producers may have
+crashed mid-write.
 
 Kept free of third-party imports (unlike :mod:`repro.harness.report`,
 which pulls numpy) so the obs package stays usable anywhere.
@@ -19,8 +34,10 @@ import argparse
 import json
 import os
 import sys
+import time
 from pathlib import Path
 
+from repro.obs import baseline, timeseries
 from repro.obs.exporter import export_chrome_trace, load_spans
 
 
@@ -91,16 +108,31 @@ def _metrics_highlights(obs_dir: Path) -> tuple[list[list[str]],
     path = obs_dir / "metrics.json"
     if not path.is_file():
         return [], []
-    data = json.loads(path.read_text(encoding="utf-8"))
-    counter_rows = [[name, f"{value:g}"]
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return [], []            # corrupt dump: report without highlights
+    if not isinstance(data, dict):
+        return [], []
+    counters = data.get("counters")
+    counter_rows = [[str(name), f"{value:g}"]
                     for name, value in sorted(
-                        (data.get("counters") or {}).items())]
+                        (counters or {}).items()
+                        if isinstance(counters, dict) else [])
+                    if isinstance(value, (int, float))]
     hist_rows = []
-    for name, hist in sorted((data.get("histograms") or {}).items()):
+    hists = data.get("histograms")
+    for name, hist in sorted((hists or {}).items()
+                             if isinstance(hists, dict) else []):
+        if not isinstance(hist, dict):
+            continue
         count = hist.get("count", 0)
         total = hist.get("total", 0.0)
+        if not isinstance(count, (int, float)) \
+                or not isinstance(total, (int, float)):
+            continue
         mean = total / count if count else 0.0
-        hist_rows.append([name, str(count), f"{mean:g}",
+        hist_rows.append([str(name), str(count), f"{mean:g}",
                           f"{hist.get('max') or 0:g}"])
     return counter_rows, hist_rows
 
@@ -146,6 +178,97 @@ def render_report(obs_dir: str | Path, markdown: bool = False) -> str:
     return "\n\n".join(sections) + "\n"
 
 
+def _fmt_rate(value: float | None) -> str:
+    return f"{value:.1f}" if value is not None else "-"
+
+
+def _fmt_opt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:g}"
+    return str(value) if value is not None else "-"
+
+
+def render_top(directory: str | Path, markdown: bool = False,
+               now: float | None = None) -> str:
+    """One row per time-series source: the fleet's live dashboard.
+
+    Merges every ``series-*.jsonl`` ring under ``directory`` (a local
+    ``--obs-dir`` or a fabric store's ``obs/``): sample age, sequence
+    depth, job/op throughput from windowed counter deltas, and the
+    worker-published queue gauges when present.
+    """
+    data = timeseries.load_directory(directory)
+    if not data:
+        return f"no time-series rings under {directory}\n"
+    now = time.time() if now is None else now
+    rows = []
+    for src, samples in sorted(data.items()):
+        last = samples[-1]
+        age = max(0.0, now - float(last.get("t_wall") or now))
+        ops = last.get("ops_retired")
+        ops_rate = None
+        pts = [(s.get("t_wall"), s.get("ops_retired"))
+               for s in samples[-10:]]
+        pts = [(t, v) for t, v in pts
+               if isinstance(t, (int, float)) and isinstance(v, (int, float))]
+        if len(pts) >= 2 and pts[-1][0] > pts[0][0]:
+            ops_rate = (pts[-1][1] - pts[0][1]) / (pts[-1][0] - pts[0][0])
+        jobs = (last.get("counters") or {}).get("pool.jobs_executed")
+        rows.append([src, f"{age:.1f}", str(len(samples)),
+                     _fmt_opt(last.get("units_run")),
+                     _fmt_opt(last.get("spool_pending")),
+                     _fmt_opt(jobs),
+                     _fmt_rate(timeseries.rate(samples,
+                                               "pool.jobs_executed")),
+                     _fmt_opt(ops), _fmt_rate(ops_rate)])
+    header = "## " if markdown else "== "
+    return (f"{header}Fleet time-series: {directory}\n\n"
+            + _table(["source", "age_s", "samples", "units", "spool",
+                      "jobs", "jobs/s", "sim_ops", "sim_ops/s"],
+                     rows, markdown) + "\n")
+
+
+def render_tail(directory: str | Path, count: int = 20) -> str:
+    """The last ``count`` samples across all rings, merged by time."""
+    data = timeseries.load_directory(directory)
+    if not data:
+        return f"no time-series rings under {directory}\n"
+    merged = sorted((s for samples in data.values() for s in samples),
+                    key=lambda s: s.get("t_wall") or 0.0)
+    return "".join(json.dumps(s, sort_keys=True) + "\n"
+                   for s in merged[-count:])
+
+
+def render_regress(history: str | Path, markdown: bool = False,
+                   z_threshold: float = baseline.DEFAULT_Z_THRESHOLD,
+                   pct_floor: float = baseline.DEFAULT_PCT_FLOOR
+                   ) -> tuple[str, int]:
+    """The ``repro-obs regress`` verdict table and regression count."""
+    records = baseline.BaselineStore(history).load()
+    heading = "## " if markdown else "== "
+    if not records:
+        return (f"{heading}Regression check: {history}\n\n"
+                f"no baseline records (empty, missing or "
+                f"foreign-schema history)\n", 0)
+    verdicts = baseline.detect(records, z_threshold=z_threshold,
+                               pct_floor=pct_floor)
+    rows = [[v["workload"], v["engine"], v["fidelity"], v["metric"],
+             f"{v['baseline']:.6g}" if v["baseline"] is not None else "-",
+             f"{v['latest']:.6g}" if v["latest"] is not None else "-",
+             f"{v['pct']:+.1f}%" if v["pct"] is not None else "-",
+             f"{v['z']:.1f}" if v["z"] is not None else "-",
+             v["verdict"]] for v in verdicts]
+    n_regressions = sum(1 for v in verdicts if v["verdict"] == "regression")
+    n_series = len({(v["key"], v["engine"], v["fidelity"])
+                    for v in verdicts})
+    body = _table(["workload", "engine", "fidelity", "metric", "baseline",
+                   "latest", "delta", "z", "verdict"], rows, markdown)
+    summary = (f"{n_regressions} regression(s) across {n_series} "
+               f"series ({len(records)} records)")
+    return (f"{heading}Regression check: {history}\n\n{body}\n\n"
+            f"{summary}\n", n_regressions)
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point for ``repro-obs`` / ``python -m repro.obs``."""
     parser = argparse.ArgumentParser(
@@ -163,11 +286,50 @@ def main(argv: list[str] | None = None) -> int:
     exp.add_argument("-o", "--out", default=None,
                      help="output path (default <obs_dir>/trace.json)")
 
+    top = sub.add_parser("top", help="fleet time-series dashboard")
+    top.add_argument("obs_dir", help="directory holding series-*.jsonl "
+                                     "rings (an --obs-dir, or a fabric "
+                                     "store's obs/ subdir)")
+    top.add_argument("--markdown", action="store_true",
+                     help="emit GitHub-flavored markdown tables")
+
+    tail = sub.add_parser("tail", help="last N merged ring samples")
+    tail.add_argument("obs_dir", help="directory holding series-*.jsonl")
+    tail.add_argument("-n", "--count", type=int, default=20,
+                      help="samples to print (default 20)")
+
+    reg = sub.add_parser("regress",
+                         help="judge the newest baseline samples")
+    reg.add_argument("history", help="bench_history.jsonl baseline file")
+    reg.add_argument("--markdown", action="store_true",
+                     help="emit GitHub-flavored markdown tables")
+    reg.add_argument("--report-only", action="store_true",
+                     help="always exit 0 (PR advisory mode)")
+    reg.add_argument("--z-threshold", type=float,
+                     default=baseline.DEFAULT_Z_THRESHOLD,
+                     help="z-score a sample must reach (default %(default)s)")
+    reg.add_argument("--pct-floor", type=float,
+                     default=baseline.DEFAULT_PCT_FLOOR,
+                     help="minimum percent change to flag "
+                          "(default %(default)s)")
+
     args = parser.parse_args(argv)
+    if args.command == "regress":
+        text, n_regressions = render_regress(
+            args.history, args.markdown,
+            z_threshold=args.z_threshold, pct_floor=args.pct_floor)
+        sys.stdout.write(text)
+        return 1 if n_regressions and not args.report_only else 0
     if not os.path.isdir(args.obs_dir):
-        parser.error(f"not a directory: {args.obs_dir}")
+        print(f"repro-obs: not a directory: {args.obs_dir}",
+              file=sys.stderr)
+        return 2
     if args.command == "report":
         sys.stdout.write(render_report(args.obs_dir, args.markdown))
+    elif args.command == "top":
+        sys.stdout.write(render_top(args.obs_dir, args.markdown))
+    elif args.command == "tail":
+        sys.stdout.write(render_tail(args.obs_dir, args.count))
     else:
         out = args.out or os.path.join(args.obs_dir, "trace.json")
         count = export_chrome_trace(args.obs_dir, out)

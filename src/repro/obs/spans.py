@@ -35,6 +35,21 @@ SPAN_SCHEMA = 1
 #: buffered records before an early flush (stack-empty flushes anyway)
 _FLUSH_EVERY = 256
 
+#: per-process span-file byte budget (``REPRO_OBS_MAX_MB`` overrides;
+#: half the budget per generation, two generations kept — see flush)
+ENV_MAX_MB = "REPRO_OBS_MAX_MB"
+_DEFAULT_MAX_MB = 64.0
+
+
+def _max_bytes() -> int:
+    try:
+        mb = float(os.environ.get(ENV_MAX_MB, ""))
+    except ValueError:
+        mb = _DEFAULT_MAX_MB
+    if mb <= 0:
+        mb = _DEFAULT_MAX_MB
+    return int(mb * 1024 * 1024)
+
 
 class SpanContext:
     """Picklable (trace_id, span_id) pair linking spans across processes."""
@@ -94,8 +109,21 @@ class SpanRecorder:
         if not self._buffer:
             return
         os.makedirs(self.obs_dir, exist_ok=True)
+        data = "\n".join(self._buffer) + "\n"
+        # Week-long fabric campaigns must not fill the shared obs dir:
+        # when the live file would exceed half the byte budget it
+        # rotates to ``<path>.1`` (atomically evicting the previous,
+        # oldest generation), bounding this process at ~the budget
+        # while the newest spans stay intact.  The exporter's glob
+        # (``spans-*.jsonl*``) still picks the rotated file up.
+        cap = _max_bytes() // 2
+        try:
+            if os.path.getsize(self.path) + len(data) > cap:
+                os.replace(self.path, self.path + ".1")
+        except OSError:
+            pass
         with open(self.path, "a", encoding="utf-8") as fh:
-            fh.write("\n".join(self._buffer) + "\n")
+            fh.write(data)
         self._buffer.clear()
 
 

@@ -1,0 +1,221 @@
+"""Time-series rings: periodic metric snapshots as capped JSONL.
+
+The PR-5 metrics registry is cumulative and point-in-time — one
+``metrics.json`` at shutdown tells you *what* happened, never *when*.
+This module adds the longitudinal axis with the same zero-dependency
+discipline:
+
+* :class:`SeriesRing` — an append-only JSONL file with two-generation
+  size capping: when the live file exceeds half the byte budget it is
+  rotated to ``<name>.1`` (evicting the previous ``.1``, i.e. the
+  oldest generation) and a fresh live file starts.  Total disk usage is
+  bounded by the budget no matter how long the campaign runs, and the
+  newest samples are always intact.
+* :class:`Sampler` — a daemon thread that flushes a compacted registry
+  snapshot (plus the native kernel's live ops-retired counter) to a
+  per-pid ring every ``interval`` seconds.  Enabled by
+  ``obs.configure(..., series=True)`` or ``REPRO_OBS_SERIES=1`` (which
+  worker processes inherit), interval via
+  ``REPRO_OBS_SERIES_INTERVAL``.
+* :func:`load_series` / :func:`latest_by_source` — torn-tolerant
+  readers for the ``repro-obs top``/``tail`` views and the fabric
+  service's fleet merge.
+
+Sample records are *compact*: full counter/gauge dicts, but histograms
+reduced to ``{count, total, min, max}`` — the buckets stay in the
+cumulative dumps, while rates derived from successive ``count``/
+``total`` deltas are what a time series is for.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+
+#: bump when the sample record shape changes
+SERIES_SCHEMA = 1
+
+ENV_SERIES = "REPRO_OBS_SERIES"
+ENV_SERIES_INTERVAL = "REPRO_OBS_SERIES_INTERVAL"
+
+DEFAULT_INTERVAL_S = 1.0
+#: total byte budget per ring (live file + one rotated generation)
+DEFAULT_MAX_BYTES = 8 * 1024 * 1024
+
+
+def series_interval() -> float:
+    try:
+        value = float(os.environ.get(ENV_SERIES_INTERVAL, ""))
+    except ValueError:
+        return DEFAULT_INTERVAL_S
+    return value if value > 0 else DEFAULT_INTERVAL_S
+
+
+def compact_sample(snap: dict | None, *, source: str, seq: int,
+                   extra: dict | None = None) -> dict:
+    """One ring record from a registry snapshot (may be ``None``)."""
+    rec = {"schema": SERIES_SCHEMA, "source": source, "seq": seq,
+           "t_wall": time.time(), "t_mono_us": time.monotonic_ns() // 1000,
+           "counters": {}, "gauges": {}, "hist": {}}
+    if snap:
+        rec["counters"] = dict(snap.get("counters") or {})
+        rec["gauges"] = dict(snap.get("gauges") or {})
+        for name, h in (snap.get("histograms") or {}).items():
+            rec["hist"][name] = {"count": h.get("count", 0),
+                                 "total": h.get("total", 0.0),
+                                 "min": h.get("min"), "max": h.get("max")}
+    if extra:
+        rec.update(extra)
+    return rec
+
+
+class SeriesRing:
+    """Append-only JSONL with two-generation size capping.
+
+    The live file grows to ``max_bytes / 2``, then rotates to
+    ``<path>.1`` (``os.replace`` — atomically evicting the previous
+    oldest generation) and restarts.  Readers concatenate ``.1`` then
+    the live file, so ordering survives rotation.
+    """
+
+    def __init__(self, path: str | os.PathLike,
+                 max_bytes: int = DEFAULT_MAX_BYTES):
+        self.path = os.fspath(path)
+        self.gen_bytes = max(4096, int(max_bytes) // 2)
+        self._size = None       # lazily stat'd, then tracked in-process
+
+    def append(self, record: dict) -> None:
+        line = json.dumps(record, sort_keys=True) + "\n"
+        parent = os.path.dirname(self.path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        if self._size is None:
+            try:
+                self._size = os.path.getsize(self.path)
+            except OSError:
+                self._size = 0
+        if self._size + len(line) > self.gen_bytes and self._size > 0:
+            os.replace(self.path, self.path + ".1")
+            self._size = 0
+        with open(self.path, "a", encoding="utf-8") as fh:
+            fh.write(line)
+        self._size += len(line)
+
+    def read(self) -> list[dict]:
+        return load_series(self.path)
+
+
+def _read_jsonl(path: str) -> list[dict]:
+    """Schema-checked, torn-line-tolerant JSONL reader."""
+    out: list[dict] = []
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    rec = json.loads(line)
+                except ValueError:
+                    continue        # torn tail from a crashed writer
+                if (isinstance(rec, dict)
+                        and rec.get("schema") == SERIES_SCHEMA):
+                    out.append(rec)
+    except OSError:
+        pass
+    return out
+
+
+def load_series(path: str | os.PathLike) -> list[dict]:
+    """All samples of one ring, oldest generation first."""
+    path = os.fspath(path)
+    return _read_jsonl(path + ".1") + _read_jsonl(path)
+
+
+def series_files(directory: str | os.PathLike) -> list[str]:
+    """Live ring files (``series-*.jsonl``) under ``directory``."""
+    directory = os.fspath(directory)
+    try:
+        names = sorted(os.listdir(directory))
+    except OSError:
+        return []
+    return [os.path.join(directory, n) for n in names
+            if n.startswith("series-") and n.endswith(".jsonl")]
+
+
+def load_directory(directory: str | os.PathLike) -> dict[str, list[dict]]:
+    """source -> samples for every ring under ``directory``."""
+    out: dict[str, list[dict]] = {}
+    for path in series_files(directory):
+        samples = load_series(path)
+        if samples:
+            out.setdefault(samples[-1].get("source")
+                           or os.path.basename(path), []).extend(samples)
+    return out
+
+
+def latest_by_source(directory: str | os.PathLike) -> dict[str, dict]:
+    """The newest sample of each ring under ``directory``."""
+    return {src: samples[-1]
+            for src, samples in load_directory(directory).items()}
+
+
+def rate(samples: list[dict], counter: str,
+         window: int = 10) -> float | None:
+    """Per-second rate of ``counter`` over the last ``window`` samples."""
+    pts = [(s["t_wall"], s.get("counters", {}).get(counter))
+           for s in samples[-window:]]
+    pts = [(t, v) for t, v in pts if v is not None]
+    if len(pts) < 2:
+        return None
+    dt = pts[-1][0] - pts[0][0]
+    if dt <= 0:
+        return None
+    return (pts[-1][1] - pts[0][1]) / dt
+
+
+class Sampler:
+    """Daemon thread flushing registry snapshots to a per-pid ring."""
+
+    def __init__(self, obs_dir: str, *, interval: float | None = None,
+                 max_bytes: int = DEFAULT_MAX_BYTES):
+        self.interval = interval if interval else series_interval()
+        self.source = f"pid-{os.getpid()}"
+        self.ring = SeriesRing(
+            os.path.join(obs_dir, f"series-{os.getpid()}.jsonl"),
+            max_bytes)
+        self._seq = 0
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True,
+                                        name="repro-obs-sampler")
+        self._thread.start()
+
+    def sample_once(self) -> dict:
+        """Build and append one sample (also the final-flush path)."""
+        from repro import obs
+        self._seq += 1
+        extra = {}
+        try:
+            from repro.uarch import native
+            extra["ops_retired"] = native.ops_retired()
+        except Exception:
+            pass
+        rec = compact_sample(obs.metrics_snapshot(), source=self.source,
+                             seq=self._seq, extra=extra)
+        try:
+            self.ring.append(rec)
+        except OSError:
+            pass                     # a full/readonly disk never kills a run
+        return rec
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval):
+            self.sample_once()
+
+    def stop(self, final_sample: bool = True) -> None:
+        self._stop.set()
+        self._thread.join(timeout=5.0)
+        if final_sample:
+            self.sample_once()

@@ -60,7 +60,9 @@ enum {
     SI_LP_CNT, SI_LP_TOMB, SI_SPF_CNT,
     SI_RAND0,                       /* 5 cache LCG states */
     SI_EV_N = SI_RAND0 + 5, SI_NEXT_POS,
-    SI_N
+    SI_OPS_RETIRED,                 /* live progress: ops retired so far */
+    SI_OPK0,                        /* 5 per-op-kind retirement counters */
+    SI_N = SI_OPK0 + 5
 };
 
 /* ---- scalar double slots ---- */
@@ -721,6 +723,19 @@ i64 repro_sim_run(void **p, i64 start, i64 n_ops, i64 limit) {
             s->si[SI_NEXT_POS] = i;
             return 2;
         }
+        if (kind < OP_BLOCK || kind > OP_EVENT) {
+            s->si[SI_NEXT_POS] = i;
+            return -1;
+        }
+        /* Retirement telemetry: counted before dispatch so every exit
+         * that advances past op i (DONE, LIMIT, HOOK — all at i+1) has
+         * it on the books, while pauses that re-enter AT i (VM_FULL)
+         * and the bad-kind bail above never double- or under-count.
+         * Two aligned int64 increments; a Python thread may read them
+         * mid-run (the ctypes call releases the GIL) for live
+         * progress — the read is tear-free on every target ABI. */
+        s->si[SI_OPS_RETIRED]++;
+        s->si[SI_OPK0 + kind]++;
         if (kind == OP_LOAD) {
             op_mem(s, s->a0[i], 0);
         } else if (kind == OP_STORE) {
@@ -787,9 +802,6 @@ i64 repro_sim_run(void **p, i64 start, i64 n_ops, i64 limit) {
             s->evidx[n] = i;
             s->evcyc[n] = s->sd[SD_IDEAL] + acc;
             s->si[SI_EV_N] = n + 1;
-        } else {
-            s->si[SI_NEXT_POS] = i;
-            return -1;
         }
     }
     s->si[SI_NEXT_POS] = n_ops;
@@ -797,4 +809,4 @@ i64 repro_sim_run(void **p, i64 start, i64 n_ops, i64 limit) {
 }
 
 /* expression parity helper: 1.0 - hit/total as Python evaluates it */
-f64 repro_abi_version(void) { return 8.0; }
+f64 repro_abi_version(void) { return 9.0; }

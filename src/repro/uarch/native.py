@@ -84,7 +84,9 @@ P_N = P_LLC_EPOCH + 1
  SI_RAND0) = range(35)
 SI_EV_N = SI_RAND0 + _NCACHE
 SI_NEXT_POS = SI_EV_N + 1
-SI_N = SI_NEXT_POS + 1
+SI_OPS_RETIRED = SI_NEXT_POS + 1   # live progress counter (kernel-owned)
+SI_OPK0 = SI_OPS_RETIRED + 1       # 5 per-op-kind retirement counters
+SI_N = SI_OPK0 + 5
 
 SD_IDEAL, SD_UOPS, SD_ST0 = 0, 1, 2
 SD_NEXT_HOOK = SD_ST0 + 17         # +inf when no cycle hook is armed
@@ -116,9 +118,41 @@ _C_LLC = 3                         # LLC's index in the caches tuple
 
 #: Kernel-entry telemetry for the fallback/guard tests: proves a config
 #: really took the native path (and how) without instrumenting the hot
-#: loop.  Monotonic per process; tests diff around a call.
+#: loop.  Monotonic per process; tests diff around a call.  The
+#: ``ops_*`` keys are retirement counters the kernel itself increments
+#: (one aligned int64 add per op) and ``writeback`` drains here, so the
+#: totals survive image teardown; ``vm_hash_builds`` counts the exports
+#: that missed the page-hash cache and rebuilt it from ``vm._mapped``.
 stats = {"consume_calls": 0, "kernel_calls": 0, "hook_exits": 0,
-         "sessions": 0}
+         "sessions": 0, "ops_retired": 0, "vm_hash_builds": 0,
+         "ops_block": 0, "ops_branch": 0, "ops_load": 0,
+         "ops_store": 0, "ops_event": 0}
+_stats = stats  # alias for scopes where a cache/tlb unpack shadows ``stats``
+
+#: Kernel dispatch order: index ``k`` maps to ``stats["ops_<name>"]``
+#: and the ``SI_OPK0 + k`` retirement slot.  Must match ``_kernel.c``.
+OP_KIND_NAMES = ("block", "branch", "load", "store", "event")
+
+# Images currently exported to the kernel.  ``ops_retired()`` folds
+# their live slots into the drained totals; ``writeback`` removes them.
+_live_lock = threading.Lock()
+_live_images: dict[int, "CoreImage"] = {}
+
+
+def ops_retired() -> int:
+    """Total trace ops the kernel has retired in this process.
+
+    Safe (and cheap) to poll from another thread mid-run: the ctypes
+    call into the kernel releases the GIL, and the kernel's increments
+    are aligned int64 stores, so the live-slot reads are tear-free on
+    every supported target.  Finished images have drained into
+    ``stats``; live ones are read straight from their kernel-owned
+    scalar slots, so the sum is monotonic and never double-counts.
+    """
+    with _live_lock:
+        live = sum(int(img.si[SI_OPS_RETIRED])
+                   for img in _live_images.values())
+    return stats["ops_retired"] + live
 
 # ---------------------------------------------------------------------------
 # Kernel build & load.
@@ -405,6 +439,7 @@ class CoreImage:
 
     def __init__(self, core, shared_llc_image=None) -> None:
         from repro.uarch.pipeline import ALL_BUCKETS
+        _t0 = time.perf_counter_ns() if obs.enabled() else None
         self.core = core
         self.buckets = ALL_BUCKETS
         m = core.machine
@@ -662,6 +697,9 @@ class CoreImage:
             _, self.vm_hash, self.vm_log = cached
             pi[PI_VM_HMASK] = len(self.vm_hash) - 1
         else:
+            _stats["vm_hash_builds"] += 1
+            if _t0 is not None:
+                obs.add("native.vm_hash_builds", 1.0)
             cap = _next_pow2(4 * (len(vm._mapped) + 64))
             pi[PI_VM_HMASK] = cap - 1
             self.vm_hash = np.full(cap, -1, dtype=np.int64)
@@ -681,6 +719,12 @@ class CoreImage:
         self._set_ptr(P_SD, sd)
         self._set_ptr(P_PD, pd)
         self._set_ptr(P_PI, pi)
+
+        with _live_lock:
+            _live_images[id(self)] = self
+        if _t0 is not None:
+            obs.observe("native.export_seconds",
+                        (time.perf_counter_ns() - _t0) * 1e-9)
 
     # ------------------------------------------------------------------
     def _set_ptr(self, slot: int, arr) -> None:
@@ -749,6 +793,7 @@ class CoreImage:
     # ------------------------------------------------------------------
     def writeback(self) -> None:
         """Reconstruct the Python Core state from the mutated arrays."""
+        _t0 = time.perf_counter_ns() if obs.enabled() else None
         core = self.core
         si, sd = self.si, self.sd
         sil = si.tolist()
@@ -834,6 +879,35 @@ class CoreImage:
         vm.stats.mapped_pages = sil[SI_VM_MAPPED]
         vm._fault_seq = sil[SI_VM_SEQ]
 
+        self._drain_retired(sil)
+        if _t0 is not None:
+            obs.observe("native.writeback_seconds",
+                        (time.perf_counter_ns() - _t0) * 1e-9)
+
+    def _drain_retired(self, sil) -> None:
+        """Fold the kernel's retirement counters into the module stats.
+
+        Zeroing the slots keeps a second writeback idempotent (the
+        BAD-status path writes back before raising, then the caller's
+        ``finally`` writes back again), and dropping the image from the
+        live registry keeps ``ops_retired()`` from counting the drained
+        span twice.
+        """
+        retired = sil[SI_OPS_RETIRED]
+        if retired:
+            stats["ops_retired"] += retired
+            for k, name in enumerate(OP_KIND_NAMES):
+                stats["ops_" + name] += sil[SI_OPK0 + k]
+            if obs.enabled():
+                obs.add("native.ops_retired", float(retired))
+                for k, name in enumerate(OP_KIND_NAMES):
+                    if sil[SI_OPK0 + k]:
+                        obs.add("native.ops_retired." + name,
+                                float(sil[SI_OPK0 + k]))
+            self.si[SI_OPS_RETIRED:SI_N] = 0
+        with _live_lock:
+            _live_images.pop(id(self), None)
+
     # ------------------------------------------------------------------
     def run_buffer(self, buf, start: int, limit) -> tuple[int, int]:
         """Run the kernel over one sealed trace buffer from ``start``.
@@ -864,7 +938,12 @@ class CoreImage:
         pos = start
         while True:
             stats["kernel_calls"] += 1
+            _t0 = time.perf_counter_ns() if obs.enabled() else None
             status = int(lib.repro_sim_run(ptab, pos, n_ops, limit_c))
+            if _t0 is not None:
+                obs.add("native.kernel_calls", 1.0)
+                obs.observe("native.run_seconds",
+                            (time.perf_counter_ns() - _t0) * 1e-9)
             next_pos = int(self.si[SI_NEXT_POS])
             self._drain_vm_log()
             if hook is not None:
@@ -956,6 +1035,8 @@ def consume_stream_native(core, stream, max_instructions=None) -> int:
             stream.pos = next_pos
             if status == _STATUS_HOOK:
                 stats["hook_exits"] += 1
+                if obs.enabled():
+                    obs.add("native.hook_exits", 1.0)
                 _finish_image(img)
                 img = None
                 core.cycle_hook(core)
@@ -1055,6 +1136,8 @@ class NativeMulticoreSession:
             stream.pos = next_pos
             if status == _STATUS_HOOK:
                 stats["hook_exits"] += 1
+                if obs.enabled():
+                    obs.add("native.hook_exits", 1.0)
                 self._llc_rand = int(img.si[SI_RAND0 + _C_LLC])
                 self._teardown()
                 core.cycle_hook(core)

@@ -257,3 +257,40 @@ class TestWorkerTelemetry:
         rep.worker_idle(7)
         assert "w7:0" in rep.status_line()
         assert rep.active_jobs() == {}
+
+
+class TestSimOpsProgress:
+    """The native kernel's live retirement counter in the status line."""
+
+    def test_sim_ops_shown_when_kernel_reports_progress(self):
+        rep = ProgressReporter(4, clock=FakeClock(),
+                               ops_retired=lambda: 2_500_000)
+        assert rep.sim_ops_retired() == 2_500_000
+        assert "2.5M sim-ops" in rep.status_line()
+
+    def test_sim_ops_hidden_at_zero_and_without_kernel(self):
+        # zero progress (or a pure-python run) keeps the historical line
+        rep = ProgressReporter(4, clock=FakeClock(),
+                               ops_retired=lambda: 0)
+        assert "sim-ops" not in rep.status_line()
+        rep = ProgressReporter(4, clock=FakeClock())
+        rep._ops_retired = None           # simulate kernel-less install
+        assert rep.sim_ops_retired() == 0
+        assert "sim-ops" not in rep.status_line()
+
+    def test_sim_ops_source_failure_is_harmless(self):
+        def boom():
+            raise OSError("kernel gone")
+        rep = ProgressReporter(4, clock=FakeClock(), ops_retired=boom)
+        assert rep.sim_ops_retired() == 0
+        assert "sim-ops" not in rep.status_line()
+
+    def test_default_source_is_live_native_counter(self):
+        import pytest
+
+        native = pytest.importorskip("repro.uarch.native")
+        if not native.available():
+            pytest.skip("native kernel unavailable")
+        rep = ProgressReporter(1, clock=FakeClock())
+        assert rep._ops_retired is native.ops_retired
+        assert rep.sim_ops_retired() == native.ops_retired()

@@ -1,0 +1,143 @@
+"""Cross-host span propagation, end to end through the HTTP boundary.
+
+A client submits with an ``X-Repro-Span`` header; the service parents
+its request span under the caller, the unit envelopes carry the
+request's context to the worker, and the worker's ``pool.job`` spans
+nest under ``fabric.unit``.  The merged Perfetto export must therefore
+contain an unbroken parent chain from each executed job all the way to
+the client's span id — that chain is what makes one distributed trace
+out of a fleet.
+"""
+
+import json
+import threading
+import time
+import urllib.request
+
+import pytest
+
+from repro import obs
+from repro.fabric.coordinator import Coordinator
+from repro.fabric.service import CharacterizationService, ServerThread
+from repro.fabric.worker import WorkerAgent
+from repro.obs.exporter import chrome_to_spans, export_chrome_trace
+
+BENCH = ["System.Runtime", "System.Text"]
+BODY = {"benchmarks": BENCH, "instructions": 10_000, "warmup": 5_000}
+CLIENT_SPAN = ("trace-client", "span-client")
+
+
+def _post(url, body, headers):
+    req = urllib.request.Request(
+        url, data=json.dumps(body).encode(), method="POST",
+        headers={"Content-Type": "application/json", **headers})
+    with urllib.request.urlopen(req, timeout=30) as resp:
+        return resp.status, json.loads(resp.read()), resp.headers
+
+
+@pytest.fixture
+def traced_fabric(tmp_path):
+    obs.configure(tmp_path / "obs", export_env=False)
+    coordinator = Coordinator(tmp_path / "fab", lease_ttl=5.0,
+                              poll_interval=0.01)
+    service = CharacterizationService(coordinator, pump_interval=0.01)
+    server = ServerThread(service).start()
+    agent = WorkerAgent(tmp_path / "fab", worker_id="wX",
+                        heartbeat_interval=0.1, poll_interval=0.01)
+    thread = threading.Thread(target=agent.run,
+                              kwargs={"idle_exit": 2.0}, daemon=True)
+    thread.start()
+    try:
+        yield tmp_path, server
+    finally:
+        thread.join(timeout=30.0)
+        server.close()
+        service.close()
+        obs.shutdown(dump=False)
+
+
+def test_pool_job_parents_under_client_span_in_merged_export(
+        traced_fabric):
+    tmp_path, server = traced_fabric
+    status, reply, headers = _post(
+        server.url + "/characterize", BODY,
+        {"X-Repro-Span": ":".join(CLIENT_SPAN)})
+    assert status == 202
+    rid = reply["request"]
+
+    deadline = time.monotonic() + 120.0
+    view = {}
+    while time.monotonic() < deadline:
+        with urllib.request.urlopen(server.url + f"/requests/{rid}",
+                                    timeout=30) as resp:
+            view = json.loads(resp.read())
+        if view["status"] == "done":
+            break
+        time.sleep(0.05)
+    assert view["status"] == "done" and view["failures"] == []
+
+    obs.flush()
+    out = tmp_path / "trace.json"
+    count = export_chrome_trace(tmp_path / "obs", out)
+    assert count > 0
+    spans = chrome_to_spans(json.loads(out.read_text()))
+    by_id = {s["span_id"]: s for s in spans}
+
+    request_spans = [s for s in spans if s["name"] == "fabric.request"]
+    assert len(request_spans) == 1
+    # the client's span id crossed the HTTP boundary intact
+    assert request_spans[0]["parent_id"] == CLIENT_SPAN[1]
+
+    jobs = [s for s in spans if s["name"] == "pool.job"
+            and (s.get("attrs") or {}).get("workload") in BENCH]
+    assert {(s["attrs"] or {})["workload"] for s in jobs} == set(BENCH)
+    for job in jobs:
+        # walk parent links: pool.job -> ... -> fabric.unit ->
+        # fabric.request -> the client's own span id
+        chain = [job["name"]]
+        cursor = job
+        for _ in range(10):
+            parent_id = cursor.get("parent_id")
+            if parent_id not in by_id:
+                break
+            cursor = by_id[parent_id]
+            chain.append(cursor["name"])
+        assert "fabric.unit" in chain, chain
+        assert chain[-1] == "fabric.request", chain
+        assert cursor["parent_id"] == CLIENT_SPAN[1]
+        # the unit span names the worker that ran the job
+        unit = by_id[job["parent_id"]] \
+            if by_id[job["parent_id"]]["name"] == "fabric.unit" \
+            else next(s for s in spans if s["name"] == "fabric.unit")
+        assert (unit["attrs"] or {}).get("worker") == "wX"
+
+
+def test_worker_series_ring_published_through_backend(tmp_path):
+    """The worker's time-series ring lands under <root>/obs and is
+    readable by the fleet views (the other half of the observatory's
+    cross-host story)."""
+    from repro.obs import timeseries
+
+    coordinator = Coordinator(tmp_path / "fab", lease_ttl=5.0,
+                              poll_interval=0.01)
+    service = CharacterizationService(coordinator, pump_interval=0.01)
+    agent = WorkerAgent(tmp_path / "fab", worker_id="wY",
+                        heartbeat_interval=0.05, poll_interval=0.01)
+    agent.series_interval = 0.0      # publish on every loop iteration
+    thread = threading.Thread(target=agent.run,
+                              kwargs={"idle_exit": 0.5}, daemon=True)
+    thread.start()
+    try:
+        service.submit(BODY)
+        thread.join(timeout=60.0)
+    finally:
+        service.close()
+    latest = timeseries.latest_by_source(tmp_path / "fab" / "obs")
+    assert "wY" in latest
+    sample = latest["wY"]
+    assert sample["units_run"] == agent.units_run
+    assert sample["spool_pending"] == 0
+    # the merged fleet dashboard renders it
+    from repro.obs.report import render_top
+    text = render_top(tmp_path / "fab" / "obs")
+    assert "wY" in text

@@ -204,9 +204,10 @@ class TestHttpSurface:
         assert excinfo.value.code == 405
 
 
-# Prometheus exposition: "# TYPE <name> <kind>" lines and samples.
-_TYPE_RE = re.compile(r"^# TYPE [a-zA-Z_][a-zA-Z0-9_]* "
-                      r"(counter|gauge|histogram)$")
+# Prometheus exposition: "# HELP"/"# TYPE" headers and samples.
+_META_RE = re.compile(r"^# (HELP [a-zA-Z_][a-zA-Z0-9_]* .+"
+                      r"|TYPE [a-zA-Z_][a-zA-Z0-9_]* "
+                      r"(counter|gauge|histogram))$")
 _SAMPLE_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*"
                         r"(\{[^}]*\})? -?[0-9.eE+-]+$")
 
@@ -231,7 +232,7 @@ class TestMetricsEndpoint:
         assert lines, "scrape must not be empty"
         for line in lines:
             if line.startswith("#"):
-                assert _TYPE_RE.match(line), line
+                assert _META_RE.match(line), line
             else:
                 assert _SAMPLE_RE.match(line), line
 
@@ -247,8 +248,10 @@ class TestMetricsEndpoint:
         assert "repro_fabric_queue_depth" in text
         assert "repro_fabric_leases_active" in text
         assert "repro_fabric_workers_alive 1" in text
-        assert "repro_fabric_worker_wS_heartbeat_age_s" in text
-        assert "repro_fabric_worker_wS_leases" in text
+        assert 'repro_fabric_worker_heartbeat_age_s{worker="wS"}' in text
+        assert 'repro_fabric_worker_leases{worker="wS"} 0' in text
+        # one family header shared by all label variants
+        assert text.count("# TYPE repro_fabric_worker_leases gauge") == 1
 
 
 class TestSpanPropagation:

@@ -1,0 +1,151 @@
+"""Prometheus text-format exposition: a lint-style parser over dumps.
+
+The exposition is consumed by real scrapers, so instead of substring
+checks this test *parses* the full dump line by line against the text
+format's grammar: ``# HELP``/``# TYPE`` headers exactly once per
+family and ahead of its first sample, valid metric/label identifiers,
+escaped label values (backslash, double quote, newline), histogram
+bucket/sum/count consistency.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+
+from repro.obs.metrics import MetricsRegistry, labeled
+
+IDENT = r"[a-zA-Z_:][a-zA-Z0-9_:]*"
+LABEL = re.compile(
+    r'(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<val>(?:[^"\\\n]|\\\\|\\"|\\n)*)"')
+SAMPLE = re.compile(
+    rf"^(?P<name>{IDENT})(?:\{{(?P<labels>.*)\}})? (?P<value>\S+)$")
+HELP = re.compile(rf"^# HELP (?P<name>{IDENT}) (?P<text>.*)$")
+TYPE = re.compile(
+    rf"^# TYPE (?P<name>{IDENT}) (?P<kind>counter|gauge|histogram)$")
+
+
+def parse_exposition(text: str) -> dict:
+    """Parse a dump; assert on any grammar violation.
+
+    Returns ``{family: {"kind": ..., "samples": [(name, labels, value)]}}``.
+    """
+    families: dict[str, dict] = {}
+    pending_help: str | None = None
+    for line in text.splitlines():
+        if not line:
+            continue
+        m = HELP.match(line)
+        if m:
+            name = m.group("name")
+            assert name not in families, f"duplicate HELP for {name}"
+            assert pending_help is None, "HELP without a following TYPE"
+            assert "\n" not in m.group("text")
+            pending_help = name
+            continue
+        m = TYPE.match(line)
+        if m:
+            name = m.group("name")
+            assert pending_help == name, \
+                f"TYPE for {name} not preceded by its HELP"
+            pending_help = None
+            families[name] = {"kind": m.group("kind"), "samples": []}
+            continue
+        assert not line.startswith("#"), f"unparseable comment: {line!r}"
+        m = SAMPLE.match(line)
+        assert m, f"unparseable sample line: {line!r}"
+        name, labels_raw, value = m.group("name", "labels", "value")
+        labels = {}
+        if labels_raw:
+            consumed = 0
+            for lm in LABEL.finditer(labels_raw):
+                labels[lm.group("key")] = lm.group("val")
+                consumed += lm.end() - lm.start()
+            seps = labels_raw.count('",') if labels_raw else 0
+            assert consumed + seps == len(labels_raw), \
+                f"junk inside label set: {labels_raw!r}"
+        family = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            base = name[:-len(suffix)] if name.endswith(suffix) else None
+            if base and base in families \
+                    and families[base]["kind"] == "histogram":
+                family = base
+        assert family in families, \
+            f"sample {name} has no preceding TYPE header"
+        families[family]["samples"].append((name, labels, float(value)))
+    assert pending_help is None
+    return families
+
+
+def test_basic_exposition_parses_and_is_complete():
+    reg = MetricsRegistry()
+    reg.add("pool.jobs_executed", 3)
+    reg.gauge_set("fabric.queue_depth", 7)
+    reg.observe("pool.job_seconds", 0.5)
+    reg.observe("pool.job_seconds", 6.0)
+    reg.observe("pool.job_seconds", -1.0)     # underflow bucket
+    fams = parse_exposition(reg.to_prometheus())
+
+    assert fams["repro_pool_jobs_executed"]["kind"] == "counter"
+    assert fams["repro_pool_jobs_executed"]["samples"] == \
+        [("repro_pool_jobs_executed", {}, 3.0)]
+    assert fams["repro_fabric_queue_depth"]["kind"] == "gauge"
+
+    hist = fams["repro_pool_job_seconds"]
+    assert hist["kind"] == "histogram"
+    by_name = {}
+    for name, labels, value in hist["samples"]:
+        by_name.setdefault(name, []).append((labels, value))
+    # cumulative buckets end at +Inf == count
+    buckets = by_name["repro_pool_job_seconds_bucket"]
+    assert buckets[-1][0] == {"le": "+Inf"}
+    assert buckets[-1][1] == 3.0
+    counts = [v for _, v in buckets]
+    assert counts == sorted(counts)
+    assert by_name["repro_pool_job_seconds_count"] == [({}, 3.0)]
+    assert math.isclose(by_name["repro_pool_job_seconds_sum"][0][1], 5.5)
+
+
+def test_labeled_series_share_one_family_header():
+    reg = MetricsRegistry()
+    reg.gauge_set(labeled("fabric.worker.leases", worker="w1"), 2)
+    reg.gauge_set(labeled("fabric.worker.leases", worker="w2"), 1)
+    text = reg.to_prometheus()
+    assert text.count("# TYPE repro_fabric_worker_leases gauge") == 1
+    assert text.count("# HELP repro_fabric_worker_leases") == 1
+    fams = parse_exposition(text)
+    samples = fams["repro_fabric_worker_leases"]["samples"]
+    assert ({"worker": "w1"}, 2.0) in [(l, v) for _, l, v in samples]
+    assert ({"worker": "w2"}, 1.0) in [(l, v) for _, l, v in samples]
+
+
+def test_label_value_escaping():
+    """Backslash, double-quote and newline in label values must survive
+    a round trip through the exposition grammar."""
+    nasty = 'back\\slash "quoted"\nnewline'
+    reg = MetricsRegistry()
+    reg.gauge_set(labeled("fleet.host", host=nasty), 1)
+    reg.observe(labeled("fleet.seconds", host=nasty), 2.0)
+    text = reg.to_prometheus()
+    fams = parse_exposition(text)
+    (_, labels, value), = fams["repro_fleet_host"]["samples"]
+    unescaped = (labels["host"].replace("\\\\", "\0")
+                 .replace('\\"', '"').replace("\\n", "\n")
+                 .replace("\0", "\\"))
+    assert unescaped == nasty
+    assert value == 1.0
+    # the histogram's le label composes with the user labels
+    bucket_labels = [l for n, l, _ in fams["repro_fleet_seconds"]["samples"]
+                     if n.endswith("_bucket")]
+    assert all("le" in l and "host" in l for l in bucket_labels)
+
+
+def test_merge_and_snapshot_preserve_labeled_names():
+    a, b = MetricsRegistry(), MetricsRegistry()
+    a.add(labeled("jobs", worker="w1"), 2)
+    b.merge(a.snapshot())
+    b.add(labeled("jobs", worker="w1"), 1)
+    fams = parse_exposition(b.to_prometheus())
+    (_, labels, value), = fams["repro_jobs"]["samples"]
+    assert labels == {"worker": "w1"}
+    assert value == 3.0

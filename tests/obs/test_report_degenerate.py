@@ -1,0 +1,89 @@
+"""``repro-obs`` on degenerate input: clean exits, never tracebacks.
+
+CI runs these commands on directories whose producers may have crashed
+mid-write, so every subcommand is exercised against the pathological
+shapes: missing/empty directories, zero-span files, foreign-schema
+lines, corrupt ``metrics.json``.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs.exporter import load_spans
+from repro.obs.report import main as report_main, render_report
+
+
+def test_report_on_empty_dir(tmp_path, capsys):
+    assert report_main(["report", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "0 spans" in out
+
+
+def test_missing_dir_is_a_clean_error(tmp_path, capsys):
+    rc = report_main(["report", str(tmp_path / "absent")])
+    assert rc == 2
+    assert "not a directory" in capsys.readouterr().err
+    assert report_main(["export", str(tmp_path / "absent")]) == 2
+    assert report_main(["top", str(tmp_path / "absent")]) == 2
+
+
+def test_zero_span_files_and_foreign_lines(tmp_path, capsys):
+    (tmp_path / "spans-1.jsonl").write_text("")          # zero spans
+    (tmp_path / "spans-2.jsonl").write_text(
+        json.dumps({"schema": 999, "other": "tool"}) + "\n"
+        + '["a", "list", "line"]\n'
+        + '"just a string"\n'
+        + '{"schema": 1}\n'          # right schema, missing span fields
+        + '{"torn": ')
+    assert load_spans(tmp_path) == []
+    assert report_main(["report", str(tmp_path)]) == 0
+    assert "0 spans" in capsys.readouterr().out
+
+
+def test_corrupt_metrics_json_degrades_report(tmp_path, capsys):
+    (tmp_path / "metrics.json").write_text("{not json at all")
+    assert report_main(["report", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "Observability report" in out
+    assert "Counters" not in out     # highlights skipped, not fatal
+
+
+def test_foreign_schema_metrics_json(tmp_path, capsys):
+    (tmp_path / "metrics.json").write_text(json.dumps(
+        {"counters": {"x": "not-a-number"}, "histograms": {"h": 3},
+         "other": [1, 2]}))
+    assert report_main(["report", str(tmp_path)]) == 0
+    assert "Observability report" in capsys.readouterr().out
+    (tmp_path / "metrics.json").write_text(json.dumps([1, 2, 3]))
+    assert report_main(["report", str(tmp_path)]) == 0
+    capsys.readouterr()
+
+
+def test_export_on_empty_dir_writes_valid_trace(tmp_path, capsys):
+    out = tmp_path / "trace.json"
+    assert report_main(["export", str(tmp_path), "-o", str(out)]) == 0
+    assert "wrote 0 span event(s)" in capsys.readouterr().out
+    doc = json.loads(out.read_text())
+    assert doc["traceEvents"] == []
+
+
+def test_unreadable_span_file_is_skipped(tmp_path):
+    good = {"schema": 1, "span_id": "s1", "name": "x", "pid": 1,
+            "start_us": 0, "dur_us": 5, "trace_id": "t"}
+    (tmp_path / "spans-1.jsonl").write_text(json.dumps(good) + "\n")
+    bad = tmp_path / "spans-2.jsonl"
+    bad.write_text("whatever")
+    bad.chmod(0o000)
+    try:
+        spans = load_spans(tmp_path)
+    finally:
+        bad.chmod(0o644)
+    # root can often read anyway; the invariant is "no traceback" and
+    # the good file's span always survives
+    assert any(s["span_id"] == "s1" for s in spans)
+
+
+def test_render_report_markdown_headings_on_empty(tmp_path):
+    text = render_report(tmp_path, markdown=True)
+    assert text.startswith("## Observability report")

@@ -1,0 +1,147 @@
+"""Time-series rings: rotation, sampler lifecycle, readers, CLI views."""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from repro import obs
+from repro.obs import timeseries
+from repro.obs.report import main as report_main, render_tail, render_top
+
+
+def _sample(source="w1", seq=1, t=None, counters=None, **extra):
+    rec = timeseries.compact_sample(
+        {"schema": 1, "counters": counters or {}, "gauges": {},
+         "histograms": {}}, source=source, seq=seq, extra=extra)
+    if t is not None:
+        rec["t_wall"] = t
+    return rec
+
+
+def test_ring_rotation_bounds_disk_and_keeps_newest(tmp_path):
+    path = tmp_path / "series-1.jsonl"
+    ring = timeseries.SeriesRing(path, max_bytes=16 * 1024)
+    for seq in range(500):
+        ring.append(_sample(seq=seq))
+    live = os.path.getsize(path)
+    rotated = os.path.getsize(str(path) + ".1")
+    assert live <= 8 * 1024 + 512       # one record of slack past gen cap
+    assert rotated <= 8 * 1024 + 512
+    samples = ring.read()
+    assert samples[-1]["seq"] == 499    # newest always intact
+    seqs = [s["seq"] for s in samples]
+    assert seqs == sorted(seqs)         # .1 then live preserves order
+
+
+def test_readers_tolerate_torn_and_foreign_lines(tmp_path):
+    path = tmp_path / "series-x.jsonl"
+    ring = timeseries.SeriesRing(path)
+    ring.append(_sample(seq=1))
+    with path.open("a") as fh:
+        fh.write('{"schema": 77, "seq": 2}\n')     # foreign schema
+        fh.write('["not", "a", "dict"]\n')
+        fh.write('{"torn": ')                      # crashed writer
+    samples = timeseries.load_series(path)
+    assert [s["seq"] for s in samples] == [1]
+    assert timeseries.load_series(tmp_path / "absent.jsonl") == []
+
+
+def test_load_directory_and_latest_by_source(tmp_path):
+    for src in ("w1", "w2"):
+        ring = timeseries.SeriesRing(tmp_path / f"series-{src}.jsonl")
+        for seq in (1, 2):
+            ring.append(_sample(source=src, seq=seq))
+    data = timeseries.load_directory(tmp_path)
+    assert set(data) == {"w1", "w2"}
+    latest = timeseries.latest_by_source(tmp_path)
+    assert latest["w1"]["seq"] == 2
+    assert timeseries.load_directory(tmp_path / "absent") == {}
+
+
+def test_rate_from_counter_deltas(tmp_path):
+    samples = [_sample(seq=i, t=100.0 + i,
+                       counters={"pool.jobs_executed": 10.0 * i})
+               for i in range(5)]
+    assert timeseries.rate(samples, "pool.jobs_executed") == 10.0
+    assert timeseries.rate(samples, "absent.counter") is None
+    assert timeseries.rate(samples[:1], "pool.jobs_executed") is None
+
+
+def test_sampler_lifecycle_via_configure(tmp_path):
+    obs_dir = tmp_path / "obs"
+    obs.configure(str(obs_dir), series=True)
+    try:
+        obs.add("demo.counter", 3.0)
+    finally:
+        obs.shutdown()
+    assert os.environ.get(timeseries.ENV_SERIES) is None
+    files = timeseries.series_files(obs_dir)
+    assert len(files) == 1
+    samples = timeseries.load_series(files[0])
+    # stop() takes a final sample, so the counter is always captured
+    assert samples
+    assert samples[-1]["counters"]["demo.counter"] == 3.0
+    assert samples[-1]["source"] == f"pid-{os.getpid()}"
+    assert "ops_retired" in samples[-1]
+
+
+def test_env_turns_sampler_on_without_series_argument(tmp_path, monkeypatch):
+    # The CLIs call configure() without a series= argument; the
+    # documented REPRO_OBS_SERIES=1 surface must still start the
+    # sampler (and must not be wiped by the export_env mirror).
+    monkeypatch.setenv(timeseries.ENV_SERIES, "1")
+    obs_dir = tmp_path / "obs"
+    obs.configure(str(obs_dir))
+    try:
+        assert os.environ.get(timeseries.ENV_SERIES) == "1"
+        obs.add("demo.counter", 1.0)
+    finally:
+        obs.shutdown()
+    assert timeseries.series_files(obs_dir)
+
+
+def test_explicit_series_false_overrides_env(tmp_path, monkeypatch):
+    monkeypatch.setenv(timeseries.ENV_SERIES, "1")
+    obs_dir = tmp_path / "obs"
+    obs.configure(str(obs_dir), series=False)
+    try:
+        assert os.environ.get(timeseries.ENV_SERIES) is None
+    finally:
+        obs.shutdown()
+    assert timeseries.series_files(obs_dir) == []
+
+
+def test_top_renders_fleet_table(tmp_path):
+    now = time.time()
+    ring = timeseries.SeriesRing(tmp_path / "series-w1.jsonl")
+    for i in range(3):
+        ring.append(_sample(source="w1", seq=i, t=now - 10 + 5 * i,
+                            counters={"pool.jobs_executed": float(i)},
+                            units_run=i, spool_pending=0,
+                            ops_retired=1000 * i))
+    text = render_top(tmp_path, now=now)
+    assert "w1" in text
+    assert "sim_ops/s" in text
+    row = [ln for ln in text.splitlines() if ln.startswith("w1")][0]
+    assert "200.0" in row               # 2000 ops over 10 s
+    assert report_main(["top", str(tmp_path)]) == 0
+
+
+def test_tail_merges_sources_by_time(tmp_path):
+    for src, t0 in (("a", 100.0), ("b", 100.5)):
+        ring = timeseries.SeriesRing(tmp_path / f"series-{src}.jsonl")
+        for i in range(2):
+            ring.append(_sample(source=src, seq=i, t=t0 + i))
+    lines = render_tail(tmp_path, count=3).splitlines()
+    recs = [json.loads(ln) for ln in lines]
+    assert len(recs) == 3
+    assert [r["t_wall"] for r in recs] == sorted(r["t_wall"] for r in recs)
+    assert report_main(["tail", str(tmp_path), "-n", "2"]) == 0
+
+
+def test_top_and_tail_on_empty_dir(tmp_path, capsys):
+    assert report_main(["top", str(tmp_path)]) == 0
+    assert "no time-series rings" in capsys.readouterr().out
+    assert report_main(["tail", str(tmp_path)]) == 0
